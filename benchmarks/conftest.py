@@ -1,0 +1,33 @@
+"""Shared helpers for the per-table/figure benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper, prints a paper-vs-measured comparison, and asserts the paper's
+qualitative shape.  ``pytest benchmarks/ --benchmark-only`` runs them
+all; the wall-time measured by pytest-benchmark is the simulator cost
+of regenerating the artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic experiment exactly once and return it."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_comparison(title: str, headers: list[str],
+                     rows: list[list[str]]) -> None:
+    width = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+             for i, h in enumerate(headers)]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, width)))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, width)))
+
+
+@pytest.fixture
+def compare():
+    return print_comparison

@@ -1,0 +1,60 @@
+"""Ablation benches for the design choices the paper's §5 discusses.
+
+These are not paper tables -- they quantify the *improvements the paper
+proposes*, demonstrating that the reproduction's knobs behave as the
+authors predicted:
+
+- §5.2: SJF admission (using IDL CalcOrder predictions) improves small
+  calls' response dramatically at negligible cost to large calls.
+- §5.3: FPFS avoids FCFS head-of-line blocking behind wide SPMD jobs.
+- §4.2.2/§6: bandwidth-aware metaserver placement beats load-only
+  placement by orders of magnitude for communication-heavy WAN calls.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    fpfs_vs_fcfs_packing,
+    scheduler_comparison_wan,
+    sjf_vs_fcfs,
+)
+
+
+def test_ablation_sjf(benchmark, compare):
+    outcomes = run_once(benchmark, sjf_vs_fcfs)
+    fcfs, sjf = outcomes["fcfs"], outcomes["sjf"]
+    compare("SJF vs FCFS admission (mixed Linpack bursts)",
+            ["policy", "small mean [s]", "large mean [s]", "makespan [s]"],
+            [[o.policy, f"{o.mean_elapsed_small:.1f}",
+              f"{o.mean_elapsed_large:.1f}", f"{o.makespan:.0f}"]
+             for o in (fcfs, sjf)])
+    # SJF at least 1.5x better for small calls...
+    assert sjf.mean_elapsed_small < fcfs.mean_elapsed_small / 1.5
+    # ...without hurting large calls by more than 20%...
+    assert sjf.mean_elapsed_large < fcfs.mean_elapsed_large * 1.2
+    # ...and with (work-conserving) unchanged makespan.
+    assert abs(sjf.makespan - fcfs.makespan) < 0.1 * fcfs.makespan
+
+
+def test_ablation_fpfs(benchmark, compare):
+    outcomes = run_once(benchmark, fpfs_vs_fcfs_packing)
+    fcfs, fpfs = outcomes["fcfs"], outcomes["fpfs"]
+    compare("FPFS vs FCFS (wide SPMD job at queue head)",
+            ["policy", "short-narrow mean [s]", "wait [s]"],
+            [[o.policy, f"{o.mean_elapsed_small:.2f}",
+              f"{o.mean_wait_small:.2f}"] for o in (fcfs, fpfs)])
+    # Backfilling slashes short-narrow latency by >=5x.
+    assert fpfs.mean_elapsed_small < fcfs.mean_elapsed_small / 5
+
+
+def test_ablation_wan_placement(benchmark, compare):
+    outcomes = run_once(benchmark, scheduler_comparison_wan)
+    load, bandwidth = outcomes["load"], outcomes["bandwidth"]
+    compare("WAN placement: load-only vs bandwidth-aware",
+            ["policy", "mean elapsed [s]", "near-server fraction"],
+            [[o.policy, f"{o.mean_elapsed:.1f}", f"{o.near_fraction:.2f}"]
+             for o in (load, bandwidth)])
+    # Load-only chases the idle far server and pays the WAN transfer.
+    assert load.near_fraction < 0.5
+    assert bandwidth.near_fraction > 0.9
+    # Bandwidth-aware placement wins by at least an order of magnitude.
+    assert bandwidth.mean_elapsed < load.mean_elapsed / 10

@@ -1,0 +1,57 @@
+"""Fig 10: multi-site WAN Linpack (Ocha-U, U-Tokyo, TITech, NITech -> ETL).
+
+Shape assertions (§4.2.3):
+- aggregate throughput from four sites is substantially higher than
+  from one site with the same total client count;
+- Ocha-U's per-client bandwidth deteriorates only mildly vs running
+  alone (paper: 9-18% at c=1/site, 18-44% at c=4/site);
+- server CPU utilization is substantially greater for multi-site;
+- the J90's computational power is NOT the limiter (CPU well below
+  saturation) -- bandwidth is.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import FIG10_DETERIORATION
+from repro.experiments.wan import fig10_multisite
+
+SIZES = (600, 1000, 1400)
+
+
+def test_fig10(benchmark, compare):
+    cells = run_once(benchmark, fig10_multisite, SIZES, (1, 4))
+
+    rows = []
+    for cell in cells:
+        lo, hi = FIG10_DETERIORATION[cell.clients_per_site]
+        rows.append([
+            str(cell.n), str(cell.clients_per_site),
+            f"{cell.ochau_deterioration*100:.0f}%",
+            f"{lo*100:.0f}-{hi*100:.0f}%",
+            f"{cell.result.row.cpu_utilization:.1f}",
+            f"{cell.ochau_single_site.row.cpu_utilization:.1f}",
+        ])
+    compare("Fig 10 (multi-site WAN)",
+            ["n", "clients/site", "ochau deterioration", "paper band",
+             "multi cpu%", "single cpu%"], rows)
+
+    for cell in cells:
+        lo, hi = FIG10_DETERIORATION[cell.clients_per_site]
+        # Deterioration mild and within a widened paper band.
+        assert cell.ochau_deterioration <= hi + 0.10, cell.n
+        if cell.clients_per_site == 4:
+            assert cell.ochau_deterioration >= lo - 0.05
+        # Multi-site drives the server harder than single-site.
+        assert (cell.result.row.cpu_utilization
+                > 1.5 * cell.ochau_single_site.row.cpu_utilization)
+        # But the J90 is never compute-saturated: bandwidth dominates.
+        assert cell.result.row.cpu_utilization < 60.0
+        # Every site sustains bandwidth: aggregate >> single site.
+        aggregate = sum(cell.site_throughput.values())
+        assert aggregate > 2.0 * cell.site_throughput["ochau"]
+    # c=4/site deteriorates more than c=1/site at the same n.
+    by_key = {(c.n, c.clients_per_site): c for c in cells}
+    for n in SIZES:
+        assert (by_key[(n, 4)].ochau_deterioration
+                >= by_key[(n, 1)].ochau_deterioration - 0.02)

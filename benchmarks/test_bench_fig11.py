@@ -1,0 +1,51 @@
+"""Fig 11: metaserver task-parallel EP on the 32-node Alpha cluster.
+
+Shape assertions (§4.3.1):
+- "For larger number of trials 2^28 (class A) and 2^30 (class B), we
+  achieve almost linear speedup";
+- "however, for 2^24 (sample), we observe significant slowdown" at
+  large p, "because ... the overhead of scheduling and distributing
+  Ninf_call has become apparent compared to smaller problem size".
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ep import fig11_metaserver
+
+PROCESSORS = (1, 2, 4, 8, 16, 32)
+
+
+def run_all():
+    return {label: fig11_metaserver(m, PROCESSORS)
+            for label, m in (("sample", 24), ("classA", 28), ("classB", 30))}
+
+
+def test_fig11(benchmark, compare):
+    results = run_once(benchmark, run_all)
+
+    rows = []
+    for label, points in results.items():
+        rows.append([label] + [f"{p.speedup:.1f}" for p in points])
+    compare("Fig 11 speedup (EP over p Alpha nodes)",
+            ["class"] + [f"p={p}" for p in PROCESSORS], rows)
+
+    sample = {p.processors: p.speedup for p in results["sample"]}
+    class_a = {p.processors: p.speedup for p in results["classA"]}
+    class_b = {p.processors: p.speedup for p in results["classB"]}
+
+    # Class A/B near-linear at small/medium p, still scaling at 32.
+    for table in (class_a, class_b):
+        assert table[2] == pytest.approx(2.0, rel=0.1)
+        assert table[4] == pytest.approx(4.0, rel=0.15)
+        assert table[8] == pytest.approx(8.0, rel=0.2)
+        assert table[32] > 16.0
+    # Class B scales better than class A (bigger grains).
+    assert class_b[32] > class_a[32]
+    # Sample: significant slowdown -- speedup at 32 falls below its
+    # peak and below half of linear.
+    peak = max(sample.values())
+    assert sample[32] < peak
+    assert sample[32] < 8.0
+    # And the sample curve is far below class A at 32 procs.
+    assert sample[32] < 0.5 * class_a[32]

@@ -1,0 +1,54 @@
+"""Fig 3: single-client LAN Linpack, SPARC clients vs Local.
+
+Shape assertions:
+- Local performance is roughly flat in n for both SPARCs.
+- Ninf_call performance rises steadily with n.
+- Ninf_call overtakes Local at n ~ 200-400.
+- Ninf_call performance to a given server converges to a
+  client-independent level at large n (server-bound).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import FIG3_CROSSOVERS
+from repro.experiments.single_client import fig3_sparc_clients
+
+SIZES = tuple(range(100, 1601, 100))
+
+
+def test_fig3(benchmark, compare):
+    curves = run_once(benchmark, fig3_sparc_clients, SIZES)
+
+    rows = []
+    lo, hi = FIG3_CROSSOVERS["sparc-clients"]
+    for key in sorted(curves):
+        if "local" in key:
+            continue
+        client = key.split("->")[0]
+        local = curves[f"{client}-local"]
+        crossover = curves[key].crossover_against(local)
+        rows.append([key, f"n={crossover}", f"n={lo}-{hi} (paper)"])
+        # Crossover exists and falls in/near the paper's window.
+        assert crossover is not None
+        assert 100 <= crossover <= hi + 100, key
+    compare("Fig 3 crossovers (Ninf_call overtakes Local)",
+            ["pair", "model", "paper"], rows)
+
+    # Local roughly flat: <35% variation across the sweep for SPARCs.
+    for name in ("supersparc-local", "ultrasparc-local"):
+        values = [p.mflops for p in curves[name].points if p.n >= 200]
+        assert max(values) / min(values) < 1.35, name
+
+    # Ninf_call rises steadily with n.
+    for key, curve in curves.items():
+        if "local" in key:
+            continue
+        values = [p.mflops for p in curve.points]
+        assert values == sorted(values), key
+
+    # Server-bound convergence: both SPARC clients calling the J90 reach
+    # the same large-n performance within 5%.
+    ss_j90 = curves["supersparc->j90"].at(1600)
+    us_j90 = curves["ultrasparc->j90"].at(1600)
+    assert ss_j90 == pytest.approx(us_j90, rel=0.05)

@@ -1,0 +1,37 @@
+"""Fig 4: single-client LAN Linpack, Alpha client vs J90.
+
+Shape assertions: the optimized local library pushes the crossover out
+to n ~ 800-1000, while the standard (non-blocked) library crosses at
+n ~ 400-600 -- "when employing a standard, non-optimized routine on
+Alpha, Ninf_call became advantageous at approximately n = 400~600".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import FIG4_CROSSOVERS
+from repro.experiments.single_client import fig4_alpha_client
+
+SIZES = tuple(range(100, 1601, 50))
+
+
+def test_fig4(benchmark, compare):
+    curves = run_once(benchmark, fig4_alpha_client, SIZES)
+    remote = curves["alpha->j90"]
+
+    optimized = remote.crossover_against(curves["alpha-local-optimized"])
+    standard = remote.crossover_against(curves["alpha-local-standard"])
+
+    compare("Fig 4 crossovers (Alpha client vs J90)",
+            ["variant", "model", "paper"],
+            [["optimized", f"n={optimized}",
+              "n={}-{}".format(*FIG4_CROSSOVERS["alpha-optimized"])],
+             ["standard", f"n={standard}",
+              "n={}-{}".format(*FIG4_CROSSOVERS["alpha-standard"])]])
+
+    lo_opt, hi_opt = FIG4_CROSSOVERS["alpha-optimized"]
+    lo_std, hi_std = FIG4_CROSSOVERS["alpha-standard"]
+    assert lo_opt - 150 <= optimized <= hi_opt + 150
+    assert lo_std - 150 <= standard <= hi_std + 150
+    # The optimized library defends longer than the standard one.
+    assert standard < optimized
+    # At n=1600 the remote call beats both local variants.
+    assert remote.at(1600) > curves["alpha-local-optimized"].at(1600)

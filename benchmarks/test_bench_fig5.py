@@ -1,0 +1,54 @@
+"""Fig 5: communication throughput of Ninf_call vs transfer size.
+
+Shape assertions: throughput rises with transfer size and saturates in
+three groups -- ~2-2.5 MB/s for anything->J90, ~3.5-4 MB/s for
+SuperSPARC->Alpha, ~6 MB/s for same-architecture pairs -- each slightly
+below the corresponding FTP rate (Table 2), i.e. "various communication
+overhead such as XDR marshalling is not affecting performance
+significantly".
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import FIG5_SATURATION, TABLE2_FTP_MB
+from repro.experiments.single_client import fig5_throughput
+
+PAIRS = [("supersparc", "j90"), ("ultrasparc", "j90"), ("alpha", "j90"),
+         ("supersparc", "alpha"), ("ultrasparc", "alpha"), ("alpha", "alpha")]
+GROUP = {"j90": "to-j90", "alpha": None}
+
+
+def test_fig5(benchmark, compare):
+    result = run_once(benchmark, fig5_throughput, PAIRS,
+                      [2**k for k in range(13, 25)])
+
+    rows = []
+    for (client, server) in PAIRS:
+        key = f"{client}->{server}"
+        points = result[key]
+        rates = [p.throughput for p in points]
+        # Monotone ramp to saturation.
+        assert rates == sorted(rates), key
+        saturated = rates[-1] / 1e6
+        if server == "j90":
+            group_level = FIG5_SATURATION["to-j90"]
+        elif client == "supersparc":
+            group_level = FIG5_SATURATION["sparc-to-alpha"]
+        else:
+            group_level = FIG5_SATURATION["same-arch"]
+        rows.append([key, f"{saturated:.2f}", f"~{group_level}"])
+        # Within 45% of the paper's saturation group level...
+        assert saturated == pytest.approx(group_level, rel=0.45), key
+        # ...and never above the raw FTP rate.
+        ftp = TABLE2_FTP_MB.get((client, server))
+        if ftp is not None:
+            assert saturated <= ftp + 1e-6, key
+    compare("Fig 5 saturation throughput [MB/s]",
+            ["pair", "model", "paper group"], rows)
+
+    # The three groups are ordered: j90 < sparc->alpha < same-arch.
+    j90_level = result["alpha->j90"][-1].throughput
+    sparc_alpha = result["supersparc->alpha"][-1].throughput
+    same_arch = result["ultrasparc->alpha"][-1].throughput
+    assert j90_level < sparc_alpha < same_arch

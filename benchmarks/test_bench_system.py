@@ -1,0 +1,120 @@
+"""Performance benchmarks of the real system components (not from the
+paper's tables): XDR marshalling throughput, RPC round-trip latency,
+LU kernels, the EP generator, and the simulator's event rate.
+
+These quantify the claims the library makes about itself -- e.g. that
+NumPy-fast-path XDR marshalling is near memcpy speed (the property
+Fig 5 depends on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.libs.ep import ep_kernel
+from repro.libs.linpack import dgefa, dgetrf_blocked, linpack_matgen
+from repro.sim.engine import Simulator, Timeout
+from repro.xdr import XdrDecoder, XdrEncoder
+
+
+def test_xdr_pack_matrix_throughput(benchmark):
+    """Marshalling a 1000x1000 float64 matrix (8 MB payload)."""
+    arr = np.random.default_rng(0).standard_normal((1000, 1000))
+
+    def pack():
+        enc = XdrEncoder()
+        enc.pack_ndarray(arr)
+        return enc.getvalue()
+
+    data = benchmark(pack)
+    assert len(data) > 8_000_000
+    # Sanity: throughput must be far above the 1997 wire (>100 MB/s).
+    assert benchmark.stats.stats.mean < 8e6 / 100e6
+
+
+def test_xdr_unpack_matrix_throughput(benchmark):
+    arr = np.random.default_rng(0).standard_normal((1000, 1000))
+    enc = XdrEncoder()
+    enc.pack_ndarray(arr)
+    payload = enc.getvalue()
+
+    out = benchmark(lambda: XdrDecoder(payload).unpack_ndarray())
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_xdr_scalar_packing(benchmark):
+    def pack_many():
+        enc = XdrEncoder()
+        for i in range(1000):
+            enc.pack_int(i)
+            enc.pack_double(float(i))
+        return enc.getvalue()
+
+    data = benchmark(pack_many)
+    assert len(data) == 1000 * 12
+
+
+def test_rpc_roundtrip_latency(benchmark):
+    """Full two-stage RPC over loopback with a small dmmul payload."""
+    from repro.client import NinfClient
+    from repro.server import NinfServer, Registry
+    from repro.libs.linpack import dmmul
+
+    registry = Registry()
+    registry.register(
+        "Define dmmul(mode_in int n, mode_in double A[n][n], "
+        "mode_in double B[n][n], mode_out double C[n][n]) "
+        'Calls "C" mmul(n,A,B,C);',
+        lambda n, a, b, c: dmmul(int(n), a, b, c),
+    )
+    with NinfServer(registry, num_pes=2) as server:
+        host, port = server.address
+        with NinfClient(host, port) as client:
+            n = 32
+            a = np.eye(n)
+            client.call("dmmul", n, a, a, None)  # warm signature cache
+
+            result = benchmark(client.call, "dmmul", n, a, a, None)
+            np.testing.assert_allclose(result[0], a)
+
+
+def test_dgefa_n200(benchmark):
+    a, _ = linpack_matgen(200)
+
+    def factor():
+        return dgefa(a.copy())
+
+    benchmark(factor)
+
+
+def test_blocked_lu_n400(benchmark):
+    a, _ = linpack_matgen(400)
+
+    def factor():
+        return dgetrf_blocked(a.copy(), block=64)
+
+    benchmark(factor)
+
+
+def test_ep_generator_m16(benchmark):
+    result = benchmark(ep_kernel, 16)
+    assert result.pairs == 2**16
+
+
+def test_sim_event_rate(benchmark):
+    """The DES substrate must sustain >100k events/s (ping-pong load)."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(20000):
+                yield Timeout(sim, 1.0)
+
+        for _ in range(5):
+            sim.process(ticker())
+        sim.run()
+        return sim.event_count
+
+    count = benchmark(run)
+    assert count >= 100000
+    assert benchmark.stats.stats.mean < count / 100_000

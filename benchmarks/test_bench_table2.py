@@ -1,0 +1,26 @@
+"""Table 2: raw client-server (FTP) throughput baseline.
+
+The catalog must carry the paper's measured values verbatim, and the
+Ninf-effective rate must sit at or below FTP for every pair (Fig 5's
+relationship between the two measurements).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import TABLE2_FTP_MB
+from repro.experiments.single_client import ninf_saturation, table2_ftp
+
+
+def test_table2(benchmark, compare):
+    catalog = run_once(benchmark, table2_ftp)
+    rows = []
+    for (client, server), expected_mb in TABLE2_FTP_MB.items():
+        measured = catalog[(client, server)] / 1e6
+        ninf = ninf_saturation(client, server) / 1e6
+        rows.append([f"{client}->{server}", f"{expected_mb:.1f}",
+                     f"{measured:.1f}", f"{ninf:.2f}"])
+        assert measured == pytest.approx(expected_mb)
+        assert ninf <= measured + 1e-9
+    compare("Table 2 FTP throughput [MB/s] (+ Ninf saturation)",
+            ["pair", "paper", "catalog", "ninf"], rows)

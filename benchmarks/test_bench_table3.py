@@ -1,0 +1,56 @@
+"""Table 3: multi-client LAN Linpack, 1-PE (task-parallel) J90.
+
+Shape assertions:
+- mean performance is non-increasing in c for every n;
+- CPU utilization rises with c and saturates (>85%) at n>=1000, c=16;
+- load average grows with c;
+- wait time stays small (the server never thrashes);
+- per-client throughput at c=16 is a small fraction of c=1.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.lan_multiclient import table3_1pe
+from repro.experiments.paper_data import TABLE3_1PE_MEAN
+
+SIZES = (600, 1000, 1400)
+CLIENTS = (1, 2, 4, 8, 16)
+
+
+def test_table3(benchmark, compare):
+    table = run_once(benchmark, table3_1pe, SIZES, CLIENTS)
+
+    rows = []
+    for (n, c) in sorted(table.cells):
+        row = table.row(n, c)
+        paper = TABLE3_1PE_MEAN.get((n, c))
+        rows.append([str(n), str(c), f"{paper:.1f}" if paper else "-",
+                     f"{row.performance.mean/1e6:.1f}",
+                     f"{row.cpu_utilization:.1f}",
+                     f"{row.load_average:.2f}", str(row.times)])
+    compare("Table 3 (1-PE LAN Linpack)",
+            ["n", "c", "paper Mflops", "model Mflops", "cpu%", "load",
+             "times"], rows)
+
+    for n in SIZES:
+        perfs = [table.mean_performance(n, c) for c in CLIENTS]
+        for a, b in zip(perfs, perfs[1:]):
+            assert b <= a * 1.02, (n, "performance must not grow with c")
+        utils = [table.row(n, c).cpu_utilization for c in CLIENTS]
+        assert utils == sorted(utils), (n, "cpu util must grow with c")
+        loads = [table.row(n, c).load_average for c in CLIENTS]
+        assert loads == sorted(loads), (n, "load must grow with c")
+        # No thrashing: wait stays under a second even at c=16.
+        assert table.row(n, 16).wait.mean < 1.0
+
+    # Saturation at large problems and many clients.
+    assert table.row(1400, 16).cpu_utilization > 85.0
+    assert table.row(1000, 16).cpu_utilization > 85.0
+    # c=1 cells calibrate against the paper within 15%.
+    for n in SIZES:
+        assert (table.mean_performance(n, 1) / 1e6
+                == pytest.approx(TABLE3_1PE_MEAN[(n, 1)], rel=0.15))
+    # Heavy degradation by c=16 at the largest problem (paper: ~4.7x).
+    assert (table.mean_performance(1400, 1)
+            > 2.5 * table.mean_performance(1400, 16))

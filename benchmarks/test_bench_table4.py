@@ -1,0 +1,66 @@
+"""Table 4: multi-client LAN Linpack, 4-PE (data-parallel) J90 + Fig 7.
+
+Shape assertions (the §4.2.1 analysis):
+- 4-PE has a "substantial performance edge for a small c";
+- "very little performance edge ... for a larger c" (parity at c=16);
+- CPU utilization and load exceed the 1-PE version;
+- the server continues to work flawlessly (bounded waits) even at the
+  heaviest cell, n=1400 c=16.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.lan_multiclient import fig7_surface, table3_1pe, table4_4pe
+from repro.experiments.paper_data import TABLE4_4PE_MEAN
+
+SIZES = (600, 1000, 1400)
+CLIENTS = (1, 2, 4, 8, 16)
+
+
+def run_both():
+    return (table3_1pe(SIZES, CLIENTS), table4_4pe(SIZES, CLIENTS))
+
+
+def test_table4_and_fig7(benchmark, compare):
+    table3, table4 = run_once(benchmark, run_both)
+
+    rows = []
+    for (n, c) in sorted(table4.cells):
+        row = table4.row(n, c)
+        paper = TABLE4_4PE_MEAN.get((n, c))
+        rows.append([str(n), str(c), f"{paper:.1f}" if paper else "-",
+                     f"{row.performance.mean/1e6:.1f}",
+                     f"{table3.mean_performance(n, c)/1e6:.1f}",
+                     f"{row.cpu_utilization:.1f}",
+                     f"{row.load_average:.2f}"])
+    compare("Table 4 (4-PE LAN Linpack) vs Table 3",
+            ["n", "c", "paper Mflops", "4-PE model", "1-PE model", "cpu%",
+             "load"], rows)
+
+    for n in SIZES:
+        # Substantial 4-PE edge at c=1 (paper: 1.3-1.7x).
+        assert (table4.mean_performance(n, 1)
+                > 1.2 * table3.mean_performance(n, 1)), n
+        # Near-parity at c=16 (paper: ratios 0.88-0.97).
+        ratio = (table4.mean_performance(n, 16)
+                 / table3.mean_performance(n, 16))
+        assert 0.6 <= ratio <= 1.5, (n, ratio)
+        # 4-PE shows higher load than 1-PE at large c.
+        assert (table4.row(n, 16).load_average
+                >= table3.row(n, 16).load_average * 0.9), n
+        # Monotone decline in c.
+        perfs = [table4.mean_performance(n, c) for c in CLIENTS]
+        for a, b in zip(perfs, perfs[1:]):
+            assert b <= a * 1.02, n
+    # c=1 calibration within 15%.
+    for n in SIZES:
+        assert (table4.mean_performance(n, 1) / 1e6
+                == pytest.approx(TABLE4_4PE_MEAN[(n, 1)], rel=0.15))
+    # No thrashing at the heaviest cell.
+    assert table4.row(1400, 16).wait.mean < 2.0
+
+    # Fig 7 surfaces come straight from these tables.
+    surface = fig7_surface(table3, table4)
+    assert surface["4pe"][(1400, 1)] > surface["1pe"][(1400, 1)]
+    assert set(surface["1pe"]) == {(n, c) for n in SIZES for c in CLIENTS}

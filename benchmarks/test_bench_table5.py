@@ -1,0 +1,61 @@
+"""Table 5: multi-client LAN Linpack on the SuperSPARC SMP.
+
+Shape assertions (§4.2.1):
+- per-client performance is far more resilient to growing c than on
+  the J90 (the 16-PE pool absorbs 16 single-PE calls);
+- CPU utilization "still has not saturated even for c=16";
+- response/wait larger than the J90's (slower fork on Solaris);
+- the highly-multithreaded library variant *slows down* as c grows
+  (thread-switching overhead), unlike the 1-thread version.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.lan_multiclient import table5_smp
+from repro.experiments.paper_data import TABLE5_SMP_MEAN
+
+CLIENTS = (4, 8, 16)
+
+
+def run_both():
+    return (table5_smp(clients=CLIENTS),
+            table5_smp(clients=CLIENTS, threads=12))
+
+
+def test_table5(benchmark, compare):
+    single, threaded = run_once(benchmark, run_both)
+
+    rows = []
+    for c in CLIENTS:
+        paper_perf, paper_thru, paper_cpu, paper_load = TABLE5_SMP_MEAN[c]
+        row = single.row(600, c)
+        rows.append([str(c), f"{paper_perf:.2f}",
+                     f"{row.performance.mean/1e6:.2f}",
+                     f"{paper_thru:.2f}",
+                     f"{row.throughput.mean/1e6:.2f}",
+                     f"{paper_cpu:.0f}", f"{row.cpu_utilization:.0f}",
+                     f"{threaded.row(600, c).performance.mean/1e6:.2f}"])
+    compare("Table 5 (SMP LAN Linpack, n=600)",
+            ["c", "paper Mflops", "model", "paper MB/s", "model MB/s",
+             "paper cpu%", "model cpu%", "12-thread model"], rows)
+
+    # Calibration: c=4 within 20% of the paper.
+    assert (single.mean_performance(600, 4) / 1e6
+            == pytest.approx(TABLE5_SMP_MEAN[4][0], rel=0.20))
+    # Resilience: c=16 keeps >=60% of c=4 performance (paper: 74%).
+    assert (single.mean_performance(600, 16)
+            > 0.6 * single.mean_performance(600, 4))
+    # Not saturated at c=16.
+    assert single.row(600, 16).cpu_utilization < 95.0
+    # CPU grows with c.
+    utils = [single.row(600, c).cpu_utilization for c in CLIENTS]
+    assert utils == sorted(utils)
+    # Wait larger than the J90's ~0.03 s (Solaris fork ~0.12 s).
+    assert single.row(600, 4).wait.mean > 0.05
+    # Multithreaded variant: minimum performance collapses as c grows
+    # and sits below the 1-thread variant at c=16.
+    assert (threaded.row(600, 16).performance.min
+            < threaded.row(600, 4).performance.min)
+    assert (threaded.row(600, 16).performance.min
+            < single.row(600, 16).performance.min)

@@ -1,0 +1,63 @@
+"""Table 6: single-site WAN Linpack, 1-PE.
+
+Shape assertions (§4.2.2):
+- WAN performance is an order of magnitude below LAN;
+- per-client throughput follows the fair-share law ~uplink/c;
+- server CPU utilization and load stay low ("server CPU utilization
+  and load average remains low even for c = 16") -- the network, not
+  the server, is the bottleneck;
+- performance still improves with n (computation amortizes transfer).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import TABLE6_WAN_1PE_MEAN
+from repro.experiments.wan import table6_1pe
+
+SIZES = (600, 1000, 1400)
+CLIENTS = (1, 2, 4, 8, 16)
+
+
+def test_table6(benchmark, compare):
+    table = run_once(benchmark, table6_1pe, SIZES, CLIENTS)
+
+    rows = []
+    for (n, c) in sorted(table.cells):
+        row = table.row(n, c)
+        paper = TABLE6_WAN_1PE_MEAN.get((n, c))
+        rows.append([
+            str(n), str(c),
+            f"{paper[0]:.2f}" if paper else "-",
+            f"{row.performance.mean/1e6:.2f}",
+            f"{paper[1]:.3f}" if paper else "-",
+            f"{row.throughput.mean/1e6:.3f}",
+            f"{row.cpu_utilization:.1f}",
+        ])
+    compare("Table 6 (single-site WAN, 1-PE)",
+            ["n", "c", "paper Mflops", "model", "paper MB/s", "model MB/s",
+             "cpu%"], rows)
+
+    for n in SIZES:
+        # Monotone decline with c.
+        perfs = [table.mean_performance(n, c) for c in CLIENTS]
+        for a, b in zip(perfs, perfs[1:]):
+            assert b <= a * 1.02, n
+        # Server never saturates: CPU stays low.
+        for c in CLIENTS:
+            assert table.row(n, c).cpu_utilization < 25.0, (n, c)
+    # Fair sharing: c=16 throughput ~ c=1 / (12..16).
+    t1 = table.row(600, 1).throughput.mean
+    t16 = table.row(600, 16).throughput.mean
+    assert 8 <= t1 / t16 <= 20
+    # Calibration against the paper (single-client WAN cells, 25%).
+    for n in SIZES:
+        paper_perf, paper_thru = TABLE6_WAN_1PE_MEAN[(n, 1)]
+        assert (table.mean_performance(n, 1) / 1e6
+                == pytest.approx(paper_perf, rel=0.25)), n
+        assert (table.row(n, 1).throughput.mean / 1e6
+                == pytest.approx(paper_thru, rel=0.25)), n
+    # Performance grows with n at fixed c (computation amortizes comm).
+    for c in (1, 4, 16):
+        perfs = [table.mean_performance(n, c) for n in SIZES]
+        assert perfs == sorted(perfs), c

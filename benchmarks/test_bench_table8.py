@@ -1,0 +1,55 @@
+"""Table 8: multi-client EP, LAN and single-site WAN.
+
+Shape assertions (§4.3.1):
+- LAN and WAN per-call performance are "almost equivalent" (EP ships
+  O(1) bytes);
+- performance is sustained flat up to c=4 (one PE per call on the
+  4-PE J90), then halves at c=8 and quarters at c=16;
+- "the server utilization remains approximately 100%" from c=4 on.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ep import table8_ep
+from repro.experiments.paper_data import TABLE8_EP_MEAN
+
+CLIENTS = (1, 2, 4, 8, 16)
+
+
+def test_table8(benchmark, compare):
+    tables = run_once(benchmark, table8_ep, CLIENTS)
+    lan, wan = tables["lan"], tables["wan"]
+
+    rows = []
+    for c in CLIENTS:
+        paper = TABLE8_EP_MEAN[c]
+        lan_row, wan_row = lan.row(24, c), wan.row(24, c)
+        rows.append([str(c), f"{paper[0]:.3f}",
+                     f"{lan_row.performance.mean/1e6:.3f}",
+                     f"{paper[1]:.3f}",
+                     f"{wan_row.performance.mean/1e6:.3f}",
+                     f"{paper[2]:.0f}", f"{lan_row.cpu_utilization:.0f}"])
+    compare("Table 8 (multi-client EP, Mops)",
+            ["c", "paper LAN", "model LAN", "paper WAN", "model WAN",
+             "paper cpu%", "model cpu%"], rows)
+
+    for c in CLIENTS:
+        lan_perf = lan.row(24, c).performance.mean
+        wan_perf = wan.row(24, c).performance.mean
+        # LAN == WAN for EP.
+        assert wan_perf == pytest.approx(lan_perf, rel=0.05), c
+        # Absolute calibration within 10% of the paper.
+        assert (lan_perf / 1e6
+                == pytest.approx(TABLE8_EP_MEAN[c][0], rel=0.10)), c
+    # Flat through c=4.
+    assert (lan.row(24, 4).performance.mean
+            == pytest.approx(lan.row(24, 1).performance.mean, rel=0.05))
+    # Halves at c=8, quarters at c=16.
+    assert (lan.row(24, 8).performance.mean
+            == pytest.approx(lan.row(24, 1).performance.mean / 2, rel=0.1))
+    assert (lan.row(24, 16).performance.mean
+            == pytest.approx(lan.row(24, 1).performance.mean / 4, rel=0.1))
+    # Utilization ~100% from c=4.
+    for c in (4, 8, 16):
+        assert lan.row(24, c).cpu_utilization > 90.0, c

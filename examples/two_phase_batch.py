@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Two-phase Ninf_call (§5.1) + SJF scheduling (§5.2) in action.
+
+The paper's §5.1 proposal: "modify Ninf_call to become a two-phase
+transaction, where remote argument transfer takes place in the first
+phase, whereupon the communication is terminated, and after the server
+computation is over, the client is notified so that it may receive the
+results in the second phase."  This frees the client (and the server's
+connection handling) while long computations run -- batch-queue style.
+
+Here a client submits a batch of Linpack jobs detached, goes away, and
+collects results later; the server runs an SJF executor so short jobs
+are never stuck behind long ones.
+
+Run: python examples/two_phase_batch.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.client import NinfClient
+from repro.libs.linpack import linpack_matgen, linpack_solve
+from repro.server import NinfServer, Registry
+
+LINPACK_IDL = """
+Define linpack(mode_in int n, mode_inout double A[n][n],
+               mode_inout double b[n])
+"LU factorize + solve" CalcOrder "2*n*n*n/3 + 2*n*n"
+Calls "C" linpack_solve(n, A, b);
+"""
+
+
+def main() -> None:
+    registry = Registry()
+
+    def linpack_exec(n, a, b):
+        linpack_solve(a, b)
+
+    registry.register(LINPACK_IDL, linpack_exec)
+
+    # SJF: the executor orders queued jobs by the IDL CalcOrder
+    # prediction -- the §5.2 improvement over the 1997 FCFS server.
+    with NinfServer(registry, num_pes=1, policy="sjf") as server:
+        with NinfClient(*server.address) as client:
+            sizes = [700, 120, 650, 100, 600, 80]
+            print(f"submitting {len(sizes)} detached Linpack jobs "
+                  f"(sizes {sizes}) to a 1-PE SJF server...")
+            handles = []
+            for n in sizes:
+                a, b = linpack_matgen(n)
+                handles.append((n, client.call_detached("linpack", n, a, b)))
+            print("phase one done: all arguments uploaded, no connection "
+                  "held.\n(pretend the client goes to lunch here)\n")
+            time.sleep(0.1)
+
+            print(f"{'n':>6} {'ticket':>7} {'wait [ms]':>10} "
+                  f"{'service [ms]':>13}")
+            for n, handle in handles:
+                outputs = handle.fetch(timeout=120)
+                record = handle.record
+                x = outputs[1]
+                assert np.allclose(x, np.ones(n), atol=1e-6)
+                print(f"{n:>6} {handle.ticket:>7} "
+                      f"{record.server.wait*1e3:>10.1f} "
+                      f"{record.server.service*1e3:>13.1f}")
+            order = sorted(handles, key=lambda h: h[1].record.server.dequeue)
+            print("\nSJF dispatch order (by predicted CalcOrder): "
+                  + " -> ".join(f"n={n}" for n, _h in order))
+            queued = [h for h in order[1:]]  # first dispatched on arrival
+            sizes_dispatched = [n for n, _h in queued]
+            print("after the first arrival, the queued short jobs were "
+                  "served smallest-first -- §5.2's improvement over the "
+                  "1997 FCFS server."
+                  if sizes_dispatched == sorted(sizes_dispatched)
+                  else "(dispatch interleaved with uploads; rerun on an "
+                       "idle machine to see the clean smallest-first "
+                       "order)")
+
+
+if __name__ == "__main__":
+    main()

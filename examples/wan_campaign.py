@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Run the paper's full LAN/WAN simulation campaign and print the tables.
+
+This drives the Ninf global-computing simulator (the artifact the
+paper's conclusion announces) over the calibrated 1997 machine and
+network catalogs, regenerating Tables 3, 4, 6 and 7 plus the Fig 10
+multi-site deterioration figures.
+
+Run: python examples/wan_campaign.py [--quick]
+"""
+
+import sys
+
+from repro.experiments.lan_multiclient import table3_1pe, table4_4pe
+from repro.experiments.wan import fig10_multisite, table6_1pe, table7_4pe
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    sizes = (600, 1400) if quick else (600, 1000, 1400)
+    clients = (1, 4, 16) if quick else (1, 2, 4, 8, 16)
+
+    print("Multi-client LAN campaign (J90 at ETL, Alpha clients)\n")
+    for builder in (table3_1pe, table4_4pe):
+        table = builder(sizes=sizes, clients=clients)
+        print(table.format())
+        print()
+
+    print("Single-site WAN campaign (Ocha-U -> ETL, 0.17 MB/s uplink)\n")
+    for builder in (table6_1pe, table7_4pe):
+        table = builder(sizes=sizes, clients=clients)
+        print(table.format())
+        print()
+
+    print("Multi-site WAN (Fig 10: Ocha-U + U-Tokyo + TITech + NITech)\n")
+    for cell in fig10_multisite(sizes=sizes, clients_per_site=(1, 4)):
+        sites = "  ".join(
+            f"{site}:{thru/1e6:.3f}MB/s"
+            for site, thru in sorted(cell.site_throughput.items())
+        )
+        print(f"n={cell.n:>5} c/site={cell.clients_per_site}  {sites}")
+        print(f"   Ocha-U deterioration vs alone: "
+              f"{cell.ochau_deterioration*100:.0f}%   "
+              f"server CPU: {cell.result.row.cpu_utilization:.1f}% "
+              f"(single-site: "
+              f"{cell.ochau_single_site.row.cpu_utilization:.1f}%)")
+    print("\nConclusion the numbers reproduce: in WAN, point-to-point "
+          "bandwidth (not server load) dominates client-observed "
+          "performance, and distributing clients across sites sustains "
+          "aggregate bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

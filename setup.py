@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` in offline
+environments that lack the `wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

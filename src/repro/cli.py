@@ -1,0 +1,285 @@
+"""Command-line entry points.
+
+``ninf-server``      -- run a computational server with the standard
+                        numerical library (dmmul, linpack, ep, dos, mandel).
+``ninf-metaserver``  -- run a metaserver.
+``ninf-experiment``  -- run paper experiments / generate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+__all__ = ["experiment_main", "metaserver_main", "server_main",
+           "standard_registry"]
+
+
+def standard_registry():
+    """The stock numerical library every CLI server registers."""
+    from repro.libs.dos import dos_kernel
+    from repro.libs.ep import ep_kernel
+    from repro.libs.linpack import dmmul, linpack_solve
+    from repro.server import Registry
+
+    registry = Registry()
+    registry.register(
+        "Define dmmul(mode_in int n, mode_in double A[n][n], "
+        "mode_in double B[n][n], mode_out double C[n][n]) "
+        '"double precision matrix multiply" CalcOrder "2*n*n*n" '
+        'Calls "C" mmul(n, A, B, C);',
+        lambda n, a, b, c: dmmul(int(n), a, b, c),
+    )
+
+    def linpack_exec(n, a, b):
+        linpack_solve(a, b)
+
+    registry.register(
+        "Define linpack(mode_in int n, mode_inout double A[n][n], "
+        'mode_inout double b[n]) "LU factorize + solve" '
+        'CalcOrder "2*n*n*n/3 + 2*n*n" CommOrder "8*n*n + 20*n" '
+        'Calls "C" linpack_solve(n, A, b);',
+        linpack_exec,
+    )
+
+    def ep_exec(m, skip, pairs, accepted, sx, sy):
+        result = ep_kernel(int(m), skip_pairs=int(skip), pairs=int(pairs))
+        return result.accepted, result.sx, result.sy
+
+    registry.register(
+        "Define ep(mode_in int m, mode_in long skip, mode_in long pairs, "
+        "mode_out long accepted, mode_out double sx, mode_out double sy) "
+        '"NAS EP slice" CalcOrder "2^(m+1)" Calls "C" ep(m, skip, pairs, '
+        "accepted, sx, sy);",
+        ep_exec,
+    )
+
+    def dos_exec(trials, skip, sites, bins, total, hist):
+        result = dos_kernel(trials=int(trials), skip=int(skip),
+                            sites=int(sites), bins=int(bins))
+        hist[:] = result.histogram
+        return sum(result.histogram), hist
+
+    registry.register(
+        "Define dos(mode_in int trials, mode_in int skip, "
+        "mode_in int sites, mode_in int bins, mode_out long total, "
+        'mode_out double hist[bins]) "Monte-Carlo density of states" '
+        'CalcOrder "trials * sites * sites * sites" '
+        'Calls "C" dos(trials, skip, sites, bins, total, hist);',
+        dos_exec,
+    )
+
+    from repro.libs.mandel import mandel_tile
+
+    def mandel_exec(x0, x1, y0, y1, w, h, iters, counts):
+        counts[:] = mandel_tile(x0, x1, y0, y1, int(w), int(h),
+                                max_iter=int(iters))
+
+    registry.register(
+        "Define mandel(mode_in double x0, mode_in double x1, "
+        "mode_in double y0, mode_in double y1, mode_in int w, "
+        "mode_in int h, mode_in int iters, mode_out int counts[h][w]) "
+        '"one Mandelbrot tile (parallel imaging workload)" '
+        'CalcOrder "w * h * iters" '
+        'Calls "C" mandel(x0, x1, y0, y1, w, h, iters, counts);',
+        mandel_exec,
+    )
+    return registry
+
+
+def server_main(argv: Optional[list[str]] = None) -> int:
+    """``ninf-server``: run a computational server until interrupted."""
+    from repro.metaserver import MetaClient
+    from repro.server import NinfServer
+
+    parser = argparse.ArgumentParser(
+        prog="ninf-server",
+        description="Run a Ninf computational server with the standard "
+                    "numerical library.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5656)
+    parser.add_argument("--pes", type=int, default=4,
+                        help="processing elements (default 4, like the J90)")
+    parser.add_argument("--mode", choices=["task", "data"], default="task",
+                        help="task-parallel (1 PE/call) or data-parallel "
+                             "(all PEs/call, serialized)")
+    parser.add_argument("--policy", default="fcfs",
+                        choices=["fcfs", "sjf", "fpfs", "fpmpfs"])
+    parser.add_argument("--name", default="ninf-server")
+    parser.add_argument("--register-with", metavar="HOST:PORT",
+                        help="metaserver to register with")
+    args = parser.parse_args(argv)
+
+    server = NinfServer(standard_registry(), host=args.host, port=args.port,
+                        num_pes=args.pes, mode=args.mode,
+                        policy=args.policy, name=args.name)
+    server.start()
+    host, port = server.address
+    print(f"{args.name}: serving {server.registry.names()} on "
+          f"{host}:{port} ({args.pes} PEs, {args.mode}-parallel, "
+          f"{args.policy})")
+    if args.register_with:
+        ms_host, ms_port = args.register_with.rsplit(":", 1)
+        MetaClient(ms_host, int(ms_port)).register_server(server,
+                                                          name=args.name)
+        print(f"registered with metaserver {args.register_with}")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
+def metaserver_main(argv: Optional[list[str]] = None) -> int:
+    """``ninf-metaserver``: run the metaserver until interrupted."""
+    from repro.metaserver import Metaserver, make_scheduler
+
+    parser = argparse.ArgumentParser(
+        prog="ninf-metaserver",
+        description="Run a Ninf metaserver (monitoring + scheduling).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5655)
+    parser.add_argument("--scheduler", default="load",
+                        choices=["round-robin", "load", "bandwidth"])
+    parser.add_argument("--poll-interval", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    meta = Metaserver(host=args.host, port=args.port,
+                      scheduler=make_scheduler(args.scheduler),
+                      poll_interval=args.poll_interval)
+    meta.start()
+    host, port = meta.address
+    print(f"metaserver on {host}:{port} (scheduler={args.scheduler}, "
+          f"polling every {args.poll_interval}s)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+        meta.stop()
+    return 0
+
+
+def experiment_main(argv: Optional[list[str]] = None) -> int:
+    """``ninf-experiment``: regenerate a paper table/figure or the report."""
+    parser = argparse.ArgumentParser(
+        prog="ninf-experiment",
+        description="Run the paper's experiments on the simulator.",
+    )
+    parser.add_argument("target",
+                        choices=["report", "fig3", "fig4", "fig5", "fig7", "fig10",
+                                 "fig11", "table3", "table4", "table5",
+                                 "table6", "table7", "table8"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller sweeps")
+    parser.add_argument("--plot", action="store_true",
+                        help="render figures as ASCII charts")
+    parser.add_argument("--output", default="EXPERIMENTS.md",
+                        help="output path for the report target")
+    args = parser.parse_args(argv)
+
+    if args.target == "report":
+        from repro.experiments.report import generate_report
+
+        content = generate_report(fast=args.fast)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(f"wrote {args.output}")
+        return 0
+
+    sizes = (600, 1400) if args.fast else (600, 1000, 1400)
+    clients = (1, 4, 16) if args.fast else (1, 2, 4, 8, 16)
+    if args.target in ("table3", "table4", "table5", "table6", "table7"):
+        from repro.experiments import lan_multiclient, wan
+
+        builders = {
+            "table3": lambda: lan_multiclient.table3_1pe(sizes, clients),
+            "table4": lambda: lan_multiclient.table4_4pe(sizes, clients),
+            "table5": lambda: lan_multiclient.table5_smp(),
+            "table6": lambda: wan.table6_1pe(sizes, clients),
+            "table7": lambda: wan.table7_4pe(sizes, clients),
+        }
+        print(builders[args.target]().format())
+        return 0
+    if args.target == "table8":
+        from repro.experiments.ep import table8_ep
+
+        for table in table8_ep(clients=clients).values():
+            print(table.format())
+        return 0
+    if args.target in ("fig3", "fig4"):
+        from repro.experiments import single_client
+
+        build = (single_client.fig3_sparc_clients if args.target == "fig3"
+                 else single_client.fig4_alpha_client)
+        curves = build()
+        if args.plot:
+            from repro.experiments.plots import line_chart
+
+            series = {name: [(p.n, p.mflops) for p in curve.points]
+                      for name, curve in curves.items()}
+            print(line_chart(series, title=f"{args.target} (model)",
+                             x_label="n", y_label="Mflops"))
+            return 0
+        for name, curve in curves.items():
+            points = "  ".join(f"{p.n}:{p.mflops:.1f}" for p in curve.points)
+            print(f"{name}: {points}")
+        return 0
+    if args.target == "fig5":
+        from repro.experiments.single_client import fig5_throughput
+
+        data = fig5_throughput()
+        if args.plot:
+            from repro.experiments.plots import line_chart
+
+            series = {pair: [(p.nbytes / 1e6, p.throughput / 1e6)
+                             for p in points]
+                      for pair, points in data.items()}
+            print(line_chart(series, title="fig5 (model)",
+                             x_label="transfer MB", y_label="MB/s"))
+            return 0
+        for pair, points in data.items():
+            ramp = "  ".join(f"{p.nbytes/1e6:.2f}MB:{p.throughput/1e6:.2f}"
+                             for p in points)
+            print(f"{pair}: {ramp}")
+        return 0
+    if args.target == "fig7":
+        from repro.experiments.lan_multiclient import fig7_surface
+        from repro.experiments.plots import surface_chart
+
+        sizes_f7 = (600, 1400) if args.fast else (600, 1000, 1400)
+        clients_f7 = (1, 4, 16) if args.fast else (1, 2, 4, 8, 16)
+        surfaces = fig7_surface(sizes=sizes_f7, clients=clients_f7)
+        for label, surface in surfaces.items():
+            print(surface_chart(surface, title=f"Fig 7 ({label})",
+                                x_label="c", y_label="n"))
+            print()
+        return 0
+    if args.target == "fig10":
+        from repro.experiments.wan import fig10_multisite
+
+        for cell in fig10_multisite(sizes=sizes):
+            print(f"n={cell.n} c/site={cell.clients_per_site} "
+                  f"deterioration={cell.ochau_deterioration*100:.0f}% "
+                  f"cpu={cell.result.row.cpu_utilization:.1f}%")
+        return 0
+    if args.target == "fig11":
+        from repro.experiments.ep import fig11_metaserver
+
+        for m, label in ((24, "sample"), (28, "class A"), (30, "class B")):
+            points = fig11_metaserver(m)
+            print(label, " ".join(f"p={p.processors}:{p.speedup:.1f}x"
+                                  for p in points))
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(experiment_main())

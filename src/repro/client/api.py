@@ -1,0 +1,498 @@
+"""Synchronous and asynchronous Ninf_call bindings."""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.idl import Signature
+from repro.protocol.errors import ProtocolError, RemoteError
+from repro.protocol.framing import recv_frame, send_frame
+from repro.protocol.marshal import marshal_inputs, unmarshal_outputs
+from repro.protocol.messages import (
+    CallHeader,
+    ErrorReply,
+    JobTimestamps,
+    LoadReply,
+    MessageType,
+)
+from repro.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["CallRecord", "DetachedCall", "NinfClient", "NinfFuture",
+           "ninf_call", "ninf_call_async", "parse_ninf_url"]
+
+_call_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """Everything measured about one completed Ninf_call.
+
+    Client-side times use the client clock; ``server`` times are the
+    :class:`JobTimestamps` in the server clock.  ``response`` follows the
+    paper's definition ``T_response = T_enqueue - T_submit`` -- with both
+    endpoints on one host (the test/benchmark setting) the clocks agree.
+    """
+
+    function: str
+    call_id: int
+    submit_time: float
+    complete_time: float
+    server: JobTimestamps
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def elapsed(self) -> float:
+        return self.complete_time - self.submit_time
+
+    @property
+    def response(self) -> float:
+        return self.server.enqueue - self.submit_time
+
+    @property
+    def wait(self) -> float:
+        return self.server.wait
+
+    @property
+    def comm_bytes(self) -> int:
+        return self.input_bytes + self.output_bytes
+
+    @property
+    def throughput(self) -> float:
+        """End-to-end bytes/second including marshalling, per Fig 5."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.comm_bytes / self.elapsed
+
+
+class NinfFuture:
+    """Result handle for :meth:`NinfClient.call_async`."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._outputs: Optional[list[Any]] = None
+        self._record: Optional[CallRecord] = None
+        self._error: Optional[BaseException] = None
+
+    def _fulfill(self, outputs: list[Any], record: CallRecord) -> None:
+        self._outputs = outputs
+        self._record = record
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until completion; False on timeout."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> list[Any]:
+        """Outputs in declaration order; raises what the call raised."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("Ninf_call still in progress")
+        if self._error is not None:
+            raise self._error
+        return self._outputs
+
+    @property
+    def record(self) -> CallRecord:
+        if not self._event.is_set() or self._record is None:
+            raise RuntimeError("call has not completed")
+        return self._record
+
+
+@dataclass
+class DetachedCall:
+    """Phase-one handle of a two-phase Ninf_call (§5.1)."""
+
+    client: "NinfClient"
+    function: str
+    args: tuple
+    signature: Signature
+    ticket: int
+    call_id: int
+    submit_time: float
+    input_bytes: int
+    record: Optional[CallRecord] = None
+
+    def fetch(self, timeout: Optional[float] = None) -> list[Any]:
+        """Collect the result (see :meth:`NinfClient.fetch_detached`)."""
+        return self.client.fetch_detached(self, timeout=timeout)
+
+
+class NinfClient:
+    """Client binding to one Ninf computational server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0,
+                 clock=None):
+        import time
+
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.clock = clock or time.monotonic
+        self._signatures: dict[str, Signature] = {}
+        self._pool: list[socket.socket] = []
+        self._pool_lock = threading.Lock()
+        self.records: list[CallRecord] = []
+        self._records_lock = threading.Lock()
+
+    # -- connection pool ------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _release(self, sock: socket.socket) -> None:
+        with self._pool_lock:
+            if len(self._pool) < 8:
+                self._pool.append(sock)
+                return
+        sock.close()
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        with self._pool_lock:
+            for sock in self._pool:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._pool.clear()
+
+    def __enter__(self) -> "NinfClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- service queries -----------------------------------------------------------
+
+    def _roundtrip(self, sock: socket.socket, msg_type: int,
+                   payload: bytes, expect: int) -> bytes:
+        send_frame(sock, msg_type, payload)
+        reply_type, reply = recv_frame(sock)
+        if reply_type == MessageType.ERROR:
+            err = ErrorReply.decode(XdrDecoder(reply))
+            raise RemoteError(err.code, err.message)
+        if reply_type != expect:
+            raise ProtocolError(
+                f"expected message {expect}, got {reply_type}"
+            )
+        return reply
+
+    def ping(self) -> bool:
+        """Liveness probe: True when the server answers PING."""
+        sock = self._connect()
+        try:
+            self._roundtrip(sock, MessageType.PING, b"", MessageType.PONG)
+            self._release(sock)
+            return True
+        except (OSError, ProtocolError):
+            sock.close()
+            return False
+
+    def list_functions(self) -> list[str]:
+        """Names of every executable registered on the server."""
+        sock = self._connect()
+        try:
+            reply = self._roundtrip(sock, MessageType.LIST_REQUEST, b"",
+                                    MessageType.LIST_REPLY)
+        except BaseException:
+            sock.close()
+            raise
+        self._release(sock)
+        dec = XdrDecoder(reply)
+        return dec.unpack_array(dec.unpack_string)
+
+    def query_load(self) -> LoadReply:
+        """The server-state snapshot the metaserver monitors."""
+        sock = self._connect()
+        try:
+            reply = self._roundtrip(sock, MessageType.LOAD_QUERY, b"",
+                                    MessageType.LOAD_REPLY)
+        except BaseException:
+            sock.close()
+            raise
+        self._release(sock)
+        return LoadReply.decode(XdrDecoder(reply))
+
+    def get_signature(self, function: str) -> Signature:
+        """Stage one of the two-stage RPC (cached per client)."""
+        cached = self._signatures.get(function)
+        if cached is not None:
+            return cached
+        enc = XdrEncoder()
+        enc.pack_string(function)
+        sock = self._connect()
+        try:
+            reply = self._roundtrip(sock, MessageType.INTERFACE_REQUEST,
+                                    enc.getvalue(), MessageType.INTERFACE_REPLY)
+        except BaseException:
+            sock.close()
+            raise
+        self._release(sock)
+        signature = Signature.from_wire(reply)
+        self._signatures[function] = signature
+        return signature
+
+    # -- the call itself ---------------------------------------------------------------
+
+    def call(self, function: str, *args: Any,
+             on_callback: Optional[Callable[[float, str], None]] = None
+             ) -> list[Any]:
+        """``Ninf_call``: invoke ``function`` remotely with ``args``.
+
+        Output arrays passed by the caller are updated in place
+        (call-by-reference semantics of the C API); outputs are also
+        returned as a list in declaration order.  ``on_callback``
+        receives ``(progress, message)`` events if the remote
+        executable streams them (the IDL's client callback functions).
+        """
+        outputs, _record = self.call_with_record(function, *args,
+                                                 on_callback=on_callback)
+        return outputs
+
+    def call_with_record(
+        self, function: str, *args: Any,
+        on_callback: Optional[Callable[[float, str], None]] = None,
+    ) -> tuple[list[Any], CallRecord]:
+        """Like :meth:`call`, also returning the :class:`CallRecord`."""
+        signature = self.get_signature(function)
+        submit_time = self.clock()
+        args_payload = marshal_inputs(signature, list(args))
+        call_id = next(_call_ids)
+        enc = XdrEncoder()
+        CallHeader(function=function, call_id=call_id).encode(enc)
+        enc.pack_opaque(args_payload)
+        sock = self._connect()
+        try:
+            send_frame(sock, MessageType.CALL, enc.getvalue())
+            while True:
+                reply_type, reply = recv_frame(sock)
+                if reply_type == MessageType.CALLBACK:
+                    dec = XdrDecoder(reply)
+                    cb_call_id = dec.unpack_uhyper()
+                    progress = dec.unpack_double()
+                    message = dec.unpack_string()
+                    dec.done()
+                    if on_callback is not None and cb_call_id == call_id:
+                        on_callback(progress, message)
+                    continue
+                break
+            if reply_type == MessageType.ERROR:
+                err = ErrorReply.decode(XdrDecoder(reply))
+                raise RemoteError(err.code, err.message)
+            if reply_type != MessageType.RESULT:
+                raise ProtocolError(
+                    f"expected RESULT, got message {reply_type}"
+                )
+        except BaseException:
+            sock.close()
+            raise
+        self._release(sock)
+        dec = XdrDecoder(reply)
+        reply_id = dec.unpack_uhyper()
+        if reply_id != call_id:
+            raise ProtocolError(
+                f"result for call {reply_id}, expected {call_id}"
+            )
+        timestamps = JobTimestamps.decode(dec)
+        out_payload = dec.unpack_opaque()
+        dec.done()
+        outputs = unmarshal_outputs(signature, out_payload)
+        complete_time = self.clock()
+        self._write_back(signature, args, outputs)
+        record = CallRecord(
+            function=function,
+            call_id=call_id,
+            submit_time=submit_time,
+            complete_time=complete_time,
+            server=timestamps,
+            input_bytes=len(args_payload),
+            output_bytes=len(out_payload),
+        )
+        with self._records_lock:
+            self.records.append(record)
+        return outputs, record
+
+    # -- two-phase RPC (§5.1) ------------------------------------------------
+
+    def call_detached(self, function: str, *args: Any) -> "DetachedCall":
+        """Phase one: upload arguments and get a ticket; no connection is
+        held while the server computes ("remote argument transfer takes
+        place in the first phase, whereupon the communication is
+        terminated").
+        """
+        signature = self.get_signature(function)
+        submit_time = self.clock()
+        args_payload = marshal_inputs(signature, list(args))
+        call_id = next(_call_ids)
+        enc = XdrEncoder()
+        CallHeader(function=function, call_id=call_id).encode(enc)
+        enc.pack_opaque(args_payload)
+        sock = self._connect()
+        try:
+            reply = self._roundtrip(sock, MessageType.CALL_DETACHED,
+                                    enc.getvalue(), MessageType.CALL_ACCEPTED)
+        except BaseException:
+            sock.close()
+            raise
+        self._release(sock)
+        dec = XdrDecoder(reply)
+        reply_id = dec.unpack_uhyper()
+        ticket = dec.unpack_uhyper()
+        dec.done()
+        if reply_id != call_id:
+            raise ProtocolError(f"accept for call {reply_id}, "
+                                f"expected {call_id}")
+        return DetachedCall(client=self, function=function, args=args,
+                            signature=signature, ticket=ticket,
+                            call_id=call_id, submit_time=submit_time,
+                            input_bytes=len(args_payload))
+
+    def fetch_detached(self, call: "DetachedCall",
+                       timeout: Optional[float] = None,
+                       poll_interval: float = 0.02) -> list[Any]:
+        """Phase two: poll (over fresh connections) until the result is
+        ready, then unmarshal and write back output arrays."""
+        import time as _time
+
+        deadline = None if timeout is None else self.clock() + timeout
+        while True:
+            sock = self._connect()
+            enc = XdrEncoder()
+            enc.pack_uhyper(call.ticket)
+            try:
+                send_frame(sock, MessageType.FETCH_RESULT, enc.getvalue())
+                reply_type, reply = recv_frame(sock)
+            except BaseException:
+                sock.close()
+                raise
+            self._release(sock)
+            if reply_type == MessageType.ERROR:
+                err = ErrorReply.decode(XdrDecoder(reply))
+                raise RemoteError(err.code, err.message)
+            if reply_type == MessageType.RESULT_PENDING:
+                if deadline is not None and self.clock() >= deadline:
+                    raise TimeoutError(
+                        f"detached call {call.function} (ticket "
+                        f"{call.ticket}) still pending"
+                    )
+                _time.sleep(poll_interval)
+                continue
+            if reply_type != MessageType.RESULT:
+                raise ProtocolError(f"unexpected reply {reply_type} to fetch")
+            dec = XdrDecoder(reply)
+            ticket = dec.unpack_uhyper()
+            if ticket != call.ticket:
+                raise ProtocolError(
+                    f"result for ticket {ticket}, expected {call.ticket}"
+                )
+            timestamps = JobTimestamps.decode(dec)
+            out_payload = dec.unpack_opaque()
+            dec.done()
+            outputs = unmarshal_outputs(call.signature, out_payload)
+            self._write_back(call.signature, call.args, outputs)
+            record = CallRecord(
+                function=call.function,
+                call_id=call.call_id,
+                submit_time=call.submit_time,
+                complete_time=self.clock(),
+                server=timestamps,
+                input_bytes=call.input_bytes,
+                output_bytes=len(out_payload),
+            )
+            call.record = record
+            with self._records_lock:
+                self.records.append(record)
+            return outputs
+
+    def call_async(self, function: str, *args: Any) -> NinfFuture:
+        """``Ninf_call_async``: immediately returns a :class:`NinfFuture`."""
+        future = NinfFuture()
+
+        def runner() -> None:
+            try:
+                outputs, record = self.call_with_record(function, *args)
+            except BaseException as exc:
+                future._fail(exc)
+            else:
+                future._fulfill(outputs, record)
+
+        thread = threading.Thread(target=runner, daemon=True,
+                                  name=f"ninf-call-{function}")
+        thread.start()
+        return future
+
+    @staticmethod
+    def _write_back(signature: Signature, args: Sequence[Any],
+                    outputs: list[Any]) -> None:
+        """In-place update of caller-provided output arrays."""
+        out_iter = iter(outputs)
+        for spec, arg in zip(signature.args, args):
+            if not spec.is_output:
+                continue
+            value = next(out_iter)
+            if spec.is_array and isinstance(arg, np.ndarray):
+                if arg.shape == value.shape:
+                    np.copyto(arg, value, casting="unsafe")
+
+    def transaction(self, peers: Optional[list["NinfClient"]] = None):
+        """``Ninf_transaction_begin``: see :class:`~repro.client.Transaction`."""
+        from repro.client.transaction import Transaction
+
+        return Transaction([self] + (peers or []))
+
+
+def parse_ninf_url(url: str) -> tuple[str, int, str]:
+    """Split ``ninf://host:port/function`` (scheme optional)."""
+    rest = url
+    if "://" in rest:
+        scheme, rest = rest.split("://", 1)
+        if scheme not in ("ninf", "http"):
+            raise ValueError(f"unsupported URL scheme {scheme!r}")
+    if "/" not in rest:
+        raise ValueError(f"Ninf URL needs host:port/function, got {url!r}")
+    authority, function = rest.split("/", 1)
+    if ":" not in authority:
+        raise ValueError(f"Ninf URL needs an explicit port: {url!r}")
+    host, port_text = authority.rsplit(":", 1)
+    if not function:
+        raise ValueError(f"Ninf URL missing function name: {url!r}")
+    return host, int(port_text), function
+
+
+def ninf_call(url: str, *args: Any) -> list[Any]:
+    """The paper's free-form API: ``Ninf_call("ninf://host:port/f", ...)``.
+
+    Opens a throwaway client; for repeated calls prefer
+    :class:`NinfClient` (signature cache + connection pool).
+    """
+    host, port, function = parse_ninf_url(url)
+    with NinfClient(host, port) as client:
+        return client.call(function, *args)
+
+
+def ninf_call_async(url: str, *args: Any) -> NinfFuture:
+    """Asynchronous variant of :func:`ninf_call`."""
+    host, port, function = parse_ninf_url(url)
+    client = NinfClient(host, port)
+    future = client.call_async(function, *args)
+    return future

@@ -1,0 +1,255 @@
+"""Ninf transactions: dependency-driven parallel execution of calls.
+
+Paper §2.4: "The block of code surrounded by Ninf_transaction_begin and
+Ninf_transaction_end are not executed immediately; rather,
+data-dependency graph of the Ninf_call arguments are dynamically
+created, and at the end of the code block, the metaserver schedules the
+computation to multiple computational servers accordingly."
+
+Dependencies are discovered from argument identity: if an array object
+that call *i* writes (``mode_out``/``mode_inout``) is read by a later
+call *j*, then *j* depends on *i*.  Writes also order against earlier
+reads and writes of the same object (anti/output dependencies), which
+is required for in-place semantics.
+
+Independent calls run concurrently, distributed over the transaction's
+servers; the Fig 11 EP experiment is exactly this pattern::
+
+    with client.transaction(peers=[...]) as txn:
+        for i in range(p):
+            txn.call("ep", m, i * q, q, ...)
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.protocol.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.client.api import NinfClient, NinfFuture
+
+__all__ = ["Transaction", "TransactionCall", "TransactionError"]
+
+
+class TransactionError(RuntimeError):
+    """One or more calls inside the transaction failed."""
+
+    def __init__(self, failures: list[tuple["TransactionCall", BaseException]]):
+        summary = "; ".join(f"{c.function}: {e}" for c, e in failures)
+        super().__init__(f"{len(failures)} transaction call(s) failed: {summary}")
+        self.failures = failures
+
+
+@dataclass
+class TransactionCall:
+    """A recorded, not-yet-executed Ninf_call."""
+
+    index: int
+    function: str
+    args: tuple[Any, ...]
+    depends_on: set[int] = field(default_factory=set)
+    future: Optional["NinfFuture"] = None
+    outputs: Optional[list[Any]] = None
+    error: Optional[BaseException] = None
+    server: Optional["NinfClient"] = None
+
+    def result(self) -> list[Any]:
+        """Outputs of the executed call; raises its failure if any."""
+        if self.error is not None:
+            raise self.error
+        if self.outputs is None:
+            raise RuntimeError("transaction has not been executed")
+        return self.outputs
+
+
+class Transaction:
+    """Records calls, then executes the dependency DAG at exit.
+
+    ``retries`` is the fault-tolerance knob the paper attributes to the
+    metaserver ("parallel, fault-tolerant execution of multiple sequence
+    of Ninf_calls"): a call that fails with a *transport* error (server
+    died, connection reset) is retried on a different server up to
+    ``retries`` times.  Execution errors (the remote routine raised) are
+    not retried -- they are deterministic.
+    """
+
+    TRANSIENT_ERRORS = (OSError, ProtocolError)
+
+    def __init__(self, servers: list["NinfClient"], retries: int = 1):
+        if not servers:
+            raise ValueError("a transaction needs at least one server")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.servers = servers
+        self.retries = retries
+        self.calls: list[TransactionCall] = []
+        self._entered = False
+        self._executed = False
+
+    # -- recording --------------------------------------------------------
+
+    def call(self, function: str, *args: Any) -> TransactionCall:
+        """Record a deferred Ninf_call; returns its handle."""
+        if self._executed:
+            raise RuntimeError("transaction already executed")
+        record = TransactionCall(index=len(self.calls), function=function,
+                                 args=args)
+        self._discover_dependencies(record)
+        self.calls.append(record)
+        return record
+
+    def _discover_dependencies(self, record: TransactionCall) -> None:
+        signature = self.servers[0].get_signature(record.function)
+        if len(record.args) != len(signature.args):
+            from repro.idl import IdlError
+
+            raise IdlError(
+                f"{record.function} expects {len(signature.args)} arguments, "
+                f"got {len(record.args)}"
+            )
+        reads, writes = _classify(signature, record.args)
+        for earlier in self.calls:
+            earlier_sig = self.servers[0].get_signature(earlier.function)
+            earlier_reads, earlier_writes = _classify(earlier_sig, earlier.args)
+            # True dependency: we read what it writes.
+            # Anti dependency: we write what it reads.
+            # Output dependency: we write what it writes.
+            if (_overlap(reads, earlier_writes)
+                    or _overlap(writes, earlier_reads)
+                    or _overlap(writes, earlier_writes)):
+                record.depends_on.add(earlier.index)
+
+    # -- execution ----------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.execute()
+
+    def execute(self) -> list[TransactionCall]:
+        """Run the DAG: each call starts when its dependencies finish.
+
+        Scheduling is least-outstanding-first across the transaction's
+        servers (the metaserver's load-balancing role).  Raises
+        :class:`TransactionError` if any call fails; successful calls'
+        outputs remain available either way.
+        """
+        if self._executed:
+            raise RuntimeError("transaction already executed")
+        self._executed = True
+        remaining = {c.index for c in self.calls}
+        completed: set[int] = set()
+        failures: list[tuple[TransactionCall, BaseException]] = []
+        outstanding: dict[int, int] = {i: 0 for i in range(len(self.servers))}
+        # Reentrant: launch() runs while the scheduling loop holds the
+        # condition, and waiter threads take it independently.
+        progress = threading.Condition(threading.RLock())
+        in_flight: dict[int, TransactionCall] = {}
+
+        def launch(call: TransactionCall) -> None:
+            in_flight[call.index] = call
+
+            def attempt_once(tried: set[int]) -> tuple[int, "NinfFuture"]:
+                with progress:
+                    candidates = [i for i in range(len(self.servers))
+                                  if i not in tried]
+                    if not candidates:
+                        candidates = list(range(len(self.servers)))
+                    server_index = min(candidates,
+                                       key=lambda i: (outstanding[i], i))
+                    outstanding[server_index] += 1
+                call.server = self.servers[server_index]
+                future = call.server.call_async(call.function, *call.args)
+                call.future = future
+                return server_index, future
+
+            def waiter() -> None:
+                tried: set[int] = set()
+                attempts_left = self.retries
+                while True:
+                    server_index, future = attempt_once(tried)
+                    transient: Optional[BaseException] = None
+                    try:
+                        call.outputs = future.result()
+                    except self.TRANSIENT_ERRORS as exc:
+                        transient = exc
+                    except BaseException as exc:
+                        call.error = exc
+                    with progress:
+                        outstanding[server_index] -= 1
+                        if transient is not None and attempts_left > 0:
+                            tried.add(server_index)
+                            attempts_left -= 1
+                            retry = True
+                        else:
+                            if transient is not None:
+                                call.error = transient
+                            completed.add(call.index)
+                            progress.notify_all()
+                            retry = False
+                    if not retry:
+                        return
+
+            threading.Thread(target=waiter, daemon=True,
+                             name=f"txn-wait-{call.index}").start()
+
+        with progress:
+            while remaining or in_flight:
+                ready = [
+                    self.calls[i] for i in sorted(remaining)
+                    if self.calls[i].depends_on <= completed
+                    and not any(self.calls[d].error is not None
+                                for d in self.calls[i].depends_on)
+                ]
+                skipped = [
+                    self.calls[i] for i in sorted(remaining)
+                    if any(self.calls[d].error is not None
+                           for d in self.calls[i].depends_on)
+                ]
+                for call in skipped:
+                    call.error = RuntimeError(
+                        f"dependency of {call.function} failed"
+                    )
+                    remaining.discard(call.index)
+                    completed.add(call.index)
+                for call in ready:
+                    remaining.discard(call.index)
+                    launch(call)
+                still_running = [i for i in in_flight if i not in completed]
+                if not remaining and not still_running:
+                    break
+                if not ready and not skipped and still_running:
+                    progress.wait(timeout=60.0)
+                elif not ready and not skipped and not still_running and remaining:
+                    raise RuntimeError("transaction deadlock: cyclic dependencies")
+        failures = [(c, c.error) for c in self.calls if c.error is not None]
+        if failures:
+            raise TransactionError(failures)
+        return self.calls
+
+
+def _classify(signature, args) -> tuple[list[Any], list[Any]]:
+    """Arrays this call reads / writes (by object identity)."""
+    reads: list[Any] = []
+    writes: list[Any] = []
+    for spec, arg in zip(signature.args, args):
+        if not isinstance(arg, np.ndarray):
+            continue
+        if spec.is_input:
+            reads.append(arg)
+        if spec.is_output:
+            writes.append(arg)
+    return reads, writes
+
+
+def _overlap(group_a: list[Any], group_b: list[Any]) -> bool:
+    ids_b = {id(x) for x in group_b}
+    return any(id(x) in ids_b for x in group_a)

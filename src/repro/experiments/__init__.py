@@ -1,0 +1,29 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Each driver builds a scenario from the calibrated catalogs, runs the
+Ninf simulator, and returns rows/series in the paper's format.  The
+mapping to the paper (see DESIGN.md §4 for the full index):
+
+==========  =====================================================
+Paper item  Driver
+==========  =====================================================
+Fig 3       :func:`repro.experiments.single_client.fig3_sparc_clients`
+Fig 4       :func:`repro.experiments.single_client.fig4_alpha_client`
+Fig 5       :func:`repro.experiments.single_client.fig5_throughput`
+Table 2     :func:`repro.experiments.single_client.table2_ftp`
+Table 3     :func:`repro.experiments.lan_multiclient.table3_1pe`
+Table 4     :func:`repro.experiments.lan_multiclient.table4_4pe`
+Fig 7       :func:`repro.experiments.lan_multiclient.fig7_surface`
+Table 5     :func:`repro.experiments.lan_multiclient.table5_smp`
+Table 6     :func:`repro.experiments.wan.table6_1pe`
+Table 7     :func:`repro.experiments.wan.table7_4pe`
+Fig 8       :func:`repro.experiments.wan.fig8_surface`
+Fig 10      :func:`repro.experiments.wan.fig10_multisite`
+Table 8     :func:`repro.experiments.ep.table8_ep`
+Fig 11      :func:`repro.experiments.ep.fig11_metaserver`
+==========  =====================================================
+"""
+
+from repro.experiments.common import MulticlientResult, run_multiclient_cell
+
+__all__ = ["MulticlientResult", "run_multiclient_cell"]

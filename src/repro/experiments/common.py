@@ -1,0 +1,107 @@
+"""Shared scenario machinery for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.model.machines import MachineSpec
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, Route
+from repro.simninf.calls import CallSpec, SimCallRecord
+from repro.simninf.client import WorkloadClient
+from repro.simninf.metrics import LoadSampler, TableRow, aggregate
+from repro.simninf.server import SimNinfServer
+
+__all__ = ["MulticlientResult", "run_multiclient_cell", "run_one_call"]
+
+# The paper's workload constants (§4.1).
+THINK_INTERVAL_S = 3.0
+ISSUE_PROBABILITY = 0.5
+DEFAULT_HORIZON = 300.0
+
+
+@dataclass
+class MulticlientResult:
+    """Everything measured in one (n, c) cell."""
+
+    row: TableRow
+    records: list[SimCallRecord]
+    server: SimNinfServer
+    per_client_counts: list[int] = field(default_factory=list)
+
+
+def run_multiclient_cell(
+    server_spec: MachineSpec,
+    route_factory: Callable[[Network, int], Route],
+    spec: CallSpec,
+    c: int,
+    mode: str = "task",
+    n: Optional[int] = None,
+    horizon: float = DEFAULT_HORIZON,
+    seed: int = 1997,
+    s: float = THINK_INTERVAL_S,
+    p: float = ISSUE_PROBABILITY,
+    switch_overhead: float = 0.0,
+    site_of: Optional[Callable[[int], str]] = None,
+) -> MulticlientResult:
+    """Run one multi-client benchmark cell and aggregate the table row.
+
+    ``route_factory(network, client_index)`` returns the route client
+    ``i`` uses -- this is where LAN vs single-site WAN vs multi-site WAN
+    topologies differ.
+    """
+    if c < 1:
+        raise ValueError(f"need at least one client, got {c}")
+    sim = Simulator()
+    network = Network(sim)
+    server = SimNinfServer(sim, network, server_spec, mode=mode,
+                           switch_overhead=switch_overhead)
+    stats = server.machine.stats_window()
+    LoadSampler(sim, server.machine, stats, interval=2.0)
+    clients = []
+    for i in range(c):
+        route = route_factory(network, i)
+        site = site_of(i) if site_of is not None else "lan"
+        clients.append(
+            WorkloadClient(sim, i, server, route, spec, s=s, p=p,
+                           horizon=horizon, seed=seed, site=site)
+        )
+    # Run the issuing window, then drain in-flight calls (the load
+    # sampler ticks forever, so step until every client process ends).
+    sim.run(until=horizon)
+    while any(cl.process.alive for cl in clients):
+        if not sim.step():  # pragma: no cover - sampler keeps heap alive
+            break
+    records: list[SimCallRecord] = []
+    for client in clients:
+        records.extend(client.records)
+    records.sort(key=lambda r: r.submit_time)
+    row = aggregate(records, n, c, stats)
+    return MulticlientResult(
+        row=row,
+        records=records,
+        server=server,
+        per_client_counts=[len(cl.records) for cl in clients],
+    )
+
+
+def run_one_call(server_spec: MachineSpec,
+                 route_factory: Callable[[Network, int], Route],
+                 spec: CallSpec, mode: str = "task") -> SimCallRecord:
+    """Fire a single uncontended call and return its record (Figs 3-5)."""
+    sim = Simulator()
+    network = Network(sim)
+    server = SimNinfServer(sim, network, server_spec, mode=mode)
+    route = route_factory(network, 0)
+    done: list[SimCallRecord] = []
+
+    def body():
+        record = SimCallRecord(spec=spec, client_id=0, submit_time=sim.now)
+        yield from server.execute_call(record, route)
+        done.append(record)
+
+    sim.process(body())
+    sim.run()
+    (record,) = done
+    return record

@@ -1,0 +1,118 @@
+"""EP experiments: Table 8 (multi-client LAN/WAN) and Fig 11 (metaserver).
+
+Table 8: the EP kernel (2^24 pairs per call, task-parallel on the
+4-PE J90) under LAN and single-site WAN multi-client load.  Because EP
+ships O(1) bytes, LAN and WAN performance are nearly identical and both
+degrade only once c exceeds the PE count.
+
+Fig 11: metaserver-driven task-parallel EP across a 32-node Alpha
+cluster, with per-call dispatch overhead (the Java-prototype cost that
+makes the small "sample" size slow down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.common import run_multiclient_cell
+from repro.experiments.lan_multiclient import LanTable
+from repro.model.machines import machine
+from repro.model.network import lan_catalog, singlesite_wan_catalog
+from repro.model.perf import EPModel
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.simninf.calls import CallSpec, ep_spec
+from repro.simninf.metaserver import SimMetaserver, TransactionResult
+from repro.simninf.server import SimNinfServer
+
+__all__ = ["SpeedupPoint", "fig11_metaserver", "table8_ep"]
+
+EP_HORIZON = 2800.0
+PAPER_CLIENTS = (1, 2, 4, 8, 16)
+
+
+def table8_ep(clients: Sequence[int] = PAPER_CLIENTS, m: int = 24,
+              horizon: float = EP_HORIZON,
+              seed: int = 1997) -> dict[str, LanTable]:
+    """Table 8: multi-client EP on the J90, LAN and single-site WAN."""
+    server = machine("j90")
+    spec = ep_spec(server, m=m)
+    out: dict[str, LanTable] = {}
+
+    lan_table = LanTable(name="Table 8 (LAN): multi-client EP")
+    client = machine("alpha")
+    for c in clients:
+        catalog = lan_catalog(server)
+        lan_table.cells[(m, c)] = run_multiclient_cell(
+            server, lambda net, i, _c=catalog, _cl=client: _c.route_for(_cl, i),
+            spec, c, mode="task", n=m, horizon=horizon, seed=seed,
+        )
+    out["lan"] = lan_table
+
+    wan_table = LanTable(name="Table 8 (WAN): multi-client EP, single site")
+    for c in clients:
+        catalog = singlesite_wan_catalog(server)
+        wan_table.cells[(m, c)] = run_multiclient_cell(
+            server, lambda net, i, _c=catalog: _c.route_for_site("ochau", i),
+            spec, c, mode="task", n=m, horizon=horizon, seed=seed,
+            site_of=lambda i: "ochau",
+        )
+    out["wan"] = wan_table
+    return out
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    processors: int
+    makespan: float
+    speedup: float
+    effective_ops_per_second: float
+
+
+def fig11_metaserver(m: int, processors: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                     t_dispatch: float = 0.1) -> list[SpeedupPoint]:
+    """Fig 11: EP of size 2^m split over p Alpha-cluster nodes.
+
+    The transaction issues one ``Ninf_call("ep", ...)`` per node; the
+    metaserver dispatches them sequentially at ``t_dispatch`` seconds
+    each, so small problems stop scaling (and regress) while class A/B
+    stay near-linear -- the paper's observed shape.
+    """
+    node = machine("alpha-node")
+    results: list[SpeedupPoint] = []
+    baseline: Optional[float] = None
+    for p in processors:
+        sim = Simulator()
+        network = Network(sim)
+        catalog = lan_catalog(node)
+        servers = []
+        routes = []
+        for i in range(p):
+            servers.append(SimNinfServer(sim, network, node, mode="task"))
+            routes.append(catalog.route_for(node, i))
+        meta = SimMetaserver(sim, network, servers, routes,
+                             t_dispatch=t_dispatch)
+        # Each node gets 2^m / p pairs: comp time scales 1/p, comm O(1).
+        per_node = EPModel(node, m=m)
+        slice_spec = CallSpec(
+            name=f"ep-slice(m={m},p={p})",
+            input_bytes=per_node.request_bytes,
+            output_bytes=per_node.reply_bytes,
+            comp_seconds_1pe=per_node.comp_time(pes=1) / p,
+            comp_seconds_allpe=per_node.comp_time(pes=1) / p,
+            work_units=per_node.operations() / p,
+        )
+        done: list[TransactionResult] = []
+        meta.run_transaction([slice_spec] * p, done.append)
+        sim.run()
+        (result,) = done
+        if baseline is None:
+            baseline = result.makespan
+        results.append(SpeedupPoint(
+            processors=p,
+            makespan=result.makespan,
+            speedup=baseline / result.makespan,
+            effective_ops_per_second=per_node.operations() / result.makespan,
+        ))
+    return results

@@ -1,0 +1,131 @@
+"""Multi-client LAN experiments: Tables 3, 4, 5 and Fig 7.
+
+The scenario of §4.1: Alpha WS cluster nodes as clients, J90 (Tables
+3/4) or SuperSPARC SMP (Table 5) as the server, each client issuing a
+Linpack ``Ninf_call`` every ``s=3`` seconds with probability ``p=1/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.common import MulticlientResult, run_multiclient_cell
+from repro.model.machines import machine
+from repro.model.network import lan_catalog
+from repro.simninf.calls import linpack_spec
+
+__all__ = [
+    "LanTable",
+    "fig7_surface",
+    "table3_1pe",
+    "table4_4pe",
+    "table5_smp",
+]
+
+PAPER_SIZES = (600, 1000, 1400)
+PAPER_CLIENTS = (1, 2, 4, 8, 16)
+LAN_HORIZON = 240.0
+
+
+@dataclass
+class LanTable:
+    """One of the paper's multi-client tables: rows indexed by (n, c)."""
+
+    name: str
+    cells: dict[tuple[int, int], MulticlientResult] = field(default_factory=dict)
+
+    def row(self, n: int, c: int):
+        """The aggregated TableRow of one (n, c) cell."""
+        return self.cells[(n, c)].row
+
+    def mean_performance(self, n: int, c: int) -> float:
+        """Mean per-call performance (flop/s or ops/s) of a cell."""
+        return self.row(n, c).performance.mean
+
+    def format(self) -> str:
+        """Paper-style text rendering of every cell."""
+        lines = [f"== {self.name} =="]
+        for (n, c) in sorted(self.cells):
+            lines.append(self.cells[(n, c)].row.format())
+        return "\n".join(lines)
+
+
+def _run_lan_table(name: str, server_name: str, mode: str,
+                   sizes: Sequence[int], clients: Sequence[int],
+                   horizon: float, client_name: str = "alpha",
+                   switch_overhead: float = 0.0,
+                   seed: int = 1997) -> LanTable:
+    server = machine(server_name)
+    client = machine(client_name)
+    table = LanTable(name=name)
+    for n in sizes:
+        spec = linpack_spec(server, n)
+        for c in clients:
+            catalog = lan_catalog(server)  # fresh links per cell
+
+            def route_factory(net, i, _catalog=catalog, _client=client):
+                return _catalog.route_for(_client, i)
+
+            table.cells[(n, c)] = run_multiclient_cell(
+                server, route_factory, spec, c, mode=mode, n=n,
+                horizon=horizon, seed=seed,
+                switch_overhead=switch_overhead,
+            )
+    return table
+
+
+def table3_1pe(sizes: Sequence[int] = PAPER_SIZES,
+               clients: Sequence[int] = PAPER_CLIENTS,
+               horizon: float = LAN_HORIZON, seed: int = 1997) -> LanTable:
+    """Table 3: task-parallel (1-PE) multi-client LAN Linpack on the J90."""
+    return _run_lan_table("Table 3: 1-PE multi-client LAN Linpack (J90)",
+                          "j90", "task", sizes, clients, horizon, seed=seed)
+
+
+def table4_4pe(sizes: Sequence[int] = PAPER_SIZES,
+               clients: Sequence[int] = PAPER_CLIENTS,
+               horizon: float = LAN_HORIZON, seed: int = 1997) -> LanTable:
+    """Table 4: data-parallel (4-PE) multi-client LAN Linpack on the J90."""
+    return _run_lan_table("Table 4: 4-PE multi-client LAN Linpack (J90)",
+                          "j90", "data", sizes, clients, horizon, seed=seed)
+
+
+def table5_smp(sizes: Sequence[int] = (600,),
+               clients: Sequence[int] = (4, 8, 16),
+               horizon: float = LAN_HORIZON,
+               threads: int = 1, seed: int = 1997) -> LanTable:
+    """Table 5: multi-client LAN Linpack on the 16-node SuperSPARC SMP.
+
+    ``threads=1`` is the paper's measured 1-PE table.  Larger values
+    model the "highly-multithreaded" library variant whose
+    thread-switching overhead makes it *slower* under multi-client load
+    (the §4.2.1 observation) -- each call then occupies ``threads`` PEs
+    worth of parallelism with a per-switch penalty.
+    """
+    switch_overhead = 0.0 if threads <= 1 else 0.35 * threads
+    mode = "task" if threads <= 1 else "data"
+    return _run_lan_table(
+        f"Table 5: SMP multi-client LAN Linpack (threads={threads})",
+        "sparc-smp", mode, sizes, clients, horizon,
+        switch_overhead=switch_overhead, seed=seed,
+    )
+
+
+def fig7_surface(table_1pe: Optional[LanTable] = None,
+                 table_4pe: Optional[LanTable] = None,
+                 sizes: Sequence[int] = PAPER_SIZES,
+                 clients: Sequence[int] = PAPER_CLIENTS,
+                 horizon: float = LAN_HORIZON
+                 ) -> dict[str, dict[tuple[int, int], float]]:
+    """Fig 7: the (n, c) -> mean Mflops surfaces for both versions."""
+    if table_1pe is None:
+        table_1pe = table3_1pe(sizes, clients, horizon)
+    if table_4pe is None:
+        table_4pe = table4_4pe(sizes, clients, horizon)
+    return {
+        "1pe": {key: cell.row.performance.mean / 1e6
+                for key, cell in table_1pe.cells.items()},
+        "4pe": {key: cell.row.performance.mean / 1e6
+                for key, cell in table_4pe.cells.items()},
+    }

@@ -1,0 +1,112 @@
+"""Digitized reference values from the paper, for paper-vs-measured
+comparison in benchmarks and EXPERIMENTS.md.
+
+Sources: Tables 2-8 verbatim; Figs 3/4/5/10/11 as the ranges the text
+quotes (crossover windows, saturation levels, deterioration bands).
+All performance numbers in Mflops (Linpack) or Mops (EP); throughput in
+MB/s; times in seconds.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIG3_CROSSOVERS",
+    "FIG4_CROSSOVERS",
+    "FIG5_SATURATION",
+    "FIG10_DETERIORATION",
+    "TABLE2_FTP_MB",
+    "TABLE3_1PE_MEAN",
+    "TABLE4_4PE_MEAN",
+    "TABLE5_SMP_MEAN",
+    "TABLE6_WAN_1PE_MEAN",
+    "TABLE7_WAN_4PE_MEAN",
+    "TABLE8_EP_MEAN",
+]
+
+# Fig 3: Ninf_call overtakes client Local at approximately these n.
+FIG3_CROSSOVERS = {
+    "sparc-clients": (200, 400),       # "at approximately n = 200~400"
+}
+# Fig 4: Alpha client vs J90.
+FIG4_CROSSOVERS = {
+    "alpha-optimized": (800, 1000),    # "approximately n = 800~1000"
+    "alpha-standard": (400, 600),      # "approximately n = 400~600"
+}
+
+# Fig 5: Ninf_call throughput saturation levels (MB/s).
+FIG5_SATURATION = {
+    "to-j90": 2.0,          # "three lines saturating at approximately 2MB/s"
+    "sparc-to-alpha": 3.5,  # "saturating at approximately 3.5 MB/s"
+    "same-arch": 6.0,       # "saturating at around 6 MB/s"
+}
+
+# Table 2 (MB/s).
+TABLE2_FTP_MB = {
+    ("supersparc", "ultrasparc"): 4.0,
+    ("supersparc", "alpha"): 4.0,
+    ("supersparc", "j90"): 2.8,
+    ("ultrasparc", "alpha"): 7.4,
+    ("ultrasparc", "j90"): 2.7,
+    ("alpha", "j90"): 2.9,
+}
+
+# Tables 3/4: mean Ninf_call performance [Mflops], (n, c) -> mean.
+TABLE3_1PE_MEAN = {
+    (600, 1): 71.16, (600, 2): 69.63, (600, 4): 67.05, (600, 8): 49.02,
+    (600, 16): 21.27,
+    (1000, 1): 93.40, (1000, 2): 89.90, (1000, 4): 81.39, (1000, 8): 46.48,
+    (1000, 16): 21.14,
+    (1400, 1): 113.65, (1400, 2): 110.48, (1400, 4): 93.35, (1400, 8): 50.11,
+    (1400, 16): 23.93,
+}
+TABLE3_CPU = {
+    (600, 1): 12.63, (600, 16): 98.66,
+    (1400, 1): 24.27, (1400, 8): 99.97, (1400, 16): 100.0,
+}
+TABLE4_4PE_MEAN = {
+    (600, 1): 91.46, (600, 2): 83.17, (600, 4): 75.83, (600, 8): 51.51,
+    (600, 16): 18.69,
+    (1000, 1): 141.43, (1000, 2): 127.63, (1000, 4): 92.98, (1000, 8): 45.85,
+    (1000, 16): 20.33,
+    (1400, 1): 193.03, (1400, 2): 157.98, (1400, 4): 96.26, (1400, 8): 48.27,
+    (1400, 16): 23.25,
+}
+
+# Table 5 (SMP, n=600): c -> mean Mflops / mean MB/s / CPU% / load.
+TABLE5_SMP_MEAN = {
+    4: (3.80, 0.43, 49.92, 6.08),
+    8: (3.51, 0.37, 62.91, 8.84),
+    16: (2.81, 0.34, 89.89, 15.37),
+}
+
+# Tables 6/7 (single-site WAN): (n, c) -> (mean Mflops, mean MB/s).
+TABLE6_WAN_1PE_MEAN = {
+    (600, 1): (5.90, 0.128), (600, 2): (4.69, 0.096), (600, 4): (2.41, 0.050),
+    (600, 8): (1.14, 0.023), (600, 16): (0.54, 0.011),
+    (1000, 1): (9.28, 0.123), (1000, 4): (3.66, 0.045),
+    (1000, 16): (0.90, 0.011),
+    (1400, 1): (13.89, 0.130), (1400, 4): (5.38, 0.048),
+    (1400, 8): (2.50, 0.022), (1400, 16): (1.25, 0.011),
+}
+TABLE7_WAN_4PE_MEAN = {
+    (600, 1): (7.68, 0.161), (600, 4): (2.46, 0.051), (600, 16): (0.54, 0.011),
+    (1000, 1): (10.50, 0.131), (1000, 4): (3.97, 0.049),
+    (1000, 16): (0.88, 0.011),
+    (1400, 1): (16.42, 0.147), (1400, 4): (5.50, 0.048),
+    (1400, 16): (1.25, 0.011),
+}
+
+# Table 8: c -> (LAN mean Mops, WAN mean Mops, LAN CPU%, WAN CPU%).
+TABLE8_EP_MEAN = {
+    1: (0.167, 0.168, 30.51, 25.02),
+    2: (0.168, 0.168, 53.86, 49.16),
+    4: (0.166, 0.166, 98.18, 98.14),
+    8: (0.084, 0.084, 100.0, 100.0),
+    16: (0.042, 0.042, 100.0, 99.94),
+}
+
+# Fig 10: Ocha-U bandwidth deterioration (fraction) multi-site vs alone.
+FIG10_DETERIORATION = {
+    1: (0.09, 0.18),   # c=1 per site: "only by 9% ~ 18%"
+    4: (0.18, 0.44),   # c=4 per site: "18% ~ 44%"
+}

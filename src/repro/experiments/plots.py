@@ -1,0 +1,109 @@
+"""ASCII rendering of the paper's figures.
+
+Dependency-free terminal plots so `ninf-experiment fig3 --plot` (and the
+report) can show the *figures*, not just the numbers: line charts for
+Figs 3/4/5/11 and (n, c) heat surfaces for Figs 7/8.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["line_chart", "surface_chart"]
+
+_SYMBOLS = "ox+*#@%&"
+_SHADES = " .:-=+*#%@"
+
+
+def line_chart(series: Mapping[str, Sequence[tuple[float, float]]],
+               width: int = 72, height: int = 20,
+               title: str = "", x_label: str = "n",
+               y_label: str = "Mflops",
+               logy: bool = False) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    >>> print(line_chart({"a": [(0, 0), (1, 1)]}, width=10, height=4))
+    ... # doctest: +SKIP
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [x for x, _y in points]
+    ys = [max(y, 1e-12) if logy else y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_transform = (lambda v: math.log10(max(v, 1e-12))) if logy else (lambda v: v)
+    ty = [y_transform(y) for y in ys]
+    y_lo, y_hi = min(ty), max(ty)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        symbol = _SYMBOLS[index % len(_SYMBOLS)]
+        for x, y in values:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y_transform(max(y, 1e-12) if logy else y) - y_lo)
+                      / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10**y_hi if logy else y_hi):.3g}"
+    bottom = f"{(10**y_lo if logy else y_lo):.3g}"
+    gutter = max(len(top), len(bottom))
+    for i, row in enumerate(grid):
+        label = top if i == 0 else bottom if i == height - 1 else ""
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    centre = max(1, width - 20)
+    lines.append(f"{'':>{gutter}}  {x_lo:<10.4g}{x_label:^{centre}}"
+                 f"{x_hi:>10.4g}")
+    legend = "   ".join(f"{_SYMBOLS[i % len(_SYMBOLS)]}={name}"
+                        for i, name in enumerate(series))
+    lines.append(f"{'':>{gutter}}  [{y_label}{', log' if logy else ''}]  "
+                 f"{legend}")
+    return "\n".join(lines)
+
+
+def surface_chart(surface: Mapping[tuple[float, float], float],
+                  title: str = "", x_label: str = "c",
+                  y_label: str = "n",
+                  value_label: str = "Mflops") -> str:
+    """Render an (y, x) -> value grid as a shaded ASCII heat map.
+
+    Keys are (y, x) pairs -- e.g. the (n, c) cells of Fig 7/8 -- shaded
+    relative to the maximum value.
+    """
+    if not surface:
+        raise ValueError("nothing to plot")
+    ys = sorted({y for y, _x in surface})
+    xs = sorted({x for _y, x in surface})
+    peak = max(surface.values())
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{y_label + chr(92) + x_label:>8} " + "".join(
+        f"{x:>8.6g}" for x in xs
+    )
+    lines.append(header)
+    for y in reversed(ys):
+        cells = []
+        for x in xs:
+            value = surface.get((y, x))
+            if value is None:
+                cells.append(f"{'':>8}")
+                continue
+            shade = _SHADES[
+                min(len(_SHADES) - 1,
+                    int(value / peak * (len(_SHADES) - 1) + 0.5))
+            ]
+            cells.append(f"{value:>6.4g} {shade}")
+        lines.append(f"{y:>8.6g} " + "".join(cells))
+    lines.append(f"(shade = value / max; max {value_label} = {peak:.4g})")
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Single-client experiments: Figs 3, 4, 5 and Table 2.
+
+Fig 3: SuperSPARC/UltraSPARC clients, Linpack vs Local over n.
+Fig 4: Alpha client (optimized + standard local library) vs J90.
+Fig 5: Ninf_call communication throughput vs transfer size.
+Table 2: raw (FTP) client-server throughput baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.machines import MachineSpec, machine
+from repro.model.network import (
+    FTP_THROUGHPUT,
+    ftp_throughput,
+    lan_catalog,
+    ninf_effective_bandwidth,
+)
+from repro.model.perf import LinpackModel
+from repro.simninf.calls import CallSpec, linpack_spec
+from repro.experiments.common import run_one_call
+
+__all__ = [
+    "CurvePoint",
+    "SingleClientCurve",
+    "fig3_sparc_clients",
+    "fig4_alpha_client",
+    "fig5_throughput",
+    "table2_ftp",
+]
+
+DEFAULT_SIZES = tuple(range(100, 1601, 100))
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    n: int
+    mflops: float
+
+
+@dataclass
+class SingleClientCurve:
+    """One line of Fig 3/4: a (client, server) pair or a Local curve."""
+
+    label: str
+    points: list[CurvePoint] = field(default_factory=list)
+
+    def at(self, n: int) -> float:
+        """Mflops at problem size ``n`` (KeyError if not sampled)."""
+        for point in self.points:
+            if point.n == n:
+                return point.mflops
+        raise KeyError(f"no point at n={n} on {self.label}")
+
+    def crossover_against(self, other: "SingleClientCurve") -> Optional[int]:
+        """Smallest n where this curve exceeds ``other`` (None if never)."""
+        for point in self.points:
+            if point.mflops > other.at(point.n):
+                return point.n
+        return None
+
+
+def local_curve(client: MachineSpec, sizes=DEFAULT_SIZES,
+                standard: bool = False) -> SingleClientCurve:
+    """Local (no Ninf) Linpack performance of a client machine."""
+    model = LinpackModel(client, pes=client.num_pes, standard=standard)
+    suffix = " (standard)" if standard else ""
+    curve = SingleClientCurve(label=f"{client.name} local{suffix}")
+    for n in sizes:
+        curve.points.append(CurvePoint(n, model.local_performance(n) / 1e6))
+    return curve
+
+
+def ninf_curve(client: MachineSpec, server: MachineSpec,
+               sizes=DEFAULT_SIZES) -> SingleClientCurve:
+    """Simulated Ninf_call performance from ``client`` to ``server``."""
+    catalog = lan_catalog(server)
+    curve = SingleClientCurve(label=f"{client.name}->{server.name} Ninf_call")
+    for n in sizes:
+        spec = linpack_spec(server, n)
+        record = run_one_call(
+            server,
+            lambda net, i: catalog.route_for(client, i),
+            spec,
+            mode="data" if server.num_pes > 1 else "task",
+        )
+        curve.points.append(CurvePoint(n, record.performance / 1e6))
+    return curve
+
+
+def fig3_sparc_clients(sizes=DEFAULT_SIZES) -> dict[str, SingleClientCurve]:
+    """Fig 3: SPARC clients -- Local vs Ninf_call to Ultra/Alpha/J90."""
+    supersparc = machine("supersparc")
+    ultrasparc = machine("ultrasparc")
+    curves: dict[str, SingleClientCurve] = {}
+    curves["supersparc-local"] = local_curve(supersparc, sizes)
+    curves["ultrasparc-local"] = local_curve(ultrasparc, sizes)
+    for client in (supersparc, ultrasparc):
+        for server_name in ("ultrasparc", "alpha", "j90"):
+            if client.name == server_name:
+                continue
+            try:
+                ftp_throughput(client.name, server_name)
+            except KeyError:
+                continue
+            key = f"{client.name}->{server_name}"
+            curves[key] = ninf_curve(client, machine(server_name), sizes)
+    return curves
+
+
+def fig4_alpha_client(sizes=DEFAULT_SIZES) -> dict[str, SingleClientCurve]:
+    """Fig 4: Alpha client (optimized + standard Local) vs J90 Ninf_call."""
+    alpha = machine("alpha")
+    return {
+        "alpha-local-optimized": local_curve(alpha, sizes),
+        "alpha-local-standard": local_curve(alpha, sizes, standard=True),
+        "alpha->j90": ninf_curve(alpha, machine("j90"), sizes),
+    }
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    nbytes: float
+    throughput: float  # bytes/s
+
+
+def fig5_throughput(pairs: Optional[list[tuple[str, str]]] = None,
+                    sizes: Optional[list[float]] = None
+                    ) -> dict[str, list[ThroughputPoint]]:
+    """Fig 5: Ninf_call throughput vs transferred bytes per pair.
+
+    Measured exactly as the paper does: total bytes over total transfer
+    time, marshalling included, on an otherwise idle network -- so small
+    transfers pay the setup overhead and large ones saturate at the
+    effective pipeline bandwidth (just below FTP)."""
+    if pairs is None:
+        pairs = [
+            ("supersparc", "j90"), ("ultrasparc", "j90"), ("alpha", "j90"),
+            ("supersparc", "alpha"), ("ultrasparc", "alpha"),
+            ("alpha", "alpha"),
+        ]
+    if sizes is None:
+        sizes = [2**k for k in range(12, 25)]  # 4 KiB .. 16 MiB
+    out: dict[str, list[ThroughputPoint]] = {}
+    for client_name, server_name in pairs:
+        client = machine(client_name)
+        server = machine(server_name)
+        catalog = lan_catalog(server)
+        points = []
+        for nbytes in sizes:
+            spec = CallSpec(
+                name=f"xfer({nbytes}B)",
+                input_bytes=nbytes / 2,
+                output_bytes=nbytes / 2,
+                comp_seconds_1pe=0.0,
+                comp_seconds_allpe=0.0,
+                work_units=1.0,
+            )
+            record = run_one_call(
+                server, lambda net, i: catalog.route_for(client, i), spec
+            )
+            total_time = record.comm_seconds
+            points.append(ThroughputPoint(nbytes, nbytes / total_time))
+        out[f"{client_name}->{server_name}"] = points
+    return out
+
+
+def table2_ftp() -> dict[tuple[str, str], float]:
+    """Table 2: the raw FTP throughput baseline, plus the effective
+    Ninf rate the marshalling pipeline sustains (Fig 5's saturation)."""
+    return dict(FTP_THROUGHPUT)
+
+
+def ninf_saturation(client_name: str, server_name: str) -> float:
+    """The Fig 5 saturation level for a pair (bytes/s)."""
+    client = machine(client_name)
+    server = machine(server_name)
+    return ninf_effective_bandwidth(
+        ftp_throughput(client_name, server_name), client, server
+    )

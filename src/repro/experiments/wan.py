@@ -1,0 +1,160 @@
+"""WAN experiments: Tables 6/7 (single-site), Fig 8, Fig 10 (multi-site).
+
+Single-site (§4.2.2): 8-16 SuperSPARC clients at Ocha-U, ~60 km from the
+ETL J90, sharing one 0.17 MB/s uplink.  Multi-site (§4.2.3): clients at
+four university sites on different backbones (Fig 9), all calling the
+ETL J90 running the 4-PE Linpack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.common import MulticlientResult, run_multiclient_cell
+from repro.experiments.lan_multiclient import LanTable
+from repro.model.machines import machine
+from repro.model.network import (
+    WAN_SITES,
+    multisite_wan_catalog,
+    singlesite_wan_catalog,
+)
+from repro.simninf.calls import linpack_spec
+
+__all__ = [
+    "MultisiteCell",
+    "fig8_surface",
+    "fig10_multisite",
+    "table6_1pe",
+    "table7_4pe",
+]
+
+PAPER_SIZES = (600, 1000, 1400)
+PAPER_CLIENTS = (1, 2, 4, 8, 16)
+WAN_HORIZON = 2400.0
+
+
+def _run_wan_table(name: str, mode: str, sizes: Sequence[int],
+                   clients: Sequence[int], horizon: float,
+                   seed: int = 1997) -> LanTable:
+    server = machine("j90")
+    table = LanTable(name=name)
+    for n in sizes:
+        spec = linpack_spec(server, n)
+        for c in clients:
+            catalog = singlesite_wan_catalog(server)
+
+            def route_factory(net, i, _catalog=catalog):
+                return _catalog.route_for_site("ochau", i)
+
+            table.cells[(n, c)] = run_multiclient_cell(
+                server, route_factory, spec, c, mode=mode, n=n,
+                horizon=horizon, seed=seed,
+                site_of=lambda i: "ochau",
+            )
+    return table
+
+
+def table6_1pe(sizes: Sequence[int] = PAPER_SIZES,
+               clients: Sequence[int] = PAPER_CLIENTS,
+               horizon: float = WAN_HORIZON, seed: int = 1997) -> LanTable:
+    """Table 6: single-site WAN, task-parallel (1-PE) Linpack."""
+    return _run_wan_table("Table 6: single-site WAN 1-PE Linpack",
+                          "task", sizes, clients, horizon, seed)
+
+
+def table7_4pe(sizes: Sequence[int] = PAPER_SIZES,
+               clients: Sequence[int] = PAPER_CLIENTS,
+               horizon: float = WAN_HORIZON, seed: int = 1997) -> LanTable:
+    """Table 7: single-site WAN, data-parallel (4-PE) Linpack."""
+    return _run_wan_table("Table 7: single-site WAN 4-PE Linpack",
+                          "data", sizes, clients, horizon, seed)
+
+
+def fig8_surface(sizes: Sequence[int] = PAPER_SIZES,
+                 clients: Sequence[int] = PAPER_CLIENTS,
+                 horizon: float = WAN_HORIZON
+                 ) -> dict[str, dict[tuple[int, int], float]]:
+    """Fig 8: WAN mean-performance surfaces for 1-PE and 4-PE."""
+    return {
+        "1pe": {key: cell.row.performance.mean / 1e6
+                for key, cell in table6_1pe(sizes, clients, horizon).cells.items()},
+        "4pe": {key: cell.row.performance.mean / 1e6
+                for key, cell in table7_4pe(sizes, clients, horizon).cells.items()},
+    }
+
+
+@dataclass
+class MultisiteCell:
+    """Fig 10 measurement for one (n, clients-per-site) configuration."""
+
+    n: int
+    clients_per_site: int
+    result: MulticlientResult
+    # Per-site mean throughput (bytes/s) and performance (flop/s).
+    site_throughput: dict[str, float] = field(default_factory=dict)
+    site_performance: dict[str, float] = field(default_factory=dict)
+    # The single-site baseline for Ocha-U with the same total c there.
+    ochau_single_site: MulticlientResult | None = None
+
+    @property
+    def ochau_deterioration(self) -> float:
+        """Fractional drop of Ocha-U per-client throughput vs running
+        the same number of Ocha-U clients alone (the paper's 9-18% /
+        18-44% figures)."""
+        if self.ochau_single_site is None:
+            raise RuntimeError("baseline not attached")
+        multi = self.site_throughput["ochau"]
+        single = self.ochau_single_site.row.throughput.mean
+        if single <= 0:
+            return 0.0
+        return max(0.0, 1.0 - multi / single)
+
+
+def fig10_multisite(sizes: Sequence[int] = PAPER_SIZES,
+                    clients_per_site: Sequence[int] = (1, 4),
+                    horizon: float = WAN_HORIZON,
+                    seed: int = 1997) -> list[MultisiteCell]:
+    """Fig 10: clients at Ocha-U, U-Tokyo, TITech, NITech calling the
+    ETL J90 (4-PE Linpack)."""
+    server = machine("j90")
+    sites = list(WAN_SITES)
+    cells: list[MultisiteCell] = []
+    for n in sizes:
+        spec = linpack_spec(server, n)
+        for per_site in clients_per_site:
+            total = per_site * len(sites)
+            catalog = multisite_wan_catalog(server)
+            assignment = [sites[i % len(sites)] for i in range(total)]
+
+            def route_factory(net, i, _catalog=catalog, _assign=assignment):
+                return _catalog.route_for_site(_assign[i], i)
+
+            result = run_multiclient_cell(
+                server, route_factory, spec, total, mode="data", n=n,
+                horizon=horizon, seed=seed,
+                site_of=lambda i, _assign=assignment: _assign[i],
+            )
+            cell = MultisiteCell(n=n, clients_per_site=per_site,
+                                 result=result)
+            for site in sites:
+                site_records = [r for r in result.records if r.site == site]
+                if site_records:
+                    cell.site_throughput[site] = (
+                        sum(r.throughput for r in site_records)
+                        / len(site_records)
+                    )
+                    cell.site_performance[site] = (
+                        sum(r.performance for r in site_records)
+                        / len(site_records)
+                    )
+            # Baseline: the same per-site client count at Ocha-U alone.
+            baseline_catalog = singlesite_wan_catalog(server)
+            cell.ochau_single_site = run_multiclient_cell(
+                server,
+                lambda net, i, _c=baseline_catalog: _c.route_for_site("ochau", i),
+                spec, per_site, mode="data", n=n, horizon=horizon,
+                seed=seed, site_of=lambda i: "ochau",
+            )
+            cells.append(cell)
+    return cells

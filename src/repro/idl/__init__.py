@@ -1,0 +1,45 @@
+"""Ninf IDL: interface description language for remote libraries.
+
+Each routine registered on a Ninf computational server is described by an
+IDL ``Define`` (paper §2.3)::
+
+    Define dmmul(mode_in int n, mode_in double A[n][n],
+                 mode_in double B[n][n], mode_out double C[n][n])
+    "dmmul is double precision matrix multiply"
+    Required "libxxx.o"
+    CalcOrder "2*n*n*n"
+    Calls "C" mmul(n, A, B, C);
+
+Argument array dimensions are expressions over the scalar ``mode_in``
+arguments, so the server can infer how much data to ship in each
+direction without the client ever seeing the IDL ("stub generation is
+done solely on the server side") -- the server returns the *compiled*
+signature at call time and the client-side stub interprets it
+(two-stage RPC, §2.3).
+
+Modules:
+
+- :mod:`repro.idl.lexer` -- tokenizer shared by the IDL and expression
+  grammars.
+- :mod:`repro.idl.expr` -- arithmetic expression AST, parser, evaluator.
+- :mod:`repro.idl.parser` -- recursive-descent ``Define`` parser.
+- :mod:`repro.idl.signature` -- the compiled, wire-serializable
+  signature: argument validation, shape inference, transfer-size and
+  flop prediction (used by SJF scheduling and the metaserver).
+"""
+
+from repro.idl.errors import IdlError
+from repro.idl.expr import Expr, parse_expr
+from repro.idl.parser import Definition, Param, parse_definitions
+from repro.idl.signature import ArgSpec, Signature
+
+__all__ = [
+    "ArgSpec",
+    "Definition",
+    "Expr",
+    "IdlError",
+    "Param",
+    "Signature",
+    "parse_definitions",
+    "parse_expr",
+]

@@ -1,0 +1,11 @@
+"""IDL error types."""
+
+
+class IdlError(ValueError):
+    """Raised on IDL syntax errors, unknown types, or bad expressions."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column

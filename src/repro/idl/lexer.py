@@ -1,0 +1,169 @@
+"""Tokenizer shared by the IDL grammar and the dimension-expression grammar."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.idl.errors import IdlError
+
+__all__ = ["Token", "Lexer", "tokenize"]
+
+SYMBOLS = {
+    "(", ")", "[", "]", "{", "}", ",", ";",
+    "+", "-", "*", "/", "%", "^",
+}
+
+KEYWORDS = {
+    "Define", "Required", "Calls", "CalcOrder", "CommOrder", "Alias",
+    "mode_in", "mode_out", "mode_inout", "mode_work",
+    "int", "long", "float", "double", "char", "string",
+    "scomplex", "dcomplex",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with source position (1-based)."""
+
+    kind: str  # 'ident', 'keyword', 'number', 'string', or the symbol itself
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Streaming tokenizer with one-token lookahead."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+
+    def peek(self) -> Optional[Token]:
+        """The next token without consuming it (None at end)."""
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Token:
+        """Consume and return the next token; IdlError at end."""
+        token = self.peek()
+        if token is None:
+            raise IdlError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        """Consume the next token, requiring a kind (and value)."""
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise IdlError(
+                f"expected {want!r}, got {token.value!r}",
+                token.line, token.column,
+            )
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        """Consume and return the next token if it matches, else None."""
+        token = self.peek()
+        if token is not None and token.kind == kind and (
+            value is None or token.value == value
+        ):
+            self._pos += 1
+            return token
+        return None
+
+    def at_end(self) -> bool:
+        """True when every token has been consumed."""
+        return self.peek() is None
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; skips whitespace and ``//`` / ``/* */`` comments."""
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise IdlError("unterminated comment", line, col)
+            advance(end + 2 - i)
+            continue
+        start_line, start_col = line, col
+        if ch == '"':
+            j = i + 1
+            chunks = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    chunks.append(text[j + 1])
+                    j += 2
+                else:
+                    chunks.append(text[j])
+                    j += 1
+            if j >= n:
+                raise IdlError("unterminated string literal", start_line, start_col)
+            advance(j + 1 - i)
+            yield Token("string", "".join(chunks), start_line, start_col)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            value = text[i:j]
+            advance(j - i)
+            yield Token("number", value, start_line, start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            value = text[i:j]
+            advance(j - i)
+            kind = "keyword" if value in KEYWORDS else "ident"
+            yield Token(kind, value, start_line, start_col)
+            continue
+        if ch in SYMBOLS:
+            advance(1)
+            yield Token(ch, ch, start_line, start_col)
+            continue
+        raise IdlError(f"unexpected character {ch!r}", start_line, start_col)

@@ -1,0 +1,219 @@
+"""Recursive-descent parser for Ninf IDL ``Define`` declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.idl.errors import IdlError
+from repro.idl.expr import Expr, _parse_sum
+from repro.idl.lexer import Lexer
+
+__all__ = ["CallsClause", "Definition", "Param", "parse_definitions"]
+
+SCALAR_TYPES = {"int", "long", "float", "double", "char", "string",
+                "scomplex", "dcomplex"}
+MODES = {"mode_in", "mode_out", "mode_inout", "mode_work"}
+
+
+@dataclass(frozen=True)
+class Param:
+    """One formal parameter: access mode, element type, name, dimensions.
+
+    ``dims`` is empty for scalars; each entry is an :class:`Expr` over
+    the scalar ``mode_in`` parameter names.
+    """
+
+    mode: str
+    dtype: str
+    name: str
+    dims: tuple[Expr, ...] = ()
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def is_input(self) -> bool:
+        return self.mode in ("mode_in", "mode_inout")
+
+    @property
+    def is_output(self) -> bool:
+        return self.mode in ("mode_out", "mode_inout")
+
+
+@dataclass(frozen=True)
+class CallsClause:
+    """The ``Calls "C" func(args...)`` implementation binding."""
+
+    language: str
+    function: str
+    arguments: tuple[str, ...]
+
+
+@dataclass
+class Definition:
+    """A parsed ``Define``: the registrable interface of one routine."""
+
+    name: str
+    params: list[Param]
+    description: str = ""
+    required: list[str] = field(default_factory=list)
+    aliases: list[str] = field(default_factory=list)
+    calls: Optional[CallsClause] = None
+    calc_order: Optional[Expr] = None
+    comm_order: Optional[Expr] = None
+
+    def scalar_input_names(self) -> list[str]:
+        """Names of scalar inputs: the dimension-expression namespace."""
+        return [p.name for p in self.params if p.is_input and not p.is_array]
+
+    def validate(self) -> None:
+        """Check internal consistency: unique names, bound dimension vars."""
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise IdlError(f"duplicate parameter names in {self.name}: {dupes}")
+        scalars = set(self.scalar_input_names())
+        for param in self.params:
+            for dim in param.dims:
+                unknown = dim.free_variables() - scalars
+                if unknown:
+                    raise IdlError(
+                        f"dimension of {param.name!r} in {self.name} uses "
+                        f"variables not bound to scalar inputs: {sorted(unknown)}"
+                    )
+        for label, order in (("CalcOrder", self.calc_order),
+                             ("CommOrder", self.comm_order)):
+            if order is not None:
+                unknown = order.free_variables() - scalars
+                if unknown:
+                    raise IdlError(
+                        f"{label} of {self.name} uses unbound variables: "
+                        f"{sorted(unknown)}"
+                    )
+
+
+def parse_definitions(text: str) -> list[Definition]:
+    """Parse a whole IDL file: zero or more ``Define`` declarations."""
+    lexer = Lexer(text)
+    definitions = []
+    while not lexer.at_end():
+        definitions.append(_parse_define(lexer))
+    return definitions
+
+
+def _parse_define(lexer: Lexer) -> Definition:
+    lexer.expect("keyword", "Define")
+    name_token = lexer.next()
+    if name_token.kind not in ("ident",):
+        raise IdlError(f"expected routine name, got {name_token.value!r}",
+                       name_token.line, name_token.column)
+    definition = Definition(name=name_token.value, params=[])
+    lexer.expect("(")
+    if not lexer.accept(")"):
+        definition.params.append(_parse_param(lexer))
+        while lexer.accept(","):
+            definition.params.append(_parse_param(lexer))
+        lexer.expect(")")
+
+    # Optional clauses in any order, optionally comma-separated, until ';'.
+    while True:
+        if lexer.accept(";"):
+            break
+        if lexer.accept(","):
+            continue
+        token = lexer.peek()
+        if token is None:
+            break  # final Define may omit the semicolon
+        if token.kind == "string":
+            lexer.next()
+            definition.description = (
+                definition.description + " " + token.value
+            ).strip() if definition.description else token.value
+            continue
+        if token.kind == "keyword" and token.value == "Required":
+            lexer.next()
+            definition.required.append(lexer.expect("string").value)
+            continue
+        if token.kind == "keyword" and token.value == "Alias":
+            lexer.next()
+            definition.aliases.append(lexer.expect("string").value)
+            continue
+        if token.kind == "keyword" and token.value == "CalcOrder":
+            lexer.next()
+            definition.calc_order = _parse_order_clause(lexer)
+            continue
+        if token.kind == "keyword" and token.value == "CommOrder":
+            lexer.next()
+            definition.comm_order = _parse_order_clause(lexer)
+            continue
+        if token.kind == "keyword" and token.value == "Calls":
+            lexer.next()
+            definition.calls = _parse_calls(lexer)
+            continue
+        if token.kind == "keyword" and token.value == "Define":
+            break  # next definition starts; semicolon was omitted
+        raise IdlError(f"unexpected token {token.value!r} in Define body",
+                       token.line, token.column)
+
+    definition.validate()
+    return definition
+
+
+def _parse_order_clause(lexer: Lexer):
+    """CalcOrder/CommOrder take a quoted expression string."""
+    from repro.idl.expr import parse_expr
+
+    token = lexer.expect("string")
+    try:
+        return parse_expr(token.value)
+    except IdlError as exc:
+        raise IdlError(f"bad order expression {token.value!r}: {exc}",
+                       token.line, token.column) from exc
+
+
+def _parse_param(lexer: Lexer) -> Param:
+    token = lexer.next()
+    # Tolerate historical prefixes like the paper's "long mode_in int n".
+    while token.kind == "keyword" and token.value in SCALAR_TYPES:
+        nxt = lexer.peek()
+        if nxt is not None and nxt.kind == "keyword" and nxt.value in MODES:
+            token = lexer.next()
+        else:
+            break
+    if token.kind != "keyword" or token.value not in MODES:
+        raise IdlError(f"expected parameter mode, got {token.value!r}",
+                       token.line, token.column)
+    mode = token.value
+    type_token = lexer.next()
+    if type_token.kind != "keyword" or type_token.value not in SCALAR_TYPES:
+        raise IdlError(f"expected type, got {type_token.value!r}",
+                       type_token.line, type_token.column)
+    dtype = type_token.value
+    name_token = lexer.next()
+    if name_token.kind != "ident":
+        raise IdlError(f"expected parameter name, got {name_token.value!r}",
+                       name_token.line, name_token.column)
+    dims = []
+    while lexer.accept("["):
+        dims.append(_parse_sum(lexer))
+        lexer.expect("]")
+    return Param(mode=mode, dtype=dtype, name=name_token.value, dims=tuple(dims))
+
+
+def _parse_calls(lexer: Lexer) -> CallsClause:
+    language = lexer.expect("string").value
+    func_token = lexer.next()
+    if func_token.kind != "ident":
+        raise IdlError(f"expected implementation function name, got "
+                       f"{func_token.value!r}", func_token.line, func_token.column)
+    lexer.expect("(")
+    args: list[str] = []
+    if not lexer.accept(")"):
+        args.append(lexer.expect("ident").value)
+        while lexer.accept(","):
+            args.append(lexer.expect("ident").value)
+        lexer.expect(")")
+    return CallsClause(language=language, function=func_token.value,
+                       arguments=tuple(args))

@@ -1,0 +1,322 @@
+"""Compiled IDL signatures: the "interpretable code" shipped to clients.
+
+Ninf's two-stage RPC (paper §2.3) works because the client never needs
+the IDL ahead of time: on the first stage the server returns the
+*compiled* interface description, and the client-side stub interprets it
+to marshal the arguments.  :class:`Signature` is that compiled form --
+wire-serializable, and able to:
+
+- validate and bind a positional argument list (:meth:`bind`),
+- infer array shapes from the scalar inputs,
+- compute the bytes shipped in each direction (the paper's
+  ``8n^2 + 20n`` for Linpack falls out of this),
+- predict flops via the ``CalcOrder`` clause (used for SJF scheduling
+  and metaserver placement).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.idl.errors import IdlError
+from repro.idl.expr import Expr, parse_expr
+from repro.idl.parser import Definition, Param
+from repro.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["ArgSpec", "BoundCall", "Signature"]
+
+DTYPE_SIZES = {
+    "int": 4, "long": 8, "float": 4, "double": 8,
+    "char": 1, "string": 0, "scomplex": 8, "dcomplex": 16,
+}
+
+NUMPY_DTYPES = {
+    "int": np.dtype(np.int32),
+    "long": np.dtype(np.int64),
+    "float": np.dtype(np.float32),
+    "double": np.dtype(np.float64),
+    "scomplex": np.dtype(np.complex64),
+    "dcomplex": np.dtype(np.complex128),
+}
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """Wire-portable form of one parameter."""
+
+    mode: str
+    dtype: str
+    name: str
+    dims: tuple[str, ...] = ()
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def is_input(self) -> bool:
+        return self.mode in ("mode_in", "mode_inout")
+
+    @property
+    def is_output(self) -> bool:
+        return self.mode in ("mode_out", "mode_inout")
+
+    def dim_exprs(self) -> tuple[Expr, ...]:
+        """Parsed dimension expressions (from their wire strings)."""
+        return tuple(parse_expr(d) for d in self.dims)
+
+    def shape(self, env: Mapping[str, float]) -> tuple[int, ...]:
+        """Evaluate the dimension expressions against scalar inputs."""
+        shape = []
+        for dim_source, expr in zip(self.dims, self.dim_exprs()):
+            value = expr.evaluate(env)
+            rounded = int(round(value))
+            if abs(value - rounded) > 1e-9 or rounded < 0:
+                raise IdlError(
+                    f"dimension {dim_source!r} of {self.name} evaluated to "
+                    f"{value}, not a non-negative integer"
+                )
+            shape.append(rounded)
+        return tuple(shape)
+
+    def nbytes(self, env: Mapping[str, float]) -> int:
+        """Payload size of this argument given scalar inputs."""
+        element = DTYPE_SIZES[self.dtype]
+        if not self.is_array:
+            return element
+        return element * int(np.prod(self.shape(env), dtype=np.int64))
+
+
+@dataclass
+class BoundCall:
+    """A validated call: scalar environment plus concrete input arrays."""
+
+    signature: "Signature"
+    env: dict[str, float]
+    inputs: dict[str, Any]
+    output_shapes: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(self.signature.args[i].nbytes(self.env)
+                   for i in self.signature.input_indices())
+
+    @property
+    def output_bytes(self) -> int:
+        return sum(self.signature.args[i].nbytes(self.env)
+                   for i in self.signature.output_indices())
+
+    @property
+    def predicted_flops(self) -> Optional[float]:
+        return self.signature.predicted_flops(self.env)
+
+
+class Signature:
+    """The compiled interface of one registered routine."""
+
+    def __init__(self, name: str, args: Sequence[ArgSpec], description: str = "",
+                 calc_order: str = "", comm_order: str = ""):
+        self.name = name
+        self.args = tuple(args)
+        self.description = description
+        self.calc_order = calc_order
+        self.comm_order = comm_order
+        self._validate()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_definition(cls, definition: Definition) -> "Signature":
+        args = tuple(
+            ArgSpec(mode=p.mode, dtype=p.dtype, name=p.name,
+                    dims=tuple(str(d) for d in p.dims))
+            for p in definition.params
+        )
+        return cls(
+            name=definition.name,
+            args=args,
+            description=definition.description,
+            calc_order=str(definition.calc_order) if definition.calc_order else "",
+            comm_order=str(definition.comm_order) if definition.comm_order else "",
+        )
+
+    @classmethod
+    def from_idl(cls, text: str) -> "Signature":
+        """Parse a single-Define IDL string straight to a signature."""
+        from repro.idl.parser import parse_definitions
+
+        definitions = parse_definitions(text)
+        if len(definitions) != 1:
+            raise IdlError(
+                f"expected exactly one Define, found {len(definitions)}"
+            )
+        return cls.from_definition(definitions[0])
+
+    def _validate(self) -> None:
+        scalars = {a.name for a in self.args if a.is_input and not a.is_array}
+        for arg in self.args:
+            if arg.dtype not in DTYPE_SIZES:
+                raise IdlError(f"unknown dtype {arg.dtype!r} for {arg.name}")
+            for dim in arg.dims:
+                unknown = parse_expr(dim).free_variables() - scalars
+                if unknown:
+                    raise IdlError(
+                        f"dimension {dim!r} of {arg.name} references "
+                        f"non-scalar-input variables {sorted(unknown)}"
+                    )
+
+    # -- indexing helpers ------------------------------------------------------
+
+    def input_indices(self) -> list[int]:
+        """Positions of arguments shipped client -> server."""
+        return [i for i, a in enumerate(self.args) if a.is_input]
+
+    def output_indices(self) -> list[int]:
+        """Positions of arguments shipped server -> client."""
+        return [i for i, a in enumerate(self.args) if a.is_output]
+
+    # -- binding -----------------------------------------------------------------
+
+    def bind(self, args: Sequence[Any]) -> BoundCall:
+        """Validate a positional argument list against the signature.
+
+        Scalar inputs populate the dimension environment first; arrays
+        are then checked (or, for ``mode_out``, shape-inferred).  Callers
+        may pass ``None`` for pure outputs.
+        """
+        if len(args) != len(self.args):
+            raise IdlError(
+                f"{self.name} expects {len(self.args)} arguments, got {len(args)}"
+            )
+        env: dict[str, float] = {}
+        for spec, value in zip(self.args, args):
+            if spec.is_input and not spec.is_array:
+                if isinstance(value, (bool, str, bytes)) and spec.dtype in NUMPY_DTYPES:
+                    raise IdlError(
+                        f"scalar argument {spec.name} of {self.name} must be "
+                        f"numeric, got {type(value).__name__}"
+                    )
+                if spec.dtype in NUMPY_DTYPES:
+                    # Complex scalars may not size dimensions; use the real
+                    # part so binding still records them for bookkeeping.
+                    env[spec.name] = float(
+                        value.real if isinstance(value, complex) else value
+                    )
+
+        inputs: dict[str, Any] = {}
+        output_shapes: dict[str, tuple[int, ...]] = {}
+        for spec, value in zip(self.args, args):
+            if spec.is_array:
+                shape = spec.shape(env)
+                if spec.is_input:
+                    arr = np.asarray(value)
+                    if arr.shape != shape:
+                        raise IdlError(
+                            f"argument {spec.name} of {self.name}: expected "
+                            f"shape {shape}, got {arr.shape}"
+                        )
+                    inputs[spec.name] = arr.astype(NUMPY_DTYPES[spec.dtype],
+                                                   copy=False)
+                if spec.is_output:
+                    output_shapes[spec.name] = shape
+            elif spec.is_input:
+                if spec.dtype == "string":
+                    inputs[spec.name] = str(value)
+                elif spec.dtype == "char":
+                    inputs[spec.name] = bytes(value) if not isinstance(value, bytes) else value
+                else:
+                    inputs[spec.name] = value
+        return BoundCall(signature=self, env=env, inputs=inputs,
+                         output_shapes=output_shapes)
+
+    # -- prediction -------------------------------------------------------------------
+
+    def predicted_flops(self, env: Mapping[str, float]) -> Optional[float]:
+        """Evaluate ``CalcOrder`` if present (None otherwise)."""
+        if not self.calc_order:
+            return None
+        return float(parse_expr(self.calc_order).evaluate(env))
+
+    def predicted_comm_bytes(self, env: Mapping[str, float]) -> float:
+        """``CommOrder`` if present, else the exact marshalled byte count."""
+        if self.comm_order:
+            return float(parse_expr(self.comm_order).evaluate(env))
+        total = 0
+        for arg in self.args:
+            if arg.is_input:
+                total += arg.nbytes(env)
+            if arg.is_output:
+                total += arg.nbytes(env)
+        return float(total)
+
+    # -- wire form -----------------------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        """XDR-encode the signature (stage one of the two-stage RPC)."""
+        enc = XdrEncoder()
+        enc.pack_string(self.name)
+        enc.pack_string(self.description)
+        enc.pack_string(self.calc_order)
+        enc.pack_string(self.comm_order)
+        enc.pack_uint(len(self.args))
+        for arg in self.args:
+            enc.pack_string(arg.mode)
+            enc.pack_string(arg.dtype)
+            enc.pack_string(arg.name)
+            enc.pack_uint(len(arg.dims))
+            for dim in arg.dims:
+                enc.pack_string(dim)
+        return enc.getvalue()
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Signature":
+        dec = XdrDecoder(data)
+        sig = cls.read_from(dec)
+        dec.done()
+        return sig
+
+    @classmethod
+    def read_from(cls, dec: XdrDecoder) -> "Signature":
+        """Decode a signature from an in-progress decoder."""
+        name = dec.unpack_string()
+        description = dec.unpack_string()
+        calc_order = dec.unpack_string()
+        comm_order = dec.unpack_string()
+        nargs = dec.unpack_uint()
+        if nargs > 4096:
+            raise IdlError(f"implausible signature arity {nargs}")
+        args = []
+        for _ in range(nargs):
+            mode = dec.unpack_string()
+            dtype = dec.unpack_string()
+            arg_name = dec.unpack_string()
+            ndims = dec.unpack_uint()
+            if ndims > 32:
+                raise IdlError(f"implausible array rank {ndims}")
+            dims = tuple(dec.unpack_string() for _ in range(ndims))
+            args.append(ArgSpec(mode=mode, dtype=dtype, name=arg_name, dims=dims))
+        return cls(name=name, args=tuple(args), description=description,
+                   calc_order=calc_order, comm_order=comm_order)
+
+    # -- misc ---------------------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return (self.name, self.args, self.description, self.calc_order,
+                self.comm_order) == (other.name, other.args, other.description,
+                                     other.calc_order, other.comm_order)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.args))
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{a.mode} {a.dtype} {a.name}" + "".join(f"[{d}]" for d in a.dims)
+            for a in self.args
+        )
+        return f"<Signature {self.name}({params})>"

@@ -1,0 +1,99 @@
+"""Density-of-states (DOS) Monte-Carlo calculation.
+
+The paper (§4.3.1): "We also conducted benchmarks with DOS
+(Density-Of-States) calculation, which is an EP-style practical
+application in computational chemistry, and came up with similar
+results."
+
+This module implements a concrete such application: the density of
+states of a disordered tight-binding chain (Anderson model).  Each
+trial draws a random realization of site energies, diagonalizes the
+tridiagonal Hamiltonian, and histograms the eigenvalues; trials are
+independent, so the workload is embarrassingly parallel exactly like
+EP, and results are addable across Ninf servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DOSResult", "dos_kernel"]
+
+
+@dataclass(frozen=True)
+class DOSResult:
+    """Accumulated histogram of eigenvalues; addable across servers."""
+
+    trials: int
+    sites: int
+    histogram: tuple[int, ...]
+    e_min: float
+    e_max: float
+
+    def __add__(self, other: "DOSResult") -> "DOSResult":
+        if not isinstance(other, DOSResult):
+            return NotImplemented
+        if (self.sites, self.e_min, self.e_max, len(self.histogram)) != (
+            other.sites, other.e_min, other.e_max, len(other.histogram)
+        ):
+            raise ValueError("cannot combine DOS results with different grids")
+        return DOSResult(
+            trials=self.trials + other.trials,
+            sites=self.sites,
+            histogram=tuple(a + b for a, b in zip(self.histogram,
+                                                  other.histogram)),
+            e_min=self.e_min,
+            e_max=self.e_max,
+        )
+
+    def density(self) -> np.ndarray:
+        """Normalized density of states (integrates to 1 over the grid)."""
+        hist = np.asarray(self.histogram, dtype=np.float64)
+        total = hist.sum()
+        if total == 0:
+            return hist
+        width = (self.e_max - self.e_min) / len(self.histogram)
+        return hist / (total * width)
+
+
+def dos_kernel(trials: int, sites: int = 32, disorder: float = 1.0,
+               bins: int = 64, hopping: float = 1.0,
+               seed: int = 12345, skip: int = 0) -> DOSResult:
+    """Monte-Carlo DOS of a disordered tight-binding chain.
+
+    Hamiltonian: ``H_ii = eps_i`` uniform in ``[-W/2, W/2]``,
+    ``H_{i,i+1} = H_{i+1,i} = -t``.  Eigenvalues are histogrammed on
+    ``[-2t - W/2, 2t + W/2]``.
+
+    ``trials`` controls cost linearly (EP-style); ``seed`` makes results
+    reproducible and slice-able: trial ``k`` always uses substream ``k``,
+    so splitting trials across servers reproduces the single-server
+    result exactly.
+    """
+    if trials < 0 or skip < 0:
+        raise ValueError(f"trials/skip must be >= 0, got {trials}/{skip}")
+    if sites < 2:
+        raise ValueError(f"sites must be >= 2, got {sites}")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    e_max = 2.0 * abs(hopping) + disorder / 2.0
+    e_min = -e_max
+    histogram = np.zeros(bins, dtype=np.int64)
+    off_diagonal = np.full(sites - 1, -hopping)
+    # Trial k always draws from substream (seed, k), so splitting the
+    # trial range across Ninf servers reproduces a single-server run.
+    for trial in range(skip, skip + trials):
+        rng = np.random.default_rng([seed, trial])
+        energies = rng.uniform(-disorder / 2.0, disorder / 2.0, size=sites)
+        eigenvalues = np.linalg.eigvalsh(
+            np.diag(energies)
+            + np.diag(off_diagonal, 1)
+            + np.diag(off_diagonal, -1)
+        )
+        hist, _ = np.histogram(eigenvalues, bins=bins, range=(e_min, e_max))
+        histogram += hist
+    return DOSResult(trials=trials, sites=sites,
+                     histogram=tuple(int(h) for h in histogram),
+                     e_min=e_min, e_max=e_max)

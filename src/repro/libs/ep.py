@@ -1,0 +1,181 @@
+"""NAS Parallel Benchmarks EP kernel (embarrassingly parallel).
+
+The paper (§4.3): "EP ... is one of the kernel programs in the NAS
+Parallel Benchmark, performing (random-number) Monte-Carlo simulations
+... Computational complexity is proportional to the number of random
+numbers generated, and becomes 2^(n+1) for 2^n trials."
+
+This is a faithful, vectorized implementation:
+
+- :class:`NPBRandom` -- the NPB ``randlc`` linear congruential generator
+  ``x_{k+1} = a x_k mod 2^46`` with ``a = 5^13``, implemented with the
+  standard exact 23-bit-split double arithmetic so results are
+  bit-identical to the reference Fortran, including O(1) sequence
+  jumping (needed both for vectorization and for splitting one EP
+  problem across Ninf servers exactly as the metaserver does in Fig 11).
+- :func:`ep_kernel` -- generate ``2^m`` uniform pairs, apply the
+  Marsaglia polar method acceptance test, and accumulate the Gaussian
+  sums ``sx``, ``sy`` and the ten square-annulus counts that NPB
+  verifies against.
+
+Vectorization runs ``K`` generator streams in lockstep (each stream is
+a jump-ahead segment of the single reference sequence), so the combined
+output is exactly the reference sequence in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EPResult", "NPBRandom", "ep_kernel", "ep_operations"]
+
+# NPB constants.
+A = 1220703125  # 5^13
+DEFAULT_SEED = 271828183
+MOD46 = 2**46
+R23 = 2.0**-23
+T23 = 2.0**23
+R46 = 2.0**-46
+
+
+class NPBRandom:
+    """Scalar NPB ``randlc`` generator with exact jump-ahead."""
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        if not 0 < seed < MOD46:
+            raise ValueError(f"seed must be in (0, 2^46), got {seed}")
+        self.state = seed
+
+    def randlc(self) -> float:
+        """Next uniform deviate in (0, 1)."""
+        self.state = (A * self.state) % MOD46
+        return self.state * R46
+
+    def jump(self, count: int) -> None:
+        """Advance the sequence by ``count`` steps in O(log count)."""
+        if count < 0:
+            raise ValueError(f"cannot jump backwards ({count})")
+        self.state = (self.state * pow(A, count, MOD46)) % MOD46
+
+    def uniforms(self, count: int) -> np.ndarray:
+        """The next ``count`` deviates (vectorized, state advanced)."""
+        if count == 0:
+            return np.empty(0)
+        streams = min(4096, count)
+        out = _vector_randlc(self.state, count, streams)
+        self.jump(count)
+        return out
+
+
+def _split23(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    hi = np.floor(x * R23)
+    return hi, x - hi * T23
+
+
+def _vector_randlc(seed: int, count: int, streams: int) -> np.ndarray:
+    """``count`` sequential deviates of the reference stream, vectorized.
+
+    Stream ``i`` is the reference sequence jumped ahead by ``i * L``
+    where ``L = ceil(count / streams)``; concatenating the streams'
+    outputs therefore reproduces the scalar sequence exactly.
+    """
+    per_stream = -(-count // streams)  # ceil
+    # Exact jump-ahead seeds via Python big-int pow.
+    seeds = np.array(
+        [(seed * pow(A, i * per_stream, MOD46)) % MOD46 for i in range(streams)],
+        dtype=np.float64,
+    )
+    a_hi, a_lo = _split23(np.float64(A))
+    out = np.empty((streams, per_stream), dtype=np.float64)
+    x = seeds
+    for t in range(per_stream):
+        # Exact a*x mod 2^46 in doubles (all intermediates < 2^47 <= 2^53).
+        x_hi, x_lo = _split23(x)
+        t1 = a_hi * x_lo + a_lo * x_hi
+        t2 = t1 - np.floor(t1 * R23) * T23  # t1 mod 2^23
+        t3 = t2 * T23 + a_lo * x_lo
+        x = t3 - np.floor(t3 * R46) * T23 * T23  # t3 mod 2^46
+        out[:, t] = x
+    return out.reshape(-1)[:count] * R46
+
+
+@dataclass(frozen=True)
+class EPResult:
+    """Accumulated EP results; addable so servers can partition trials."""
+
+    pairs: int
+    accepted: int
+    sx: float
+    sy: float
+    counts: tuple[int, ...]  # ten square-annulus bins
+
+    def __add__(self, other: "EPResult") -> "EPResult":
+        if not isinstance(other, EPResult):
+            return NotImplemented
+        return EPResult(
+            pairs=self.pairs + other.pairs,
+            accepted=self.accepted + other.accepted,
+            sx=self.sx + other.sx,
+            sy=self.sy + other.sy,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+        )
+
+    @property
+    def flops_proxy(self) -> int:
+        """NPB's nominal operation count 2^(m+1) expressed from pairs."""
+        return 2 * self.pairs
+
+
+def ep_kernel(m: int, seed: int = DEFAULT_SEED, skip_pairs: int = 0,
+              pairs: int | None = None, batch: int = 1 << 20) -> EPResult:
+    """Run EP for ``pairs`` (default all ``2^m``) pairs of deviates.
+
+    ``skip_pairs``/``pairs`` select a slice of the full problem, so a
+    metaserver can split one EP class across ``p`` servers and the
+    concatenation is *exactly* the reference sequence (this is how the
+    Fig 11 experiment parallelizes: ``Ninf_call("ep", ...)`` per node
+    inside a transaction).
+    """
+    if m < 1 or m > 40:
+        raise ValueError(f"m must be in [1, 40], got {m}")
+    total_pairs = 2**m
+    if pairs is None:
+        pairs = total_pairs - skip_pairs
+    if skip_pairs < 0 or pairs < 0 or skip_pairs + pairs > total_pairs:
+        raise ValueError(
+            f"invalid slice skip={skip_pairs} pairs={pairs} of 2^{m} total"
+        )
+    rng = NPBRandom(seed)
+    rng.jump(2 * skip_pairs)
+
+    sx = 0.0
+    sy = 0.0
+    accepted = 0
+    counts = np.zeros(10, dtype=np.int64)
+    remaining = pairs
+    while remaining:
+        take = min(batch, remaining)
+        u = rng.uniforms(2 * take)
+        x = 2.0 * u[0::2] - 1.0
+        y = 2.0 * u[1::2] - 1.0
+        t = x * x + y * y
+        ok = t <= 1.0
+        tt = t[ok]
+        factor = np.sqrt(-2.0 * np.log(tt) / tt)
+        gx = x[ok] * factor
+        gy = y[ok] * factor
+        sx += float(gx.sum())
+        sy += float(gy.sum())
+        accepted += int(ok.sum())
+        bins = np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64)
+        counts += np.bincount(bins, minlength=10)[:10]
+        remaining -= take
+    return EPResult(pairs=pairs, accepted=accepted, sx=sx, sy=sy,
+                    counts=tuple(int(c) for c in counts))
+
+
+def ep_operations(m: int) -> float:
+    """The paper's EP performance numerator: ``2^(m+1)`` operations."""
+    return float(2 ** (m + 1))

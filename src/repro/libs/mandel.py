@@ -1,0 +1,100 @@
+"""Mandelbrot tile rendering: the paper's "parallel rendering/imaging"
+application class.
+
+§4.3.1: "for this class of applications such as parallel
+rendering/imaging, and parameter sensitivity analysis, global computing
+can now be considered quite feasible" -- EP-like workloads: heavy
+computation, small inputs, per-tile outputs, embarrassingly parallel
+across tiles.
+
+:func:`mandel_tile` renders one tile of the escape-time fractal
+(vectorized over the whole tile); tiles compose exactly, so a
+metaserver can fan an image out across servers like Fig 11 fans EP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mandel_tile", "mandel_image", "tile_grid"]
+
+
+def mandel_tile(x_min: float, x_max: float, y_min: float, y_max: float,
+                width: int, height: int, max_iter: int = 256) -> np.ndarray:
+    """Escape-time iteration counts for one tile (height x width).
+
+    Pixels sample the *centres* of a half-open [min, max) grid, so
+    adjacent tiles compose seamlessly into exactly the image a single
+    whole-domain render would produce (required for remote tile
+    fan-out).  Vectorized: all pixels iterate together with an active
+    mask, so the inner loop is ``max_iter`` NumPy passes.
+    """
+    if width < 1 or height < 1:
+        raise ValueError(f"tile must be at least 1x1, got {width}x{height}")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    if not (x_min < x_max and y_min < y_max):
+        raise ValueError("tile bounds must satisfy min < max")
+    xs = x_min + (np.arange(width) + 0.5) * (x_max - x_min) / width
+    ys = y_min + (np.arange(height) + 0.5) * (y_max - y_min) / height
+    c = xs[None, :] + 1j * ys[:, None]
+    z = np.zeros_like(c)
+    counts = np.full(c.shape, max_iter, dtype=np.int32)
+    active = np.ones(c.shape, dtype=bool)
+    for iteration in range(max_iter):
+        z[active] = z[active] * z[active] + c[active]
+        escaped = active & (np.abs(z) > 2.0)
+        counts[escaped] = iteration
+        active &= ~escaped
+        if not active.any():
+            break
+    return counts
+
+
+def tile_grid(width: int, height: int, tiles_x: int, tiles_y: int,
+              x_min: float = -2.25, x_max: float = 0.75,
+              y_min: float = -1.5, y_max: float = 1.5) -> list[dict]:
+    """Partition an image into tile descriptors for remote rendering.
+
+    Each descriptor carries everything a ``Ninf_call`` needs; pixel rows
+    and columns partition exactly (no seams, no overlap).
+    """
+    if tiles_x < 1 or tiles_y < 1:
+        raise ValueError("need at least one tile in each dimension")
+    if width % tiles_x or height % tiles_y:
+        raise ValueError(
+            f"{width}x{height} image does not divide into "
+            f"{tiles_x}x{tiles_y} tiles"
+        )
+    tile_w = width // tiles_x
+    tile_h = height // tiles_y
+    dx = (x_max - x_min) / tiles_x
+    dy = (y_max - y_min) / tiles_y
+    tiles = []
+    for ty in range(tiles_y):
+        for tx in range(tiles_x):
+            tiles.append({
+                "x_min": x_min + tx * dx,
+                "x_max": x_min + (tx + 1) * dx,
+                "y_min": y_min + ty * dy,
+                "y_max": y_min + (ty + 1) * dy,
+                "width": tile_w,
+                "height": tile_h,
+                "col": tx * tile_w,
+                "row": ty * tile_h,
+            })
+    return tiles
+
+
+def mandel_image(width: int = 192, height: int = 128, tiles_x: int = 4,
+                 tiles_y: int = 4, max_iter: int = 128) -> np.ndarray:
+    """Render a whole image by composing tiles (reference for tests)."""
+    image = np.zeros((height, width), dtype=np.int32)
+    for tile in tile_grid(width, height, tiles_x, tiles_y):
+        counts = mandel_tile(
+            tile["x_min"], tile["x_max"], tile["y_min"], tile["y_max"],
+            tile["width"], tile["height"], max_iter=max_iter,
+        )
+        image[tile["row"]:tile["row"] + tile["height"],
+              tile["col"]:tile["col"] + tile["width"]] = counts
+    return image

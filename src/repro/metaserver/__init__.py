@@ -1,0 +1,42 @@
+"""The Ninf metaserver.
+
+"The Ninf metaserver monitors multiple Ninf computing servers on the
+network, and performs scheduling and load balancing of client requests.
+The client need not be aware (but could specify) the physical location
+of computing servers." (paper §2.4)
+
+- :mod:`repro.metaserver.directory` -- the catalog of registered
+  computational servers plus their monitored state (load, observed
+  bandwidth).
+- :mod:`repro.metaserver.schedulers` -- placement policies: round-robin,
+  load-based (what NetSolve did), and the bandwidth-aware predictor the
+  paper's §4.2.2/§5.1 conclusions call for ("task assignment and
+  distribution should not be merely based on server load ... but rather
+  on achievable network bandwidth").
+- :mod:`repro.metaserver.metaserver` -- the TCP metaserver process and
+  :class:`MetaClient`, plus :class:`BrokeredClient` which resolves every
+  ``Ninf_call`` through the metaserver.
+"""
+
+from repro.metaserver.directory import Directory, ServerEntry
+from repro.metaserver.schedulers import (
+    BandwidthAwareScheduler,
+    LoadScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.metaserver.metaserver import BrokeredClient, MetaClient, Metaserver
+
+__all__ = [
+    "BandwidthAwareScheduler",
+    "BrokeredClient",
+    "Directory",
+    "LoadScheduler",
+    "MetaClient",
+    "Metaserver",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ServerEntry",
+    "make_scheduler",
+]

@@ -1,0 +1,115 @@
+"""The metaserver's view of the computational-server fleet."""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.protocol.messages import LoadReply, ServerInfo
+
+__all__ = ["Directory", "ServerEntry"]
+
+
+@dataclass
+class ServerEntry:
+    """One registered computational server plus monitored state."""
+
+    info: ServerInfo
+    registered_at: float
+    load: Optional[LoadReply] = None
+    load_sampled_at: float = 0.0
+    # site -> EWMA of client-reported achieved bandwidth (bytes/s).
+    bandwidth_by_site: dict[str, float] = field(default_factory=dict)
+    alive: bool = True
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.info.host, self.info.port)
+
+    def load_per_pe(self) -> float:
+        """Runnable tasks per PE -- the load-balancing figure of merit."""
+        if self.load is None:
+            return 0.0
+        return (self.load.running + self.load.queued) / max(1, self.info.num_pes)
+
+    def observed_bandwidth(self, site: str,
+                           default: float = 1e6) -> float:
+        """Latest EWMA bandwidth estimate for ``site`` (bytes/s)."""
+        return self.bandwidth_by_site.get(site, default)
+
+    def note_bandwidth(self, site: str, bytes_per_second: float,
+                       alpha: float = 0.3) -> None:
+        """EWMA update from a client MS_REPORT."""
+        previous = self.bandwidth_by_site.get(site)
+        if previous is None:
+            self.bandwidth_by_site[site] = bytes_per_second
+        else:
+            self.bandwidth_by_site[site] = (
+                alpha * bytes_per_second + (1 - alpha) * previous
+            )
+
+
+class Directory:
+    """Thread-safe registry with load monitoring hooks."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[str, int], ServerEntry] = {}
+
+    def register(self, info: ServerInfo) -> ServerEntry:
+        """Add (or replace) a computational server entry."""
+        entry = ServerEntry(info=info, registered_at=self.clock())
+        with self._lock:
+            self._entries[entry.key] = entry
+        return entry
+
+    def unregister(self, host: str, port: int) -> bool:
+        """Remove a server; True if it was present."""
+        with self._lock:
+            return self._entries.pop((host, port), None) is not None
+
+    def get(self, host: str, port: int) -> Optional[ServerEntry]:
+        """The entry at (host, port), or None."""
+        with self._lock:
+            return self._entries.get((host, port))
+
+    def entries(self) -> list[ServerEntry]:
+        """Snapshot of every registered entry."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def providers(self, function: str) -> list[ServerEntry]:
+        """Servers that registered ``function`` (and are alive)."""
+        with self._lock:
+            return [
+                e for e in self._entries.values()
+                if e.alive and function in e.info.functions
+            ]
+
+    def update_load(self, host: str, port: int, load: LoadReply) -> None:
+        """Store a fresh LOAD_REPLY sample and mark the server alive."""
+        entry = self.get(host, port)
+        if entry is not None:
+            entry.load = load
+            entry.load_sampled_at = self.clock()
+            entry.alive = True
+
+    def mark_dead(self, host: str, port: int) -> None:
+        """Exclude a server from placement after a failed probe."""
+        entry = self.get(host, port)
+        if entry is not None:
+            entry.alive = False
+
+    def report_bandwidth(self, host: str, port: int, site: str,
+                         bytes_per_second: float) -> None:
+        """Fold a client-reported achieved bandwidth into the EWMA."""
+        entry = self.get(host, port)
+        if entry is not None:
+            entry.note_bandwidth(site, bytes_per_second)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,383 @@
+"""The metaserver process, its client, and metaserver-brokered calls."""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.client.api import CallRecord, NinfClient
+from repro.metaserver.directory import Directory
+from repro.metaserver.schedulers import CallEstimate, LoadScheduler, Scheduler
+from repro.protocol.errors import ConnectionClosed, ProtocolError, RemoteError
+from repro.protocol.framing import recv_frame, send_frame
+from repro.protocol.messages import (
+    ErrorReply,
+    LoadReply,
+    MessageType,
+    ServerInfo,
+)
+from repro.xdr import XdrDecoder, XdrEncoder, XdrError
+
+__all__ = ["BrokeredClient", "MetaClient", "Metaserver"]
+
+
+class Metaserver:
+    """TCP metaserver: registration, lookup, placement, monitoring."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 scheduler: Optional[Scheduler] = None,
+                 poll_interval: float = 1.0):
+        self.directory = Directory()
+        self.scheduler = scheduler or LoadScheduler()
+        self.poll_interval = poll_interval
+        self._bind = (host, port)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._running = False
+        self._monitor_wakeup = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Metaserver":
+        """Bind, listen, and start the accept + monitor threads."""
+        if self._running:
+            raise RuntimeError("metaserver already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(self._bind)
+        listener.listen(64)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="metaserver-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="metaserver-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and monitor; joins both threads."""
+        self._running = False
+        self._monitor_wakeup.set()
+        if self._listener is not None:
+            # shutdown() wakes the blocked accept(); close() alone does not.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        for thread in (self._accept_thread, self._monitor_thread):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        self._accept_thread = None
+        self._monitor_thread = None
+
+    def __enter__(self) -> "Metaserver":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("metaserver is not running")
+        return self._listener.getsockname()[:2]
+
+    # -- monitoring ------------------------------------------------------------
+
+    def poll_now(self) -> None:
+        """Synchronously refresh load for every registered server."""
+        for entry in self.directory.entries():
+            self._poll_one(entry.info.host, entry.info.port)
+
+    def _poll_one(self, host: str, port: int) -> None:
+        try:
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                send_frame(sock, MessageType.LOAD_QUERY, b"")
+                msg_type, payload = recv_frame(sock)
+            if msg_type == MessageType.LOAD_REPLY:
+                self.directory.update_load(
+                    host, port, LoadReply.decode(XdrDecoder(payload))
+                )
+        except (OSError, ProtocolError, XdrError):
+            self.directory.mark_dead(host, port)
+
+    def _monitor_loop(self) -> None:
+        while self._running:
+            self.poll_now()
+            self._monitor_wakeup.wait(timeout=self.poll_interval)
+            self._monitor_wakeup.clear()
+
+    # -- request handling ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _peer = self._listener.accept()
+            except (OSError, AttributeError):
+                return
+            if not self._running:
+                conn.close()
+                return
+            threading.Thread(target=self._handle_connection, args=(conn,),
+                             name="metaserver-conn", daemon=True).start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    msg_type, payload = recv_frame(conn)
+                except ConnectionClosed:
+                    return
+                try:
+                    self._dispatch(conn, msg_type, payload)
+                except XdrError as exc:
+                    self._send_error(conn, "bad-request", str(exc))
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send_error(self, conn: socket.socket, code: str, message: str) -> None:
+        enc = XdrEncoder()
+        ErrorReply(code=code, message=message).encode(enc)
+        send_frame(conn, MessageType.ERROR, enc.getvalue())
+
+    def _dispatch(self, conn: socket.socket, msg_type: int,
+                  payload: bytes) -> None:
+        if msg_type == MessageType.PING:
+            send_frame(conn, MessageType.PONG, payload)
+            return
+        if msg_type == MessageType.MS_REGISTER:
+            info = ServerInfo.decode(XdrDecoder(payload))
+            self.directory.register(info)
+            send_frame(conn, MessageType.MS_OK, b"")
+            return
+        if msg_type == MessageType.MS_UNREGISTER:
+            dec = XdrDecoder(payload)
+            host = dec.unpack_string()
+            port = dec.unpack_uint()
+            self.directory.unregister(host, port)
+            send_frame(conn, MessageType.MS_OK, b"")
+            return
+        if msg_type == MessageType.MS_LOOKUP:
+            function = XdrDecoder(payload).unpack_string()
+            providers = self.directory.providers(function)
+            enc = XdrEncoder()
+            enc.pack_uint(len(providers))
+            for entry in providers:
+                entry.info.encode(enc)
+            send_frame(conn, MessageType.MS_LOOKUP_REPLY, enc.getvalue())
+            return
+        if msg_type == MessageType.MS_PICK:
+            dec = XdrDecoder(payload)
+            function = dec.unpack_string()
+            comm_bytes = dec.unpack_double()
+            has_flops = dec.unpack_bool()
+            flops = dec.unpack_double() if has_flops else None
+            site = dec.unpack_string()
+            estimate = CallEstimate(function, comm_bytes=comm_bytes,
+                                    flops=flops, site=site)
+            chosen = self.scheduler.choose(
+                self.directory.providers(function), estimate
+            )
+            if chosen is None:
+                self._send_error(conn, "no-provider",
+                                 f"no server provides {function!r}")
+                return
+            enc = XdrEncoder()
+            chosen.info.encode(enc)
+            send_frame(conn, MessageType.MS_PICK_REPLY, enc.getvalue())
+            return
+        if msg_type == MessageType.MS_REPORT:
+            dec = XdrDecoder(payload)
+            host = dec.unpack_string()
+            port = dec.unpack_uint()
+            site = dec.unpack_string()
+            bandwidth = dec.unpack_double()
+            self.directory.report_bandwidth(host, port, site, bandwidth)
+            send_frame(conn, MessageType.MS_OK, b"")
+            return
+        if msg_type == MessageType.MS_LIST:
+            entries = self.directory.entries()
+            enc = XdrEncoder()
+            enc.pack_uint(len(entries))
+            for entry in entries:
+                entry.info.encode(enc)
+            send_frame(conn, MessageType.MS_LIST_REPLY, enc.getvalue())
+            return
+        self._send_error(conn, "bad-message",
+                         f"unexpected message type {msg_type}")
+
+
+class MetaClient:
+    """Client-side binding to the metaserver protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _roundtrip(self, msg_type: int, payload: bytes,
+                   expect: int) -> bytes:
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as sock:
+            send_frame(sock, msg_type, payload)
+            reply_type, reply = recv_frame(sock)
+        if reply_type == MessageType.ERROR:
+            err = ErrorReply.decode(XdrDecoder(reply))
+            raise RemoteError(err.code, err.message)
+        if reply_type != expect:
+            raise ProtocolError(f"expected {expect}, got {reply_type}")
+        return reply
+
+    def register(self, info: ServerInfo) -> None:
+        """MS_REGISTER: add a computational server to the directory."""
+        enc = XdrEncoder()
+        info.encode(enc)
+        self._roundtrip(MessageType.MS_REGISTER, enc.getvalue(),
+                        MessageType.MS_OK)
+
+    def register_server(self, server, name: Optional[str] = None) -> None:
+        """Register a local :class:`~repro.server.NinfServer` instance."""
+        host, port = server.address
+        info = ServerInfo(
+            name=name or server.name,
+            host=host,
+            port=port,
+            num_pes=server.num_pes,
+            functions=tuple(server.registry.names()),
+        )
+        self.register(info)
+
+    def unregister(self, host: str, port: int) -> None:
+        """MS_UNREGISTER: remove a server from the directory."""
+        enc = XdrEncoder()
+        enc.pack_string(host)
+        enc.pack_uint(port)
+        self._roundtrip(MessageType.MS_UNREGISTER, enc.getvalue(),
+                        MessageType.MS_OK)
+
+    def lookup(self, function: str) -> list[ServerInfo]:
+        """MS_LOOKUP: alive servers providing ``function``."""
+        enc = XdrEncoder()
+        enc.pack_string(function)
+        reply = self._roundtrip(MessageType.MS_LOOKUP, enc.getvalue(),
+                                MessageType.MS_LOOKUP_REPLY)
+        dec = XdrDecoder(reply)
+        count = dec.unpack_uint()
+        return [ServerInfo.decode(dec) for _ in range(count)]
+
+    def pick(self, function: str, comm_bytes: float = 0.0,
+             flops: Optional[float] = None,
+             site: str = "default") -> ServerInfo:
+        """MS_PICK: the scheduler's placement for a call estimate."""
+        enc = XdrEncoder()
+        enc.pack_string(function)
+        enc.pack_double(comm_bytes)
+        enc.pack_bool(flops is not None)
+        if flops is not None:
+            enc.pack_double(flops)
+        enc.pack_string(site)
+        reply = self._roundtrip(MessageType.MS_PICK, enc.getvalue(),
+                                MessageType.MS_PICK_REPLY)
+        return ServerInfo.decode(XdrDecoder(reply))
+
+    def report(self, host: str, port: int, site: str,
+               bandwidth: float) -> None:
+        """MS_REPORT: feed an achieved-bandwidth observation back."""
+        enc = XdrEncoder()
+        enc.pack_string(host)
+        enc.pack_uint(port)
+        enc.pack_string(site)
+        enc.pack_double(bandwidth)
+        self._roundtrip(MessageType.MS_REPORT, enc.getvalue(),
+                        MessageType.MS_OK)
+
+    def list_servers(self) -> list[ServerInfo]:
+        """MS_LIST: every registered server (alive or not)."""
+        reply = self._roundtrip(MessageType.MS_LIST, b"",
+                                MessageType.MS_LIST_REPLY)
+        dec = XdrDecoder(reply)
+        count = dec.unpack_uint()
+        return [ServerInfo.decode(dec) for _ in range(count)]
+
+
+class BrokeredClient:
+    """A Ninf client that routes every call through the metaserver.
+
+    Per call: estimate cost from the cached signature, ask the
+    metaserver to pick a server, call it directly, then report the
+    achieved bandwidth (closing the monitoring loop the
+    bandwidth-aware scheduler feeds on).
+    """
+
+    def __init__(self, meta: MetaClient, site: str = "default"):
+        self.meta = meta
+        self.site = site
+        self._clients: dict[tuple[str, int], NinfClient] = {}
+        self._lock = threading.Lock()
+        self.records: list[tuple[ServerInfo, CallRecord]] = []
+
+    def _client_for(self, info: ServerInfo) -> NinfClient:
+        key = (info.host, info.port)
+        with self._lock:
+            client = self._clients.get(key)
+            if client is None:
+                client = NinfClient(info.host, info.port)
+                self._clients[key] = client
+            return client
+
+    def call(self, function: str, *args) -> list:
+        """Metaserver-brokered Ninf_call: lookup, pick, call, report."""
+        providers = self.meta.lookup(function)
+        if not providers:
+            raise RemoteError("no-provider", f"no server provides {function!r}")
+        # Estimate from the signature of any provider (they agree on IDL).
+        probe = self._client_for(providers[0])
+        signature = probe.get_signature(function)
+        try:
+            bound = signature.bind(list(args))
+            comm_bytes = float(bound.input_bytes + bound.output_bytes)
+            flops = bound.predicted_flops
+        except Exception:
+            comm_bytes, flops = 0.0, None
+        chosen = self.meta.pick(function, comm_bytes=comm_bytes,
+                                flops=flops, site=self.site)
+        client = self._client_for(chosen)
+        outputs, record = client.call_with_record(function, *args)
+        with self._lock:
+            self.records.append((chosen, record))
+        if record.elapsed > 0 and record.comm_bytes > 0:
+            try:
+                self.meta.report(chosen.host, chosen.port, self.site,
+                                 record.throughput)
+            except (OSError, ProtocolError, RemoteError):
+                pass  # monitoring is best-effort
+        return outputs
+
+    def close(self) -> None:
+        """Close the per-server client pool."""
+        with self._lock:
+            for client in self._clients.values():
+                client.close()
+            self._clients.clear()
+
+    def __enter__(self) -> "BrokeredClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,172 @@
+"""Execution-trace-driven cost prediction (§5.1).
+
+"In particular, IDL and server execution trace will give us effective
+information for predicting the communication transfer time versus
+computing time, making it possible to assign communication- and
+computation-intensive tasks to appropriate servers."
+
+:class:`ExecutionTrace` accumulates completed-call observations per
+(function, server); :class:`TracePredictor` turns them into calibrated
+rate estimates:
+
+- *compute rate*: least-squares fit of observed service time against
+  the IDL ``CalcOrder`` value, i.e. the server's delivered flop rate
+  for this routine (robust to constant per-call overhead: the fit has
+  an intercept);
+- *transfer rate*: EWMA of observed bytes/second per client site.
+
+The predictor slots straight into
+:class:`~repro.metaserver.schedulers.BandwidthAwareScheduler` semantics
+and the SJF executor (predicted service time as queue priority).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CallObservation", "ExecutionTrace", "RateFit", "TracePredictor"]
+
+
+@dataclass(frozen=True)
+class CallObservation:
+    """One completed call: predicted work vs measured times."""
+
+    function: str
+    work: float            # CalcOrder value (flops / ops)
+    comm_bytes: float
+    service_seconds: float  # T_complete - T_dequeue, server side
+    comm_seconds: float     # measured transfer time (client side)
+    site: str = "default"
+
+
+@dataclass(frozen=True)
+class RateFit:
+    """Least-squares line ``service = overhead + work / rate``."""
+
+    rate: float        # work units per second
+    overhead: float    # fixed seconds per call
+    samples: int
+    residual: float    # RMS residual of the fit, seconds
+
+    def predict_service(self, work: float) -> float:
+        """Predicted service seconds for ``work`` units."""
+        return self.overhead + work / self.rate
+
+
+class ExecutionTrace:
+    """Bounded per-function observation history (thread-safe)."""
+
+    def __init__(self, max_samples: int = 512):
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._by_function: dict[str, list[CallObservation]] = {}
+
+    def record(self, observation: CallObservation) -> None:
+        """Append one completed-call observation (bounded history)."""
+        with self._lock:
+            history = self._by_function.setdefault(observation.function, [])
+            history.append(observation)
+            if len(history) > self.max_samples:
+                del history[: len(history) - self.max_samples]
+
+    def observations(self, function: str) -> list[CallObservation]:
+        """Snapshot of the history for one routine (oldest first)."""
+        with self._lock:
+            return list(self._by_function.get(function, []))
+
+    def functions(self) -> list[str]:
+        """Routines with at least one observation."""
+        with self._lock:
+            return sorted(self._by_function)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._by_function.values())
+
+
+class TracePredictor:
+    """Rate estimates from an :class:`ExecutionTrace`."""
+
+    def __init__(self, trace: ExecutionTrace, min_samples: int = 3):
+        self.trace = trace
+        self.min_samples = min_samples
+
+    # -- compute ------------------------------------------------------------
+
+    def fit_compute_rate(self, function: str) -> Optional[RateFit]:
+        """Fit ``service = overhead + work/rate`` over the trace.
+
+        Returns None when fewer than ``min_samples`` observations exist
+        or the work values are degenerate (no spread to fit a slope).
+        """
+        data = [(o.work, o.service_seconds)
+                for o in self.trace.observations(function)
+                if o.work > 0 and o.service_seconds > 0]
+        if len(data) < self.min_samples:
+            return None
+        n = len(data)
+        mean_x = sum(x for x, _y in data) / n
+        mean_y = sum(y for _x, y in data) / n
+        sxx = sum((x - mean_x) ** 2 for x, _y in data)
+        if sxx <= 0 or mean_x <= 0:
+            # Identical work values: fall back to mean rate, no intercept.
+            rate = mean_x / mean_y if mean_y > 0 else math.inf
+            return RateFit(rate=rate, overhead=0.0, samples=n, residual=0.0)
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in data)
+        slope = sxy / sxx
+        if slope <= 0:
+            # Noise dominates: use the mean rate.
+            rate = mean_x / mean_y if mean_y > 0 else math.inf
+            return RateFit(rate=rate, overhead=0.0, samples=n, residual=0.0)
+        intercept = max(0.0, mean_y - slope * mean_x)
+        residual = math.sqrt(
+            sum((y - (intercept + slope * x)) ** 2 for x, y in data) / n
+        )
+        return RateFit(rate=1.0 / slope, overhead=intercept, samples=n,
+                       residual=residual)
+
+    def predict_service(self, function: str, work: float) -> Optional[float]:
+        """Predicted service time from the fitted rate (None if unfit)."""
+        fit = self.fit_compute_rate(function)
+        if fit is None:
+            return None
+        return fit.predict_service(work)
+
+    # -- communication --------------------------------------------------------
+
+    def observed_bandwidth(self, function: str, site: str = "default",
+                           alpha: float = 0.3) -> Optional[float]:
+        """EWMA (most recent last) of achieved transfer bandwidth."""
+        estimate: Optional[float] = None
+        for obs in self.trace.observations(function):
+            if obs.site != site or obs.comm_seconds <= 0:
+                continue
+            bandwidth = obs.comm_bytes / obs.comm_seconds
+            estimate = (bandwidth if estimate is None
+                        else alpha * bandwidth + (1 - alpha) * estimate)
+        return estimate
+
+    def predict_total(self, function: str, work: float, comm_bytes: float,
+                      site: str = "default") -> Optional[float]:
+        """Predicted end-to-end time: transfer + service (§5.1's goal)."""
+        service = self.predict_service(function, work)
+        bandwidth = self.observed_bandwidth(function, site)
+        if service is None or bandwidth is None or bandwidth <= 0:
+            return None
+        return comm_bytes / bandwidth + service
+
+    def classify(self, function: str, work: float, comm_bytes: float,
+                 site: str = "default") -> Optional[str]:
+        """Label a call communication- or computation-intensive -- the
+        paper's criterion for assigning tasks to appropriate servers."""
+        service = self.predict_service(function, work)
+        bandwidth = self.observed_bandwidth(function, site)
+        if service is None or bandwidth is None or bandwidth <= 0:
+            return None
+        comm_time = comm_bytes / bandwidth
+        return "communication" if comm_time > service else "computation"

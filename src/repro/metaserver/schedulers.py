@@ -1,0 +1,156 @@
+"""Metaserver placement policies.
+
+The paper's central scheduling finding (§4.2.2): "current NetSolve
+attempts to perform load balancing solely on server load average
+information; as we have seen, this might partially work for LAN
+situations, but would not scale to WAN settings" -- for communication-
+intensive tasks, "point-to-point bandwidth between the client and the
+server is the dominant factor in determining client-observed
+performance (and not the current load average of the server)".
+
+Three policies, used both by the real metaserver and the simulator:
+
+- :class:`RoundRobinScheduler` -- the baseline strawman.
+- :class:`LoadScheduler` -- NetSolve-style: least runnable-per-PE.
+- :class:`BandwidthAwareScheduler` -- predicts total completion time
+  ``bytes / bandwidth(site, server) + flops / (rate / (1 + load))``
+  from IDL cost clauses and monitored state, and picks the minimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.metaserver.directory import ServerEntry
+
+__all__ = [
+    "BandwidthAwareScheduler",
+    "CallEstimate",
+    "LoadScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "make_scheduler",
+]
+
+
+class CallEstimate:
+    """What the metaserver knows about a call before placing it."""
+
+    __slots__ = ("function", "comm_bytes", "flops", "site")
+
+    def __init__(self, function: str, comm_bytes: float = 0.0,
+                 flops: Optional[float] = None, site: str = "default"):
+        self.function = function
+        self.comm_bytes = comm_bytes
+        self.flops = flops
+        self.site = site
+
+
+class Scheduler:
+    """Base: choose a server entry for a call estimate."""
+
+    name = "base"
+
+    def choose(self, candidates: Sequence[ServerEntry],
+               estimate: CallEstimate) -> Optional[ServerEntry]:
+        """Pick a server for the call (None when no candidate)."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotate through candidates regardless of state."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def choose(self, candidates: Sequence[ServerEntry],
+               estimate: CallEstimate) -> Optional[ServerEntry]:
+        """Next candidate in rotation, regardless of state."""
+        if not candidates:
+            return None
+        index = next(self._counter) % len(candidates)
+        return candidates[index]
+
+
+class LoadScheduler(Scheduler):
+    """Least load-per-PE (the NetSolve approach the paper critiques)."""
+
+    name = "load"
+
+    def choose(self, candidates: Sequence[ServerEntry],
+               estimate: CallEstimate) -> Optional[ServerEntry]:
+        """The candidate with the fewest runnable tasks per PE."""
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda e: (e.load_per_pe(), e.key),
+        )
+
+
+class BandwidthAwareScheduler(Scheduler):
+    """Minimize predicted completion time using bandwidth + load.
+
+    Predicted time for server ``s``::
+
+        T(s) = comm_bytes / bandwidth(site, s)
+             + flops / (per_pe_rate * num_pes / (1 + runnable))
+
+    ``per_pe_rate`` is a nominal flop rate supplied at construction (the
+    metaserver learns it from execution traces in a fuller system; a
+    constant preserves the *ordering* the paper cares about).  When the
+    call has no flop estimate only the communication term is used, which
+    degenerates to "pick the best-connected server" -- the §4.2.3
+    recommendation for communication-dominant WAN work.
+    """
+
+    name = "bandwidth"
+
+    def __init__(self, per_pe_rate: float = 1e8,
+                 default_bandwidth: float = 1e6):
+        if per_pe_rate <= 0 or default_bandwidth <= 0:
+            raise ValueError("rates must be positive")
+        self.per_pe_rate = per_pe_rate
+        self.default_bandwidth = default_bandwidth
+
+    def predict(self, entry: ServerEntry, estimate: CallEstimate) -> float:
+        """Predicted completion time of the call on ``entry``."""
+        bandwidth = entry.observed_bandwidth(estimate.site,
+                                             self.default_bandwidth)
+        comm_time = estimate.comm_bytes / bandwidth
+        comp_time = 0.0
+        if estimate.flops:
+            runnable = 0
+            if entry.load is not None:
+                runnable = entry.load.running + entry.load.queued
+            effective = (self.per_pe_rate * entry.info.num_pes
+                         / (1.0 + runnable))
+            comp_time = estimate.flops / effective
+        return comm_time + comp_time
+
+    def choose(self, candidates: Sequence[ServerEntry],
+               estimate: CallEstimate) -> Optional[ServerEntry]:
+        """The candidate minimizing predicted completion time."""
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda e: (self.predict(e, estimate), e.key))
+
+
+_SCHEDULERS = {
+    cls.name: cls for cls in (RoundRobinScheduler, LoadScheduler,
+                              BandwidthAwareScheduler)
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by name (round-robin/load/bandwidth)."""
+    try:
+        return _SCHEDULERS[name.lower()](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(_SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,62 @@
+"""1997 calibration: machine and network catalogs, performance models.
+
+The paper's own analysis (§3.1) models a remote Linpack call as::
+
+    T_comm = T_comm0 + (8 n^2 + 20 n) / B
+    T_comp = T_comp0 + (2/3 n^3 + 2 n^2) / P_calc(n)
+
+with ``B`` the client-server throughput and ``P_calc(n)`` the server's
+local Linpack performance at order ``n``.  We implement exactly this
+model.  ``P_calc(n)`` uses the Hockney pipeline form
+``Pmax * n / (n_half + n)``, the standard two-parameter characterization
+of vector/hierarchical-memory machines, with constants calibrated
+against the paper's tables (see the module docstrings and DESIGN.md for
+the calibration worked from Tables 3/4 and Figs 3/4).
+
+- :mod:`repro.model.machines` -- the machines of Fig 2/Table 1: Cray
+  J90 (4 PE), SuperSPARC, UltraSPARC, Alpha (optimized and standard
+  library variants), the 16-node SuperSPARC SMP, and the Alpha cluster.
+- :mod:`repro.model.network` -- the LAN of Fig 2 (per-pair FTP
+  throughputs of Table 2), the Ocha-U WAN uplink (0.17 MB/s), and the
+  Fig 9 multi-site topology.
+- :mod:`repro.model.perf` -- Linpack/EP time models shared by the
+  simulator and the analytic benches.
+"""
+
+from repro.model.machines import (
+    CATALOG,
+    HockneyModel,
+    MachineSpec,
+    machine,
+)
+from repro.model.network import (
+    FTP_THROUGHPUT,
+    LANCatalog,
+    WANCatalog,
+    lan_catalog,
+    multisite_wan_catalog,
+    ninf_effective_bandwidth,
+    singlesite_wan_catalog,
+)
+from repro.model.perf import (
+    EPModel,
+    LinpackModel,
+    ninf_call_performance,
+)
+
+__all__ = [
+    "CATALOG",
+    "EPModel",
+    "FTP_THROUGHPUT",
+    "HockneyModel",
+    "LANCatalog",
+    "LinpackModel",
+    "MachineSpec",
+    "WANCatalog",
+    "lan_catalog",
+    "machine",
+    "multisite_wan_catalog",
+    "ninf_call_performance",
+    "ninf_effective_bandwidth",
+    "singlesite_wan_catalog",
+]

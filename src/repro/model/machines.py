@@ -1,0 +1,173 @@
+"""The machine catalog of the paper's Fig 2 / Table 1.
+
+Calibration
+-----------
+
+``P_calc(n) = Pmax * n / (n_half + n)`` (Hockney).  Constants are fitted
+so the model reproduces the paper's single-client numbers:
+
+- **J90, 4-PE libSci (sgetrf/sgetrs)**: ``Pmax=800, n_half=500`` Mflops
+  gives P(1600)=610 (paper: "J90's Local achieves 600 Mflops when
+  n=1600") and, with the measured ~2.5 MB/s LAN throughput, single
+  client Ninf_call performance of 96/150/196 Mflops at n=600/1000/1400
+  (Table 4 row c=1: 91/141/193).
+- **J90, 1-PE**: back-solving Table 3's c=1 rows for ``P_calc`` gives
+  165-190 Mflops over n=600..1400; ``Pmax=210, n_half=150`` fits
+  (model Ninf perf 71/98/116 vs paper 71/93/114).
+- **SuperSPARC client**: flat ~10 Mflops local (Fig 3).
+- **UltraSPARC client**: flat ~35 Mflops local (Fig 3).
+- **Alpha, optimized (glub4/gslv4 blocked)**: ~135-145 Mflops for large
+  n, giving the Fig 4 crossover vs J90 at n~800-1000.
+- **Alpha, standard (no blocking)**: ~55-75 Mflops, giving the Fig 4
+  crossover at n~400-600.
+- **SuperSPARC SMP node**: back-solving Table 5 (c=4, n=600, 3.8 Mflops
+  at ~0.43 MB/s) gives ~4.7 Mflops per node.
+- **EP rates**: Table 8 (J90, task-parallel, 2^24 pairs/PE) shows
+  0.167 Mops sustained per call up to c=4, i.e. 0.167e6 ops/s per PE.
+  The Alpha-cluster EP rate (Fig 11) is set to 2e6 ops/s per node.
+
+``xdr_bandwidth`` is the server-side marshalling/TCP processing rate in
+bytes per PE-second.  It plays two roles, both visible in the paper's
+data: (1) the marshalling stage pipelines with transmission, so a
+single call's transfer rate is ``min(link, xdr_server)`` -- Fig 5's
+saturation slightly below FTP (2-2.5 vs 2.8 MB/s for the J90); and
+(2) marshalling burns PE time, which is why Table 3 reports 82-99% J90
+CPU utilization at c=8-16 even though the pure numerical work of the
+arriving calls accounts for well under half of that -- back-solving the
+utilization columns gives ~2.5 MB/s per PE on the J90.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CATALOG", "HockneyModel", "MachineSpec", "machine"]
+
+MB = 1e6  # bytes (the paper reports MB/s in decimal megabytes)
+MFLOPS = 1e6
+
+
+@dataclass(frozen=True)
+class HockneyModel:
+    """``P(n) = pmax * n / (n_half + n)`` -- pipeline performance model."""
+
+    pmax: float   # asymptotic flop rate (flop/s)
+    n_half: float  # problem size achieving half of pmax
+
+    def performance(self, n: float) -> float:
+        """Delivered rate at problem size ``n`` (same units as pmax)."""
+        if n <= 0:
+            raise ValueError(f"problem size must be positive, got {n}")
+        return self.pmax * n / (self.n_half + n)
+
+    def time(self, flops: float, n: float) -> float:
+        """Seconds to execute ``flops`` at size-``n`` efficiency."""
+        return flops / self.performance(n)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Everything the simulator needs to know about one machine."""
+
+    name: str
+    num_pes: int
+    # Linpack models keyed by PEs used (1 = task-parallel slice,
+    # num_pes = the optimized data-parallel library).
+    linpack_1pe: HockneyModel
+    linpack_allpe: Optional[HockneyModel] = None
+    # Non-blocked "standard" library, where the paper measured one.
+    linpack_standard: Optional[HockneyModel] = None
+    ep_rate: float = 1e6          # EP ops/s per PE (task-parallel)
+    xdr_bandwidth: float = 5 * MB  # marshalling rate, bytes per PE-second
+    fork_overhead: float = 0.03   # server fork/exec latency, seconds
+    description: str = ""
+
+    def linpack_model(self, pes: int, standard: bool = False) -> HockneyModel:
+        """The Linpack model for a PE count / library variant."""
+        if standard:
+            if self.linpack_standard is None:
+                raise ValueError(f"{self.name} has no standard-library model")
+            return self.linpack_standard
+        if pes <= 1 or self.linpack_allpe is None:
+            return self.linpack_1pe
+        return self.linpack_allpe
+
+
+CATALOG: dict[str, MachineSpec] = {}
+
+
+def _register(spec: MachineSpec) -> MachineSpec:
+    CATALOG[spec.name] = spec
+    return spec
+
+
+def machine(name: str) -> MachineSpec:
+    """Look up a machine spec by catalog name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; catalog has {sorted(CATALOG)}"
+        ) from None
+
+
+J90 = _register(MachineSpec(
+    name="j90",
+    num_pes=4,
+    linpack_1pe=HockneyModel(pmax=210 * MFLOPS, n_half=150),
+    linpack_allpe=HockneyModel(pmax=800 * MFLOPS, n_half=500),
+    ep_rate=0.167e6,
+    xdr_bandwidth=2.5 * MB,  # scalar XDR/TCP on a vector PE is slow
+    description="Cray J90, 4 PE vector server at ETL (libSci sgetrf/sgetrs)",
+))
+
+SUPERSPARC = _register(MachineSpec(
+    name="supersparc",
+    num_pes=1,
+    linpack_1pe=HockneyModel(pmax=10.5 * MFLOPS, n_half=15),
+    ep_rate=0.4e6,
+    xdr_bandwidth=4.0 * MB,
+    description="SuperSPARC workstation client (~10 Mflops local Linpack)",
+))
+
+ULTRASPARC = _register(MachineSpec(
+    name="ultrasparc",
+    num_pes=1,
+    linpack_1pe=HockneyModel(pmax=37 * MFLOPS, n_half=30),
+    ep_rate=1.0e6,
+    xdr_bandwidth=5.9 * MB,
+    description="UltraSPARC server/client (~35 Mflops local Linpack)",
+))
+
+ALPHA = _register(MachineSpec(
+    name="alpha",
+    num_pes=1,
+    linpack_1pe=HockneyModel(pmax=160 * MFLOPS, n_half=150),
+    linpack_standard=HockneyModel(pmax=72 * MFLOPS, n_half=40),
+    ep_rate=2.0e6,
+    xdr_bandwidth=5.9 * MB,
+    description="DEC Alpha WS: glub4/gslv4 blocked (optimized) and "
+                "standard Linpack",
+))
+
+SPARC_SMP = _register(MachineSpec(
+    name="sparc-smp",
+    num_pes=16,
+    linpack_1pe=HockneyModel(pmax=5.2 * MFLOPS, n_half=60),
+    # A "highly multithreaded" library: near-linear on an idle machine.
+    linpack_allpe=HockneyModel(pmax=60 * MFLOPS, n_half=400),
+    ep_rate=0.4e6,
+    xdr_bandwidth=0.5 * MB,  # Solaris TCP+XDR on a 50 MHz node
+    fork_overhead=0.12,  # Table 5: wait ~0.13-0.2 s on Solaris
+    description="16-node SuperSPARC SMP server (Solaris 2.5)",
+))
+
+ALPHA_CLUSTER_NODE = _register(MachineSpec(
+    name="alpha-node",
+    num_pes=1,
+    linpack_1pe=HockneyModel(pmax=160 * MFLOPS, n_half=150),
+    ep_rate=2.0e6,
+    xdr_bandwidth=5.9 * MB,
+    description="One node of the 32-processor Alpha cluster (Fig 11)",
+))

@@ -1,0 +1,117 @@
+"""Workload time models: Linpack and EP, exactly as the paper defines.
+
+§3.1::
+
+    T_comm = T_comm0 + (8 n^2 + 20 n) / B
+    T_comp = T_comp0 + (2/3 n^3 + 2 n^2) / P_calc(n)
+    P_ninf_call = (2/3 n^3 + 2 n^2) / T_ninf_call
+
+§4.3::
+
+    P_ninf_call(EP) = 2^(m+1) / T_ninf_call
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.libs.linpack import linpack_bytes, linpack_flops
+from repro.model.machines import HockneyModel, MachineSpec
+
+__all__ = ["EPModel", "LinpackModel", "ninf_call_performance"]
+
+# Fixed setup costs (the paper's T_comm0 / T_comp0): connection setup +
+# two-stage interface exchange, and executable spin-up, respectively.
+DEFAULT_T_COMM0 = 0.15
+DEFAULT_T_COMP0 = 0.01
+
+
+@dataclass(frozen=True)
+class LinpackModel:
+    """The remote Linpack call on a given server configuration."""
+
+    server: MachineSpec
+    pes: int = 1
+    standard: bool = False
+    t_comm0: float = DEFAULT_T_COMM0
+    t_comp0: float = DEFAULT_T_COMP0
+
+    @property
+    def hockney(self) -> HockneyModel:
+        return self.server.linpack_model(self.pes, standard=self.standard)
+
+    def flops(self, n: int) -> float:
+        """The official Linpack operation count at order ``n``."""
+        return linpack_flops(n)
+
+    def comm_bytes(self, n: int) -> float:
+        """The paper's per-call transfer size ``8n^2 + 20n``."""
+        return linpack_bytes(n)
+
+    def input_bytes(self, n: int) -> float:
+        """Bytes shipped client -> server (A, b, scalars)."""
+        # A (8n^2) plus b and scalars ship out; x (8n) comes back.
+        return 8.0 * n * n + 12.0 * n
+
+    def output_bytes(self, n: int) -> float:
+        """Bytes shipped server -> client (the solution vector)."""
+        return 8.0 * n
+
+    def comp_time(self, n: int) -> float:
+        """T_comp = T_comp0 + flops / P_calc(n)."""
+        return self.t_comp0 + self.hockney.time(self.flops(n), n)
+
+    def comm_time(self, n: int, bandwidth: float) -> float:
+        """T_comm = T_comm0 + (8n^2 + 20n) / B."""
+        return self.t_comm0 + self.comm_bytes(n) / bandwidth
+
+    def call_time(self, n: int, bandwidth: float) -> float:
+        """Single uncontended Ninf_call latency (§3.1's model)."""
+        return self.comm_time(n, bandwidth) + self.comp_time(n)
+
+    def call_performance(self, n: int, bandwidth: float) -> float:
+        """The paper's P_ninf_call, in flop/s."""
+        return self.flops(n) / self.call_time(n, bandwidth)
+
+    def local_performance(self, n: int) -> float:
+        """Local execution (no Ninf), in flop/s."""
+        return self.flops(n) / (self.t_comp0 + self.hockney.time(self.flops(n), n))
+
+
+@dataclass(frozen=True)
+class EPModel:
+    """The remote EP call: O(1) communication, 2^(m+1) operations."""
+
+    server: MachineSpec
+    m: int = 24
+    request_bytes: float = 256.0
+    reply_bytes: float = 512.0
+    t_comm0: float = DEFAULT_T_COMM0
+    t_comp0: float = DEFAULT_T_COMP0
+
+    def operations(self) -> float:
+        """The EP operation count ``2^(m+1)``."""
+        return float(2 ** (self.m + 1))
+
+    def comp_time(self, pes: int = 1) -> float:
+        """Task-parallel EP on ``pes`` dedicated PEs."""
+        return self.t_comp0 + self.operations() / (self.server.ep_rate * pes)
+
+    def comm_time(self, bandwidth: float) -> float:
+        """O(1) request/reply transfer time."""
+        return self.t_comm0 + (self.request_bytes + self.reply_bytes) / bandwidth
+
+    def call_time(self, bandwidth: float, pes: int = 1) -> float:
+        """End-to-end EP Ninf_call latency."""
+        return self.comm_time(bandwidth) + self.comp_time(pes)
+
+    def call_performance(self, bandwidth: float, pes: int = 1) -> float:
+        """Mops in the paper's Table 8 normalization (ops/s)."""
+        return self.operations() / self.call_time(bandwidth, pes)
+
+
+def ninf_call_performance(flops: float, elapsed: float) -> float:
+    """Generic P_ninf_call = work / wall-time."""
+    if elapsed <= 0:
+        return float("inf")
+    return flops / elapsed

@@ -1,0 +1,22 @@
+"""Protocol error types."""
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame, bad magic, unknown message type, or oversize."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (cleanly or mid-frame)."""
+
+
+class RemoteError(RuntimeError):
+    """An ERROR reply from the server, re-raised client-side.
+
+    ``code`` is a short machine-readable slug (``"no-such-function"``,
+    ``"execution-failed"``, ``"bad-arguments"``...).
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message

@@ -1,0 +1,61 @@
+"""Socket framing: ``MAGIC | type | length | payload``.
+
+The header is 12 bytes: 4-byte magic ``b"NINF"``, 4-byte big-endian
+message type, 4-byte big-endian payload length.  Payload length is
+bounded by :data:`MAX_FRAME_SIZE` (1 GiB) so a corrupt header cannot
+trigger an absurd allocation.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.protocol.errors import ConnectionClosed, ProtocolError
+
+__all__ = ["MAGIC", "MAX_FRAME_SIZE", "recv_frame", "send_frame"]
+
+MAGIC = b"NINF"
+HEADER = struct.Struct(">4sII")
+MAX_FRAME_SIZE = 1 << 30
+
+
+def send_frame(sock: socket.socket, msg_type: int, payload: bytes = b"") -> None:
+    """Write one frame; raises ProtocolError on oversize payloads."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise ProtocolError(f"frame payload too large: {len(payload)} bytes")
+    header = HEADER.pack(MAGIC, msg_type, len(payload))
+    sock.sendall(header + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(min(count - got, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed with {count - got} bytes outstanding"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, bytes]:
+    """Read one frame; returns ``(msg_type, payload)``.
+
+    Raises :class:`ConnectionClosed` on clean EOF before a header, and
+    :class:`ProtocolError` on bad magic or implausible length.
+    """
+    try:
+        header = _recv_exact(sock, HEADER.size)
+    except ConnectionClosed:
+        raise
+    magic, msg_type, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_SIZE:
+        raise ProtocolError(f"implausible frame length {length}")
+    payload = _recv_exact(sock, length) if length else b""
+    return msg_type, payload

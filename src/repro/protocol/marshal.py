@@ -1,0 +1,164 @@
+"""Signature-driven marshalling of call arguments and results.
+
+The client stub interprets the :class:`~repro.idl.Signature` it received
+in stage one, so marshalling is entirely table-driven: walk the argument
+specs in order, pack the ``mode_in``/``mode_inout`` values on the way
+out, unpack the ``mode_out``/``mode_inout`` values on the way back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.idl import IdlError, Signature
+from repro.idl.signature import NUMPY_DTYPES
+from repro.xdr import XdrDecoder, XdrEncoder, XdrError
+
+__all__ = [
+    "marshal_inputs",
+    "marshal_outputs",
+    "unmarshal_inputs",
+    "unmarshal_outputs",
+]
+
+
+def _pack_scalar(enc: XdrEncoder, dtype: str, value: Any) -> None:
+    if dtype == "int":
+        enc.pack_int(int(value))
+    elif dtype == "long":
+        enc.pack_hyper(int(value))
+    elif dtype == "float":
+        enc.pack_float(float(value))
+    elif dtype == "double":
+        enc.pack_double(float(value))
+    elif dtype == "string":
+        enc.pack_string(str(value))
+    elif dtype == "char":
+        raw = value if isinstance(value, bytes) else bytes(value)
+        enc.pack_opaque(raw)
+    elif dtype == "scomplex":
+        c = complex(value)
+        enc.pack_float(c.real)
+        enc.pack_float(c.imag)
+    elif dtype == "dcomplex":
+        c = complex(value)
+        enc.pack_double(c.real)
+        enc.pack_double(c.imag)
+    else:  # pragma: no cover - signature validation rejects earlier
+        raise XdrError(f"cannot marshal scalar dtype {dtype!r}")
+
+
+def _unpack_scalar(dec: XdrDecoder, dtype: str) -> Any:
+    if dtype == "int":
+        return dec.unpack_int()
+    if dtype == "long":
+        return dec.unpack_hyper()
+    if dtype == "float":
+        return dec.unpack_float()
+    if dtype == "double":
+        return dec.unpack_double()
+    if dtype == "string":
+        return dec.unpack_string()
+    if dtype == "char":
+        return dec.unpack_opaque()
+    if dtype == "scomplex":
+        return complex(dec.unpack_float(), dec.unpack_float())
+    if dtype == "dcomplex":
+        return complex(dec.unpack_double(), dec.unpack_double())
+    raise XdrError(f"cannot unmarshal scalar dtype {dtype!r}")  # pragma: no cover
+
+
+def marshal_inputs(signature: Signature, args: Sequence[Any]) -> bytes:
+    """Client side: encode the input halves of a positional call."""
+    bound = signature.bind(args)
+    enc = XdrEncoder()
+    for spec, value in zip(signature.args, args):
+        if not spec.is_input:
+            continue
+        if spec.is_array:
+            enc.pack_ndarray(bound.inputs[spec.name])
+        else:
+            _pack_scalar(enc, spec.dtype, value)
+    return enc.getvalue()
+
+
+def unmarshal_inputs(signature: Signature, payload: bytes) -> list[Any]:
+    """Server side: decode a CALL payload into a full positional list.
+
+    ``mode_out`` arrays come back as freshly allocated zero buffers of
+    the inferred shape (the fork/exec'd executable fills them in);
+    ``mode_out`` scalars come back as None placeholders.
+    """
+    dec = XdrDecoder(payload)
+    values: list[Any] = []
+    env: dict[str, float] = {}
+    # Arrays are self-describing on the wire, so decode first and verify
+    # shapes against the signature once every scalar is known.
+    for spec in signature.args:
+        if spec.is_input:
+            if spec.is_array:
+                values.append(dec.unpack_ndarray())
+            else:
+                value = _unpack_scalar(dec, spec.dtype)
+                if spec.dtype in NUMPY_DTYPES:
+                    env[spec.name] = float(
+                        value.real if isinstance(value, complex) else value
+                    )
+                values.append(value)
+        else:
+            values.append(None)  # filled below
+    for spec, value in zip(signature.args, values):
+        if spec.is_input and spec.is_array:
+            expected = spec.shape(env)
+            if value.shape != expected:
+                raise IdlError(
+                    f"argument {spec.name}: wire shape {value.shape} does "
+                    f"not match declared shape {expected}"
+                )
+    # Allocate output buffers now that all scalars are known.
+    for i, spec in enumerate(signature.args):
+        if spec.mode == "mode_out":
+            if spec.is_array:
+                values[i] = np.zeros(spec.shape(env),
+                                     dtype=NUMPY_DTYPES[spec.dtype])
+            else:
+                values[i] = None
+    dec.done()
+    return values
+
+
+def marshal_outputs(signature: Signature, values: Sequence[Any]) -> bytes:
+    """Server side: encode the output halves after execution."""
+    enc = XdrEncoder()
+    for spec, value in zip(signature.args, values):
+        if not spec.is_output:
+            continue
+        if spec.is_array:
+            arr = np.ascontiguousarray(value, dtype=NUMPY_DTYPES[spec.dtype])
+            enc.pack_ndarray(arr)
+        else:
+            if value is None:
+                raise IdlError(
+                    f"executable produced no value for output scalar "
+                    f"{spec.name!r}"
+                )
+            _pack_scalar(enc, spec.dtype, value)
+    return enc.getvalue()
+
+
+def unmarshal_outputs(signature: Signature, payload: bytes) -> list[Any]:
+    """Client side: decode a RESULT payload into the output values, in
+    declaration order of the output arguments."""
+    dec = XdrDecoder(payload)
+    outputs: list[Any] = []
+    for spec in signature.args:
+        if not spec.is_output:
+            continue
+        if spec.is_array:
+            outputs.append(dec.unpack_ndarray())
+        else:
+            outputs.append(_unpack_scalar(dec, spec.dtype))
+    dec.done()
+    return outputs

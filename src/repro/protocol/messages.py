@@ -1,0 +1,192 @@
+"""Typed protocol messages and their XDR encodings."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.xdr import XdrDecoder, XdrEncoder
+
+__all__ = [
+    "CallHeader",
+    "ErrorReply",
+    "JobTimestamps",
+    "LoadReply",
+    "MessageType",
+    "ServerInfo",
+]
+
+
+class MessageType(enum.IntEnum):
+    """Frame type codes.  Values are wire-stable; do not renumber."""
+
+    HELLO = 1
+    HELLO_REPLY = 2
+    INTERFACE_REQUEST = 3
+    INTERFACE_REPLY = 4
+    CALL = 5
+    RESULT = 6
+    ERROR = 7
+    PING = 8
+    PONG = 9
+    LIST_REQUEST = 10
+    LIST_REPLY = 11
+    LOAD_QUERY = 12
+    LOAD_REPLY = 13
+    # Two-phase RPC (§5.1): upload arguments, disconnect, fetch later.
+    CALL_DETACHED = 14
+    CALL_ACCEPTED = 15
+    FETCH_RESULT = 16
+    RESULT_PENDING = 17
+    # Server -> client progress callback during a held-open CALL (§2.3's
+    # optional "client callback functions").
+    CALLBACK = 18
+    # Metaserver messages.
+    MS_REGISTER = 20
+    MS_UNREGISTER = 21
+    MS_LOOKUP = 22
+    MS_LOOKUP_REPLY = 23
+    MS_PICK = 24
+    MS_PICK_REPLY = 25
+    MS_REPORT = 26
+    MS_LIST = 27
+    MS_LIST_REPLY = 28
+    MS_OK = 29
+
+
+PROTOCOL_VERSION = 2
+
+
+@dataclass(frozen=True)
+class CallHeader:
+    """Prefix of a CALL payload: which routine, client-chosen call id."""
+
+    function: str
+    call_id: int
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        enc.pack_string(self.function)
+        enc.pack_uhyper(self.call_id)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "CallHeader":
+        """Read the wire form from a decoder."""
+        return cls(function=dec.unpack_string(), call_id=dec.unpack_uhyper())
+
+
+@dataclass(frozen=True)
+class JobTimestamps:
+    """Server-side times of one call, in the server's clock (seconds).
+
+    These are the paper's measured quantities: ``T_enqueue`` (accepted at
+    the server), ``T_dequeue`` (executable invoked), ``T_complete``.
+    The response and wait times of the tables derive from them.
+    """
+
+    enqueue: float
+    dequeue: float
+    complete: float
+
+    @property
+    def wait(self) -> float:
+        """The paper's ``T_wait = T_dequeue - T_enqueue``."""
+        return self.dequeue - self.enqueue
+
+    @property
+    def service(self) -> float:
+        return self.complete - self.dequeue
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        enc.pack_double(self.enqueue)
+        enc.pack_double(self.dequeue)
+        enc.pack_double(self.complete)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "JobTimestamps":
+        """Read the wire form from a decoder."""
+        return cls(enqueue=dec.unpack_double(), dequeue=dec.unpack_double(),
+                   complete=dec.unpack_double())
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """ERROR payload: machine-readable code plus human message."""
+
+    code: str
+    message: str
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        enc.pack_string(self.code)
+        enc.pack_string(self.message)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "ErrorReply":
+        """Read the wire form from a decoder."""
+        return cls(code=dec.unpack_string(), message=dec.unpack_string())
+
+
+@dataclass(frozen=True)
+class LoadReply:
+    """LOAD_REPLY payload: the server-state snapshot the metaserver polls.
+
+    The paper's metaserver "keeps track of server load/availability,
+    network bandwidth, etc."; this message is the load half.
+    """
+
+    num_pes: int
+    running: int
+    queued: int
+    load_average: float
+    completed: int
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        enc.pack_uint(self.num_pes)
+        enc.pack_uint(self.running)
+        enc.pack_uint(self.queued)
+        enc.pack_double(self.load_average)
+        enc.pack_uhyper(self.completed)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "LoadReply":
+        """Read the wire form from a decoder."""
+        return cls(
+            num_pes=dec.unpack_uint(),
+            running=dec.unpack_uint(),
+            queued=dec.unpack_uint(),
+            load_average=dec.unpack_double(),
+            completed=dec.unpack_uhyper(),
+        )
+
+
+@dataclass(frozen=True)
+class ServerInfo:
+    """A computational server as known to the metaserver."""
+
+    name: str
+    host: str
+    port: int
+    num_pes: int
+    functions: tuple[str, ...]
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        enc.pack_string(self.name)
+        enc.pack_string(self.host)
+        enc.pack_uint(self.port)
+        enc.pack_uint(self.num_pes)
+        enc.pack_array(self.functions, enc.pack_string)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "ServerInfo":
+        """Read the wire form from a decoder."""
+        return cls(
+            name=dec.unpack_string(),
+            host=dec.unpack_string(),
+            port=dec.unpack_uint(),
+            num_pes=dec.unpack_uint(),
+            functions=tuple(dec.unpack_array(dec.unpack_string)),
+        )

@@ -1,0 +1,45 @@
+"""The Ninf computational server.
+
+"The Ninf computational server is a process which services remote
+computing requests of remote clients by managing the communication and
+activation of the services requested via Ninf RPC.  Binaries of
+computing libraries and applications are registered on the server
+process as Ninf executables" (paper §2.1).
+
+- :mod:`repro.server.registry` -- Ninf executables: an IDL signature
+  bound to a Python callable, semi-automatically generated from IDL
+  text (the stub generator's role).
+- :mod:`repro.server.scheduling` -- job-dispatch policies: FCFS (what
+  the 1997 server did: "merely fork & execs a Ninf executable in a
+  First-Come-First-Served manner"), SJF (the §5.2 improvement, using
+  IDL ``CalcOrder`` predictions), and the §5.3 multiprocessor policies
+  FPFS and FPMPFS.
+- :mod:`repro.server.executor` -- the PE pool: task-parallel (one PE
+  per call) or data-parallel (all PEs per call, serialized) execution.
+- :mod:`repro.server.server` -- the TCP server: accept loop, two-stage
+  RPC, per-job timestamps, load reporting for the metaserver.
+"""
+
+from repro.server.registry import NinfExecutable, Registry
+from repro.server.scheduling import (
+    FCFSPolicy,
+    FPFSPolicy,
+    FPMPFSPolicy,
+    SJFPolicy,
+    SchedulingPolicy,
+)
+from repro.server.executor import Executor, Job
+from repro.server.server import NinfServer
+
+__all__ = [
+    "Executor",
+    "FCFSPolicy",
+    "FPFSPolicy",
+    "FPMPFSPolicy",
+    "Job",
+    "NinfExecutable",
+    "NinfServer",
+    "Registry",
+    "SJFPolicy",
+    "SchedulingPolicy",
+]

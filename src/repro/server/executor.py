@@ -1,0 +1,192 @@
+"""The server's PE pool: queued jobs, policy-driven dispatch, timestamps.
+
+Models the two execution styles the paper benchmarks:
+
+- *task-parallel* ("1-PE"): each call claims one PE; up to ``num_pes``
+  calls run concurrently (Python threads; the numeric kernels release
+  the GIL inside NumPy).
+- *data-parallel* ("4-PE"): each call claims all PEs, so calls
+  serialize -- "the data-parallel version employs an optimally
+  vectorized and parallelized version with simultaneous execution on 4
+  PEs for each Ninf_call, invoked in sequence".
+
+Every job records the paper's timestamps: enqueue (accepted), dequeue
+(executable invoked), complete.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.protocol.messages import JobTimestamps
+from repro.server.registry import ExecutionError, NinfExecutable
+from repro.server.scheduling import FCFSPolicy, SchedulingPolicy
+
+__all__ = ["Executor", "Job"]
+
+
+@dataclass
+class Job:
+    """One accepted call moving through the queue."""
+
+    seq: int
+    executable: NinfExecutable
+    values: list[Any]
+    pes_required: int
+    predicted_cost: Optional[float]
+    on_complete: Callable[["Job"], None]
+    callback: Optional[Callable[[float, str], None]] = None
+    enqueue_time: float = 0.0
+    dequeue_time: float = 0.0
+    complete_time: float = 0.0
+    outputs: Optional[list[Any]] = None
+    error: Optional[BaseException] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def timestamps(self) -> JobTimestamps:
+        """The paper's T_enqueue/T_dequeue/T_complete triple."""
+        return JobTimestamps(
+            enqueue=self.enqueue_time,
+            dequeue=self.dequeue_time,
+            complete=self.complete_time,
+        )
+
+
+class Executor:
+    """Policy-driven job executor over a pool of ``num_pes`` PE slots."""
+
+    def __init__(self, num_pes: int = 1,
+                 policy: Optional[SchedulingPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if num_pes < 1:
+            raise ValueError(f"num_pes must be >= 1, got {num_pes}")
+        self.num_pes = num_pes
+        self.policy = policy or FCFSPolicy()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: list[Job] = []
+        self._free_pes = num_pes
+        self._running = 0
+        self._seq = 0
+        self._shutdown = False
+        self.completed = 0
+        self.failed = 0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="ninf-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, executable: NinfExecutable, values: list[Any],
+               on_complete: Optional[Callable[[Job], None]] = None,
+               callback: Optional[Callable[[float, str], None]] = None
+               ) -> Job:
+        """Accept a call; returns the queued Job (wait on ``job.done``)."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("executor is shut down")
+            pes = min(executable.pes_required, self.num_pes)
+            env = {}
+            try:
+                bound_env = {
+                    spec.name: float(value)
+                    for spec, value in zip(executable.signature.args, values)
+                    if spec.is_input and not spec.is_array
+                    and isinstance(value, (int, float))
+                }
+                env = bound_env
+                predicted = executable.signature.predicted_flops(env)
+            except Exception:
+                predicted = None
+            job = Job(
+                seq=self._seq,
+                executable=executable,
+                values=values,
+                pes_required=pes,
+                predicted_cost=predicted,
+                on_complete=on_complete or (lambda _job: None),
+                callback=callback,
+                enqueue_time=self.clock(),
+            )
+            self._seq += 1
+            self._pending.append(job)
+            self._wakeup.notify_all()
+        return job
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return self._running
+
+    def load(self) -> float:
+        """Instantaneous runnable count (running + queued)."""
+        with self._lock:
+            return float(self._running + len(self._pending))
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._shutdown:
+                    index = self.policy.select(self._pending, self._free_pes)
+                    if index is not None:
+                        break
+                    self._wakeup.wait()
+                if self._shutdown:
+                    return
+                job = self._pending.pop(index)
+                self._free_pes -= job.pes_required
+                self._running += 1
+            worker = threading.Thread(
+                target=self._run_job, args=(job,),
+                name=f"ninf-worker-{job.seq}", daemon=True,
+            )
+            worker.start()
+
+    def _run_job(self, job: Job) -> None:
+        job.dequeue_time = self.clock()
+        try:
+            job.outputs = job.executable.invoke(job.values,
+                                                callback=job.callback)
+        except ExecutionError as exc:
+            job.error = exc
+        except Exception as exc:  # defensive: invoke wraps, but be safe
+            job.error = ExecutionError(job.executable.name, exc)
+        job.complete_time = self.clock()
+        with self._lock:
+            self._free_pes += job.pes_required
+            self._running -= 1
+            if job.error is None:
+                self.completed += 1
+            else:
+                self.failed += 1
+            self._wakeup.notify_all()
+        try:
+            job.on_complete(job)
+        finally:
+            job.done.set()
+
+    def shutdown(self) -> None:
+        """Stop dispatching; running jobs finish, queued jobs are dropped."""
+        with self._lock:
+            self._shutdown = True
+            dropped = self._pending
+            self._pending = []
+            self._wakeup.notify_all()
+        for job in dropped:
+            job.error = RuntimeError("server shut down before dispatch")
+            job.done.set()
+        self._dispatcher.join(timeout=5.0)

@@ -1,0 +1,485 @@
+"""Generator-coroutine discrete-event simulation engine.
+
+The engine is a small, deterministic SimPy-style kernel.  Model code is
+written as plain Python generator functions that ``yield`` *awaitables*:
+
+``Timeout(sim, delay)``
+    resume after ``delay`` simulated seconds.
+``Signal(sim)``
+    resume when some other process calls :meth:`Signal.fire`.
+``Process``
+    resume when the child process terminates (its return value is the
+    value of the ``yield`` expression).
+``AnyOf([...])`` / ``AllOf([...])``
+    resume when any/all of the listed awaitables have fired.
+
+Determinism: events scheduled for the same simulated time fire in
+scheduling order (a monotonically increasing sequence number breaks
+ties), so a fixed seed yields bit-identical runs.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(name, delay):
+...     yield Timeout(sim, delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(proc("a", 2.0))
+>>> _ = sim.process(proc("b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Awaitable",
+    "EventHandle",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "Signal",
+    "SimTimeError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimTimeError(ValueError):
+    """Raised when an event is scheduled in the past or with NaN delay."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the object passed by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process by :meth:`Process.kill`; must not be caught."""
+
+
+class EventHandle:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is O(1): the heap entry is marked dead and skipped when
+    popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6g} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """The event loop: a binary heap of :class:`EventHandle` objects."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq: int = 0
+        self._running = False
+        self._event_count: int = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if math.isnan(time):
+            raise SimTimeError("event time is NaN")
+        if time < self.now:
+            raise SimTimeError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now:  # pragma: no cover - defensive
+                raise SimTimeError("event heap corrupted: time went backwards")
+            self.now = handle.time
+            self._event_count += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains, or until simulated time ``until``.
+
+        When ``until`` is given, ``now`` is advanced to exactly ``until``
+        even if the last event fires earlier (so time-averaged statistics
+        close their windows consistently).
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+                return
+            if until < self.now:
+                raise SimTimeError(f"until={until} is before now={self.now}")
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > until:
+                    break
+                self.step()
+            self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    def peek(self) -> float:
+        """Time of the next live event, or ``inf`` if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else math.inf
+
+    @property
+    def event_count(self) -> int:
+        """Number of events executed so far (for tests and budgeting)."""
+        return self._event_count
+
+    # -- processes --------------------------------------------------------
+
+    def process(self, generator: Generator, name: str = "") -> "Process":
+        """Spawn a process from a generator; it starts at the current time."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> "Timeout":
+        """Convenience constructor for :class:`Timeout`."""
+        return Timeout(self, delay, value)
+
+    def signal(self) -> "Signal":
+        """Convenience constructor for :class:`Signal`."""
+        return Signal(self)
+
+
+class Awaitable:
+    """Base for things a process may ``yield``.
+
+    Subclasses implement ``_subscribe(callback)`` where ``callback`` takes
+    ``(value, exception)`` and is invoked exactly once, and optionally
+    ``_unsubscribe(callback)`` to support cancellation (AnyOf, interrupts).
+    """
+
+    def _subscribe(self, callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        raise NotImplementedError
+
+    def _unsubscribe(self, callback: Callable) -> None:  # pragma: no cover
+        pass
+
+
+class Timeout(Awaitable):
+    """Fires ``delay`` seconds after construction, resuming with ``value``."""
+
+    __slots__ = ("sim", "delay", "value", "_handle", "_callback")
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimTimeError(f"negative timeout delay {delay}")
+        self.sim = sim
+        self.delay = delay
+        self.value = value
+        self._handle: Optional[EventHandle] = None
+        self._callback: Optional[Callable] = None
+
+    def _subscribe(self, callback: Callable) -> None:
+        self._callback = callback
+        self._handle = self.sim.schedule(self.delay, self._fire)
+
+    def _unsubscribe(self, callback: Callable) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self._callback = None
+
+    def _fire(self) -> None:
+        cb, self._callback = self._callback, None
+        if cb is not None:
+            cb(self.value, None)
+
+
+class Signal(Awaitable):
+    """A one-shot event fired explicitly with :meth:`fire` or :meth:`fail`.
+
+    Multiple processes may wait on the same signal; all are resumed (in
+    subscription order) with the same value or exception.  Firing twice
+    raises ``RuntimeError``.  Late subscribers to an already-fired signal
+    are resumed immediately at the current simulated time.
+    """
+
+    __slots__ = ("sim", "_waiters", "_fired", "_value", "_exc")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._waiters: list[Callable] = []
+        self._fired = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise RuntimeError("signal has not fired yet")
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Resume all waiters with ``value`` (via zero-delay events)."""
+        self._finish(value, None)
+
+    def fail(self, exc: BaseException) -> None:
+        """Resume all waiters by raising ``exc`` inside them."""
+        self._finish(None, exc)
+
+    def _finish(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._fired:
+            raise RuntimeError("signal fired twice")
+        self._fired = True
+        self._value = value
+        self._exc = exc
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.schedule(0.0, cb, value, exc)
+
+    def _subscribe(self, callback: Callable) -> None:
+        if self._fired:
+            self.sim.schedule(0.0, callback, self._value, self._exc)
+        else:
+            self._waiters.append(callback)
+
+    def _unsubscribe(self, callback: Callable) -> None:
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+
+class Process(Awaitable):
+    """A running generator coroutine.
+
+    The generator's ``return`` value becomes the value other processes see
+    when they ``yield`` this process.  Uncaught exceptions propagate into
+    waiters; if nobody is waiting, they are re-raised out of the event
+    loop (failing fast rather than losing errors).
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self._done = Signal(sim)
+        self._current: Optional[Awaitable] = None
+        self._alive = True
+        # Start on a zero-delay event so spawning inside a callback is safe.
+        sim.schedule(0.0, self._resume, None, None)
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def done(self) -> Signal:
+        """Signal fired with the process return value on termination."""
+        return self._done
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self._alive:
+            return
+        self._detach()
+        self.sim.schedule(0.0, self._resume, None, Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process without running waiters' error paths."""
+        if not self._alive:
+            return
+        self._detach()
+        self._alive = False
+        self._gen.close()
+        if not self._done.fired:
+            self._done.fire(None)
+
+    # -- engine plumbing ---------------------------------------------------
+
+    def _detach(self) -> None:
+        if self._current is not None:
+            self._current._unsubscribe(self._resume)
+            self._current = None
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        self._current = None
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self._done.fire(stop.value)
+            return
+        except BaseException as error:
+            self._alive = False
+            if self._done._waiters:
+                self._done.fail(error)
+            else:
+                raise
+            return
+        if not isinstance(target, Awaitable):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Awaitable instances"
+            )
+        self._current = target
+        target._subscribe(self._resume)
+
+    def _subscribe(self, callback: Callable) -> None:
+        self._done._subscribe(callback)
+
+    def _unsubscribe(self, callback: Callable) -> None:
+        self._done._unsubscribe(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class AnyOf(Awaitable):
+    """Fires when the first of several awaitables fires.
+
+    Resumes with ``(index, value)`` of the winner; remaining awaitables
+    are unsubscribed (timeouts are cancelled).  An exception from any
+    member propagates.
+    """
+
+    def __init__(self, awaitables: Iterable[Awaitable]):
+        self.members = list(awaitables)
+        if not self.members:
+            raise ValueError("AnyOf requires at least one awaitable")
+        self._callback: Optional[Callable] = None
+        self._fired = False
+        self._member_callbacks: list[Callable] = []
+
+    def _subscribe(self, callback: Callable) -> None:
+        self._callback = callback
+        for i, member in enumerate(self.members):
+            cb = self._make_member_callback(i)
+            self._member_callbacks.append(cb)
+            member._subscribe(cb)
+
+    def _unsubscribe(self, callback: Callable) -> None:
+        self._callback = None
+        self._release()
+
+    def _release(self) -> None:
+        for member, cb in zip(self.members, self._member_callbacks):
+            member._unsubscribe(cb)
+        self._member_callbacks = []
+
+    def _make_member_callback(self, index: int) -> Callable:
+        def member_fired(value: Any, exc: Optional[BaseException]) -> None:
+            if self._fired or self._callback is None:
+                return
+            self._fired = True
+            cb = self._callback
+            self._callback = None
+            self._release()
+            if exc is not None:
+                cb(None, exc)
+            else:
+                cb((index, value), None)
+
+        return member_fired
+
+
+class AllOf(Awaitable):
+    """Fires when every member has fired; resumes with the list of values."""
+
+    def __init__(self, awaitables: Iterable[Awaitable]):
+        self.members = list(awaitables)
+        self._callback: Optional[Callable] = None
+        self._remaining = len(self.members)
+        self._values: list[Any] = [None] * len(self.members)
+        self._failed = False
+
+    def _subscribe(self, callback: Callable) -> None:
+        self._callback = callback
+        if not self.members:
+            # Empty AllOf completes immediately; needs a sim to schedule on,
+            # so fire synchronously (subscriber is a process resume, which is
+            # safe to call directly exactly once).
+            callback([], None)
+            return
+        for i, member in enumerate(self.members):
+            member._subscribe(self._make_member_callback(i))
+
+    def _make_member_callback(self, index: int) -> Callable:
+        def member_fired(value: Any, exc: Optional[BaseException]) -> None:
+            if self._failed or self._callback is None:
+                return
+            if exc is not None:
+                self._failed = True
+                cb = self._callback
+                self._callback = None
+                cb(None, exc)
+                return
+            self._values[index] = value
+            self._remaining -= 1
+            if self._remaining == 0:
+                cb = self._callback
+                self._callback = None
+                cb(list(self._values), None)
+
+        return member_fired

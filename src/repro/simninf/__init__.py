@@ -1,0 +1,44 @@
+"""The Ninf global-computing simulator.
+
+The paper's conclusion announces exactly this artifact: "One current
+plan we have is to build a global computing simulator for Ninf, on which
+we could readily test different client network topologies under various
+communication and other parameters."  This package models the full Ninf
+call path on the :mod:`repro.sim` substrate:
+
+  client think time -> request (latency) -> server accept (T_enqueue)
+  -> fork/exec (T_dequeue) -> argument upload (shared network flows)
+  -> computation (PE pool, task- or data-parallel) -> result download
+  -> T_complete
+
+using the calibrated :mod:`repro.model` machine and network catalogs.
+
+- :mod:`repro.simninf.calls` -- workload descriptors and per-call records.
+- :mod:`repro.simninf.server` -- the simulated computational server.
+- :mod:`repro.simninf.client` -- the paper's client model: every ``s=3``
+  seconds issue a call with probability ``p=1/2`` (§4.1).
+- :mod:`repro.simninf.metaserver` -- metaserver dispatch with per-call
+  scheduling overhead (the Fig 11 Java-prototype effect).
+- :mod:`repro.simninf.metrics` -- table-row aggregation matching the
+  paper's columns (perf max/min/mean, response, wait, throughput, CPU
+  utilization, load average, times).
+"""
+
+from repro.simninf.calls import CallSpec, SimCallRecord, ep_spec, linpack_spec
+from repro.simninf.client import WorkloadClient
+from repro.simninf.metaserver import SimMetaserver
+from repro.simninf.metrics import ColumnStats, TableRow, aggregate
+from repro.simninf.server import SimNinfServer
+
+__all__ = [
+    "CallSpec",
+    "ColumnStats",
+    "SimCallRecord",
+    "SimMetaserver",
+    "SimNinfServer",
+    "TableRow",
+    "WorkloadClient",
+    "aggregate",
+    "ep_spec",
+    "linpack_spec",
+]

@@ -1,0 +1,116 @@
+"""Workload descriptors and per-call measurement records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.machines import MachineSpec
+from repro.model.perf import EPModel, LinpackModel
+
+__all__ = ["CallSpec", "SimCallRecord", "ep_spec", "linpack_spec"]
+
+
+@dataclass(frozen=True)
+class CallSpec:
+    """What one Ninf_call ships and computes.
+
+    ``comp_seconds_1pe`` is the computation time on one dedicated PE of
+    the target server; data-parallel execution divides it by the
+    speedup implied by the machine's all-PE model (captured in
+    ``comp_seconds_allpe``).
+    """
+
+    name: str
+    input_bytes: float
+    output_bytes: float
+    comp_seconds_1pe: float
+    comp_seconds_allpe: float
+    work_units: float  # flops for Linpack, 2^(m+1) ops for EP
+    # Per-call PE width override (None = the server mode decides); used
+    # by the §5.3 mixed-width scheduling ablations.
+    pes: Optional[int] = None
+
+    @property
+    def comm_bytes(self) -> float:
+        return self.input_bytes + self.output_bytes
+
+    def comp_seconds(self, data_parallel: bool) -> float:
+        """Compute time for the chosen execution style."""
+        return self.comp_seconds_allpe if data_parallel else self.comp_seconds_1pe
+
+    def with_pes(self, pes: int) -> "CallSpec":
+        """Copy of this spec pinned to a fixed PE width."""
+        from dataclasses import replace
+
+        return replace(self, pes=pes)
+
+
+def linpack_spec(server: MachineSpec, n: int) -> CallSpec:
+    """The remote Linpack call of §3.1 on ``server``."""
+    model_1pe = LinpackModel(server, pes=1)
+    model_allpe = LinpackModel(server, pes=server.num_pes)
+    return CallSpec(
+        name=f"linpack(n={n})",
+        input_bytes=model_1pe.input_bytes(n),
+        output_bytes=model_1pe.output_bytes(n),
+        comp_seconds_1pe=model_1pe.comp_time(n),
+        comp_seconds_allpe=model_allpe.comp_time(n),
+        work_units=model_1pe.flops(n),
+    )
+
+
+def ep_spec(server: MachineSpec, m: int = 24) -> CallSpec:
+    """The remote EP call of §4.3: 2^m pairs, O(1) communication."""
+    model = EPModel(server, m=m)
+    return CallSpec(
+        name=f"ep(m={m})",
+        input_bytes=model.request_bytes,
+        output_bytes=model.reply_bytes,
+        comp_seconds_1pe=model.comp_time(pes=1),
+        comp_seconds_allpe=model.comp_time(pes=server.num_pes),
+        work_units=model.operations(),
+    )
+
+
+@dataclass
+class SimCallRecord:
+    """One completed simulated Ninf_call: the paper's measured times."""
+
+    spec: CallSpec
+    client_id: int
+    submit_time: float
+    enqueue_time: float = 0.0
+    dequeue_time: float = 0.0
+    complete_time: float = 0.0
+    comm_seconds: float = 0.0  # measured transfer time (both directions)
+    site: str = "lan"
+
+    @property
+    def elapsed(self) -> float:
+        return self.complete_time - self.submit_time
+
+    @property
+    def response(self) -> float:
+        """The paper's T_response = T_enqueue - T_submit."""
+        return self.enqueue_time - self.submit_time
+
+    @property
+    def wait(self) -> float:
+        """The paper's T_wait = T_dequeue - T_enqueue."""
+        return self.dequeue_time - self.enqueue_time
+
+    @property
+    def performance(self) -> float:
+        """P_ninf_call = work / elapsed (flop/s or ops/s)."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.spec.work_units / self.elapsed
+
+    @property
+    def throughput(self) -> float:
+        """Communication throughput (bytes/s over the transfer phases,
+        marshalling included) -- the paper's Throughput column."""
+        if self.comm_seconds <= 0:
+            return float("inf")
+        return self.spec.comm_bytes / self.comm_seconds

@@ -1,0 +1,78 @@
+"""The paper's multi-client workload model.
+
+§4.1: "We assume that each client performs a Ninf_call on the interval
+of ``s`` seconds with probability ``p`` ... We set the other parameters
+to be ``s = 3``, ``p = 1/2``."  A client therefore loops: wait ``s``
+seconds; with probability ``p`` issue a blocking Ninf_call; repeat --
+one outstanding call per client, like the benchmark driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Route
+from repro.simninf.calls import CallSpec, SimCallRecord
+from repro.simninf.server import SimNinfServer
+
+__all__ = ["WorkloadClient", "run_single_call"]
+
+
+class WorkloadClient:
+    """One benchmark client issuing repeated Ninf_calls."""
+
+    def __init__(self, sim: Simulator, client_id: int, server: SimNinfServer,
+                 route: Route, spec: CallSpec, s: float = 3.0, p: float = 0.5,
+                 horizon: float = 300.0, seed: int = 0, site: str = "lan",
+                 max_calls: Optional[int] = None):
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"issue probability must be in (0, 1], got {p}")
+        if s < 0:
+            raise ValueError(f"interval must be >= 0, got {s}")
+        self.sim = sim
+        self.client_id = client_id
+        self.server = server
+        self.route = route
+        self.spec = spec
+        self.s = s
+        self.p = p
+        self.horizon = horizon
+        self.site = site
+        self.max_calls = max_calls
+        self.rng = np.random.default_rng((seed, client_id))
+        self.records: list[SimCallRecord] = []
+        self.process = sim.process(self._run(), name=f"client-{client_id}")
+
+    def _run(self) -> Generator:
+        sim = self.sim
+        # Desynchronize client start-up (real users do not begin in
+        # lockstep; without this, max-min sharing phase-locks the flows).
+        yield sim.timeout(float(self.rng.uniform(0.0, self.s)))
+        while sim.now < self.horizon:
+            yield sim.timeout(self.s)
+            if self.rng.random() >= self.p:
+                continue
+            if sim.now >= self.horizon:
+                break
+            record = SimCallRecord(spec=self.spec, client_id=self.client_id,
+                                   submit_time=sim.now, site=self.site)
+            yield from self.server.execute_call(record, self.route)
+            self.records.append(record)
+            if self.max_calls is not None and len(self.records) >= self.max_calls:
+                return
+
+
+def run_single_call(sim: Simulator, server: SimNinfServer, route: Route,
+                    spec: CallSpec,
+                    on_done: Callable[[SimCallRecord], None]) -> None:
+    """Fire one call immediately (single-client Fig 3/4/5 measurements)."""
+
+    def body() -> Generator:
+        record = SimCallRecord(spec=spec, client_id=0, submit_time=sim.now)
+        yield from server.execute_call(record, route)
+        on_done(record)
+
+    sim.process(body(), name="single-call")

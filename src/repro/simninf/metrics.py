@@ -1,0 +1,99 @@
+"""Aggregation of call records into the paper's table rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine, MachineStats
+from repro.simninf.calls import SimCallRecord
+
+__all__ = ["ColumnStats", "LoadSampler", "TableRow", "aggregate"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """max/min/mean triple, the format of every table cell."""
+
+    max: float
+    min: float
+    mean: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "ColumnStats":
+        if not values:
+            return cls(max=0.0, min=0.0, mean=0.0)
+        return cls(max=max(values), min=min(values),
+                   mean=sum(values) / len(values))
+
+    def format(self, scale: float = 1.0, digits: int = 2) -> str:
+        """Render as the paper's ``max/min/mean`` cell text."""
+        return (f"{self.max / scale:.{digits}f}/"
+                f"{self.min / scale:.{digits}f}/"
+                f"{self.mean / scale:.{digits}f}")
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One (n, c) cell of the paper's multi-client tables."""
+
+    n: Optional[int]
+    c: int
+    performance: ColumnStats      # flop/s or ops/s
+    response: ColumnStats         # seconds
+    wait: ColumnStats             # seconds
+    throughput: ColumnStats       # bytes/s
+    cpu_utilization: float        # percent
+    load_average: float           # time-averaged runnable threads
+    peak_load_average: float      # highest 1-min load seen in the run
+    times: int                    # completed calls
+
+    def format(self, perf_scale: float = 1e6,
+               throughput_scale: float = 1e6) -> str:
+        """One paper-style text line for this (n, c) cell."""
+        return (
+            f"n={self.n if self.n is not None else '-':>5} c={self.c:>2}  "
+            f"perf[{self.performance.format(perf_scale)}]  "
+            f"resp[{self.response.format(1.0)}]  "
+            f"wait[{self.wait.format(1.0)}]  "
+            f"thru[{self.throughput.format(throughput_scale, 3)}]  "
+            f"cpu={self.cpu_utilization:6.2f}%  "
+            f"load={self.load_average:6.2f}  "
+            f"times={self.times}"
+        )
+
+
+class LoadSampler:
+    """Periodically samples a machine's load average into its stats
+    window (the paper sampled server load during each run)."""
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 stats: MachineStats, interval: float = 2.0):
+        self.sim = sim
+        self.machine = machine
+        self.stats = stats
+        self.interval = interval
+        self.process = sim.process(self._run(), name="load-sampler")
+
+    def _run(self) -> Generator:
+        while True:
+            yield self.sim.timeout(self.interval)
+            self.stats.sample_load()
+
+
+def aggregate(records: Sequence[SimCallRecord], n: Optional[int], c: int,
+              stats: MachineStats) -> TableRow:
+    """Build a table row from completed calls plus the machine window."""
+    return TableRow(
+        n=n,
+        c=c,
+        performance=ColumnStats.of([r.performance for r in records]),
+        response=ColumnStats.of([r.response for r in records]),
+        wait=ColumnStats.of([r.wait for r in records]),
+        throughput=ColumnStats.of([r.throughput for r in records]),
+        cpu_utilization=stats.cpu_utilization,
+        load_average=stats.mean_load_average,
+        peak_load_average=stats.peak_load_average,
+        times=len(records),
+    )

@@ -1,0 +1,174 @@
+"""The simulated Ninf computational server.
+
+Executes the full call path of the real server
+(:mod:`repro.server.server`) against simulated time: accept, fork,
+argument upload over contended network flows, PE-pool computation
+(task- or data-parallel), result download.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.model.machines import MachineSpec
+from repro.model.perf import DEFAULT_T_COMM0
+from repro.server.scheduling import SchedulingPolicy
+from repro.sim.engine import AllOf, Signal, Simulator
+from repro.sim.machine import Machine
+from repro.sim.network import Network, Route
+from repro.simninf.calls import CallSpec, SimCallRecord
+
+__all__ = ["SimNinfServer"]
+
+
+class _QueuedJob:
+    """Admission-queue entry; duck-types SchedulableJob for policies."""
+
+    __slots__ = ("seq", "pes_required", "predicted_cost", "grant")
+
+    def __init__(self, sim: Simulator, seq: int, pes_required: int,
+                 predicted_cost: Optional[float]):
+        self.seq = seq
+        self.pes_required = pes_required
+        self.predicted_cost = predicted_cost
+        self.grant = Signal(sim)
+
+
+class SimNinfServer:
+    """A Ninf server bound to a simulated machine and network.
+
+    Parameters
+    ----------
+    mode:
+        ``"task"``: each call computes on one PE (the 1-PE tables);
+        concurrent calls processor-share the PE pool.
+        ``"data"``: each call uses the optimized all-PE library and the
+        compute phases serialize FCFS (the 4-PE tables) -- while
+        "communication with clients could be overlapped" (§4.2.1),
+        which this model preserves because transfers are network flows.
+    t_setup:
+        Per-call connection + two-stage-RPC setup time (the model's
+        ``T_comm0``), split evenly between upload and download phases.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, spec: MachineSpec,
+                 mode: str = "task", t_setup: float = DEFAULT_T_COMM0,
+                 load_tau: float = 60.0,
+                 switch_overhead: float = 0.0,
+                 policy: Optional[SchedulingPolicy] = None,
+                 max_concurrent: Optional[int] = None):
+        if mode not in ("task", "data"):
+            raise ValueError(f"mode must be 'task' or 'data', got {mode!r}")
+        self.sim = sim
+        self.network = network
+        self.spec = spec
+        self.mode = mode
+        self.t_setup = t_setup
+        self.machine = Machine(sim, spec.name, spec.num_pes,
+                               switch_overhead=switch_overhead,
+                               load_tau=load_tau)
+        self.calls_completed = 0
+        # Optional admission control (§5.2): when set, at most
+        # ``max_concurrent`` executables run at once and the queue is
+        # ordered by ``policy`` (FCFS = the 1997 server; SJF = the
+        # paper's proposed improvement using CalcOrder predictions).
+        # The default (None) is the 1997 fork-on-arrival behaviour.
+        self.policy = policy
+        self.max_concurrent = max_concurrent
+        self._admission_queue: list[_QueuedJob] = []
+        self._admitted = 0
+        self._admission_seq = 0
+
+    # -- admission control --------------------------------------------------
+
+    def _admit(self, predicted_cost: Optional[float],
+               pes_required: int) -> Generator:
+        """Wait for PE slots under the configured policy.
+
+        ``max_concurrent`` counts PE-slots: a width-w job consumes w of
+        them, so FCFS exhibits the §5.3 head-of-line blocking on wide
+        jobs and FPFS can backfill narrow ones.
+        """
+        if self.max_concurrent is None or self.policy is None:
+            return
+        job = _QueuedJob(self.sim, self._admission_seq, pes_required,
+                         predicted_cost)
+        self._admission_seq += 1
+        self._admission_queue.append(job)
+        self._dispatch_admissions()
+        yield job.grant
+
+    def _release_admission(self, pes_required: int) -> None:
+        if self.max_concurrent is None or self.policy is None:
+            return
+        self._admitted -= pes_required
+        self._dispatch_admissions()
+
+    def _dispatch_admissions(self) -> None:
+        while self._admitted < self.max_concurrent and self._admission_queue:
+            free = self.max_concurrent - self._admitted
+            index = self.policy.select(self._admission_queue, free)
+            if index is None:
+                return
+            job = self._admission_queue.pop(index)
+            self._admitted += job.pes_required
+            job.grant.fire()
+
+    def execute_call(self, record: SimCallRecord,
+                     route: Route) -> Generator:
+        """Process body of one Ninf_call; fills in the record's times."""
+        sim = self.sim
+        spec = record.spec
+        # Request packet reaches the server; acceptance stamps T_enqueue.
+        yield sim.timeout(route.latency + self.t_setup / 2)
+        record.enqueue_time = sim.now
+        # Optional admission control (SJF etc.) queues here (§5.2).
+        if spec.pes is not None:
+            pes_required = spec.pes
+        else:
+            pes_required = self.spec.num_pes if self.mode == "data" else 1
+        yield from self._admit(spec.work_units, pes_required)
+        # fork & exec of the Ninf executable stamps T_dequeue.
+        yield sim.timeout(self.spec.fork_overhead)
+        record.dequeue_time = sim.now
+        # Argument upload: a network flow pipelined with server-side
+        # unmarshalling, which burns PE time (scalar XDR/TCP processing;
+        # this is what saturates the J90's CPU in Tables 3/4).
+        comm_start = sim.now
+        yield from self._transfer(route, spec.input_bytes)
+        record.comm_seconds += sim.now - comm_start
+        # Computation on the PE pool.
+        if pes_required >= self.spec.num_pes and self.spec.num_pes > 1:
+            work = spec.comp_seconds(data_parallel=True) * self.spec.num_pes
+            yield from self.machine.run_serialized(work)
+        else:
+            work = spec.comp_seconds(data_parallel=False)
+            yield from self.machine.run(work, max_pes=float(pes_required))
+        # Result download (marshalling again pipelined).
+        comm_start = sim.now
+        yield from self._transfer(route, spec.output_bytes)
+        yield sim.timeout(self.t_setup / 2)
+        record.comm_seconds += sim.now - comm_start
+        record.complete_time = sim.now
+        self.calls_completed += 1
+        self._release_admission(pes_required)
+        return record
+
+    def _transfer(self, route, nbytes: float) -> Generator:
+        """One direction of data movement: flow + marshalling in parallel.
+
+        The transfer completes when both the wire transfer and the
+        server-side (un)marshalling are done; if the PEs are busy the
+        marshalling stage stretches, throttling the effective transfer
+        rate -- the coupling that makes heavily loaded servers slow
+        communicators in the paper's tables.
+        """
+        if nbytes <= 0:
+            return
+        flow = self.network.transfer(route, nbytes)
+        marshal_work = nbytes / self.spec.xdr_bandwidth
+        marshal = self.sim.process(
+            self.machine.run(marshal_work, max_pes=1.0, threads=1),
+            name=f"{self.spec.name}-marshal",
+        )
+        yield AllOf([flow, marshal])

@@ -1,0 +1,21 @@
+"""Sun XDR (RFC 4506) external data representation, from scratch.
+
+Ninf RPC ships all arguments as XDR on TCP/IP ("The underlying transfer
+protocol is Sun XDR on TCP/IP, allowing easy porting on most major
+supercomputer platforms").  This package implements the XDR primitives
+the Ninf protocol needs, plus NumPy fast paths so that marshalling a
+dense matrix is a single byteswap-and-copy rather than a Python loop --
+the paper's Fig 5 result (XDR overhead does not significantly affect
+throughput) only holds if marshalling is near memcpy speed.
+
+- :class:`XdrEncoder` / :class:`XdrDecoder`: streaming pack/unpack of
+  int, unsigned, hyper, bool, enum, float, double, string, opaque
+  (fixed and variable), arrays, and NumPy arrays/matrices.
+- :exc:`XdrError`: malformed or truncated data.
+"""
+
+from repro.xdr.encoder import XdrEncoder
+from repro.xdr.decoder import XdrDecoder
+from repro.xdr.errors import XdrError
+
+__all__ = ["XdrDecoder", "XdrEncoder", "XdrError"]

@@ -1,0 +1,195 @@
+"""XDR encoding (RFC 4506 §4).
+
+All quantities are big-endian and padded to 4-byte boundaries.  Scalar
+packing uses :mod:`struct`; bulk numeric arrays use NumPy's dtype
+byte-order conversion, which compiles to a single vectorized pass.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.xdr.errors import XdrError
+
+__all__ = ["XdrEncoder"]
+
+_INT_MIN = -(2**31)
+_INT_MAX = 2**31 - 1
+_UINT_MAX = 2**32 - 1
+_HYPER_MIN = -(2**63)
+_HYPER_MAX = 2**63 - 1
+_UHYPER_MAX = 2**64 - 1
+
+# dtype -> (XDR type code used by the Ninf protocol, big-endian numpy dtype)
+NUMPY_WIRE_DTYPES = {
+    np.dtype(np.int32): ">i4",
+    np.dtype(np.uint32): ">u4",
+    np.dtype(np.int64): ">i8",
+    np.dtype(np.uint64): ">u8",
+    np.dtype(np.float32): ">f4",
+    np.dtype(np.float64): ">f8",
+    np.dtype(np.complex64): ">c8",
+    np.dtype(np.complex128): ">c16",
+}
+
+
+class XdrEncoder:
+    """Accumulates XDR-encoded bytes.
+
+    >>> enc = XdrEncoder()
+    >>> enc.pack_int(7)
+    >>> enc.pack_string("hi")
+    >>> enc.getvalue()
+    b'\\x00\\x00\\x00\\x07\\x00\\x00\\x00\\x02hi\\x00\\x00'
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._size = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _append(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._size += len(data)
+
+    def getvalue(self) -> bytes:
+        """The encoded byte string so far."""
+        if len(self._chunks) > 1:
+            merged = b"".join(self._chunks)
+            self._chunks = [merged]
+        return self._chunks[0] if self._chunks else b""
+
+    def __len__(self) -> int:
+        return self._size
+
+    def reset(self) -> None:
+        """Discard everything encoded so far."""
+        self._chunks = []
+        self._size = 0
+
+    # -- integral types ---------------------------------------------------------
+
+    def pack_int(self, value: int) -> None:
+        """Signed 32-bit integer."""
+        if not _INT_MIN <= value <= _INT_MAX:
+            raise XdrError(f"int out of range: {value}")
+        self._append(struct.pack(">i", value))
+
+    def pack_uint(self, value: int) -> None:
+        """Unsigned 32-bit integer."""
+        if not 0 <= value <= _UINT_MAX:
+            raise XdrError(f"unsigned int out of range: {value}")
+        self._append(struct.pack(">I", value))
+
+    def pack_hyper(self, value: int) -> None:
+        """Signed 64-bit integer."""
+        if not _HYPER_MIN <= value <= _HYPER_MAX:
+            raise XdrError(f"hyper out of range: {value}")
+        self._append(struct.pack(">q", value))
+
+    def pack_uhyper(self, value: int) -> None:
+        """Unsigned 64-bit integer."""
+        if not 0 <= value <= _UHYPER_MAX:
+            raise XdrError(f"unsigned hyper out of range: {value}")
+        self._append(struct.pack(">Q", value))
+
+    def pack_bool(self, value: bool) -> None:
+        """Boolean as 32-bit 0/1."""
+        self._append(struct.pack(">i", 1 if value else 0))
+
+    def pack_enum(self, value: int) -> None:
+        """Enumeration: same wire form as int."""
+        self.pack_int(value)
+
+    # -- floating point -----------------------------------------------------------
+
+    def pack_float(self, value: float) -> None:
+        """IEEE-754 single precision."""
+        self._append(struct.pack(">f", value))
+
+    def pack_double(self, value: float) -> None:
+        """IEEE-754 double precision."""
+        self._append(struct.pack(">d", value))
+
+    # -- opaque and string -----------------------------------------------------------
+
+    def pack_fopaque(self, n: int, data: bytes) -> None:
+        """Fixed-length opaque: exactly ``n`` bytes, zero-padded to 4."""
+        if len(data) != n:
+            raise XdrError(f"fixed opaque length mismatch: want {n}, got {len(data)}")
+        self._append(data)
+        pad = (4 - n % 4) % 4
+        if pad:
+            self._append(b"\x00" * pad)
+
+    def pack_opaque(self, data: bytes) -> None:
+        """Variable-length opaque: length word, bytes, zero padding."""
+        self.pack_uint(len(data))
+        self.pack_fopaque(len(data), data)
+
+    def pack_string(self, text: str) -> None:
+        """String: UTF-8 bytes as variable opaque."""
+        self.pack_opaque(text.encode("utf-8"))
+
+    # -- arrays -----------------------------------------------------------------
+
+    def pack_farray(self, n: int, items: Sequence, pack_item: Callable) -> None:
+        """Fixed-length array: exactly ``n`` elements, no length word."""
+        if len(items) != n:
+            raise XdrError(f"fixed array length mismatch: want {n}, got {len(items)}")
+        for item in items:
+            pack_item(item)
+
+    def pack_array(self, items: Iterable, pack_item: Callable) -> None:
+        """Variable-length array: length word then elements."""
+        items = list(items)
+        self.pack_uint(len(items))
+        for item in items:
+            pack_item(item)
+
+    # -- NumPy fast paths --------------------------------------------------------
+
+    def pack_ndarray(self, array: np.ndarray) -> None:
+        """A NumPy array as: rank, dims, dtype code, then raw big-endian data.
+
+        This is the Ninf matrix wire format: shape-prefixed so the
+        receiver can allocate before reading, and the payload is one
+        contiguous big-endian block (a single vectorized byteswap), so
+        marshalling throughput is memory-bandwidth bound.
+        """
+        arr = np.ascontiguousarray(array)
+        wire = NUMPY_WIRE_DTYPES.get(arr.dtype)
+        if wire is None:
+            raise XdrError(f"unsupported ndarray dtype {arr.dtype}")
+        self.pack_uint(arr.ndim)
+        for dim in arr.shape:
+            self.pack_uint(dim)
+        self.pack_string(wire)
+        payload = arr.astype(wire, copy=False).tobytes()
+        self.pack_uint(len(payload))
+        self._append(payload)
+        pad = (4 - len(payload) % 4) % 4
+        if pad:
+            self._append(b"\x00" * pad)
+
+    def pack_double_array(self, values: Sequence[float]) -> None:
+        """Variable array of doubles via the vectorized path."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise XdrError("pack_double_array expects a 1-D sequence")
+        self.pack_uint(arr.size)
+        self._append(arr.astype(">f8", copy=False).tobytes())
+
+    def pack_int_array(self, values: Sequence[int]) -> None:
+        """Variable array of 32-bit ints via the vectorized path."""
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise XdrError("pack_int_array expects a 1-D sequence")
+        if arr.size and (arr.min() < _INT_MIN or arr.max() > _INT_MAX):
+            raise XdrError("int array element out of 32-bit range")
+        self.pack_uint(arr.size)
+        self._append(arr.astype(">i4").tobytes())

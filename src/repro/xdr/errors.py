@@ -1,0 +1,5 @@
+"""XDR error types."""
+
+
+class XdrError(ValueError):
+    """Raised on malformed, truncated, or out-of-range XDR data."""

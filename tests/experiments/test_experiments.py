@@ -1,0 +1,161 @@
+"""Fast shape tests of the experiment drivers (full sweeps live in
+benchmarks/)."""
+
+import pytest
+
+from repro.experiments.common import run_multiclient_cell, run_one_call
+from repro.experiments.ep import fig11_metaserver, table8_ep
+from repro.experiments.lan_multiclient import table3_1pe, table4_4pe, table5_smp
+from repro.experiments.single_client import (
+    fig4_alpha_client,
+    fig5_throughput,
+    local_curve,
+    ninf_curve,
+    ninf_saturation,
+    table2_ftp,
+)
+from repro.experiments.wan import fig10_multisite, table6_1pe
+from repro.model.machines import machine
+from repro.model.network import lan_catalog
+from repro.simninf.calls import linpack_spec
+
+
+def test_run_one_call_returns_complete_record():
+    server = machine("j90")
+    catalog = lan_catalog(server)
+    record = run_one_call(server,
+                          lambda net, i: catalog.route_for(machine("alpha"), i),
+                          linpack_spec(server, 600), mode="data")
+    assert record.complete_time > 0
+    assert record.performance > 0
+
+
+def test_run_multiclient_cell_counts_and_validation():
+    server = machine("j90")
+    catalog = lan_catalog(server)
+    result = run_multiclient_cell(
+        server, lambda net, i: catalog.route_for(machine("alpha"), i),
+        linpack_spec(server, 600), c=2, horizon=60.0,
+    )
+    assert result.row.times == sum(result.per_client_counts)
+    assert len(result.per_client_counts) == 2
+    with pytest.raises(ValueError):
+        run_multiclient_cell(
+            server, lambda net, i: catalog.route_for(machine("alpha"), i),
+            linpack_spec(server, 600), c=0,
+        )
+
+
+def test_cell_deterministic_for_seed():
+    server = machine("j90")
+
+    def run(seed):
+        catalog = lan_catalog(server)
+        return run_multiclient_cell(
+            server, lambda net, i: catalog.route_for(machine("alpha"), i),
+            linpack_spec(server, 600), c=4, horizon=60.0, seed=seed,
+        ).row
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)
+
+
+def test_fig3_style_crossover_in_paper_window():
+    supersparc = machine("supersparc")
+    j90 = machine("j90")
+    sizes = tuple(range(100, 801, 50))
+    remote = ninf_curve(supersparc, j90, sizes)
+    local = local_curve(supersparc, sizes)
+    crossover = remote.crossover_against(local)
+    assert crossover is not None and 100 <= crossover <= 450
+
+
+def test_fig4_crossovers_in_paper_windows():
+    curves = fig4_alpha_client(tuple(range(100, 1601, 100)))
+    optimized = curves["alpha->j90"].crossover_against(
+        curves["alpha-local-optimized"])
+    standard = curves["alpha->j90"].crossover_against(
+        curves["alpha-local-standard"])
+    assert 700 <= optimized <= 1100
+    assert 300 <= standard <= 700
+    assert standard < optimized
+
+
+def test_fig5_throughput_monotone_and_saturating():
+    result = fig5_throughput(pairs=[("alpha", "j90")],
+                             sizes=[2**14, 2**18, 2**22, 2**24])
+    points = result["alpha->j90"]
+    rates = [p.throughput for p in points]
+    assert rates == sorted(rates)
+    assert rates[-1] == pytest.approx(ninf_saturation("alpha", "j90"),
+                                      rel=0.15)
+
+
+def test_table2_matches_catalog():
+    table = table2_ftp()
+    assert table[("alpha", "j90")] == 2.9e6
+
+
+def test_table3_shape_small():
+    table = table3_1pe(sizes=(600,), clients=(1, 8), horizon=120.0)
+    assert (table.mean_performance(600, 8)
+            < table.mean_performance(600, 1) + 1e-9)
+    assert (table.row(600, 8).cpu_utilization
+            > table.row(600, 1).cpu_utilization)
+
+
+def test_table4_beats_table3_at_c1():
+    t3 = table3_1pe(sizes=(1000,), clients=(1,), horizon=120.0)
+    t4 = table4_4pe(sizes=(1000,), clients=(1,), horizon=120.0)
+    assert (t4.mean_performance(1000, 1) > 1.3 * t3.mean_performance(1000, 1))
+
+
+def test_table5_smp_resilient():
+    table = table5_smp(clients=(4, 16), horizon=120.0)
+    ratio = (table.mean_performance(600, 16)
+             / table.mean_performance(600, 4))
+    assert ratio > 0.6  # "more resilient to increase in c" than the J90
+    assert table.row(600, 16).cpu_utilization < 95.0  # not saturated
+
+
+def test_table5_multithreaded_slowdown():
+    single = table5_smp(clients=(16,), horizon=120.0)
+    threaded = table5_smp(clients=(16,), horizon=120.0, threads=12)
+    # The highly multithreaded library loses under multi-client load.
+    assert (threaded.row(600, 16).performance.min
+            < single.row(600, 16).performance.min)
+
+
+def test_table6_wan_fair_share():
+    table = table6_1pe(sizes=(600,), clients=(1, 16), horizon=1200.0)
+    t1 = table.row(600, 1).throughput.mean
+    t16 = table.row(600, 16).throughput.mean
+    assert t16 == pytest.approx(t1 / 12, rel=0.35)  # ~0.17/16 vs 0.13
+    assert table.row(600, 16).cpu_utilization < 20.0  # server stays idle
+
+
+def test_fig10_multisite_bounds():
+    (cell,) = fig10_multisite(sizes=(600,), clients_per_site=(4,),
+                              horizon=1200.0)
+    assert 0.05 <= cell.ochau_deterioration <= 0.5
+    assert (cell.result.row.cpu_utilization
+            > 1.5 * cell.ochau_single_site.row.cpu_utilization)
+
+
+def test_table8_ep_lan_wan_equal():
+    tables = table8_ep(clients=(1, 8), horizon=900.0)
+    lan = tables["lan"].row(24, 8).performance.mean
+    wan = tables["wan"].row(24, 8).performance.mean
+    assert wan == pytest.approx(lan, rel=0.05)
+    lan1 = tables["lan"].row(24, 1).performance.mean
+    assert lan == pytest.approx(lan1 / 2, rel=0.15)  # c=8 on 4 PEs halves
+
+
+def test_fig11_shapes():
+    sample = fig11_metaserver(24, processors=(1, 4, 32))
+    class_a = fig11_metaserver(28, processors=(1, 4, 32))
+    # sample regresses at p=32 relative to its p=4 point.
+    assert sample[-1].speedup < sample[1].speedup * 2
+    # class A keeps scaling.
+    assert class_a[-1].speedup > 15
+    assert class_a[1].speedup == pytest.approx(4.0, rel=0.1)

@@ -1,0 +1,72 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.experiments.plots import line_chart, surface_chart
+
+
+def test_line_chart_basic():
+    chart = line_chart({"a": [(0, 0), (10, 100)]}, width=30, height=8,
+                       title="Fig X", x_label="n", y_label="Mflops")
+    assert "Fig X" in chart
+    assert "o=a" in chart
+    assert "Mflops" in chart
+    lines = chart.splitlines()
+    assert any("o" in line for line in lines[1:-3])
+
+
+def test_line_chart_multiple_series_distinct_symbols():
+    chart = line_chart({"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]},
+                       width=20, height=6)
+    assert "o=a" in chart and "x=b" in chart
+
+
+def test_line_chart_log_scale():
+    chart = line_chart({"a": [(1, 1), (2, 1000)]}, width=20, height=6,
+                       logy=True)
+    assert "log" in chart
+
+
+def test_line_chart_constant_series_no_crash():
+    chart = line_chart({"flat": [(0, 5), (10, 5)]}, width=20, height=5)
+    assert "flat" in chart
+
+
+def test_line_chart_empty_raises():
+    with pytest.raises(ValueError):
+        line_chart({})
+
+
+def test_surface_chart_shades_by_value():
+    surface = {(600, 1): 90.0, (600, 16): 20.0,
+               (1400, 1): 190.0, (1400, 16): 23.0}
+    chart = surface_chart(surface, title="Fig 7", x_label="c", y_label="n")
+    assert "Fig 7" in chart
+    assert "190" in chart and "20" in chart
+    assert "max Mflops = 190" in chart
+    # Larger n appears first (top row).
+    lines = chart.splitlines()
+    assert lines[2].strip().startswith("1400")
+
+
+def test_surface_chart_missing_cells_blank():
+    surface = {(600, 1): 1.0, (1400, 16): 2.0}
+    chart = surface_chart(surface)
+    assert chart  # renders without KeyError
+
+
+def test_surface_chart_empty_raises():
+    with pytest.raises(ValueError):
+        surface_chart({})
+
+
+def test_fig3_curves_render():
+    """End-to-end: the Fig 3 driver output feeds the renderer."""
+    from repro.experiments.single_client import fig3_sparc_clients
+
+    curves = fig3_sparc_clients(sizes=(200, 800, 1600))
+    series = {name: [(p.n, p.mflops) for p in curve.points]
+              for name, curve in curves.items()
+              if "supersparc" in name}
+    chart = line_chart(series, title="Fig 3 (model)")
+    assert "Fig 3 (model)" in chart

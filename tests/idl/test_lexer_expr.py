@@ -1,0 +1,166 @@
+"""Tests for the IDL tokenizer and the dimension-expression language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.idl import IdlError, parse_expr
+from repro.idl.lexer import Token, tokenize
+
+
+# -------------------------------------------------------------------- lexer
+
+
+def test_tokenize_basic_kinds():
+    tokens = list(tokenize('Define foo(mode_in int n) "desc";'))
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["keyword", "ident", "(", "keyword", "keyword",
+                     "ident", ")", "string", ";"]
+
+
+def test_tokenize_positions():
+    tokens = list(tokenize("a\n  bb"))
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_tokenize_numbers():
+    tokens = list(tokenize("42 3.5 1e6 2.5e-3"))
+    assert [t.value for t in tokens] == ["42", "3.5", "1e6", "2.5e-3"]
+    assert all(t.kind == "number" for t in tokens)
+
+
+def test_tokenize_string_escapes():
+    (token,) = tokenize(r'"say \"hi\""')
+    assert token.value == 'say "hi"'
+
+
+def test_tokenize_comments_skipped():
+    tokens = list(tokenize("a // line comment\n b /* block */ c"))
+    assert [t.value for t in tokens] == ["a", "b", "c"]
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(IdlError):
+        list(tokenize('"never closed'))
+
+
+def test_tokenize_unterminated_comment():
+    with pytest.raises(IdlError):
+        list(tokenize("/* never closed"))
+
+
+def test_tokenize_unexpected_character():
+    with pytest.raises(IdlError):
+        list(tokenize("a @ b"))
+
+
+# ---------------------------------------------------------------- expressions
+
+
+@pytest.mark.parametrize(
+    "source,env,expected",
+    [
+        ("1+2", {}, 3),
+        ("2*3+4", {}, 10),
+        ("2+3*4", {}, 14),
+        ("(2+3)*4", {}, 20),
+        ("10-4-3", {}, 3),          # left associativity
+        ("2^3^2", {}, 512),         # right associativity
+        ("-n", {"n": 5}, -5),
+        ("n*n", {"n": 7}, 49),
+        ("8*n*n+20*n", {"n": 600}, 8 * 600 * 600 + 20 * 600),
+        ("2*n*n*n/3", {"n": 3}, 18),
+        ("n%3", {"n": 10}, 1),
+        ("min(n, m)", {"n": 4, "m": 9}, 4),
+        ("max(n, m, 2)", {"n": 4, "m": 9}, 9),
+        ("sqrt(n)", {"n": 16}, 4.0),
+        ("ceil(n/2)", {"n": 5}, 3),
+        ("floor(n/2)", {"n": 5}, 2),
+        ("log2(n)", {"n": 8}, 3.0),
+        ("1.5*n", {"n": 2}, 3.0),
+    ],
+)
+def test_expression_evaluation(source, env, expected):
+    assert parse_expr(source).evaluate(env) == expected
+
+
+def test_free_variables():
+    expr = parse_expr("8*n*n + 20*m + min(k, 3)")
+    assert expr.free_variables() == {"n", "m", "k"}
+
+
+def test_str_roundtrip_preserves_value():
+    env = {"n": 13, "m": 7}
+    for source in ["n*n", "2*n+m", "(n+m)*(n-m)", "-n^2", "min(n, m)+1"]:
+        expr = parse_expr(source)
+        again = parse_expr(str(expr))
+        assert again.evaluate(env) == expr.evaluate(env)
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(IdlError, match="unbound"):
+        parse_expr("n+1").evaluate({})
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(IdlError):
+        parse_expr("1/n").evaluate({"n": 0})
+
+
+def test_modulo_by_zero_raises():
+    with pytest.raises(IdlError):
+        parse_expr("1%n").evaluate({"n": 0})
+
+
+def test_unknown_function_raises():
+    with pytest.raises(IdlError):
+        parse_expr("bogus(n)")
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(IdlError):
+        parse_expr("1 + 2 3")
+
+
+def test_empty_expression_raises():
+    with pytest.raises(IdlError):
+        parse_expr("")
+
+
+def test_unbalanced_parens_raises():
+    with pytest.raises(IdlError):
+        parse_expr("(1+2")
+
+
+# --------------------------------------------- property: matches Python eval
+
+
+@st.composite
+def arithmetic_exprs(draw, depth=0):
+    """Random expressions using +,-,*,parens over variables n,m and ints."""
+    if depth > 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(0, 50)))
+        return draw(st.sampled_from(["n", "m"]))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(arithmetic_exprs(depth=depth + 1))
+    right = draw(arithmetic_exprs(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@given(arithmetic_exprs(), st.integers(1, 100), st.integers(1, 100))
+def test_expression_agrees_with_python_eval(source, n, m):
+    expr = parse_expr(source)
+    assert expr.evaluate({"n": n, "m": m}) == eval(source, {}, {"n": n, "m": m})
+
+
+@given(arithmetic_exprs(), st.integers(1, 50), st.integers(1, 50))
+def test_str_parse_fixed_point(source, n, m):
+    expr = parse_expr(source)
+    reparsed = parse_expr(str(expr))
+    env = {"n": n, "m": m}
+    assert reparsed.evaluate(env) == expr.evaluate(env)
+    # str() is a fixed point after one round.
+    assert str(parse_expr(str(reparsed))) == str(reparsed)

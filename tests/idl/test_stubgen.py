@@ -1,0 +1,104 @@
+"""Tests for client stub generation."""
+
+import numpy as np
+import pytest
+
+from repro.client import NinfClient
+from repro.idl import IdlError, Signature
+from repro.idl.stubgen import generate_stub_source, make_module, make_stub
+from repro.server import NinfServer
+from tests.rpc.conftest import build_registry
+
+DMMUL = Signature.from_idl(
+    "Define dmmul(mode_in int n, mode_in double A[n][n], "
+    'mode_in double B[n][n], mode_out double C[n][n]) '
+    '"matrix multiply" Calls "C" mmul(n,A,B,C);'
+)
+
+
+@pytest.fixture
+def live():
+    with NinfServer(build_registry(), num_pes=2) as server:
+        with NinfClient(*server.address) as client:
+            yield client
+
+
+def test_generate_source_shape():
+    source = generate_stub_source(DMMUL)
+    assert source.startswith("def dmmul(client, n: int, A: np.ndarray, "
+                             "B: np.ndarray, "
+                             "C: Optional[np.ndarray] = None):")
+    assert "client.call('dmmul', n, A, B, C)" in source
+    assert "matrix multiply" in source
+    assert source.rstrip().endswith("return outputs[0]")
+
+
+def test_generated_source_is_executable(live):
+    source = generate_stub_source(live.get_signature("dmmul"))
+    from typing import Any, Optional
+
+    namespace = {"np": np, "Optional": Optional, "Any": Any}
+    exec(source, namespace)
+    dmmul = namespace["dmmul"]
+    a = np.eye(3)
+    result = dmmul(live, 3, a, a)
+    np.testing.assert_allclose(result, a)
+
+
+def test_make_stub_positional_and_keyword(live):
+    stub = make_stub(live.get_signature("dmmul"), live)
+    a = np.full((2, 2), 2.0)
+    np.testing.assert_allclose(stub(2, a, np.eye(2)), a)
+    np.testing.assert_allclose(stub(n=2, A=a, B=np.eye(2)), a)
+    assert stub.__name__ == "dmmul"
+    assert "multiply" in stub.__doc__
+
+
+def test_make_stub_output_buffer(live):
+    stub = make_stub(live.get_signature("dmmul"), live)
+    a = np.eye(2)
+    c = np.zeros((2, 2))
+    stub(2, a, a, c)
+    np.testing.assert_allclose(c, a)
+
+
+def test_make_stub_missing_argument(live):
+    stub = make_stub(live.get_signature("dmmul"), live)
+    with pytest.raises(IdlError, match="missing argument"):
+        stub(2, np.eye(2))
+
+
+def test_make_stub_unexpected_argument(live):
+    stub = make_stub(live.get_signature("dmmul"), live)
+    with pytest.raises(IdlError, match="unexpected"):
+        stub(2, np.eye(2), np.eye(2), bogus=1)
+
+
+def test_make_stub_multiple_outputs(live):
+    stub = make_stub(live.get_signature("ep"), live)
+    accepted, sx, sy = stub(10, 0, 1024)
+    from repro.libs.ep import ep_kernel
+
+    assert accepted == ep_kernel(10).accepted
+
+
+def test_make_module_exports_all(live):
+    stubs = make_module(live)
+    assert set(stubs) == {"always_fails", "dmmul", "ep", "linpack",
+                          "sleeper"}
+    a = np.eye(2)
+    np.testing.assert_allclose(stubs["dmmul"](2, a, a), a)
+
+
+def test_stub_source_no_outputs():
+    sig = Signature.from_idl("Define ping(mode_in int n);")
+    source = generate_stub_source(sig)
+    assert source.rstrip().endswith("return None")
+
+
+def test_stub_source_multiple_outputs():
+    sig = Signature.from_idl(
+        "Define stats(mode_in int n, mode_out double a, mode_out double b);"
+    )
+    source = generate_stub_source(sig)
+    assert "return tuple(outputs)" in source

@@ -1,0 +1,219 @@
+"""Tests for the NAS EP kernel (against NPB reference values) and DOS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.libs.dos import DOSResult, dos_kernel
+from repro.libs.ep import (
+    DEFAULT_SEED,
+    EPResult,
+    NPBRandom,
+    _vector_randlc,
+    ep_kernel,
+    ep_operations,
+)
+
+
+# ------------------------------------------------------------- NPB randlc
+
+
+def test_randlc_first_values_against_recurrence():
+    r = NPBRandom()
+    state = DEFAULT_SEED
+    for _ in range(100):
+        state = (1220703125 * state) % 2**46
+        assert r.randlc() == state * 2.0**-46
+
+
+def test_randlc_range():
+    r = NPBRandom()
+    values = [r.randlc() for _ in range(1000)]
+    assert all(0.0 < v < 1.0 for v in values)
+
+
+def test_jump_equals_stepping():
+    r1 = NPBRandom()
+    r1.jump(777)
+    r2 = NPBRandom()
+    for _ in range(777):
+        r2.randlc()
+    assert r1.state == r2.state
+
+
+def test_jump_zero_is_identity():
+    r = NPBRandom()
+    state = r.state
+    r.jump(0)
+    assert r.state == state
+
+
+def test_jump_negative_raises():
+    with pytest.raises(ValueError):
+        NPBRandom().jump(-1)
+
+
+def test_invalid_seed_raises():
+    with pytest.raises(ValueError):
+        NPBRandom(0)
+    with pytest.raises(ValueError):
+        NPBRandom(2**46)
+
+
+def test_vectorized_sequence_matches_scalar():
+    r = NPBRandom()
+    scalar = np.array([r.randlc() for _ in range(500)])
+    for streams in (1, 3, 16, 500):
+        vec = _vector_randlc(DEFAULT_SEED, 500, streams)
+        np.testing.assert_array_equal(vec, scalar)
+
+
+def test_uniforms_advances_state():
+    r1 = NPBRandom()
+    r1.uniforms(100)
+    r2 = NPBRandom()
+    r2.jump(100)
+    assert r1.state == r2.state
+    assert r1.uniforms(0).size == 0
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30)
+def test_jump_composition_property(k):
+    """jump(a); jump(b) == jump(a+b) -- the LCG is a monoid action."""
+    r1 = NPBRandom()
+    r1.jump(k)
+    r1.jump(1000)
+    r2 = NPBRandom()
+    r2.jump(k + 1000)
+    assert r1.state == r2.state
+
+
+# ------------------------------------------------------------------ EP
+
+
+def test_ep_small_reproducible():
+    a = ep_kernel(10)
+    b = ep_kernel(10)
+    assert a == b
+    assert a.pairs == 1024
+
+
+def test_ep_acceptance_rate_near_pi_over_4():
+    result = ep_kernel(16)
+    rate = result.accepted / result.pairs
+    assert rate == pytest.approx(np.pi / 4, abs=0.01)
+
+
+def test_ep_counts_sum_to_accepted():
+    result = ep_kernel(14)
+    assert sum(result.counts) == result.accepted
+
+
+def test_ep_slicing_is_exact():
+    """Splitting the problem (as the metaserver does in Fig 11) must
+    reproduce the single-run result exactly, bit for bit."""
+    whole = ep_kernel(12)
+    q = 2**12 // 4
+    parts = [ep_kernel(12, skip_pairs=i * q, pairs=q) for i in range(4)]
+    combined = parts[0] + parts[1] + parts[2] + parts[3]
+    # Counts are integer-exact; sums differ only by float summation order.
+    assert combined.counts == whole.counts
+    assert combined.accepted == whole.accepted
+    assert combined.sx == pytest.approx(whole.sx, rel=1e-12)
+    assert combined.sy == pytest.approx(whole.sy, rel=1e-12)
+
+
+def test_ep_batch_size_does_not_change_result():
+    a = ep_kernel(12, batch=100)
+    b = ep_kernel(12, batch=1 << 20)
+    assert a.counts == b.counts
+    assert a.sx == pytest.approx(b.sx, rel=1e-12)
+    assert a.sy == pytest.approx(b.sy, rel=1e-12)
+
+
+def test_ep_invalid_args():
+    with pytest.raises(ValueError):
+        ep_kernel(0)
+    with pytest.raises(ValueError):
+        ep_kernel(41)
+    with pytest.raises(ValueError):
+        ep_kernel(10, skip_pairs=-1)
+    with pytest.raises(ValueError):
+        ep_kernel(10, skip_pairs=1000, pairs=100)
+
+
+def test_ep_operations_formula():
+    assert ep_operations(24) == 2.0**25
+
+
+def test_ep_result_addition_type_guard():
+    with pytest.raises(TypeError):
+        ep_kernel(8) + 5
+
+
+@pytest.mark.slow
+def test_ep_class_s_verification():
+    """NPB Class S (m=24) published verification values."""
+    result = ep_kernel(24)
+    assert result.sx == pytest.approx(-3.247834652034740e3, rel=1e-10)
+    assert result.sy == pytest.approx(-6.958407078382297e3, rel=1e-10)
+    assert result.counts[:6] == (6140517, 5865300, 1100361, 68546, 1648, 17)
+
+
+# ----------------------------------------------------------------- DOS
+
+
+def test_dos_reproducible():
+    a = dos_kernel(trials=20, sites=8)
+    b = dos_kernel(trials=20, sites=8)
+    assert a == b
+
+
+def test_dos_histogram_total():
+    result = dos_kernel(trials=10, sites=8)
+    assert sum(result.histogram) == 10 * 8  # every eigenvalue lands in range
+
+
+def test_dos_slicing_is_exact():
+    whole = dos_kernel(trials=16, sites=8)
+    parts = [dos_kernel(trials=4, sites=8, skip=i * 4) for i in range(4)]
+    combined = parts[0] + parts[1] + parts[2] + parts[3]
+    assert combined == whole
+
+
+def test_dos_density_normalized():
+    result = dos_kernel(trials=30, sites=16)
+    density = result.density()
+    width = (result.e_max - result.e_min) / len(result.histogram)
+    assert density.sum() * width == pytest.approx(1.0)
+
+
+def test_dos_zero_trials():
+    result = dos_kernel(trials=0, sites=8)
+    assert sum(result.histogram) == 0
+    assert np.all(result.density() == 0)
+
+
+def test_dos_incompatible_grids_cannot_combine():
+    a = dos_kernel(trials=2, sites=8, bins=32)
+    b = dos_kernel(trials=2, sites=8, bins=64)
+    with pytest.raises(ValueError):
+        a + b
+
+
+def test_dos_invalid_args():
+    with pytest.raises(ValueError):
+        dos_kernel(trials=-1)
+    with pytest.raises(ValueError):
+        dos_kernel(trials=1, sites=1)
+    with pytest.raises(ValueError):
+        dos_kernel(trials=1, bins=0)
+
+
+def test_dos_spectrum_symmetric_for_clean_chain():
+    """Zero disorder: the tight-binding band is symmetric about E=0."""
+    result = dos_kernel(trials=5, sites=32, disorder=0.0)
+    hist = np.asarray(result.histogram)
+    np.testing.assert_array_equal(hist, hist[::-1])

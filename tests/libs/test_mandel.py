@@ -1,0 +1,105 @@
+"""Tests for the Mandelbrot tile renderer (parallel imaging workload)."""
+
+import numpy as np
+import pytest
+
+from repro.libs.mandel import mandel_image, mandel_tile, tile_grid
+
+
+def test_tile_shape_and_dtype():
+    tile = mandel_tile(-2.0, 1.0, -1.5, 1.5, 32, 24, max_iter=64)
+    assert tile.shape == (24, 32)
+    assert tile.dtype == np.int32
+    assert tile.min() >= 0
+    assert tile.max() <= 64
+
+
+def test_interior_points_reach_max_iter():
+    # A tile fully inside the main cardioid never escapes.
+    tile = mandel_tile(-0.2, -0.1, -0.05, 0.05, 8, 8, max_iter=50)
+    assert np.all(tile == 50)
+
+
+def test_exterior_points_escape_fast():
+    tile = mandel_tile(1.5, 2.0, 1.5, 2.0, 8, 8, max_iter=50)
+    assert np.all(tile < 5)
+
+
+def test_tiles_compose_exactly():
+    """Tiled rendering is bit-identical to whole-image rendering."""
+    whole = mandel_image(64, 48, tiles_x=1, tiles_y=1, max_iter=60)
+    tiled = mandel_image(64, 48, tiles_x=4, tiles_y=3, max_iter=60)
+    np.testing.assert_array_equal(whole, tiled)
+
+
+def test_tile_grid_partitions():
+    tiles = tile_grid(64, 48, 4, 3)
+    assert len(tiles) == 12
+    covered = np.zeros((48, 64), dtype=int)
+    for tile in tiles:
+        covered[tile["row"]:tile["row"] + tile["height"],
+                tile["col"]:tile["col"] + tile["width"]] += 1
+    assert np.all(covered == 1)  # no seams, no overlap
+
+
+def test_tile_grid_indivisible_rejected():
+    with pytest.raises(ValueError):
+        tile_grid(65, 48, 4, 3)
+
+
+def test_tile_grid_validation():
+    with pytest.raises(ValueError):
+        tile_grid(64, 48, 0, 1)
+
+
+def test_tile_validation():
+    with pytest.raises(ValueError):
+        mandel_tile(-1, 1, -1, 1, 0, 8)
+    with pytest.raises(ValueError):
+        mandel_tile(-1, 1, -1, 1, 8, 8, max_iter=0)
+    with pytest.raises(ValueError):
+        mandel_tile(1, -1, -1, 1, 8, 8)
+
+
+def test_set_is_symmetric_about_real_axis():
+    image = mandel_image(64, 48, tiles_x=2, tiles_y=2, max_iter=40)
+    np.testing.assert_array_equal(image, image[::-1, :])
+
+
+def test_remote_tile_rendering_end_to_end():
+    """Register the tile renderer as a Ninf executable and fan an image
+    out over servers -- the paper's imaging use case."""
+    from repro.client import NinfClient
+    from repro.server import NinfServer, Registry
+
+    IDL = """
+    Define mandel(mode_in double x0, mode_in double x1,
+                  mode_in double y0, mode_in double y1,
+                  mode_in int w, mode_in int h, mode_in int iters,
+                  mode_out int counts[h][w])
+    "one Mandelbrot tile" CalcOrder "w * h * iters"
+    Calls "C" mandel(x0, x1, y0, y1, w, h, iters, counts);
+    """
+
+    def impl(x0, x1, y0, y1, w, h, iters, counts):
+        counts[:] = mandel_tile(x0, x1, y0, y1, int(w), int(h),
+                                max_iter=int(iters))
+
+    registry = Registry()
+    registry.register(IDL, impl)
+    width, height = 32, 32
+    image = np.zeros((height, width), dtype=np.int32)
+    with NinfServer(registry, num_pes=2) as server:
+        with NinfClient(*server.address) as client:
+            futures = []
+            for tile in tile_grid(width, height, 2, 2):
+                futures.append((tile, client.call_async(
+                    "mandel", tile["x_min"], tile["x_max"], tile["y_min"],
+                    tile["y_max"], tile["width"], tile["height"], 40, None,
+                )))
+            for tile, future in futures:
+                (counts,) = future.result(timeout=60)
+                image[tile["row"]:tile["row"] + tile["height"],
+                      tile["col"]:tile["col"] + tile["width"]] = counts
+    reference = mandel_image(width, height, 2, 2, max_iter=40)
+    np.testing.assert_array_equal(image, reference)

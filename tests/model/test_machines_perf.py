@@ -1,0 +1,156 @@
+"""Tests for the machine catalog and the §3.1 performance models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.machines import CATALOG, HockneyModel, MachineSpec, machine
+from repro.model.perf import DEFAULT_T_COMM0, EPModel, LinpackModel
+
+
+# ---------------------------------------------------------------- Hockney
+
+
+def test_hockney_half_performance_at_n_half():
+    model = HockneyModel(pmax=100.0, n_half=500.0)
+    assert model.performance(500) == pytest.approx(50.0)
+
+
+def test_hockney_asymptote():
+    model = HockneyModel(pmax=100.0, n_half=10.0)
+    assert model.performance(1e9) == pytest.approx(100.0, rel=1e-6)
+
+
+def test_hockney_monotone_increasing():
+    model = HockneyModel(pmax=800e6, n_half=500)
+    values = [model.performance(n) for n in range(100, 2000, 100)]
+    assert values == sorted(values)
+
+
+def test_hockney_invalid_n():
+    with pytest.raises(ValueError):
+        HockneyModel(1.0, 1.0).performance(0)
+
+
+@given(st.floats(min_value=1, max_value=1e5),
+       st.floats(min_value=1, max_value=1e4))
+def test_hockney_bounded_by_pmax(n, n_half):
+    model = HockneyModel(pmax=1e9, n_half=n_half)
+    assert 0 < model.performance(n) < 1e9
+
+
+# ----------------------------------------------------------------- catalog
+
+
+def test_catalog_contains_paper_machines():
+    for name in ("j90", "supersparc", "ultrasparc", "alpha", "sparc-smp",
+                 "alpha-node"):
+        assert name in CATALOG
+
+
+def test_machine_lookup_unknown():
+    with pytest.raises(KeyError, match="catalog has"):
+        machine("cray-t3e")
+
+
+def test_j90_local_performance_matches_paper():
+    """Paper: 'J90's Local achieves 600Mflops when n=1600'."""
+    j90 = machine("j90")
+    p1600 = j90.linpack_allpe.performance(1600) / 1e6
+    assert 550 <= p1600 <= 650
+
+
+def test_client_local_performance_levels():
+    assert 8 <= machine("supersparc").linpack_1pe.performance(600) / 1e6 <= 12
+    assert 30 <= machine("ultrasparc").linpack_1pe.performance(600) / 1e6 <= 40
+    assert 100 <= machine("alpha").linpack_1pe.performance(1000) / 1e6 <= 160
+
+
+def test_alpha_standard_slower_than_optimized():
+    alpha = machine("alpha")
+    for n in (200, 600, 1200):
+        assert (alpha.linpack_standard.performance(n)
+                < alpha.linpack_1pe.performance(n))
+
+
+def test_linpack_model_selection():
+    j90 = machine("j90")
+    assert j90.linpack_model(1) is j90.linpack_1pe
+    assert j90.linpack_model(4) is j90.linpack_allpe
+    with pytest.raises(ValueError):
+        j90.linpack_model(1, standard=True)
+
+
+# -------------------------------------------------------------- LinpackModel
+
+
+def test_linpack_comm_bytes_is_papers_formula():
+    model = LinpackModel(machine("j90"))
+    assert model.comm_bytes(600) == 8 * 600**2 + 20 * 600
+    assert (model.input_bytes(600) + model.output_bytes(600)
+            == model.comm_bytes(600))
+
+
+def test_linpack_call_time_decomposition():
+    model = LinpackModel(machine("j90"), pes=4, t_comm0=0.1, t_comp0=0.01)
+    n, bw = 600, 2.5e6
+    assert model.call_time(n, bw) == pytest.approx(
+        0.1 + model.comm_bytes(n) / bw + 0.01
+        + model.flops(n) / model.hockney.performance(n)
+    )
+
+
+def test_linpack_performance_grows_with_n():
+    """T_comm is O(n^2), T_comp O(n^3): remote performance rises with n."""
+    model = LinpackModel(machine("j90"), pes=4)
+    perfs = [model.call_performance(n, 2.5e6) for n in range(200, 1601, 200)]
+    assert perfs == sorted(perfs)
+
+
+def test_linpack_table34_c1_calibration():
+    """Model must reproduce the paper's single-client LAN rows within 15%."""
+    bw = 2.5e6
+    for pes, paper in ((1, {600: 71.16, 1000: 93.40, 1400: 113.65}),
+                       (4, {600: 91.46, 1000: 141.43, 1400: 193.03})):
+        model = LinpackModel(machine("j90"), pes=pes)
+        for n, expected in paper.items():
+            measured = model.call_performance(n, bw) / 1e6
+            assert measured == pytest.approx(expected, rel=0.15), (pes, n)
+
+
+def test_linpack_4pe_faster_than_1pe():
+    m1 = LinpackModel(machine("j90"), pes=1)
+    m4 = LinpackModel(machine("j90"), pes=4)
+    for n in (600, 1000, 1400):
+        assert m4.call_performance(n, 2.5e6) > m1.call_performance(n, 2.5e6)
+
+
+def test_linpack_wan_performance_far_below_lan():
+    model = LinpackModel(machine("j90"), pes=4)
+    assert (model.call_performance(1000, 0.13e6)
+            < 0.15 * model.call_performance(1000, 2.5e6))
+
+
+# ------------------------------------------------------------------- EPModel
+
+
+def test_ep_operations():
+    assert EPModel(machine("j90"), m=24).operations() == 2**25
+
+
+def test_ep_lan_wan_nearly_equal():
+    """Table 8's headline: EP performance is bandwidth-insensitive."""
+    model = EPModel(machine("j90"), m=24)
+    lan = model.call_performance(2.5e6)
+    wan = model.call_performance(0.13e6)
+    assert wan == pytest.approx(lan, rel=0.01)
+
+
+def test_ep_rate_calibration():
+    """Table 8: ~0.167 Mops sustained per J90 PE."""
+    model = EPModel(machine("j90"), m=24)
+    assert model.call_performance(2.5e6) / 1e6 == pytest.approx(0.167, rel=0.02)
+
+
+def test_default_setup_cost_positive():
+    assert DEFAULT_T_COMM0 > 0

@@ -1,0 +1,217 @@
+"""End-to-end RPC: real sockets, real server, real marshalling."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.client import NinfClient, ninf_call, ninf_call_async
+from repro.client.api import parse_ninf_url
+from repro.libs.ep import ep_kernel
+from repro.protocol.errors import RemoteError
+
+
+def test_ping_and_list(client):
+    assert client.ping()
+    assert client.list_functions() == [
+        "always_fails", "dmmul", "ep", "linpack", "sleeper",
+    ]
+
+
+def test_dmmul_end_to_end(client, rng):
+    n = 16
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    c = np.zeros((n, n))
+    (result,) = client.call("dmmul", n, a, b, c)
+    np.testing.assert_allclose(result, a @ b, rtol=1e-12)
+    # Call-by-reference: caller's buffer was filled in place.
+    np.testing.assert_allclose(c, a @ b, rtol=1e-12)
+
+
+def test_linpack_end_to_end(client, rng):
+    n = 24
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    a_arg = a.copy()
+    b_arg = b.copy()
+    client.call("linpack", n, a_arg, b_arg)
+    np.testing.assert_allclose(b_arg, x_true, rtol=1e-8)
+
+
+def test_ep_scalar_outputs(client):
+    accepted, sx, sy = client.call("ep", 10, 0, 1024, None, None, None)
+    reference = ep_kernel(10)
+    assert accepted == reference.accepted
+    assert sx == pytest.approx(reference.sx)
+    assert sy == pytest.approx(reference.sy)
+
+
+def test_two_stage_rpc_signature_cached(client):
+    sig1 = client.get_signature("dmmul")
+    sig2 = client.get_signature("dmmul")
+    assert sig1 is sig2
+    assert sig1.predicted_flops({"n": 10}) == 2000
+
+
+def test_call_record_metrics(client, rng):
+    n = 8
+    a = rng.standard_normal((n, n))
+    _, record = client.call_with_record("dmmul", n, a, a, None)
+    assert record.elapsed > 0
+    assert record.input_bytes > 8 * n * n * 2
+    assert record.output_bytes >= 8 * n * n
+    assert record.throughput > 0
+    assert record.server.complete >= record.server.dequeue >= record.server.enqueue
+    assert client.records[-1] is record
+
+
+def test_remote_error_propagates(client):
+    with pytest.raises(RemoteError) as excinfo:
+        client.call("always_fails", 7)
+    assert excinfo.value.code == "execution-failed"
+    assert "refusing to process" in str(excinfo.value)
+
+
+def test_unknown_function_raises(client):
+    with pytest.raises(RemoteError) as excinfo:
+        client.call("no_such_routine", 1)
+    assert excinfo.value.code == "no-such-function"
+
+
+def test_bad_arguments_rejected_client_side(client):
+    from repro.idl import IdlError
+
+    with pytest.raises(IdlError):
+        client.call("dmmul", 4, np.zeros((3, 3)), np.zeros((4, 4)), None)
+
+
+def test_async_call(client, rng):
+    n = 8
+    a = rng.standard_normal((n, n))
+    future = client.call_async("dmmul", n, a, a, None)
+    (result,) = future.result(timeout=30)
+    np.testing.assert_allclose(result, a @ a, rtol=1e-12)
+    assert future.done
+    assert future.record.function == "dmmul"
+
+
+def test_async_error_raised_at_result(client):
+    future = client.call_async("always_fails", 1)
+    future.wait(30)
+    with pytest.raises(RemoteError):
+        future.result()
+
+
+def test_many_concurrent_clients(server, rng):
+    """The multi-client scenario: c clients hammer one server."""
+    host, port = server.address
+    n = 12
+    errors = []
+    results = []
+
+    def one_client(seed):
+        local_rng = np.random.default_rng(seed)
+        try:
+            with NinfClient(host, port) as cli:
+                for _ in range(3):
+                    a = local_rng.standard_normal((n, n))
+                    (c,) = cli.call("dmmul", n, a, a, None)
+                    np.testing.assert_allclose(c, a @ a, rtol=1e-10)
+                    results.append(1)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=one_client, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert len(results) == 24
+
+
+def test_query_load(client):
+    load = client.query_load()
+    assert load.num_pes == 4
+    assert load.queued == 0
+
+
+def test_ninf_url_api(server, rng):
+    host, port = server.address
+    n = 6
+    a = rng.standard_normal((n, n))
+    (c,) = ninf_call(f"ninf://{host}:{port}/dmmul", n, a, a, None)
+    np.testing.assert_allclose(c, a @ a, rtol=1e-12)
+
+
+def test_ninf_url_async_api(server, rng):
+    host, port = server.address
+    n = 6
+    a = rng.standard_normal((n, n))
+    future = ninf_call_async(f"{host}:{port}/dmmul", n, a, a, None)
+    (c,) = future.result(timeout=30)
+    np.testing.assert_allclose(c, a @ a, rtol=1e-12)
+
+
+@pytest.mark.parametrize("url,expected", [
+    ("ninf://h:1/f", ("h", 1, "f")),
+    ("h:1/f", ("h", 1, "f")),
+    ("http://example.com:9000/linpack", ("example.com", 9000, "linpack")),
+])
+def test_parse_ninf_url(url, expected):
+    assert parse_ninf_url(url) == expected
+
+
+@pytest.mark.parametrize("url", ["noport/f", "h:1", "h:1/", "ftp://h:1/f"])
+def test_parse_ninf_url_rejects(url):
+    with pytest.raises(ValueError):
+        parse_ninf_url(url)
+
+
+def test_server_restart_same_registry(server):
+    """Stopping a server severs clients; a new one serves again."""
+    from tests.rpc.conftest import build_registry
+    from repro.server import NinfServer
+
+    host, port = server.address
+    server.stop()
+    with NinfServer(build_registry(), num_pes=2) as fresh:
+        h2, p2 = fresh.address
+        with NinfClient(h2, p2) as cli:
+            assert cli.ping()
+
+
+def test_data_parallel_mode_serializes(rng):
+    """In data mode each call takes all PEs, so calls serialize: the
+    second call's dequeue is after the first call's completion."""
+    from tests.rpc.conftest import build_registry
+    from repro.server import NinfServer
+
+    with NinfServer(build_registry(), num_pes=4, mode="data") as srv:
+        host, port = srv.address
+        with NinfClient(host, port) as cli:
+            f1 = cli.call_async("sleeper", 0.3)
+            f2 = cli.call_async("sleeper", 0.3)
+            f1.result(30)
+            f2.result(30)
+            first, second = sorted(
+                (f1.record.server, f2.record.server),
+                key=lambda ts: ts.dequeue,
+            )
+            assert second.dequeue >= first.complete - 0.05
+
+
+def test_task_parallel_mode_overlaps(server):
+    """In task mode with 4 PEs, two sleeps overlap."""
+    host, port = server.address
+    with NinfClient(host, port) as cli:
+        f1 = cli.call_async("sleeper", 0.3)
+        f2 = cli.call_async("sleeper", 0.3)
+        f1.result(30)
+        f2.result(30)
+        first, second = sorted(
+            (f1.record.server, f2.record.server), key=lambda ts: ts.dequeue
+        )
+        assert second.dequeue < first.complete

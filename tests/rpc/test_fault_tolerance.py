@@ -1,0 +1,77 @@
+"""Fault-tolerance tests: transactions retry transport failures on
+another server (the metaserver's "fault-tolerant execution" claim)."""
+
+import numpy as np
+import pytest
+
+from repro.client import NinfClient
+from repro.client.transaction import Transaction, TransactionError
+from repro.server import NinfServer
+from tests.rpc.conftest import build_registry
+
+
+@pytest.fixture
+def pair_of_servers():
+    servers = [NinfServer(build_registry(), num_pes=2, name=f"ft{i}").start()
+               for i in range(2)]
+    clients = [NinfClient(*s.address, timeout=10.0) for s in servers]
+    yield servers, clients
+    for client in clients:
+        client.close()
+    for server in servers:
+        server.stop()
+
+
+def test_transaction_retries_on_dead_server(pair_of_servers, rng=None):
+    """Kill one server before execution: its calls migrate to the
+    survivor and the transaction still succeeds."""
+    servers, clients = pair_of_servers
+    rng = np.random.default_rng(0)
+    n = 6
+    # Warm both signature caches while both servers are alive.
+    for client in clients:
+        client.get_signature("dmmul")
+
+    txn = Transaction(clients, retries=2)
+    matrices = [rng.standard_normal((n, n)) for _ in range(4)]
+    handles = [txn.call("dmmul", n, m, m, None) for m in matrices]
+
+    # Now kill server 0; half the calls would land on it.
+    servers[0].stop()
+    clients[0].close()
+
+    txn.execute()
+    for handle, m in zip(handles, matrices):
+        np.testing.assert_allclose(handle.result()[0], m @ m, rtol=1e-10)
+        # Every successful call ended on the surviving server.
+        assert handle.server is clients[1]
+
+
+def test_transaction_no_retry_exhausts_and_fails(pair_of_servers):
+    servers, clients = pair_of_servers
+    for client in clients:
+        client.get_signature("dmmul")
+    txn = Transaction([clients[0]], retries=0)
+    txn.call("dmmul", 2, np.eye(2), np.eye(2), None)
+    servers[0].stop()
+    clients[0].close()
+    with pytest.raises(TransactionError):
+        txn.execute()
+
+
+def test_transaction_does_not_retry_execution_errors(pair_of_servers):
+    """A deterministic remote exception must not be retried N times."""
+    _, clients = pair_of_servers
+    txn = Transaction(clients, retries=3)
+    handle = txn.call("always_fails", 1)
+    with pytest.raises(TransactionError):
+        txn.execute()
+    from repro.protocol.errors import RemoteError
+
+    assert isinstance(handle.error, RemoteError)
+
+
+def test_transaction_retries_validation():
+    client = object.__new__(NinfClient)  # no connection needed
+    with pytest.raises(ValueError):
+        Transaction([client], retries=-1)

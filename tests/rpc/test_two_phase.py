@@ -1,0 +1,105 @@
+"""Integration tests for the two-phase RPC protocol (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.client import NinfClient
+from repro.protocol.errors import RemoteError
+
+
+def test_detached_call_roundtrip(client, rng):
+    n = 8
+    a = rng.standard_normal((n, n))
+    c = np.zeros((n, n))
+    handle = client.call_detached("dmmul", n, a, a, c)
+    assert handle.ticket > 0
+    outputs = handle.fetch(timeout=30)
+    np.testing.assert_allclose(outputs[0], a @ a, rtol=1e-12)
+    # In-place write-back happens at fetch time.
+    np.testing.assert_allclose(c, a @ a, rtol=1e-12)
+    # The record carries server timestamps like a one-phase call.
+    assert handle.record is not None
+    assert handle.record.server.complete >= handle.record.server.enqueue
+
+
+def test_detached_survives_connection_churn(server, rng):
+    """The whole point of §5.1: no connection is held between phases.
+    Submit with one client instance, fetch with a brand-new one."""
+    host, port = server.address
+    n = 6
+    a = rng.standard_normal((n, n))
+    with NinfClient(host, port) as first:
+        handle = first.call_detached("dmmul", n, a, a, None)
+        ticket = handle.ticket
+    # first's sockets are closed now; fetch over a fresh client.
+    with NinfClient(host, port) as second:
+        handle.client = second
+        outputs = second.fetch_detached(handle, timeout=30)
+    np.testing.assert_allclose(outputs[0], a @ a, rtol=1e-12)
+    assert handle.ticket == ticket
+
+
+def test_detached_pending_then_ready(client):
+    handle = client.call_detached("sleeper", 0.3)
+    # Polling loop inside fetch handles RESULT_PENDING transparently.
+    outputs = handle.fetch(timeout=30)
+    assert outputs == []
+
+
+def test_detached_fetch_timeout(client):
+    handle = client.call_detached("sleeper", 1.0)
+    with pytest.raises(TimeoutError):
+        client.fetch_detached(handle, timeout=0.1)
+    # A later fetch still succeeds.
+    assert handle.fetch(timeout=30) == []
+
+
+def test_detached_execution_error_surfaces_at_fetch(client):
+    handle = client.call_detached("always_fails", 3)
+    with pytest.raises(RemoteError) as excinfo:
+        handle.fetch(timeout=30)
+    assert excinfo.value.code == "execution-failed"
+
+
+def test_detached_unknown_ticket(client):
+    handle = client.call_detached("sleeper", 0.0)
+    handle.fetch(timeout=30)
+    # Result was consumed; fetching again is an unknown ticket.
+    with pytest.raises(RemoteError) as excinfo:
+        handle.fetch(timeout=5)
+    assert excinfo.value.code == "unknown-ticket"
+
+
+def test_detached_unknown_function(client):
+    with pytest.raises(RemoteError) as excinfo:
+        client.call_detached("no_such", 1)
+    assert excinfo.value.code == "no-such-function"
+
+
+def test_many_detached_calls_interleaved(client, rng):
+    n = 5
+    handles = []
+    matrices = []
+    for _ in range(6):
+        a = rng.standard_normal((n, n))
+        matrices.append(a)
+        handles.append(client.call_detached("dmmul", n, a, a, None))
+    # Tickets are unique.
+    assert len({h.ticket for h in handles}) == 6
+    # Fetch out of order.
+    for handle, a in sorted(zip(handles, matrices),
+                            key=lambda pair: -pair[0].ticket):
+        (result,) = handle.fetch(timeout=30)
+        np.testing.assert_allclose(result, a @ a, rtol=1e-10)
+
+
+def test_detached_store_bounded(server, client):
+    """Old finished results are evicted once the store exceeds its cap."""
+    server.max_detached_results = 3
+    handles = [client.call_detached("sleeper", 0.0) for _ in range(8)]
+    # Wait for all to finish by fetching the newest.
+    handles[-1].fetch(timeout=30)
+    # The oldest tickets have been evicted.
+    with pytest.raises(RemoteError) as excinfo:
+        handles[0].fetch(timeout=5)
+    assert excinfo.value.code == "unknown-ticket"

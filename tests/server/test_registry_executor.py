@@ -1,0 +1,245 @@
+"""Unit tests for the server registry and executor."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.idl import IdlError, Signature
+from repro.server.executor import Executor
+from repro.server.registry import ExecutionError, NinfExecutable, Registry
+
+ADD_IDL = ('Define add(mode_in int n, mode_in double a[n], '
+           'mode_in double b[n], mode_out double c[n]) CalcOrder "n";')
+
+
+def add_impl(n, a, b, c):
+    c[:] = a + b
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_register_and_get():
+    registry = Registry()
+    exe = registry.register(ADD_IDL, add_impl)
+    assert registry.get("add") is exe
+    assert "add" in registry
+    assert registry.names() == ["add"]
+    assert len(registry) == 1
+
+
+def test_register_duplicate_rejected():
+    registry = Registry()
+    registry.register(ADD_IDL, add_impl)
+    with pytest.raises(IdlError, match="duplicate"):
+        registry.register(ADD_IDL, add_impl)
+
+
+def test_register_with_aliases():
+    registry = Registry()
+    registry.register(
+        'Define f(mode_in int n) Alias "g";', lambda n: None
+    )
+    assert registry.get("g") is registry.get("f")
+
+
+def test_get_missing_returns_none():
+    assert Registry().get("nope") is None
+
+
+def test_executable_invoke_in_place_outputs():
+    exe = NinfExecutable(Signature.from_idl(ADD_IDL), add_impl)
+    a = np.array([1.0, 2.0])
+    b = np.array([3.0, 4.0])
+    c = np.zeros(2)
+    outputs = exe.invoke([2, a, b, c])
+    np.testing.assert_array_equal(outputs[0], [4.0, 6.0])
+    assert outputs[0] is c
+
+
+def test_executable_invoke_returned_outputs():
+    sig = Signature.from_idl(
+        "Define stats(mode_in int n, mode_out double mean, "
+        "mode_out double total);"
+    )
+
+    def impl(n, mean, total):
+        return float(n) / 2.0, float(n)
+
+    exe = NinfExecutable(sig, impl)
+    assert exe.invoke([4, None, None]) == [2.0, 4.0]
+
+
+def test_executable_single_return_value():
+    sig = Signature.from_idl("Define sq(mode_in int n, mode_out double y);")
+    exe = NinfExecutable(sig, lambda n, y: float(n * n))
+    assert exe.invoke([3, None]) == [9.0]
+
+
+def test_executable_wrong_return_arity():
+    sig = Signature.from_idl(
+        "Define two(mode_in int n, mode_out double a, mode_out double b);"
+    )
+    exe = NinfExecutable(sig, lambda n, a, b: (1.0,))
+    with pytest.raises(ExecutionError):
+        exe.invoke([1, None, None])
+
+
+def test_executable_scalar_output_never_produced():
+    sig = Signature.from_idl("Define f(mode_in int n, mode_out double y);")
+    exe = NinfExecutable(sig, lambda n, y: None)
+    with pytest.raises(ExecutionError):
+        exe.invoke([1, None])
+
+
+def test_executable_exception_wrapped():
+    sig = Signature.from_idl("Define f(mode_in int n);")
+
+    def impl(n):
+        raise ValueError("inner")
+
+    exe = NinfExecutable(sig, impl)
+    with pytest.raises(ExecutionError) as excinfo:
+        exe.invoke([1])
+    assert isinstance(excinfo.value.cause, ValueError)
+
+
+def test_executable_pes_required_validation():
+    sig = Signature.from_idl("Define f(mode_in int n);")
+    with pytest.raises(ValueError):
+        NinfExecutable(sig, lambda n: None, pes_required=0)
+
+
+# ----------------------------------------------------------------- executor
+
+
+def make_sleeper(duration):
+    sig = Signature.from_idl("Define s(mode_in int n);")
+    return NinfExecutable(sig, lambda n: time.sleep(duration))
+
+
+def test_executor_runs_job_and_timestamps():
+    executor = Executor(num_pes=1)
+    try:
+        exe = make_sleeper(0.05)
+        job = executor.submit(exe, [1])
+        assert job.done.wait(10)
+        assert job.error is None
+        assert job.complete_time >= job.dequeue_time >= job.enqueue_time
+        assert job.complete_time - job.dequeue_time >= 0.04
+        assert executor.completed == 1
+    finally:
+        executor.shutdown()
+
+
+def test_executor_concurrency_bounded_by_pes():
+    executor = Executor(num_pes=2)
+    active = []
+    peak = []
+    lock = threading.Lock()
+    sig = Signature.from_idl("Define s(mode_in int n);")
+
+    def impl(n):
+        with lock:
+            active.append(1)
+            peak.append(len(active))
+        time.sleep(0.1)
+        with lock:
+            active.pop()
+
+    exe = NinfExecutable(sig, impl)
+    jobs = [executor.submit(exe, [1]) for _ in range(6)]
+    try:
+        for job in jobs:
+            assert job.done.wait(15)
+        assert max(peak) <= 2
+        assert executor.completed == 6
+    finally:
+        executor.shutdown()
+
+
+def test_executor_wide_job_excludes_others():
+    executor = Executor(num_pes=4)
+    sig = Signature.from_idl("Define s(mode_in int n);")
+    wide = NinfExecutable(sig, lambda n: time.sleep(0.15), pes_required=4)
+    narrow = NinfExecutable(
+        Signature.from_idl("Define t(mode_in int n);"),
+        lambda n: time.sleep(0.05), pes_required=1,
+    )
+    try:
+        j_wide = executor.submit(wide, [1])
+        time.sleep(0.02)  # let the wide job start
+        j_narrow = executor.submit(narrow, [1])
+        assert j_wide.done.wait(10) and j_narrow.done.wait(10)
+        # FCFS: the narrow job could not start until the wide one finished.
+        assert j_narrow.dequeue_time >= j_wide.complete_time - 0.05
+    finally:
+        executor.shutdown()
+
+
+def test_executor_failure_counted():
+    sig = Signature.from_idl("Define f(mode_in int n);")
+
+    def impl(n):
+        raise RuntimeError("kaboom")
+
+    executor = Executor(num_pes=1)
+    try:
+        job = executor.submit(NinfExecutable(sig, impl), [1])
+        assert job.done.wait(10)
+        assert job.error is not None
+        assert executor.failed == 1
+    finally:
+        executor.shutdown()
+
+
+def test_executor_predicted_cost_from_calc_order():
+    executor = Executor(num_pes=1)
+    try:
+        sig = Signature.from_idl(
+            'Define f(mode_in int n) CalcOrder "n*n";'
+        )
+        exe = NinfExecutable(sig, lambda n: None)
+        job = executor.submit(exe, [10])
+        assert job.predicted_cost == 100.0
+        assert job.done.wait(10)
+    finally:
+        executor.shutdown()
+
+
+def test_executor_shutdown_drops_queue():
+    executor = Executor(num_pes=1)
+    blocker = make_sleeper(0.5)
+    j1 = executor.submit(blocker, [1])
+    j2 = executor.submit(blocker, [1])
+    time.sleep(0.05)
+    executor.shutdown()
+    assert j2.done.wait(10)
+    # Either dropped before dispatch (error) or completed if it won a race.
+    assert j1.done.wait(10)
+
+
+def test_executor_rejects_after_shutdown():
+    executor = Executor(num_pes=1)
+    executor.shutdown()
+    with pytest.raises(RuntimeError):
+        executor.submit(make_sleeper(0.0), [1])
+
+
+def test_executor_invalid_pes():
+    with pytest.raises(ValueError):
+        Executor(num_pes=0)
+
+
+def test_executor_on_complete_callback():
+    executor = Executor(num_pes=1)
+    seen = []
+    try:
+        job = executor.submit(make_sleeper(0.01), [1],
+                              on_complete=lambda j: seen.append(j.seq))
+        assert job.done.wait(10)
+        assert seen == [job.seq]
+    finally:
+        executor.shutdown()

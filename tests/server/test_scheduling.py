@@ -1,0 +1,122 @@
+"""Unit tests for the scheduling policies (FCFS/SJF/FPFS/FPMPFS)."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.server.scheduling import (
+    FCFSPolicy,
+    FPFSPolicy,
+    FPMPFSPolicy,
+    SJFPolicy,
+    make_policy,
+)
+
+
+@dataclass
+class FakeJob:
+    seq: int
+    pes_required: int = 1
+    predicted_cost: Optional[float] = None
+
+
+def test_fcfs_picks_oldest():
+    policy = FCFSPolicy()
+    pending = [FakeJob(seq=5), FakeJob(seq=2), FakeJob(seq=9)]
+    assert policy.select(pending, free_pes=4) == 1
+
+
+def test_fcfs_head_of_line_blocking():
+    """A wide head job blocks even though a later narrow one fits --
+    exactly the FCFS drawback §5.3 describes."""
+    policy = FCFSPolicy()
+    pending = [FakeJob(seq=0, pes_required=4), FakeJob(seq=1, pes_required=1)]
+    assert policy.select(pending, free_pes=2) is None
+
+
+def test_fcfs_empty():
+    assert FCFSPolicy().select([], free_pes=4) is None
+
+
+def test_sjf_picks_shortest():
+    policy = SJFPolicy()
+    pending = [
+        FakeJob(seq=0, predicted_cost=100.0),
+        FakeJob(seq=1, predicted_cost=10.0),
+        FakeJob(seq=2, predicted_cost=50.0),
+    ]
+    assert policy.select(pending, free_pes=1) == 1
+
+
+def test_sjf_unpredicted_jobs_sort_last_fcfs_among_themselves():
+    policy = SJFPolicy()
+    pending = [
+        FakeJob(seq=0, predicted_cost=None),
+        FakeJob(seq=1, predicted_cost=None),
+        FakeJob(seq=2, predicted_cost=1e9),
+    ]
+    assert policy.select(pending, free_pes=1) == 2
+    pending = [FakeJob(seq=3), FakeJob(seq=1)]
+    assert policy.select(pending, free_pes=1) == 1
+
+
+def test_sjf_only_fitting_jobs_compete():
+    policy = SJFPolicy()
+    pending = [
+        FakeJob(seq=0, pes_required=4, predicted_cost=1.0),
+        FakeJob(seq=1, pes_required=1, predicted_cost=100.0),
+    ]
+    assert policy.select(pending, free_pes=2) == 1
+
+
+def test_fpfs_skips_nonfitting_head():
+    """FPFS avoids the FCFS blocking: the narrow later job runs."""
+    policy = FPFSPolicy()
+    pending = [FakeJob(seq=0, pes_required=4), FakeJob(seq=1, pes_required=1)]
+    assert policy.select(pending, free_pes=2) == 1
+
+
+def test_fpfs_oldest_fitting():
+    policy = FPFSPolicy()
+    pending = [
+        FakeJob(seq=3, pes_required=2),
+        FakeJob(seq=1, pes_required=2),
+        FakeJob(seq=2, pes_required=8),
+    ]
+    assert policy.select(pending, free_pes=2) == 1
+
+
+def test_fpmpfs_prefers_widest_fitting():
+    policy = FPMPFSPolicy()
+    pending = [
+        FakeJob(seq=0, pes_required=1),
+        FakeJob(seq=1, pes_required=3),
+        FakeJob(seq=2, pes_required=2),
+    ]
+    assert policy.select(pending, free_pes=3) == 1
+
+
+def test_fpmpfs_ties_broken_fcfs():
+    policy = FPMPFSPolicy()
+    pending = [FakeJob(seq=5, pes_required=2), FakeJob(seq=1, pes_required=2)]
+    assert policy.select(pending, free_pes=4) == 1
+
+
+def test_fpmpfs_none_fit():
+    policy = FPMPFSPolicy()
+    assert policy.select([FakeJob(seq=0, pes_required=8)], free_pes=4) is None
+
+
+@pytest.mark.parametrize("name,cls", [
+    ("fcfs", FCFSPolicy), ("sjf", SJFPolicy),
+    ("fpfs", FPFSPolicy), ("fpmpfs", FPMPFSPolicy),
+    ("FCFS", FCFSPolicy),
+])
+def test_make_policy(name, cls):
+    assert isinstance(make_policy(name), cls)
+
+
+def test_make_policy_unknown():
+    with pytest.raises(ValueError):
+        make_policy("lottery")

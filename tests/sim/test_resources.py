@@ -1,0 +1,409 @@
+"""Unit tests for resources: Resource, PriorityResource, PS server, Store."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import AnyOf, Simulator, Timeout
+from repro.sim.resources import (
+    PriorityResource,
+    ProcessorSharingServer,
+    Resource,
+    Store,
+    _waterfill,
+)
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_grants_up_to_capacity_then_queues():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    log = []
+
+    def user(name, hold):
+        req = res.request()
+        yield req
+        log.append(("start", name, sim.now))
+        yield Timeout(sim, hold)
+        res.release(req)
+        log.append(("end", name, sim.now))
+
+    sim.process(user("a", 3.0))
+    sim.process(user("b", 3.0))
+    sim.process(user("c", 3.0))
+    sim.run()
+    starts = [(n, t) for kind, n, t in log if kind == "start"]
+    assert starts == [("a", 0.0), ("b", 0.0), ("c", 3.0)]
+
+
+def test_resource_fcfs_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(name, arrive):
+        yield Timeout(sim, arrive)
+        req = res.request()
+        yield req
+        order.append(name)
+        yield Timeout(sim, 10.0)
+        res.release(req)
+
+    for i, arrive in enumerate([0.0, 1.0, 2.0, 3.0]):
+        sim.process(user(f"u{i}", arrive))
+    sim.run()
+    assert order == ["u0", "u1", "u2", "u3"]
+
+
+def test_resource_release_without_grant_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req = res.request()
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_utilization_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user():
+        req = res.request()
+        yield req
+        yield Timeout(sim, 5.0)
+        res.release(req)
+
+    sim.process(user())
+    sim.run(until=10.0)
+    assert res.utilization() == pytest.approx(0.5, abs=0.01)
+
+
+def test_resource_abandoned_request_is_skipped():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield Timeout(sim, 10.0)
+        res.release(req)
+
+    def impatient():
+        yield Timeout(sim, 1.0)
+        req = res.request()
+        # Give up after 2 seconds if not granted.
+        result = yield AnyOf([req, Timeout(sim, 2.0, "gave-up")])
+        order.append(("impatient", result[1] if result[0] == 1 else "got-it"))
+
+    def patient():
+        yield Timeout(sim, 2.0)
+        req = res.request()
+        yield req
+        order.append(("patient", sim.now))
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(impatient())
+    sim.process(patient())
+    sim.run()
+    assert ("impatient", "gave-up") in order
+    assert ("patient", 10.0) in order
+
+
+def test_priority_resource_grants_lowest_priority_first():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield Timeout(sim, 5.0)
+        res.release(req)
+
+    def user(name, priority):
+        yield Timeout(sim, 1.0)
+        req = res.request(priority=priority)
+        yield req
+        order.append(name)
+        yield Timeout(sim, 1.0)
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(user("low-pri-9", 9.0))
+    sim.process(user("hi-pri-1", 1.0))
+    sim.process(user("mid-pri-5", 5.0))
+    sim.run()
+    assert order == ["hi-pri-1", "mid-pri-5", "low-pri-9"]
+
+
+# ------------------------------------------------- ProcessorSharingServer
+
+
+def test_ps_single_job_runs_at_full_capacity():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=4.0)
+    finish = []
+
+    def runner():
+        yield ps.submit(work=8.0)
+        finish.append(sim.now)
+
+    sim.process(runner())
+    sim.run()
+    assert finish == [2.0]  # 8 units at rate 4
+
+
+def test_ps_equal_share_two_jobs():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=2.0)
+    finish = {}
+
+    def runner(name, work):
+        yield ps.submit(work=work)
+        finish[name] = sim.now
+
+    sim.process(runner("a", 10.0))
+    sim.process(runner("b", 10.0))
+    sim.run()
+    # Both share rate 1 each -> finish at t=10 simultaneously.
+    assert finish == {"a": 10.0, "b": 10.0}
+
+
+def test_ps_max_rate_cap_limits_single_job():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=4.0)
+    finish = []
+
+    def runner():
+        yield ps.submit(work=8.0, max_rate=1.0)
+        finish.append(sim.now)
+
+    sim.process(runner())
+    sim.run()
+    assert finish == [8.0]  # capped at 1 unit/s despite capacity 4
+
+
+def test_ps_cap_surplus_redistributed():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=4.0)
+    finish = {}
+
+    def runner(name, work, cap):
+        yield ps.submit(work=work, max_rate=cap)
+        finish[name] = sim.now
+
+    # capped gets 1, uncapped gets the remaining 3.
+    sim.process(runner("capped", 10.0, 1.0))
+    sim.process(runner("uncapped", 30.0, math.inf))
+    sim.run()
+    assert finish["capped"] == pytest.approx(10.0)
+    assert finish["uncapped"] == pytest.approx(10.0)
+
+
+def test_ps_five_unit_capped_jobs_on_four_pes():
+    """The task-parallel Ninf case: 5 tasks, 4 PEs -> each runs at 0.8."""
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=4.0)
+    finish = []
+
+    def runner():
+        yield ps.submit(work=8.0, max_rate=1.0)
+        finish.append(sim.now)
+
+    for _ in range(5):
+        sim.process(runner())
+    sim.run()
+    assert all(t == pytest.approx(10.0) for t in finish)  # 8 / 0.8
+
+
+def test_ps_dynamic_rate_change_midstream():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=1.0)
+    finish = {}
+
+    def early():
+        yield ps.submit(work=10.0)
+        finish["early"] = sim.now
+
+    def late():
+        yield Timeout(sim, 5.0)
+        yield ps.submit(work=10.0)
+        finish["late"] = sim.now
+
+    sim.process(early())
+    sim.process(late())
+    sim.run()
+    # early: 5s alone (5 done) + shares until its remaining 5 at rate .5 -> 10s more = t=15
+    assert finish["early"] == pytest.approx(15.0)
+    # late: 10s at .5 for 10s (5 done by 15), then alone at 1.0 -> t=20
+    assert finish["late"] == pytest.approx(20.0)
+
+
+def test_ps_zero_work_completes_immediately():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=1.0)
+    finish = []
+
+    def runner():
+        yield ps.submit(work=0.0)
+        finish.append(sim.now)
+
+    sim.process(runner())
+    sim.run()
+    assert finish == [0.0]
+
+
+def test_ps_invalid_args():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=1.0)
+    with pytest.raises(ValueError):
+        ps.submit(work=-1.0)
+    with pytest.raises(ValueError):
+        ps.submit(work=1.0, weight=0.0)
+    with pytest.raises(ValueError):
+        ProcessorSharingServer(sim, capacity=0.0)
+
+
+def test_ps_utilization():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=4.0)
+
+    def runner():
+        yield ps.submit(work=4.0, max_rate=1.0)  # 4s at 1/4 of capacity
+
+    sim.process(runner())
+    sim.run(until=8.0)
+    assert ps.utilization() == pytest.approx(0.125, abs=0.01)
+
+
+def test_ps_completed_jobs_counter():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=1.0)
+
+    def runner():
+        yield ps.submit(work=1.0)
+
+    for _ in range(3):
+        sim.process(runner())
+    sim.run()
+    assert ps.completed_jobs == 3
+
+
+def test_ps_weighted_sharing():
+    sim = Simulator()
+    ps = ProcessorSharingServer(sim, capacity=3.0)
+    finish = {}
+
+    def runner(name, work, weight):
+        yield ps.submit(work=work, weight=weight)
+        finish[name] = sim.now
+
+    sim.process(runner("heavy", 20.0, 2.0))  # rate 2
+    sim.process(runner("light", 10.0, 1.0))  # rate 1
+    sim.run()
+    assert finish["heavy"] == pytest.approx(10.0)
+    assert finish["light"] == pytest.approx(10.0)
+
+
+# --------------------------------------------------------------- waterfill
+
+
+def test_waterfill_no_caps_equal_split():
+    rates = _waterfill(4.0, [("a", 1.0, math.inf), ("b", 1.0, math.inf)])
+    assert rates == {"a": 2.0, "b": 2.0}
+
+
+def test_waterfill_cap_redistributes():
+    rates = _waterfill(4.0, [("a", 1.0, 0.5), ("b", 1.0, math.inf)])
+    assert rates["a"] == 0.5
+    assert rates["b"] == pytest.approx(3.5)
+
+
+def test_waterfill_all_capped_leaves_slack():
+    rates = _waterfill(10.0, [("a", 1.0, 1.0), ("b", 1.0, 2.0)])
+    assert rates == {"a": 1.0, "b": 2.0}
+
+
+def test_waterfill_conserves_capacity():
+    entries = [(f"k{i}", 1.0 + i * 0.5, 1.0 + i) for i in range(5)]
+    rates = _waterfill(6.0, entries)
+    assert sum(rates.values()) <= 6.0 + 1e-9
+    assert all(rates[k] <= cap + 1e-9 for k, _, cap in entries)
+
+
+# -------------------------------------------------------------------- Store
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    store.put("x")
+    sim.process(getter())
+    sim.run()
+    assert got == [("x", 0.0)]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def putter():
+        yield Timeout(sim, 3.0)
+        store.put("late")
+
+    sim.process(getter())
+    sim.process(putter())
+    sim.run()
+    assert got == [("late", 3.0)]
+
+
+def test_store_fifo_ordering_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(name, delay):
+        yield Timeout(sim, delay)
+        item = yield store.get()
+        got.append((name, item))
+
+    sim.process(getter("g1", 0.0))
+    sim.process(getter("g2", 1.0))
+
+    def putter():
+        yield Timeout(sim, 2.0)
+        store.put("first")
+        store.put("second")
+
+    sim.process(putter())
+    sim.run()
+    assert got == [("g1", "first"), ("g2", "second")]
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2

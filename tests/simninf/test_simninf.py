@@ -1,0 +1,286 @@
+"""Tests for the simulated Ninf system (server, client, metrics)."""
+
+import pytest
+
+from repro.model.machines import machine
+from repro.model.network import lan_catalog, singlesite_wan_catalog
+from repro.sim.engine import Simulator
+from repro.sim.network import Link, Network, Route
+from repro.simninf.calls import CallSpec, SimCallRecord, ep_spec, linpack_spec
+from repro.simninf.client import WorkloadClient
+from repro.simninf.metaserver import SimMetaserver
+from repro.simninf.metrics import ColumnStats, aggregate
+from repro.simninf.server import SimNinfServer
+
+
+def simple_spec(input_bytes=1e6, output_bytes=1e5, comp=1.0, allpe=0.25):
+    return CallSpec(name="t", input_bytes=input_bytes,
+                    output_bytes=output_bytes, comp_seconds_1pe=comp,
+                    comp_seconds_allpe=allpe, work_units=1e6)
+
+
+def run_call(server_spec=None, mode="task", spec=None, link_bw=10e6):
+    sim = Simulator()
+    net = Network(sim)
+    server = SimNinfServer(sim, net, server_spec or machine("j90"), mode=mode)
+    route = Route([Link("l", link_bw)])
+    record = SimCallRecord(spec=spec or simple_spec(), client_id=0,
+                           submit_time=0.0)
+
+    def body():
+        yield from server.execute_call(record, route)
+
+    sim.process(body())
+    sim.run()
+    return record, server
+
+
+# ------------------------------------------------------------- call path
+
+
+def test_timestamps_ordered():
+    record, _ = run_call()
+    assert (record.submit_time <= record.enqueue_time <= record.dequeue_time
+            <= record.complete_time)
+
+
+def test_wait_equals_fork_overhead():
+    record, _ = run_call()
+    assert record.wait == pytest.approx(machine("j90").fork_overhead)
+
+
+def test_comm_seconds_accumulated():
+    record, _ = run_call()
+    assert record.comm_seconds > 0
+    assert record.throughput > 0
+
+
+def test_task_mode_uses_one_pe():
+    spec = simple_spec(comp=2.0)
+    record, server = run_call(mode="task", spec=spec)
+    # Compute phase lasted ~2 s (one PE), not 0.5 s.
+    elapsed = record.complete_time - record.dequeue_time
+    assert elapsed > 2.0
+
+
+def test_data_mode_uses_all_pes():
+    spec = simple_spec(comp=2.0, allpe=0.5)
+    record_task, _ = run_call(mode="task", spec=spec)
+    record_data, _ = run_call(mode="data", spec=spec)
+    assert record_data.elapsed < record_task.elapsed
+
+
+def test_marshalling_burns_pe_time():
+    """A pure transfer (zero compute) must still show CPU utilization."""
+    spec = simple_spec(input_bytes=25e6, output_bytes=0.0, comp=0.0, allpe=0.0)
+    sim = Simulator()
+    net = Network(sim)
+    server = SimNinfServer(sim, net, machine("j90"))
+    stats = server.machine.stats_window()
+    route = Route([Link("l", 100e6)])
+    record = SimCallRecord(spec=spec, client_id=0, submit_time=0.0)
+
+    def body():
+        yield from server.execute_call(record, route)
+
+    sim.process(body())
+    sim.run()
+    # 25 MB at 2.5 MB/s per PE = 10 PE-seconds of marshalling.
+    busy = stats.cpu_utilization / 100 * 4 * sim.now
+    assert busy == pytest.approx(10.0, rel=0.05)
+
+
+def test_marshalling_throttles_transfer():
+    """With a fast wire, transfer rate is capped by the 2.5 MB/s J90
+    marshalling stage."""
+    spec = simple_spec(input_bytes=10e6, output_bytes=0.0, comp=0.0, allpe=0.0)
+    record, _ = run_call(spec=spec, link_bw=1e9)
+    assert record.throughput == pytest.approx(2.5e6, rel=0.1)
+
+
+def test_data_mode_serializes_compute_but_overlaps_comm():
+    """Two concurrent data-parallel calls: compute serialized, so the
+    makespan is ~ comm + 2*comp, not 2*(comm+comp)."""
+    spec = simple_spec(input_bytes=5e6, output_bytes=0.0, comp=8.0, allpe=2.0)
+    sim = Simulator()
+    net = Network(sim)
+    server = SimNinfServer(sim, net, machine("j90"), mode="data")
+    records = []
+
+    def one():
+        record = SimCallRecord(spec=spec, client_id=0, submit_time=sim.now)
+        yield from server.execute_call(record, route)
+        records.append(record)
+
+    for i in range(2):
+        route = Route([Link(f"l{i}", 10e6)])
+        sim.process(one())
+    sim.run()
+    makespan = max(r.complete_time for r in records)
+    # comm ~2s (marshal-limited at 2.5MB/s on shared PEs) + 2 x 2s compute
+    assert makespan < 2 * (2.0 + 2.0 + 1.0)
+
+
+def test_invalid_mode_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        SimNinfServer(sim, Network(sim), machine("j90"), mode="hybrid")
+
+
+# ------------------------------------------------------------- workload
+
+
+def test_workload_client_issues_with_probability():
+    sim = Simulator()
+    net = Network(sim)
+    server = SimNinfServer(sim, net, machine("j90"))
+    route = Route([Link("l", 10e6)])
+    spec = simple_spec(input_bytes=1e4, output_bytes=1e3, comp=0.01,
+                       allpe=0.01)
+    client = WorkloadClient(sim, 0, server, route, spec, s=3.0, p=0.5,
+                            horizon=600.0, seed=7)
+    sim.run(until=2000.0)
+    # ~600/3 slots, half issue: expect ~100 calls, allow wide slack.
+    assert 60 <= len(client.records) <= 140
+
+
+def test_workload_client_p1_issues_every_slot():
+    sim = Simulator()
+    net = Network(sim)
+    server = SimNinfServer(sim, net, machine("j90"))
+    route = Route([Link("l", 10e6)])
+    spec = simple_spec(input_bytes=1e4, output_bytes=1e3, comp=0.0, allpe=0.0)
+    client = WorkloadClient(sim, 0, server, route, spec, s=10.0, p=1.0,
+                            horizon=100.0, seed=7)
+    sim.run(until=300.0)
+    assert 8 <= len(client.records) <= 10
+
+
+def test_workload_client_blocking_one_outstanding():
+    """A slow call suppresses further issues until it completes."""
+    sim = Simulator()
+    net = Network(sim)
+    server = SimNinfServer(sim, net, machine("j90"))
+    route = Route([Link("l", 10e6)])
+    spec = simple_spec(comp=50.0)  # each call takes ~50 s on one PE
+    client = WorkloadClient(sim, 0, server, route, spec, s=3.0, p=1.0,
+                            horizon=100.0, seed=7)
+    sim.run(until=400.0)
+    assert len(client.records) <= 3
+    # No overlapping calls from one client.
+    for a, b in zip(client.records, client.records[1:]):
+        assert b.submit_time >= a.complete_time
+
+
+def test_workload_client_validation():
+    sim = Simulator()
+    net = Network(sim)
+    server = SimNinfServer(sim, net, machine("j90"))
+    route = Route([Link("l", 1e6)])
+    with pytest.raises(ValueError):
+        WorkloadClient(sim, 0, server, route, simple_spec(), p=0.0)
+    with pytest.raises(ValueError):
+        WorkloadClient(sim, 0, server, route, simple_spec(), s=-1.0)
+
+
+def test_workload_deterministic_given_seed():
+    def run(seed):
+        sim = Simulator()
+        net = Network(sim)
+        server = SimNinfServer(sim, net, machine("j90"))
+        route = Route([Link("l", 10e6)])
+        client = WorkloadClient(sim, 0, server, route, simple_spec(),
+                                horizon=120.0, seed=seed)
+        sim.run(until=400.0)
+        return [(r.submit_time, r.complete_time) for r in client.records]
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)
+
+
+# ------------------------------------------------------------- metrics
+
+
+def test_column_stats():
+    stats = ColumnStats.of([1.0, 3.0, 2.0])
+    assert (stats.max, stats.min, stats.mean) == (3.0, 1.0, 2.0)
+    assert ColumnStats.of([]).mean == 0.0
+    assert "3.00/1.00/2.00" == stats.format()
+
+
+def test_aggregate_builds_row():
+    sim = Simulator()
+    net = Network(sim)
+    server = SimNinfServer(sim, net, machine("j90"))
+    stats = server.machine.stats_window()
+    route = Route([Link("l", 10e6)])
+    records = []
+
+    def one():
+        record = SimCallRecord(spec=simple_spec(), client_id=0,
+                               submit_time=sim.now)
+        yield from server.execute_call(record, route)
+        records.append(record)
+
+    sim.process(one())
+    sim.run()
+    row = aggregate(records, n=600, c=1, stats=stats)
+    assert row.times == 1
+    assert row.performance.mean > 0
+    assert "n=" in row.format()
+
+
+# ------------------------------------------------------------- metaserver
+
+
+def test_sim_metaserver_fans_out():
+    sim = Simulator()
+    net = Network(sim)
+    node = machine("alpha-node")
+    catalog = lan_catalog(node)
+    servers = [SimNinfServer(sim, net, node) for _ in range(4)]
+    routes = [catalog.route_for(node, i) for i in range(4)]
+    meta = SimMetaserver(sim, net, servers, routes, t_dispatch=0.1)
+    spec = simple_spec(input_bytes=1e3, output_bytes=1e3, comp=5.0, allpe=5.0)
+    done = []
+    meta.run_transaction([spec] * 4, done.append)
+    sim.run()
+    (result,) = done
+    assert len(result.records) == 4
+    # Parallel: makespan ~ 4 dispatches + 5 s compute, far under 20 s.
+    assert result.makespan < 10.0
+    # Dispatch is serialized: submissions are staggered by t_dispatch.
+    submits = sorted(r.submit_time for r in result.records)
+    for a, b in zip(submits, submits[1:]):
+        assert b - a >= 0.1 - 1e-9
+
+
+def test_sim_metaserver_validation():
+    sim = Simulator()
+    net = Network(sim)
+    node = machine("alpha-node")
+    server = SimNinfServer(sim, net, node)
+    route = Route([Link("l", 1e6)])
+    with pytest.raises(ValueError):
+        SimMetaserver(sim, net, [], [])
+    with pytest.raises(ValueError):
+        SimMetaserver(sim, net, [server], [])
+    with pytest.raises(ValueError):
+        SimMetaserver(sim, net, [server], [route], t_dispatch=-1.0)
+
+
+# ------------------------------------------------------------- call specs
+
+
+def test_linpack_spec_fields():
+    spec = linpack_spec(machine("j90"), 600)
+    assert spec.comm_bytes == 8 * 600**2 + 20 * 600
+    assert spec.comp_seconds_allpe < spec.comp_seconds_1pe
+    assert spec.work_units == pytest.approx(2 / 3 * 600**3 + 2 * 600**2)
+
+
+def test_ep_spec_fields():
+    spec = ep_spec(machine("j90"), m=24)
+    assert spec.work_units == 2**25
+    assert spec.comm_bytes < 1e4  # O(1) communication
+    assert spec.comp_seconds(False) > spec.comp_seconds(True)

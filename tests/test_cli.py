@@ -1,0 +1,108 @@
+"""Tests for the CLI entry points."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import experiment_main, standard_registry
+
+
+def test_standard_registry_contents():
+    registry = standard_registry()
+    assert registry.names() == ["dmmul", "dos", "ep", "linpack", "mandel"]
+
+
+def test_standard_registry_executables_work():
+    registry = standard_registry()
+    # dmmul
+    exe = registry.get("dmmul")
+    c = np.zeros((3, 3))
+    outputs = exe.invoke([3, np.eye(3), np.full((3, 3), 2.0), c])
+    np.testing.assert_allclose(outputs[0], np.full((3, 3), 2.0))
+    # linpack (in place)
+    exe = registry.get("linpack")
+    n = 8
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    x = rng.standard_normal(n)
+    b = a @ x
+    out_a, out_b = exe.invoke([n, a.copy(), b.copy()])
+    np.testing.assert_allclose(out_b, x, rtol=1e-8)
+    # ep
+    exe = registry.get("ep")
+    accepted, sx, sy = exe.invoke([10, 0, 1024, None, None, None])
+    from repro.libs.ep import ep_kernel
+
+    assert accepted == ep_kernel(10).accepted
+    # dos
+    exe = registry.get("dos")
+    total, hist = exe.invoke([5, 0, 8, 16, None, np.zeros(16)])
+    assert total == 40
+
+
+def test_experiment_cli_table5(capsys):
+    assert experiment_main(["table5"]) == 0
+    out = capsys.readouterr().out
+    assert "SMP multi-client LAN Linpack" in out
+    assert "n=  600" in out
+
+
+def test_experiment_cli_fig11(capsys):
+    assert experiment_main(["fig11"]) == 0
+    out = capsys.readouterr().out
+    assert "sample" in out and "class B" in out
+    assert "p=32" in out
+
+
+def test_experiment_cli_fig10_fast(capsys):
+    assert experiment_main(["fig10", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "deterioration" in out
+
+
+def test_experiment_cli_table3_fast(capsys):
+    assert experiment_main(["table3", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "1-PE multi-client LAN Linpack" in out
+
+
+def test_experiment_cli_table8_fast(capsys):
+    assert experiment_main(["table8", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 8 (LAN)" in out and "Table 8 (WAN)" in out
+
+
+def test_experiment_cli_fig5(capsys):
+    assert experiment_main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "->j90" in out
+
+
+def test_experiment_cli_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        experiment_main(["table99"])
+
+
+def test_server_and_metaserver_cli_end_to_end():
+    """Boot a metaserver + server through the CLI mains (briefly)."""
+    from repro.metaserver import Metaserver
+    from repro.server import NinfServer
+    from repro.metaserver import MetaClient
+    from repro.client import NinfClient
+
+    # Use the library objects the mains construct, on ephemeral ports.
+    meta = Metaserver(port=0).start()
+    server = NinfServer(standard_registry(), port=0, num_pes=2,
+                        name="cli-test")
+    server.start()
+    try:
+        MetaClient(*meta.address).register_server(server)
+        providers = MetaClient(*meta.address).lookup("linpack")
+        assert [p.name for p in providers] == ["cli-test"]
+        with NinfClient(*server.address) as client:
+            assert client.ping()
+    finally:
+        server.stop()
+        meta.stop()

@@ -1,0 +1,73 @@
+"""Documentation coverage: every public module, class, and function in
+the library carries a docstring (deliverable (e): doc comments on every
+public item)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_MODULES: set[str] = set()
+
+
+def walk_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return [n for n in names if n not in SKIP_MODULES]
+
+
+ALL_MODULES = walk_modules()
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+def public_members(module):
+    exported = getattr(module, "__all__", None)
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if exported is not None and name not in exported:
+            continue
+        if inspect.ismodule(member):
+            continue
+        # Only check things defined in this package.
+        defined_in = getattr(member, "__module__", "") or ""
+        if not defined_in.startswith("repro"):
+            continue
+        yield name, member
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, member in public_members(module):
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if not (member.__doc__ and member.__doc__.strip()):
+                missing.append(name)
+    assert not missing, f"{module_name}: undocumented public items {missing}"
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_public_class_methods_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for class_name, cls in public_members(module):
+        if not inspect.isclass(cls):
+            continue
+        for method_name, method in vars(cls).items():
+            if method_name.startswith("_"):
+                continue
+            if not inspect.isfunction(method):
+                continue
+            if not (method.__doc__ and method.__doc__.strip()):
+                missing.append(f"{class_name}.{method_name}")
+    assert not missing, f"{module_name}: undocumented methods {missing}"

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 180.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "dmmul(64): max |C - A@B| = 0.00e+00" in out
+    assert "Mflops" in out
+    assert "async dmmul done" in out
+
+
+def test_ep_metaserver_fanout():
+    out = run_example("ep_metaserver_fanout.py", "14", "2")
+    assert "exact recombination" in out
+    assert "2 servers" in out
+
+
+def test_wan_campaign_quick():
+    out = run_example("wan_campaign.py", "--quick")
+    assert "Table 3" in out
+    assert "Ocha-U deterioration" in out
+    assert "bandwidth" in out
+
+
+def test_dos_chemistry():
+    out = run_example("dos_chemistry.py", "40", "2")
+    assert "Density of states" in out
+    assert "slice 1" in out
+
+
+def test_two_phase_batch():
+    out = run_example("two_phase_batch.py")
+    assert "phase one done" in out
+    assert "SJF dispatch order" in out
+
+
+def test_custom_topology():
+    out = run_example("custom_topology.py")
+    assert "campus LAN" in out
+    assert "WAN uplink" in out
+    assert "Conclusion" in out
+
+
+@pytest.mark.slow
+def test_remote_linpack_study():
+    out = run_example("remote_linpack_study.py", timeout=300.0)
+    assert "crossover" in out
+    assert "paper: n=800-1000" in out

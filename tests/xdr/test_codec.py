@@ -1,0 +1,344 @@
+"""XDR codec tests: RFC 4506 byte layouts, round-trips, error handling."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.xdr import XdrDecoder, XdrEncoder, XdrError
+
+
+def roundtrip(pack_name, unpack_name, value):
+    enc = XdrEncoder()
+    getattr(enc, pack_name)(value)
+    dec = XdrDecoder(enc.getvalue())
+    result = getattr(dec, unpack_name)()
+    dec.done()
+    return result
+
+
+# ------------------------------------------------------ RFC 4506 layouts
+
+
+def test_int_wire_layout():
+    enc = XdrEncoder()
+    enc.pack_int(-1)
+    assert enc.getvalue() == b"\xff\xff\xff\xff"
+
+
+def test_uint_wire_layout():
+    enc = XdrEncoder()
+    enc.pack_uint(0xDEADBEEF)
+    assert enc.getvalue() == b"\xde\xad\xbe\xef"
+
+
+def test_hyper_wire_layout():
+    enc = XdrEncoder()
+    enc.pack_hyper(1)
+    assert enc.getvalue() == b"\x00" * 7 + b"\x01"
+
+
+def test_bool_wire_layout():
+    enc = XdrEncoder()
+    enc.pack_bool(True)
+    enc.pack_bool(False)
+    assert enc.getvalue() == b"\x00\x00\x00\x01\x00\x00\x00\x00"
+
+
+def test_double_wire_layout_big_endian():
+    enc = XdrEncoder()
+    enc.pack_double(1.0)
+    assert enc.getvalue() == struct.pack(">d", 1.0)
+
+
+def test_string_padding_rfc_example():
+    # RFC 4506 example-style: "hi" -> length 2, bytes, 2 pad zeros.
+    enc = XdrEncoder()
+    enc.pack_string("hi")
+    assert enc.getvalue() == b"\x00\x00\x00\x02hi\x00\x00"
+
+
+def test_string_multiple_of_four_no_padding():
+    enc = XdrEncoder()
+    enc.pack_string("abcd")
+    assert enc.getvalue() == b"\x00\x00\x00\x04abcd"
+
+
+def test_fopaque_padding():
+    enc = XdrEncoder()
+    enc.pack_fopaque(3, b"xyz")
+    assert enc.getvalue() == b"xyz\x00"
+
+
+def test_variable_array_layout():
+    enc = XdrEncoder()
+    enc.pack_array([1, 2], enc.pack_int)
+    assert enc.getvalue() == (
+        b"\x00\x00\x00\x02" b"\x00\x00\x00\x01" b"\x00\x00\x00\x02"
+    )
+
+
+# -------------------------------------------------------------- round-trips
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 2**31 - 1, -(2**31)])
+def test_int_roundtrip(value):
+    assert roundtrip("pack_int", "unpack_int", value) == value
+
+
+@pytest.mark.parametrize("value", [0, 1, 2**32 - 1])
+def test_uint_roundtrip(value):
+    assert roundtrip("pack_uint", "unpack_uint", value) == value
+
+
+@pytest.mark.parametrize("value", [0, 2**63 - 1, -(2**63)])
+def test_hyper_roundtrip(value):
+    assert roundtrip("pack_hyper", "unpack_hyper", value) == value
+
+
+@pytest.mark.parametrize("value", [0, 2**64 - 1])
+def test_uhyper_roundtrip(value):
+    assert roundtrip("pack_uhyper", "unpack_uhyper", value) == value
+
+
+@pytest.mark.parametrize("value", [0.0, 1.5, -2.25, 1e300, -1e-300, float("inf")])
+def test_double_roundtrip(value):
+    assert roundtrip("pack_double", "unpack_double", value) == value
+
+
+def test_double_nan_roundtrip():
+    result = roundtrip("pack_double", "unpack_double", float("nan"))
+    assert np.isnan(result)
+
+
+def test_float_roundtrip_exact_for_representable():
+    assert roundtrip("pack_float", "unpack_float", 0.5) == 0.5
+
+
+@pytest.mark.parametrize("text", ["", "hello", "日本語テキスト", "a" * 1000])
+def test_string_roundtrip(text):
+    assert roundtrip("pack_string", "unpack_string", text) == text
+
+
+@pytest.mark.parametrize("data", [b"", b"x", b"abc", b"abcd", bytes(range(256))])
+def test_opaque_roundtrip(data):
+    assert roundtrip("pack_opaque", "unpack_opaque", data) == data
+
+
+def test_enum_roundtrip():
+    assert roundtrip("pack_enum", "unpack_enum", 42) == 42
+
+
+def test_bool_roundtrip():
+    assert roundtrip("pack_bool", "unpack_bool", True) is True
+    assert roundtrip("pack_bool", "unpack_bool", False) is False
+
+
+def test_mixed_sequence_roundtrip():
+    enc = XdrEncoder()
+    enc.pack_int(-5)
+    enc.pack_string("dmmul")
+    enc.pack_double(3.14)
+    enc.pack_opaque(b"\x01\x02\x03")
+    enc.pack_uint(99)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_int() == -5
+    assert dec.unpack_string() == "dmmul"
+    assert dec.unpack_double() == 3.14
+    assert dec.unpack_opaque() == b"\x01\x02\x03"
+    assert dec.unpack_uint() == 99
+    dec.done()
+
+
+# ----------------------------------------------------------------- arrays
+
+
+def test_farray_roundtrip():
+    enc = XdrEncoder()
+    enc.pack_farray(3, [1.0, 2.0, 3.0], enc.pack_double)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_farray(3, dec.unpack_double) == [1.0, 2.0, 3.0]
+    dec.done()
+
+
+def test_farray_length_mismatch_raises():
+    enc = XdrEncoder()
+    with pytest.raises(XdrError):
+        enc.pack_farray(3, [1.0], enc.pack_double)
+
+
+def test_variable_array_roundtrip():
+    enc = XdrEncoder()
+    enc.pack_array(["a", "bb", "ccc"], enc.pack_string)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_array(dec.unpack_string) == ["a", "bb", "ccc"]
+    dec.done()
+
+
+# --------------------------------------------------------- numpy fast paths
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int32, np.int64,
+                                   np.uint32, np.uint64, np.complex128])
+def test_ndarray_roundtrip_dtypes(dtype):
+    rng = np.random.default_rng(0)
+    arr = (rng.random((7, 5)) * 100).astype(dtype)
+    enc = XdrEncoder()
+    enc.pack_ndarray(arr)
+    dec = XdrDecoder(enc.getvalue())
+    out = dec.unpack_ndarray()
+    dec.done()
+    assert out.dtype == np.dtype(dtype)
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_ndarray_1d_and_3d():
+    for shape in [(10,), (2, 3, 4), (1, 1), (0,)]:
+        arr = np.arange(int(np.prod(shape)), dtype=np.float64).reshape(shape)
+        enc = XdrEncoder()
+        enc.pack_ndarray(arr)
+        out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+        assert out.shape == shape
+        np.testing.assert_array_equal(out, arr)
+
+
+def test_ndarray_noncontiguous_input():
+    base = np.arange(36, dtype=np.float64).reshape(6, 6)
+    view = base[::2, ::2]  # non-contiguous
+    enc = XdrEncoder()
+    enc.pack_ndarray(view)
+    out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+    np.testing.assert_array_equal(out, view)
+
+
+def test_ndarray_fortran_order_input():
+    arr = np.asfortranarray(np.arange(12, dtype=np.float64).reshape(3, 4))
+    enc = XdrEncoder()
+    enc.pack_ndarray(arr)
+    out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_ndarray_unsupported_dtype_raises():
+    enc = XdrEncoder()
+    with pytest.raises(XdrError):
+        enc.pack_ndarray(np.array(["a", "b"]))
+
+
+def test_ndarray_payload_is_big_endian():
+    arr = np.array([1.0], dtype=np.float64)
+    enc = XdrEncoder()
+    enc.pack_ndarray(arr)
+    assert struct.pack(">d", 1.0) in enc.getvalue()
+
+
+def test_double_array_roundtrip():
+    values = [1.0, -2.5, 1e10]
+    enc = XdrEncoder()
+    enc.pack_double_array(values)
+    out = XdrDecoder(enc.getvalue()).unpack_double_array()
+    np.testing.assert_array_equal(out, values)
+
+
+def test_int_array_roundtrip_and_range_check():
+    enc = XdrEncoder()
+    enc.pack_int_array([1, -2, 3])
+    out = XdrDecoder(enc.getvalue()).unpack_int_array()
+    np.testing.assert_array_equal(out, [1, -2, 3])
+    with pytest.raises(XdrError):
+        XdrEncoder().pack_int_array([2**40])
+
+
+# --------------------------------------------------------------- errors
+
+
+@pytest.mark.parametrize("value", [2**31, -(2**31) - 1])
+def test_int_out_of_range(value):
+    with pytest.raises(XdrError):
+        XdrEncoder().pack_int(value)
+
+
+def test_uint_out_of_range():
+    with pytest.raises(XdrError):
+        XdrEncoder().pack_uint(-1)
+    with pytest.raises(XdrError):
+        XdrEncoder().pack_uint(2**32)
+
+
+def test_truncated_data_raises():
+    with pytest.raises(XdrError):
+        XdrDecoder(b"\x00\x00").unpack_int()
+
+
+def test_truncated_string_raises():
+    enc = XdrEncoder()
+    enc.pack_string("hello world")
+    data = enc.getvalue()[:8]
+    with pytest.raises(XdrError):
+        XdrDecoder(data).unpack_string()
+
+
+def test_unconsumed_data_raises():
+    enc = XdrEncoder()
+    enc.pack_int(1)
+    enc.pack_int(2)
+    dec = XdrDecoder(enc.getvalue())
+    dec.unpack_int()
+    with pytest.raises(XdrError):
+        dec.done()
+
+
+def test_invalid_bool_raises():
+    with pytest.raises(XdrError):
+        XdrDecoder(b"\x00\x00\x00\x05").unpack_bool()
+
+
+def test_nonzero_padding_rejected():
+    # "x" + bad padding bytes.
+    data = b"\x00\x00\x00\x01" + b"x\x01\x00\x00"
+    with pytest.raises(XdrError):
+        XdrDecoder(data).unpack_string()
+
+
+def test_implausible_length_rejected():
+    data = struct.pack(">I", 2**32 - 1)
+    with pytest.raises(XdrError):
+        XdrDecoder(data).unpack_opaque()
+
+
+def test_invalid_utf8_string_raises():
+    enc = XdrEncoder()
+    enc.pack_opaque(b"\xff\xfe")
+    with pytest.raises(XdrError):
+        XdrDecoder(enc.getvalue()).unpack_string()
+
+
+def test_ndarray_size_mismatch_rejected():
+    arr = np.arange(4, dtype=np.float64)
+    enc = XdrEncoder()
+    enc.pack_ndarray(arr)
+    data = bytearray(enc.getvalue())
+    # Corrupt the dimension word (rank 1, dim at offset 4).
+    data[4:8] = struct.pack(">I", 5)
+    with pytest.raises(XdrError):
+        XdrDecoder(bytes(data)).unpack_ndarray()
+
+
+def test_encoder_reset_and_len():
+    enc = XdrEncoder()
+    enc.pack_int(1)
+    assert len(enc) == 4
+    enc.reset()
+    assert len(enc) == 0
+    assert enc.getvalue() == b""
+
+
+def test_decoder_position_and_remaining():
+    enc = XdrEncoder()
+    enc.pack_int(1)
+    enc.pack_int(2)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.remaining == 8
+    dec.unpack_int()
+    assert dec.position == 4
+    assert dec.remaining == 4

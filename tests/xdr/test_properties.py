@@ -1,0 +1,116 @@
+"""Property-based tests for the XDR codec (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.xdr import XdrDecoder, XdrEncoder
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int_roundtrip(value):
+    enc = XdrEncoder()
+    enc.pack_int(value)
+    data = enc.getvalue()
+    assert len(data) == 4
+    dec = XdrDecoder(data)
+    assert dec.unpack_int() == value
+    dec.done()
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_uhyper_roundtrip(value):
+    enc = XdrEncoder()
+    enc.pack_uhyper(value)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_uhyper() == value
+    dec.done()
+
+
+@given(st.floats(allow_nan=False))
+def test_double_roundtrip(value):
+    enc = XdrEncoder()
+    enc.pack_double(value)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_double() == value
+    dec.done()
+
+
+@given(st.text(max_size=200))
+def test_string_roundtrip(text):
+    enc = XdrEncoder()
+    enc.pack_string(text)
+    data = enc.getvalue()
+    assert len(data) % 4 == 0  # XDR alignment invariant
+    dec = XdrDecoder(data)
+    assert dec.unpack_string() == text
+    dec.done()
+
+
+@given(st.binary(max_size=500))
+def test_opaque_roundtrip_and_alignment(data):
+    enc = XdrEncoder()
+    enc.pack_opaque(data)
+    encoded = enc.getvalue()
+    assert len(encoded) % 4 == 0
+    dec = XdrDecoder(encoded)
+    assert dec.unpack_opaque() == data
+    dec.done()
+
+
+@given(st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1), max_size=50))
+def test_int_array_roundtrip(values):
+    enc = XdrEncoder()
+    enc.pack_int_array(values)
+    out = XdrDecoder(enc.getvalue()).unpack_int_array()
+    assert list(out) == values
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=50))
+def test_double_array_roundtrip(values):
+    enc = XdrEncoder()
+    enc.pack_double_array(values)
+    out = XdrDecoder(enc.getvalue()).unpack_double_array()
+    assert list(out) == values
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        dtype=st.sampled_from([np.float64, np.float32, np.int32, np.int64]),
+        shape=array_shapes(min_dims=1, max_dims=3, max_side=8),
+        elements=st.integers(min_value=-(2**20), max_value=2**20),
+    )
+)
+def test_ndarray_roundtrip_property(arr):
+    enc = XdrEncoder()
+    enc.pack_ndarray(arr)
+    out = XdrDecoder(enc.getvalue()).unpack_ndarray()
+    assert out.shape == arr.shape
+    assert out.dtype == arr.dtype
+    np.testing.assert_array_equal(out, arr)
+
+
+@given(st.lists(st.text(max_size=20), max_size=20))
+def test_string_array_roundtrip(values):
+    enc = XdrEncoder()
+    enc.pack_array(values, enc.pack_string)
+    dec = XdrDecoder(enc.getvalue())
+    assert dec.unpack_array(dec.unpack_string) == values
+    dec.done()
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_decoder_never_reads_past_end(data):
+    """Whatever the bytes, unpacking either succeeds within bounds or
+    raises XdrError -- never an IndexError/struct.error."""
+    from repro.xdr import XdrError
+
+    dec = XdrDecoder(data)
+    for unpack in (dec.unpack_int, dec.unpack_string, dec.unpack_double):
+        fresh = XdrDecoder(data)
+        try:
+            getattr(fresh, unpack.__name__)()
+        except XdrError:
+            pass
