@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-import socket
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
@@ -12,7 +11,6 @@ import numpy as np
 
 from repro.idl import Signature
 from repro.protocol.errors import ProtocolError, RemoteError
-from repro.protocol.framing import recv_frame, send_frame
 from repro.protocol.marshal import marshal_inputs, unmarshal_outputs
 from repro.protocol.messages import (
     CallHeader,
@@ -21,6 +19,7 @@ from repro.protocol.messages import (
     LoadReply,
     MessageType,
 )
+from repro.transport import Channel, ConnectionPool
 from repro.xdr import XdrDecoder, XdrEncoder
 
 __all__ = ["CallRecord", "DetachedCall", "NinfClient", "NinfFuture",
@@ -132,10 +131,26 @@ class DetachedCall:
 
 
 class NinfClient:
-    """Client binding to one Ninf computational server."""
+    """Client binding to one Ninf computational server.
+
+    Parameters
+    ----------
+    timeout:
+        Per-operation deadline (seconds) for every frame sent or
+        received; expiry raises
+        :class:`repro.protocol.errors.TimeoutError` instead of hanging
+        on a half-dead peer.
+    pool:
+        ``True`` (default) keeps TCP connections alive across calls via
+        a :class:`~repro.transport.ConnectionPool`; ``False``
+        reproduces the paper's connection-per-call behaviour (the
+        ablation the LAN benchmarks measure).
+    max_idle:
+        Seconds a pooled connection may sit idle before eviction.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 300.0,
-                 clock=None):
+                 clock=None, pool: bool = True, max_idle: float = 60.0):
         import time
 
         self.host = host
@@ -143,38 +158,27 @@ class NinfClient:
         self.timeout = timeout
         self.clock = clock or time.monotonic
         self._signatures: dict[str, Signature] = {}
-        self._pool: list[socket.socket] = []
-        self._pool_lock = threading.Lock()
+        self._pool = ConnectionPool(timeout=timeout, pool=pool,
+                                    max_idle_seconds=max_idle)
         self.records: list[CallRecord] = []
         self._records_lock = threading.Lock()
 
     # -- connection pool ------------------------------------------------------
 
-    def _connect(self) -> socket.socket:
-        with self._pool_lock:
-            if self._pool:
-                return self._pool.pop()
-        sock = socket.create_connection((self.host, self.port),
-                                        timeout=self.timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return sock
+    @property
+    def pooled(self) -> bool:
+        """Whether connections are kept alive across calls."""
+        return self._pool.pooling
 
-    def _release(self, sock: socket.socket) -> None:
-        with self._pool_lock:
-            if len(self._pool) < 8:
-                self._pool.append(sock)
-                return
-        sock.close()
+    def _connect(self) -> Channel:
+        return self._pool.checkout(self.host, self.port)
+
+    def _release(self, channel: Channel) -> None:
+        self._pool.checkin(channel)
 
     def close(self) -> None:
         """Close every pooled connection (idempotent)."""
-        with self._pool_lock:
-            for sock in self._pool:
-                try:
-                    sock.close()
-                except OSError:
-                    pass
-            self._pool.clear()
+        self._pool.close()
 
     def __enter__(self) -> "NinfClient":
         return self
@@ -184,53 +188,32 @@ class NinfClient:
 
     # -- service queries -----------------------------------------------------------
 
-    def _roundtrip(self, sock: socket.socket, msg_type: int,
-                   payload: bytes, expect: int) -> bytes:
-        send_frame(sock, msg_type, payload)
-        reply_type, reply = recv_frame(sock)
-        if reply_type == MessageType.ERROR:
-            err = ErrorReply.decode(XdrDecoder(reply))
-            raise RemoteError(err.code, err.message)
-        if reply_type != expect:
-            raise ProtocolError(
-                f"expected message {expect}, got {reply_type}"
-            )
+    def _roundtrip(self, msg_type: int, payload: bytes, expect: int) -> bytes:
+        """One pooled request/reply exchange; burns the channel on error."""
+        with self._pool.lease(self.host, self.port) as channel:
+            _reply_type, reply = channel.request(msg_type, payload,
+                                                 expect=expect)
         return reply
 
     def ping(self) -> bool:
         """Liveness probe: True when the server answers PING."""
-        sock = self._connect()
         try:
-            self._roundtrip(sock, MessageType.PING, b"", MessageType.PONG)
-            self._release(sock)
+            self._roundtrip(MessageType.PING, b"", MessageType.PONG)
             return True
         except (OSError, ProtocolError):
-            sock.close()
             return False
 
     def list_functions(self) -> list[str]:
         """Names of every executable registered on the server."""
-        sock = self._connect()
-        try:
-            reply = self._roundtrip(sock, MessageType.LIST_REQUEST, b"",
-                                    MessageType.LIST_REPLY)
-        except BaseException:
-            sock.close()
-            raise
-        self._release(sock)
+        reply = self._roundtrip(MessageType.LIST_REQUEST, b"",
+                                MessageType.LIST_REPLY)
         dec = XdrDecoder(reply)
         return dec.unpack_array(dec.unpack_string)
 
     def query_load(self) -> LoadReply:
         """The server-state snapshot the metaserver monitors."""
-        sock = self._connect()
-        try:
-            reply = self._roundtrip(sock, MessageType.LOAD_QUERY, b"",
-                                    MessageType.LOAD_REPLY)
-        except BaseException:
-            sock.close()
-            raise
-        self._release(sock)
+        reply = self._roundtrip(MessageType.LOAD_QUERY, b"",
+                                MessageType.LOAD_REPLY)
         return LoadReply.decode(XdrDecoder(reply))
 
     def get_signature(self, function: str) -> Signature:
@@ -240,14 +223,8 @@ class NinfClient:
             return cached
         enc = XdrEncoder()
         enc.pack_string(function)
-        sock = self._connect()
-        try:
-            reply = self._roundtrip(sock, MessageType.INTERFACE_REQUEST,
-                                    enc.getvalue(), MessageType.INTERFACE_REPLY)
-        except BaseException:
-            sock.close()
-            raise
-        self._release(sock)
+        reply = self._roundtrip(MessageType.INTERFACE_REQUEST, enc.getvalue(),
+                                MessageType.INTERFACE_REPLY)
         signature = Signature.from_wire(reply)
         self._signatures[function] = signature
         return signature
@@ -281,11 +258,11 @@ class NinfClient:
         enc = XdrEncoder()
         CallHeader(function=function, call_id=call_id).encode(enc)
         enc.pack_opaque(args_payload)
-        sock = self._connect()
+        channel = self._connect()
         try:
-            send_frame(sock, MessageType.CALL, enc.getvalue())
+            channel.send(MessageType.CALL, enc.getvalue())
             while True:
-                reply_type, reply = recv_frame(sock)
+                reply_type, reply = channel.recv()
                 if reply_type == MessageType.CALLBACK:
                     dec = XdrDecoder(reply)
                     cb_call_id = dec.unpack_uhyper()
@@ -304,9 +281,9 @@ class NinfClient:
                     f"expected RESULT, got message {reply_type}"
                 )
         except BaseException:
-            sock.close()
+            self._pool.discard(channel)
             raise
-        self._release(sock)
+        self._release(channel)
         dec = XdrDecoder(reply)
         reply_id = dec.unpack_uhyper()
         if reply_id != call_id:
@@ -347,14 +324,8 @@ class NinfClient:
         enc = XdrEncoder()
         CallHeader(function=function, call_id=call_id).encode(enc)
         enc.pack_opaque(args_payload)
-        sock = self._connect()
-        try:
-            reply = self._roundtrip(sock, MessageType.CALL_DETACHED,
-                                    enc.getvalue(), MessageType.CALL_ACCEPTED)
-        except BaseException:
-            sock.close()
-            raise
-        self._release(sock)
+        reply = self._roundtrip(MessageType.CALL_DETACHED, enc.getvalue(),
+                                MessageType.CALL_ACCEPTED)
         dec = XdrDecoder(reply)
         reply_id = dec.unpack_uhyper()
         ticket = dec.unpack_uhyper()
@@ -370,22 +341,22 @@ class NinfClient:
     def fetch_detached(self, call: "DetachedCall",
                        timeout: Optional[float] = None,
                        poll_interval: float = 0.02) -> list[Any]:
-        """Phase two: poll (over fresh connections) until the result is
+        """Phase two: poll (over pooled connections) until the result is
         ready, then unmarshal and write back output arrays."""
         import time as _time
 
         deadline = None if timeout is None else self.clock() + timeout
         while True:
-            sock = self._connect()
             enc = XdrEncoder()
             enc.pack_uhyper(call.ticket)
+            channel = self._connect()
             try:
-                send_frame(sock, MessageType.FETCH_RESULT, enc.getvalue())
-                reply_type, reply = recv_frame(sock)
+                channel.send(MessageType.FETCH_RESULT, enc.getvalue())
+                reply_type, reply = channel.recv()
             except BaseException:
-                sock.close()
+                self._pool.discard(channel)
                 raise
-            self._release(sock)
+            self._release(channel)
             if reply_type == MessageType.ERROR:
                 err = ErrorReply.decode(XdrDecoder(reply))
                 raise RemoteError(err.code, err.message)

@@ -44,19 +44,26 @@ def run_multiclient_cell(
     p: float = ISSUE_PROBABILITY,
     switch_overhead: float = 0.0,
     site_of: Optional[Callable[[int], str]] = None,
+    pooled: bool = False,
+    pooled_setup: float = 0.0,
+    t_setup: Optional[float] = None,
 ) -> MulticlientResult:
     """Run one multi-client benchmark cell and aggregate the table row.
 
     ``route_factory(network, client_index)`` returns the route client
     ``i`` uses -- this is where LAN vs single-site WAN vs multi-site WAN
-    topologies differ.
+    topologies differ.  ``pooled=True`` gives every client a keep-alive
+    connection (later calls pay only ``pooled_setup`` of the per-call
+    setup cost) -- the transport-layer connection-reuse ablation;
+    ``t_setup`` overrides the server's per-call setup cost outright.
     """
     if c < 1:
         raise ValueError(f"need at least one client, got {c}")
     sim = Simulator()
     network = Network(sim)
+    server_kwargs = {} if t_setup is None else {"t_setup": t_setup}
     server = SimNinfServer(sim, network, server_spec, mode=mode,
-                           switch_overhead=switch_overhead)
+                           switch_overhead=switch_overhead, **server_kwargs)
     stats = server.machine.stats_window()
     LoadSampler(sim, server.machine, stats, interval=2.0)
     clients = []
@@ -65,7 +72,8 @@ def run_multiclient_cell(
         site = site_of(i) if site_of is not None else "lan"
         clients.append(
             WorkloadClient(sim, i, server, route, spec, s=s, p=p,
-                           horizon=horizon, seed=seed, site=site)
+                           horizon=horizon, seed=seed, site=site,
+                           pooled=pooled, pooled_setup=pooled_setup)
         )
     # Run the issuing window, then drain in-flight calls (the load
     # sampler ticks forever, so step until every client process ends).

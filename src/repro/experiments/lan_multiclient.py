@@ -17,6 +17,7 @@ from repro.simninf.calls import linpack_spec
 
 __all__ = [
     "LanTable",
+    "connection_reuse_speedup",
     "fig7_surface",
     "table3_1pe",
     "table4_4pe",
@@ -55,7 +56,7 @@ def _run_lan_table(name: str, server_name: str, mode: str,
                    sizes: Sequence[int], clients: Sequence[int],
                    horizon: float, client_name: str = "alpha",
                    switch_overhead: float = 0.0,
-                   seed: int = 1997) -> LanTable:
+                   seed: int = 1997, pooled: bool = False) -> LanTable:
     server = machine(server_name)
     client = machine(client_name)
     table = LanTable(name=name)
@@ -70,9 +71,43 @@ def _run_lan_table(name: str, server_name: str, mode: str,
             table.cells[(n, c)] = run_multiclient_cell(
                 server, route_factory, spec, c, mode=mode, n=n,
                 horizon=horizon, seed=seed,
-                switch_overhead=switch_overhead,
+                switch_overhead=switch_overhead, pooled=pooled,
             )
     return table
+
+
+def connection_reuse_speedup(server_name: str = "j90", mode: str = "task",
+                             n: int = 600, c: int = 8,
+                             horizon: float = LAN_HORIZON,
+                             seed: int = 1997) -> dict[str, float]:
+    """Pooled vs per-call-connection LAN cell: the transport ablation.
+
+    Runs one (n, c) Linpack cell twice -- once with the paper's
+    connection-per-call clients, once with keep-alive pooled clients --
+    and reports mean elapsed time per call for both plus the speedup
+    factor.  This is the simulator-side counterpart of
+    ``NinfClient(pool=...)``.
+    """
+    server = machine(server_name)
+    client = machine("alpha")
+    spec = linpack_spec(server, n)
+    results = {}
+    for label, pooled in (("per_call", False), ("pooled", True)):
+        catalog = lan_catalog(server)
+
+        def route_factory(net, i, _catalog=catalog, _client=client):
+            return _catalog.route_for(_client, i)
+
+        cell = run_multiclient_cell(server, route_factory, spec, c,
+                                    mode=mode, n=n, horizon=horizon,
+                                    seed=seed, pooled=pooled)
+        if not cell.records:
+            raise RuntimeError("cell completed no calls; raise the horizon")
+        results[label] = (sum(r.elapsed for r in cell.records)
+                          / len(cell.records))
+    results["speedup"] = (results["per_call"] / results["pooled"]
+                          if results["pooled"] > 0 else float("inf"))
+    return results
 
 
 def table3_1pe(sizes: Sequence[int] = PAPER_SIZES,

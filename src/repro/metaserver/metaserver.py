@@ -2,96 +2,72 @@
 
 from __future__ import annotations
 
-import socket
 import threading
 from typing import Optional
 
 from repro.client.api import CallRecord, NinfClient
 from repro.metaserver.directory import Directory
 from repro.metaserver.schedulers import CallEstimate, LoadScheduler, Scheduler
-from repro.protocol.errors import ConnectionClosed, ProtocolError, RemoteError
-from repro.protocol.framing import recv_frame, send_frame
+from repro.protocol.errors import ProtocolError, RemoteError
 from repro.protocol.messages import (
-    ErrorReply,
     LoadReply,
     MessageType,
     ServerInfo,
 )
+from repro.transport import Channel, ConnectionPool, Endpoint, connect
 from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
 __all__ = ["BrokeredClient", "MetaClient", "Metaserver"]
 
 
-class Metaserver:
-    """TCP metaserver: registration, lookup, placement, monitoring."""
+class Metaserver(Endpoint):
+    """TCP metaserver: registration, lookup, placement, monitoring.
+
+    The accept loop and dispatch table come from
+    :class:`repro.transport.Endpoint`; this class adds the directory,
+    the scheduler, and the load-monitor thread.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  scheduler: Optional[Scheduler] = None,
-                 poll_interval: float = 1.0):
+                 poll_interval: float = 1.0,
+                 poll_timeout: float = 5.0):
+        super().__init__(host=host, port=port, name="metaserver")
         self.directory = Directory()
         self.scheduler = scheduler or LoadScheduler()
         self.poll_interval = poll_interval
-        self._bind = (host, port)
-        self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
+        self.poll_timeout = poll_timeout
         self._monitor_thread: Optional[threading.Thread] = None
-        self._running = False
         self._monitor_wakeup = threading.Event()
+        self.register_handler(MessageType.MS_REGISTER, self._handle_register)
+        self.register_handler(MessageType.MS_UNREGISTER,
+                              self._handle_unregister)
+        self.register_handler(MessageType.MS_LOOKUP, self._handle_lookup)
+        self.register_handler(MessageType.MS_PICK, self._handle_pick)
+        self.register_handler(MessageType.MS_REPORT, self._handle_report)
+        self.register_handler(MessageType.MS_LIST, self._handle_list)
 
     # -- lifecycle -----------------------------------------------------------
 
-    def start(self) -> "Metaserver":
-        """Bind, listen, and start the accept + monitor threads."""
-        if self._running:
-            raise RuntimeError("metaserver already started")
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind(self._bind)
-        listener.listen(64)
-        self._listener = listener
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="metaserver-accept", daemon=True
-        )
-        self._accept_thread.start()
+    def on_start(self) -> None:
+        """Start the monitor thread alongside the accept loop."""
+        self._monitor_wakeup.clear()
         self._monitor_thread = threading.Thread(
             target=self._monitor_loop, name="metaserver-monitor", daemon=True
         )
         self._monitor_thread.start()
-        return self
 
-    def stop(self) -> None:
-        """Shut down the listener and monitor; joins both threads."""
-        self._running = False
+    def on_stop(self) -> None:
+        """Wake and join the monitor thread."""
         self._monitor_wakeup.set()
-        if self._listener is not None:
-            # shutdown() wakes the blocked accept(); close() alone does not.
-            try:
-                self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-            self._listener = None
-        for thread in (self._accept_thread, self._monitor_thread):
-            if thread is not None:
-                thread.join(timeout=5.0)
-        self._accept_thread = None
-        self._monitor_thread = None
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=5.0)
+            self._monitor_thread = None
 
-    def __enter__(self) -> "Metaserver":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    @property
-    def address(self) -> tuple[str, int]:
-        if self._listener is None:
-            raise RuntimeError("metaserver is not running")
-        return self._listener.getsockname()[:2]
+    def start(self) -> "Metaserver":
+        """Bind, listen, and start the accept + monitor threads."""
+        super().start()
+        return self
 
     # -- monitoring ------------------------------------------------------------
 
@@ -102,14 +78,13 @@ class Metaserver:
 
     def _poll_one(self, host: str, port: int) -> None:
         try:
-            with socket.create_connection((host, port), timeout=5.0) as sock:
-                send_frame(sock, MessageType.LOAD_QUERY, b"")
-                msg_type, payload = recv_frame(sock)
+            with connect(host, port, timeout=self.poll_timeout) as channel:
+                msg_type, payload = channel.request(MessageType.LOAD_QUERY)
             if msg_type == MessageType.LOAD_REPLY:
                 self.directory.update_load(
                     host, port, LoadReply.decode(XdrDecoder(payload))
                 )
-        except (OSError, ProtocolError, XdrError):
+        except (OSError, ProtocolError, RemoteError, XdrError):
             self.directory.mark_dead(host, port)
 
     def _monitor_loop(self) -> None:
@@ -118,130 +93,98 @@ class Metaserver:
             self._monitor_wakeup.wait(timeout=self.poll_interval)
             self._monitor_wakeup.clear()
 
-    # -- request handling ----------------------------------------------------------
+    # -- request handlers ----------------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                conn, _peer = self._listener.accept()
-            except (OSError, AttributeError):
-                return
-            if not self._running:
-                conn.close()
-                return
-            threading.Thread(target=self._handle_connection, args=(conn,),
-                             name="metaserver-conn", daemon=True).start()
+    def _handle_register(self, channel: Channel, payload: bytes) -> None:
+        info = ServerInfo.decode(XdrDecoder(payload))
+        self.directory.register(info)
+        channel.send(MessageType.MS_OK, b"")
 
-    def _handle_connection(self, conn: socket.socket) -> None:
-        try:
-            while True:
-                try:
-                    msg_type, payload = recv_frame(conn)
-                except ConnectionClosed:
-                    return
-                try:
-                    self._dispatch(conn, msg_type, payload)
-                except XdrError as exc:
-                    self._send_error(conn, "bad-request", str(exc))
-        except (ProtocolError, OSError):
-            pass
-        finally:
-            try:
-                conn.close()
-            except OSError:
-                pass
+    def _handle_unregister(self, channel: Channel, payload: bytes) -> None:
+        dec = XdrDecoder(payload)
+        host = dec.unpack_string()
+        port = dec.unpack_uint()
+        self.directory.unregister(host, port)
+        channel.send(MessageType.MS_OK, b"")
 
-    def _send_error(self, conn: socket.socket, code: str, message: str) -> None:
+    def _handle_lookup(self, channel: Channel, payload: bytes) -> None:
+        function = XdrDecoder(payload).unpack_string()
+        providers = self.directory.providers(function)
         enc = XdrEncoder()
-        ErrorReply(code=code, message=message).encode(enc)
-        send_frame(conn, MessageType.ERROR, enc.getvalue())
+        enc.pack_uint(len(providers))
+        for entry in providers:
+            entry.info.encode(enc)
+        channel.send(MessageType.MS_LOOKUP_REPLY, enc.getvalue())
 
-    def _dispatch(self, conn: socket.socket, msg_type: int,
-                  payload: bytes) -> None:
-        if msg_type == MessageType.PING:
-            send_frame(conn, MessageType.PONG, payload)
+    def _handle_pick(self, channel: Channel, payload: bytes) -> None:
+        dec = XdrDecoder(payload)
+        function = dec.unpack_string()
+        comm_bytes = dec.unpack_double()
+        has_flops = dec.unpack_bool()
+        flops = dec.unpack_double() if has_flops else None
+        site = dec.unpack_string()
+        estimate = CallEstimate(function, comm_bytes=comm_bytes,
+                                flops=flops, site=site)
+        chosen = self.scheduler.choose(
+            self.directory.providers(function), estimate
+        )
+        if chosen is None:
+            channel.send_error("no-provider",
+                               f"no server provides {function!r}")
             return
-        if msg_type == MessageType.MS_REGISTER:
-            info = ServerInfo.decode(XdrDecoder(payload))
-            self.directory.register(info)
-            send_frame(conn, MessageType.MS_OK, b"")
-            return
-        if msg_type == MessageType.MS_UNREGISTER:
-            dec = XdrDecoder(payload)
-            host = dec.unpack_string()
-            port = dec.unpack_uint()
-            self.directory.unregister(host, port)
-            send_frame(conn, MessageType.MS_OK, b"")
-            return
-        if msg_type == MessageType.MS_LOOKUP:
-            function = XdrDecoder(payload).unpack_string()
-            providers = self.directory.providers(function)
-            enc = XdrEncoder()
-            enc.pack_uint(len(providers))
-            for entry in providers:
-                entry.info.encode(enc)
-            send_frame(conn, MessageType.MS_LOOKUP_REPLY, enc.getvalue())
-            return
-        if msg_type == MessageType.MS_PICK:
-            dec = XdrDecoder(payload)
-            function = dec.unpack_string()
-            comm_bytes = dec.unpack_double()
-            has_flops = dec.unpack_bool()
-            flops = dec.unpack_double() if has_flops else None
-            site = dec.unpack_string()
-            estimate = CallEstimate(function, comm_bytes=comm_bytes,
-                                    flops=flops, site=site)
-            chosen = self.scheduler.choose(
-                self.directory.providers(function), estimate
-            )
-            if chosen is None:
-                self._send_error(conn, "no-provider",
-                                 f"no server provides {function!r}")
-                return
-            enc = XdrEncoder()
-            chosen.info.encode(enc)
-            send_frame(conn, MessageType.MS_PICK_REPLY, enc.getvalue())
-            return
-        if msg_type == MessageType.MS_REPORT:
-            dec = XdrDecoder(payload)
-            host = dec.unpack_string()
-            port = dec.unpack_uint()
-            site = dec.unpack_string()
-            bandwidth = dec.unpack_double()
-            self.directory.report_bandwidth(host, port, site, bandwidth)
-            send_frame(conn, MessageType.MS_OK, b"")
-            return
-        if msg_type == MessageType.MS_LIST:
-            entries = self.directory.entries()
-            enc = XdrEncoder()
-            enc.pack_uint(len(entries))
-            for entry in entries:
-                entry.info.encode(enc)
-            send_frame(conn, MessageType.MS_LIST_REPLY, enc.getvalue())
-            return
-        self._send_error(conn, "bad-message",
-                         f"unexpected message type {msg_type}")
+        enc = XdrEncoder()
+        chosen.info.encode(enc)
+        channel.send(MessageType.MS_PICK_REPLY, enc.getvalue())
+
+    def _handle_report(self, channel: Channel, payload: bytes) -> None:
+        dec = XdrDecoder(payload)
+        host = dec.unpack_string()
+        port = dec.unpack_uint()
+        site = dec.unpack_string()
+        bandwidth = dec.unpack_double()
+        self.directory.report_bandwidth(host, port, site, bandwidth)
+        channel.send(MessageType.MS_OK, b"")
+
+    def _handle_list(self, channel: Channel, payload: bytes) -> None:
+        entries = self.directory.entries()
+        enc = XdrEncoder()
+        enc.pack_uint(len(entries))
+        for entry in entries:
+            entry.info.encode(enc)
+        channel.send(MessageType.MS_LIST_REPLY, enc.getvalue())
 
 
 class MetaClient:
-    """Client-side binding to the metaserver protocol."""
+    """Client-side binding to the metaserver protocol.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    Exchanges ride a :class:`~repro.transport.ConnectionPool`, so a
+    brokered call's lookup/pick/report triple reuses one TCP connection
+    instead of paying three handshakes; ``pool=False`` restores the
+    connection-per-request behaviour.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 pool: bool = True):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._pool = ConnectionPool(timeout=timeout, pool=pool)
+
+    def close(self) -> None:
+        """Close pooled metaserver connections (idempotent)."""
+        self._pool.close()
+
+    def __enter__(self) -> "MetaClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _roundtrip(self, msg_type: int, payload: bytes,
                    expect: int) -> bytes:
-        with socket.create_connection((self.host, self.port),
-                                      timeout=self.timeout) as sock:
-            send_frame(sock, msg_type, payload)
-            reply_type, reply = recv_frame(sock)
-        if reply_type == MessageType.ERROR:
-            err = ErrorReply.decode(XdrDecoder(reply))
-            raise RemoteError(err.code, err.message)
-        if reply_type != expect:
-            raise ProtocolError(f"expected {expect}, got {reply_type}")
+        with self._pool.lease(self.host, self.port) as channel:
+            _reply_type, reply = channel.request(msg_type, payload,
+                                                 expect=expect)
         return reply
 
     def register(self, info: ServerInfo) -> None:
@@ -325,9 +268,11 @@ class BrokeredClient:
     bandwidth-aware scheduler feeds on).
     """
 
-    def __init__(self, meta: MetaClient, site: str = "default"):
+    def __init__(self, meta: MetaClient, site: str = "default",
+                 pool: bool = True):
         self.meta = meta
         self.site = site
+        self.pool = pool
         self._clients: dict[tuple[str, int], NinfClient] = {}
         self._lock = threading.Lock()
         self.records: list[tuple[ServerInfo, CallRecord]] = []
@@ -337,7 +282,7 @@ class BrokeredClient:
         with self._lock:
             client = self._clients.get(key)
             if client is None:
-                client = NinfClient(info.host, info.port)
+                client = NinfClient(info.host, info.port, pool=self.pool)
                 self._clients[key] = client
             return client
 

@@ -22,7 +22,12 @@ Modules:
   marshalling.
 """
 
-from repro.protocol.errors import ProtocolError, RemoteError, ConnectionClosed
+from repro.protocol.errors import (
+    ConnectionClosed,
+    ProtocolError,
+    RemoteError,
+    TimeoutError,
+)
 from repro.protocol.framing import MAX_FRAME_SIZE, recv_frame, send_frame
 from repro.protocol.messages import (
     CallHeader,
@@ -48,6 +53,7 @@ __all__ = [
     "MessageType",
     "ProtocolError",
     "RemoteError",
+    "TimeoutError",
     "marshal_inputs",
     "marshal_outputs",
     "recv_frame",

@@ -1,5 +1,7 @@
 """Protocol error types."""
 
+import builtins
+
 
 class ProtocolError(RuntimeError):
     """Malformed frame, bad magic, unknown message type, or oversize."""
@@ -7,6 +9,15 @@ class ProtocolError(RuntimeError):
 
 class ConnectionClosed(ProtocolError):
     """The peer closed the connection (cleanly or mid-frame)."""
+
+
+class TimeoutError(ProtocolError, builtins.TimeoutError):
+    """A framed operation exceeded its deadline (peer alive but silent).
+
+    Subclasses both :class:`ProtocolError` (so transport-level handlers
+    that already catch protocol failures see it) and the builtin
+    ``TimeoutError`` (so generic deadline handling keeps working).
+    """
 
 
 class RemoteError(RuntimeError):

@@ -4,14 +4,23 @@ The header is 12 bytes: 4-byte magic ``b"NINF"``, 4-byte big-endian
 message type, 4-byte big-endian payload length.  Payload length is
 bounded by :data:`MAX_FRAME_SIZE` (1 GiB) so a corrupt header cannot
 trigger an absurd allocation.
+
+Both :func:`send_frame` and :func:`recv_frame` accept an optional
+``timeout`` (seconds) covering the *whole* frame, not each ``recv``:
+a peer that trickles one byte per second cannot stretch a 5-second
+deadline indefinitely.  Deadline expiry raises
+:class:`repro.protocol.errors.TimeoutError`; the socket's previous
+timeout setting is restored afterwards.
 """
 
 from __future__ import annotations
 
 import socket
 import struct
+import time
+from typing import Optional
 
-from repro.protocol.errors import ConnectionClosed, ProtocolError
+from repro.protocol.errors import ConnectionClosed, ProtocolError, TimeoutError
 
 __all__ = ["MAGIC", "MAX_FRAME_SIZE", "recv_frame", "send_frame"]
 
@@ -20,19 +29,75 @@ HEADER = struct.Struct(">4sII")
 MAX_FRAME_SIZE = 1 << 30
 
 
-def send_frame(sock: socket.socket, msg_type: int, payload: bytes = b"") -> None:
-    """Write one frame; raises ProtocolError on oversize payloads."""
+class _DeadlineSocket:
+    """Applies a monotonic deadline to every operation on ``sock``.
+
+    Entering the context records the socket's current timeout and
+    restores it on exit, so framing calls do not perturb whatever
+    blocking mode the caller runs the socket in.
+    """
+
+    def __init__(self, sock: socket.socket, timeout: Optional[float]):
+        self.sock = sock
+        self.deadline = None if timeout is None else time.monotonic() + timeout
+        self._saved: Optional[float] = None
+        self._touched = False
+
+    def __enter__(self) -> "_DeadlineSocket":
+        if self.deadline is not None:
+            self._saved = self.sock.gettimeout()
+            self._touched = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._touched:
+            try:
+                self.sock.settimeout(self._saved)
+            except OSError:
+                pass  # socket already closed; nothing to restore
+
+    def _arm(self, what: str) -> None:
+        if self.deadline is None:
+            return
+        remaining = self.deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(f"frame {what} deadline expired")
+        self.sock.settimeout(remaining)
+
+    def recv(self, nbytes: int, what: str) -> bytes:
+        self._arm(what)
+        try:
+            return self.sock.recv(nbytes)
+        except socket.timeout:
+            raise TimeoutError(f"frame {what} timed out") from None
+
+    def sendall(self, data: bytes, what: str) -> None:
+        self._arm(what)
+        try:
+            self.sock.sendall(data)
+        except socket.timeout:
+            raise TimeoutError(f"frame {what} timed out") from None
+
+
+def send_frame(sock: socket.socket, msg_type: int, payload: bytes = b"",
+               timeout: Optional[float] = None) -> None:
+    """Write one frame; raises ProtocolError on oversize payloads.
+
+    ``timeout`` bounds the whole write; expiry raises
+    :class:`~repro.protocol.errors.TimeoutError`.
+    """
     if len(payload) > MAX_FRAME_SIZE:
         raise ProtocolError(f"frame payload too large: {len(payload)} bytes")
     header = HEADER.pack(MAGIC, msg_type, len(payload))
-    sock.sendall(header + payload)
+    with _DeadlineSocket(sock, timeout) as guarded:
+        guarded.sendall(header + payload, "send")
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
+def _recv_exact(guarded: _DeadlineSocket, count: int, what: str) -> bytes:
     chunks = []
     got = 0
     while got < count:
-        chunk = sock.recv(min(count - got, 1 << 20))
+        chunk = guarded.recv(min(count - got, 1 << 20), what)
         if not chunk:
             raise ConnectionClosed(
                 f"connection closed with {count - got} bytes outstanding"
@@ -42,20 +107,21 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> tuple[int, bytes]:
+def recv_frame(sock: socket.socket,
+               timeout: Optional[float] = None) -> tuple[int, bytes]:
     """Read one frame; returns ``(msg_type, payload)``.
 
-    Raises :class:`ConnectionClosed` on clean EOF before a header, and
-    :class:`ProtocolError` on bad magic or implausible length.
+    Raises :class:`ConnectionClosed` on clean EOF before a header,
+    :class:`ProtocolError` on bad magic or implausible length, and
+    :class:`~repro.protocol.errors.TimeoutError` when ``timeout``
+    seconds elapse before the full frame arrives.
     """
-    try:
-        header = _recv_exact(sock, HEADER.size)
-    except ConnectionClosed:
-        raise
-    magic, msg_type, length = HEADER.unpack(header)
-    if magic != MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r}")
-    if length > MAX_FRAME_SIZE:
-        raise ProtocolError(f"implausible frame length {length}")
-    payload = _recv_exact(sock, length) if length else b""
+    with _DeadlineSocket(sock, timeout) as guarded:
+        header = _recv_exact(guarded, HEADER.size, "header")
+        magic, msg_type, length = HEADER.unpack(header)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic {magic!r}")
+        if length > MAX_FRAME_SIZE:
+            raise ProtocolError(f"implausible frame length {length}")
+        payload = _recv_exact(guarded, length, "payload") if length else b""
     return msg_type, payload

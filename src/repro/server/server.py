@@ -1,15 +1,18 @@
-"""The Ninf computational server: TCP accept loop and RPC handling."""
+"""The Ninf computational server: RPC handlers over the shared transport.
+
+All socket plumbing (listener, accept thread, per-connection dispatch
+loop, error replies) lives in :class:`repro.transport.Endpoint`; this
+module is only the Ninf RPC semantics -- the two-stage interface
+request, CALL execution through the PE-pool executor, load reporting,
+and the §5.1 two-phase detached calls.
+"""
 
 from __future__ import annotations
 
-import socket
 import threading
 import time
-from typing import Optional
 
 from repro.idl import IdlError
-from repro.protocol.errors import ConnectionClosed, ProtocolError
-from repro.protocol.framing import recv_frame, send_frame
 from repro.protocol.marshal import marshal_outputs, unmarshal_inputs
 from repro.protocol.messages import (
     CallHeader,
@@ -22,12 +25,13 @@ from repro.protocol.messages import (
 from repro.server.executor import Executor, Job
 from repro.server.registry import Registry
 from repro.server.scheduling import SchedulingPolicy, make_policy
+from repro.transport import Channel, Endpoint
 from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
 __all__ = ["NinfServer"]
 
 
-class NinfServer:
+class NinfServer(Endpoint):
     """A Ninf computational server process (threaded TCP).
 
     Parameters
@@ -54,17 +58,12 @@ class NinfServer:
                  name: str = "ninf-server"):
         if mode not in ("task", "data"):
             raise ValueError(f"mode must be 'task' or 'data', got {mode!r}")
+        super().__init__(host=host, port=port, name=name)
         self.registry = registry
-        self.name = name
         self.num_pes = num_pes
         self.mode = mode
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
-        self._bind_host = host
-        self._bind_port = port
-        self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        self.executor: Optional[Executor] = None
-        self._running = False
+        self.executor: Executor | None = None
         self._start_time = 0.0
         self._load_decay: float = 60.0
         self._load_value = 0.0
@@ -73,69 +72,44 @@ class NinfServer:
         # results awaiting fetch (bounded; oldest evicted).
         self._ticket_counter = 0
         self._detached_lock = threading.Lock()
-        self._detached: dict[int, Optional[bytes]] = {}
+        self._detached: dict[int, bytes | None] = {}
         self.max_detached_results = 256
         # Execution trace (§5.1): per-call observations feeding
         # repro.metaserver.predictor for learned cost models.
         from repro.metaserver.predictor import ExecutionTrace
 
         self.execution_trace = ExecutionTrace()
+        self.register_handler(MessageType.HELLO, self._handle_hello)
+        self.register_handler(MessageType.LIST_REQUEST, self._handle_list)
+        self.register_handler(MessageType.LOAD_QUERY, self._handle_load_query)
+        self.register_handler(MessageType.INTERFACE_REQUEST,
+                              self._handle_interface_request)
+        self.register_handler(MessageType.CALL, self._handle_call)
+        self.register_handler(MessageType.CALL_DETACHED,
+                              self._handle_call_detached)
+        self.register_handler(MessageType.FETCH_RESULT, self._handle_fetch)
 
     # -- lifecycle ----------------------------------------------------------
 
-    def start(self) -> "NinfServer":
-        """Bind, listen, and start the accept loop + executor."""
-        if self._running:
-            raise RuntimeError("server already started")
+    def on_start(self) -> None:
+        """Spin up the PE-pool executor before accepting connections."""
         self.executor = Executor(num_pes=self.num_pes, policy=self.policy)
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self._bind_host, self._bind_port))
-        listener.listen(64)
-        self._listener = listener
-        self._running = True
         self._start_time = time.monotonic()
         self._load_stamp = self._start_time
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"{self.name}-accept", daemon=True
-        )
-        self._accept_thread.start()
+
+    def on_stop(self) -> None:
+        """Drain the executor once the listener is down."""
+        if self.executor is not None:
+            self.executor.shutdown()
+
+    def start(self) -> "NinfServer":
+        """Bind, listen, and start the accept loop + executor."""
+        super().start()
         return self
 
     def stop(self) -> None:
         """Shut down: close the listener, drain the executor."""
-        self._running = False
-        if self._listener is not None:
-            # shutdown() (not just close()) is required to wake a thread
-            # blocked in accept(); close() alone leaves it accepting on
-            # the dead fd (and, after fd reuse, stealing other sockets'
-            # connections).
-            try:
-                self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-            self._listener = None
-        if self.executor is not None:
-            self.executor.shutdown()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
-            self._accept_thread = None
-
-    def __enter__(self) -> "NinfServer":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    @property
-    def address(self) -> tuple[str, int]:
-        if self._listener is None:
-            raise RuntimeError("server is not running")
-        return self._listener.getsockname()[:2]
+        super().stop()
 
     # -- load accounting (Unix-style 1-minute EWMA) ----------------------------
 
@@ -151,131 +125,64 @@ class NinfServer:
             self._load_stamp = now
         return self._load_value
 
-    # -- accept/handle --------------------------------------------------------
+    # -- RPC handlers ---------------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                conn, _peer = self._listener.accept()
-            except (OSError, AttributeError):
-                return  # listener closed
-            if not self._running:
-                conn.close()
-                return
-            handler = threading.Thread(
-                target=self._handle_connection, args=(conn,),
-                name=f"{self.name}-conn", daemon=True,
-            )
-            handler.start()
-
-    def _handle_connection(self, conn: socket.socket) -> None:
-        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        send_lock = threading.Lock()
-        try:
-            while True:
-                try:
-                    msg_type, payload = recv_frame(conn)
-                except ConnectionClosed:
-                    return
-                self._dispatch_message(conn, send_lock, msg_type, payload)
-        except (ProtocolError, OSError):
-            pass
-        finally:
-            try:
-                conn.close()
-            except OSError:
-                pass
-
-    def _send_error(self, conn: socket.socket, lock: threading.Lock,
-                    code: str, message: str) -> None:
+    def _handle_hello(self, channel: Channel, payload: bytes) -> None:
         enc = XdrEncoder()
-        ErrorReply(code=code, message=message).encode(enc)
-        with lock:
-            send_frame(conn, MessageType.ERROR, enc.getvalue())
+        enc.pack_uint(PROTOCOL_VERSION)
+        enc.pack_string(self.name)
+        channel.send(MessageType.HELLO_REPLY, enc.getvalue())
 
-    def _dispatch_message(self, conn: socket.socket, lock: threading.Lock,
-                          msg_type: int, payload: bytes) -> None:
-        if msg_type == MessageType.PING:
-            with lock:
-                send_frame(conn, MessageType.PONG, payload)
-            return
-        if msg_type == MessageType.HELLO:
-            enc = XdrEncoder()
-            enc.pack_uint(PROTOCOL_VERSION)
-            enc.pack_string(self.name)
-            with lock:
-                send_frame(conn, MessageType.HELLO_REPLY, enc.getvalue())
-            return
-        if msg_type == MessageType.LIST_REQUEST:
-            enc = XdrEncoder()
-            enc.pack_array(self.registry.names(), enc.pack_string)
-            with lock:
-                send_frame(conn, MessageType.LIST_REPLY, enc.getvalue())
-            return
-        if msg_type == MessageType.LOAD_QUERY:
-            reply = LoadReply(
-                num_pes=self.num_pes,
-                running=self.executor.running,
-                queued=self.executor.queued,
-                load_average=self._sample_load(),
-                completed=self.executor.completed,
-            )
-            enc = XdrEncoder()
-            reply.encode(enc)
-            with lock:
-                send_frame(conn, MessageType.LOAD_REPLY, enc.getvalue())
-            return
-        if msg_type == MessageType.INTERFACE_REQUEST:
-            self._handle_interface_request(conn, lock, payload)
-            return
-        if msg_type == MessageType.CALL:
-            self._handle_call(conn, lock, payload)
-            return
-        if msg_type == MessageType.CALL_DETACHED:
-            self._handle_call_detached(conn, lock, payload)
-            return
-        if msg_type == MessageType.FETCH_RESULT:
-            self._handle_fetch(conn, lock, payload)
-            return
-        self._send_error(conn, lock, "bad-message",
-                         f"unexpected message type {msg_type}")
+    def _handle_list(self, channel: Channel, payload: bytes) -> None:
+        enc = XdrEncoder()
+        enc.pack_array(self.registry.names(), enc.pack_string)
+        channel.send(MessageType.LIST_REPLY, enc.getvalue())
 
-    def _handle_interface_request(self, conn: socket.socket,
-                                  lock: threading.Lock,
+    def _handle_load_query(self, channel: Channel, payload: bytes) -> None:
+        reply = LoadReply(
+            num_pes=self.num_pes,
+            running=self.executor.running,
+            queued=self.executor.queued,
+            load_average=self._sample_load(),
+            completed=self.executor.completed,
+        )
+        enc = XdrEncoder()
+        reply.encode(enc)
+        channel.send(MessageType.LOAD_REPLY, enc.getvalue())
+
+    def _handle_interface_request(self, channel: Channel,
                                   payload: bytes) -> None:
         try:
             name = XdrDecoder(payload).unpack_string()
         except XdrError as exc:
-            self._send_error(conn, lock, "bad-request", str(exc))
+            channel.send_error("bad-request", str(exc))
             return
         executable = self.registry.get(name)
         if executable is None:
-            self._send_error(conn, lock, "no-such-function",
-                             f"{name!r} is not registered on this server")
+            channel.send_error("no-such-function",
+                               f"{name!r} is not registered on this server")
             return
-        with lock:
-            send_frame(conn, MessageType.INTERFACE_REPLY,
-                       executable.signature.to_wire())
+        channel.send(MessageType.INTERFACE_REPLY,
+                     executable.signature.to_wire())
 
-    def _handle_call(self, conn: socket.socket, lock: threading.Lock,
-                     payload: bytes) -> None:
+    def _handle_call(self, channel: Channel, payload: bytes) -> None:
         try:
             dec = XdrDecoder(payload)
             header = CallHeader.decode(dec)
             args_payload = dec.unpack_opaque()
             dec.done()
         except XdrError as exc:
-            self._send_error(conn, lock, "bad-request", str(exc))
+            channel.send_error("bad-request", str(exc))
             return
         executable = self.registry.get(header.function)
         if executable is None:
-            self._send_error(conn, lock, "no-such-function",
-                             f"{header.function!r} is not registered")
+            channel.send_error("no-such-function",
+                               f"{header.function!r} is not registered")
             return
         try:
             values = unmarshal_inputs(executable.signature, args_payload)
         except (XdrError, IdlError) as exc:
-            self._send_error(conn, lock, "bad-arguments", str(exc))
+            channel.send_error("bad-arguments", str(exc))
             return
         # Data-parallel mode: every call occupies the whole machine.
         if self.mode == "data":
@@ -283,14 +190,13 @@ class NinfServer:
 
         def on_complete(job: Job) -> None:
             if job.error is not None:
-                self._send_error(conn, lock, "execution-failed",
-                                 str(job.error))
+                channel.send_error("execution-failed", str(job.error))
                 return
             try:
                 out_payload = marshal_outputs(executable.signature,
                                               _merge_outputs(executable, job))
             except (XdrError, IdlError) as exc:
-                self._send_error(conn, lock, "bad-result", str(exc))
+                channel.send_error("bad-result", str(exc))
                 return
             self._record_trace(executable, job,
                                len(args_payload) + len(out_payload))
@@ -299,8 +205,7 @@ class NinfServer:
             job.timestamps().encode(enc)
             enc.pack_opaque(out_payload)
             try:
-                with lock:
-                    send_frame(conn, MessageType.RESULT, enc.getvalue())
+                channel.send(MessageType.RESULT, enc.getvalue())
             except OSError:
                 pass  # client went away; nothing to do
 
@@ -310,8 +215,7 @@ class NinfServer:
             enc.pack_double(float(progress))
             enc.pack_string(str(message))
             try:
-                with lock:
-                    send_frame(conn, MessageType.CALLBACK, enc.getvalue())
+                channel.send(MessageType.CALLBACK, enc.getvalue())
             except OSError:
                 pass  # client went away; progress is best-effort
 
@@ -338,8 +242,7 @@ class NinfServer:
 
     # -- two-phase RPC (§5.1) -------------------------------------------------
 
-    def _handle_call_detached(self, conn: socket.socket,
-                              lock: threading.Lock, payload: bytes) -> None:
+    def _handle_call_detached(self, channel: Channel, payload: bytes) -> None:
         """Phase one: accept arguments, reply with a ticket, disconnect-safe."""
         try:
             dec = XdrDecoder(payload)
@@ -347,17 +250,17 @@ class NinfServer:
             args_payload = dec.unpack_opaque()
             dec.done()
         except XdrError as exc:
-            self._send_error(conn, lock, "bad-request", str(exc))
+            channel.send_error("bad-request", str(exc))
             return
         executable = self.registry.get(header.function)
         if executable is None:
-            self._send_error(conn, lock, "no-such-function",
-                             f"{header.function!r} is not registered")
+            channel.send_error("no-such-function",
+                               f"{header.function!r} is not registered")
             return
         try:
             values = unmarshal_inputs(executable.signature, args_payload)
         except (XdrError, IdlError) as exc:
-            self._send_error(conn, lock, "bad-arguments", str(exc))
+            channel.send_error("bad-arguments", str(exc))
             return
         if self.mode == "data":
             executable = _with_pes(executable, self.num_pes)
@@ -396,18 +299,16 @@ class NinfServer:
         reply = XdrEncoder()
         reply.pack_uhyper(header.call_id)
         reply.pack_uhyper(ticket)
-        with lock:
-            send_frame(conn, MessageType.CALL_ACCEPTED, reply.getvalue())
+        channel.send(MessageType.CALL_ACCEPTED, reply.getvalue())
 
-    def _handle_fetch(self, conn: socket.socket, lock: threading.Lock,
-                      payload: bytes) -> None:
+    def _handle_fetch(self, channel: Channel, payload: bytes) -> None:
         """Phase two: a (possibly new) connection collects the result."""
         try:
             dec = XdrDecoder(payload)
             ticket = dec.unpack_uhyper()
             dec.done()
         except XdrError as exc:
-            self._send_error(conn, lock, "bad-request", str(exc))
+            channel.send_error("bad-request", str(exc))
             return
         with self._detached_lock:
             if ticket not in self._detached:
@@ -419,14 +320,13 @@ class NinfServer:
                 if result is not None:
                     del self._detached[ticket]
         if not known:
-            self._send_error(conn, lock, "unknown-ticket",
-                             f"no detached call with ticket {ticket}")
+            channel.send_error("unknown-ticket",
+                               f"no detached call with ticket {ticket}")
             return
         if result is None:
             enc = XdrEncoder()
             enc.pack_uhyper(ticket)
-            with lock:
-                send_frame(conn, MessageType.RESULT_PENDING, enc.getvalue())
+            channel.send(MessageType.RESULT_PENDING, enc.getvalue())
             return
         dec = XdrDecoder(result)
         ok = dec.unpack_bool()
@@ -434,8 +334,7 @@ class NinfServer:
             err = ErrorReply.decode(dec)
             enc = XdrEncoder()
             err.encode(enc)
-            with lock:
-                send_frame(conn, MessageType.ERROR, enc.getvalue())
+            channel.send(MessageType.ERROR, enc.getvalue())
             return
         timestamps = JobTimestamps.decode(dec)
         out_payload = dec.unpack_opaque()
@@ -444,8 +343,7 @@ class NinfServer:
         enc.pack_uhyper(ticket)
         timestamps.encode(enc)
         enc.pack_opaque(out_payload)
-        with lock:
-            send_frame(conn, MessageType.RESULT, enc.getvalue())
+        channel.send(MessageType.RESULT, enc.getvalue())
 
 
 def _with_pes(executable, num_pes: int):

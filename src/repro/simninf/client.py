@@ -22,16 +22,26 @@ __all__ = ["WorkloadClient", "run_single_call"]
 
 
 class WorkloadClient:
-    """One benchmark client issuing repeated Ninf_calls."""
+    """One benchmark client issuing repeated Ninf_calls.
+
+    ``pooled=True`` models a client that keeps its TCP connection to
+    the server alive across calls (the :class:`repro.transport`
+    ``ConnectionPool``): the first call pays the full per-call setup
+    cost, every later call only ``pooled_setup`` seconds.  The default
+    ``pooled=False`` is the paper's connection-per-call client.
+    """
 
     def __init__(self, sim: Simulator, client_id: int, server: SimNinfServer,
                  route: Route, spec: CallSpec, s: float = 3.0, p: float = 0.5,
                  horizon: float = 300.0, seed: int = 0, site: str = "lan",
-                 max_calls: Optional[int] = None):
+                 max_calls: Optional[int] = None, pooled: bool = False,
+                 pooled_setup: float = 0.0):
         if not 0.0 < p <= 1.0:
             raise ValueError(f"issue probability must be in (0, 1], got {p}")
         if s < 0:
             raise ValueError(f"interval must be >= 0, got {s}")
+        if pooled_setup < 0:
+            raise ValueError(f"pooled_setup must be >= 0, got {pooled_setup}")
         self.sim = sim
         self.client_id = client_id
         self.server = server
@@ -42,6 +52,8 @@ class WorkloadClient:
         self.horizon = horizon
         self.site = site
         self.max_calls = max_calls
+        self.pooled = pooled
+        self.pooled_setup = pooled_setup
         self.rng = np.random.default_rng((seed, client_id))
         self.records: list[SimCallRecord] = []
         self.process = sim.process(self._run(), name=f"client-{client_id}")
@@ -59,7 +71,12 @@ class WorkloadClient:
                 break
             record = SimCallRecord(spec=self.spec, client_id=self.client_id,
                                    submit_time=sim.now, site=self.site)
-            yield from self.server.execute_call(record, self.route)
+            # A pooled client's connection is already open after the
+            # first call; only the residual setup cost remains.
+            t_setup = (self.pooled_setup if self.pooled and self.records
+                       else None)
+            yield from self.server.execute_call(record, self.route,
+                                                t_setup=t_setup)
             self.records.append(record)
             if self.max_calls is not None and len(self.records) >= self.max_calls:
                 return

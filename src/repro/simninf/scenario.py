@@ -45,6 +45,7 @@ class ServerSpec:
     nic_bandwidth: float = 12e6      # server attachment, bytes/s
     policy: Optional[str] = None     # admission policy (None = 1997 FCFS fork)
     max_concurrent: Optional[int] = None
+    t_setup: Optional[float] = None  # per-call setup cost (None = T_comm0)
 
 
 @dataclass(frozen=True)
@@ -80,7 +81,12 @@ class Workload:
 
 @dataclass(frozen=True)
 class ClientGroup:
-    """``count`` identical clients at a site, calling one server."""
+    """``count`` identical clients at a site, calling one server.
+
+    ``pooled=False`` is the paper's connection-per-call client; ``True``
+    models transport-layer connection reuse (only the first call pays
+    the full setup cost, later calls pay ``pooled_setup``).
+    """
 
     site: str
     count: int
@@ -89,6 +95,8 @@ class ClientGroup:
     client_machine: str = "alpha"
     s: float = 3.0                  # the paper's think interval
     p: float = 0.5                  # issue probability
+    pooled: bool = False            # keep-alive connection reuse
+    pooled_setup: float = 0.0       # residual setup cost when pooled
 
 
 @dataclass
@@ -143,9 +151,13 @@ class Scenario:
             policy: Optional[SchedulingPolicy] = (
                 make_policy(spec.policy) if spec.policy else None
             )
+            server_kwargs = {}
+            if spec.t_setup is not None:
+                server_kwargs["t_setup"] = spec.t_setup
             sim_servers[name] = SimNinfServer(
                 sim, network, server_machine, mode=spec.mode,
                 policy=policy, max_concurrent=spec.max_concurrent,
+                **server_kwargs,
             )
             nics[name] = Link(f"{name}-nic", spec.nic_bandwidth, 0.0005)
             stats[name] = sim_servers[name].machine.stats_window()
@@ -183,7 +195,8 @@ class Scenario:
                     WorkloadClient(sim, client_id, sim_servers[group.server],
                                    route, call_spec, s=group.s, p=group.p,
                                    horizon=self.horizon, seed=seed,
-                                   site=group.site)
+                                   site=group.site, pooled=group.pooled,
+                                   pooled_setup=group.pooled_setup)
                 )
                 client_id += 1
 

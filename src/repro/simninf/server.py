@@ -114,13 +114,20 @@ class SimNinfServer:
             self._admitted += job.pes_required
             job.grant.fire()
 
-    def execute_call(self, record: SimCallRecord,
-                     route: Route) -> Generator:
-        """Process body of one Ninf_call; fills in the record's times."""
+    def execute_call(self, record: SimCallRecord, route: Route,
+                     t_setup: Optional[float] = None) -> Generator:
+        """Process body of one Ninf_call; fills in the record's times.
+
+        ``t_setup`` overrides the server-wide per-call setup cost for
+        this call only -- how pooled clients model an already-open
+        connection (the TCP handshake + two-stage-RPC setup collapses
+        to the residual the caller passes, typically 0).
+        """
         sim = self.sim
         spec = record.spec
+        setup = self.t_setup if t_setup is None else t_setup
         # Request packet reaches the server; acceptance stamps T_enqueue.
-        yield sim.timeout(route.latency + self.t_setup / 2)
+        yield sim.timeout(route.latency + setup / 2)
         record.enqueue_time = sim.now
         # Optional admission control (SJF etc.) queues here (§5.2).
         if spec.pes is not None:
@@ -147,7 +154,7 @@ class SimNinfServer:
         # Result download (marshalling again pipelined).
         comm_start = sim.now
         yield from self._transfer(route, spec.output_bytes)
-        yield sim.timeout(self.t_setup / 2)
+        yield sim.timeout(setup / 2)
         record.comm_seconds += sim.now - comm_start
         record.complete_time = sim.now
         self.calls_completed += 1

@@ -1,0 +1,24 @@
+"""The shared socket-transport layer.
+
+Everything that touches a raw ``socket.socket`` in the reproduction
+lives here; client, server, and metaserver are written against these
+three abstractions:
+
+- :class:`Channel` -- a framed, thread-safe request/reply connection
+  with per-operation deadlines (``repro.protocol.framing`` underneath).
+- :class:`ConnectionPool` -- keep-alive channel reuse keyed by
+  ``(host, port)`` with max-idle eviction; ``pool=False`` restores the
+  paper's per-call-connection behaviour as an ablation.
+- :class:`Endpoint` -- the TCP accept-loop + ``MessageType -> handler``
+  dispatch skeleton shared by :class:`~repro.server.NinfServer` and
+  :class:`~repro.metaserver.Metaserver`.
+
+Layering: ``xdr`` (encoding) -> ``protocol`` (framing + messages) ->
+``transport`` (connections) -> ``client`` / ``server`` / ``metaserver``.
+"""
+
+from repro.transport.channel import Channel, connect
+from repro.transport.endpoint import Endpoint
+from repro.transport.pool import ConnectionPool
+
+__all__ = ["Channel", "ConnectionPool", "Endpoint", "connect"]

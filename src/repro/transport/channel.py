@@ -1,0 +1,158 @@
+"""A framed, thread-safe request/reply connection.
+
+:class:`Channel` is the only place in the reproduction that owns a raw
+``socket.socket``.  Client code checks channels out of a
+:class:`~repro.transport.pool.ConnectionPool`; server code receives one
+per accepted connection from :class:`~repro.transport.endpoint.Endpoint`.
+Every operation takes an optional per-call deadline (seconds) that
+overrides the channel default and surfaces expiry as
+:class:`repro.protocol.errors.TimeoutError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Union
+
+from repro.protocol.errors import ProtocolError, RemoteError
+from repro.protocol.framing import recv_frame, send_frame
+from repro.protocol.messages import ErrorReply, MessageType
+from repro.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["Channel", "connect"]
+
+
+class _Unset:
+    """Sentinel distinguishing "no timeout" from "use the default"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<use channel default>"
+
+
+_DEFAULT = _Unset()
+
+
+class Channel:
+    """One framed TCP connection with per-operation deadlines.
+
+    Parameters
+    ----------
+    sock:
+        A connected socket; the channel takes ownership (``close`` is
+        the channel's job from here on).  ``TCP_NODELAY`` is set so the
+        small CALL/RESULT headers are not Nagle-delayed.
+    timeout:
+        Default deadline (seconds) applied to every send/recv unless a
+        call passes its own; ``None`` blocks forever (the accepted
+        server side of a connection, which must idle between requests).
+    remote:
+        The ``(host, port)`` this channel dials, recorded so a
+        :class:`~repro.transport.pool.ConnectionPool` can route
+        ``checkin`` back to the right bucket.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 timeout: Optional[float] = None,
+                 remote: Optional[tuple[str, int]] = None):
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (socketpair in tests) -- fine
+        self.sock = sock
+        self.timeout = timeout
+        self.remote = remote
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._rpc_lock = threading.RLock()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        self._closed = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def fileno(self) -> int:
+        """The underlying socket's file descriptor (for select/poll)."""
+        return self.sock.fileno()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<Channel {self.remote or ''} {state}>"
+
+    # -- framed I/O ---------------------------------------------------------
+
+    def _resolve(self, timeout: Union[None, float, _Unset]) -> Optional[float]:
+        return self.timeout if isinstance(timeout, _Unset) else timeout
+
+    def send(self, msg_type: int, payload: bytes = b"",
+             timeout: Union[None, float, _Unset] = _DEFAULT) -> None:
+        """Write one frame; safe to call from multiple threads."""
+        with self._send_lock:
+            send_frame(self.sock, msg_type, payload,
+                       timeout=self._resolve(timeout))
+
+    def recv(self, timeout: Union[None, float, _Unset] = _DEFAULT
+             ) -> tuple[int, bytes]:
+        """Read one frame as ``(msg_type, payload)``."""
+        with self._recv_lock:
+            return recv_frame(self.sock, timeout=self._resolve(timeout))
+
+    def request(self, msg_type: int, payload: bytes = b"",
+                expect: Optional[int] = None,
+                timeout: Union[None, float, _Unset] = _DEFAULT
+                ) -> tuple[int, bytes]:
+        """One send + one recv, atomically with respect to other callers.
+
+        An ``ERROR`` reply is decoded and re-raised as
+        :class:`~repro.protocol.errors.RemoteError`; when ``expect`` is
+        given, any other reply type raises
+        :class:`~repro.protocol.errors.ProtocolError`.
+        """
+        with self._rpc_lock:
+            self.send(msg_type, payload, timeout=timeout)
+            reply_type, reply = self.recv(timeout=timeout)
+        if reply_type == MessageType.ERROR:
+            err = ErrorReply.decode(XdrDecoder(reply))
+            raise RemoteError(err.code, err.message)
+        if expect is not None and reply_type != expect:
+            raise ProtocolError(f"expected message {expect}, got {reply_type}")
+        return reply_type, reply
+
+    def send_error(self, code: str, message: str) -> None:
+        """Reply with a well-formed ``ErrorReply`` frame (server side)."""
+        enc = XdrEncoder()
+        ErrorReply(code=code, message=message).encode(enc)
+        self.send(MessageType.ERROR, enc.getvalue())
+
+
+def connect(host: str, port: int, timeout: Optional[float] = None,
+            connect_timeout: Optional[float] = None) -> Channel:
+    """Dial ``host:port`` and wrap the socket in a :class:`Channel`.
+
+    ``connect_timeout`` bounds the TCP handshake only (defaulting to
+    ``timeout``); ``timeout`` becomes the channel's per-operation
+    default.  This is the single client-side socket factory of the
+    whole reproduction.
+    """
+    sock = socket.create_connection(
+        (host, port),
+        timeout=timeout if connect_timeout is None else connect_timeout,
+    )
+    sock.settimeout(None)  # per-operation deadlines are framing's job
+    return Channel(sock, timeout=timeout, remote=(host, port))

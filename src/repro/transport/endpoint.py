@@ -1,0 +1,167 @@
+"""Shared TCP accept-loop + message-dispatch base for Ninf processes.
+
+Both the computational server (:class:`repro.server.NinfServer`) and
+the metaserver (:class:`repro.metaserver.Metaserver`) are one listening
+socket, one accept thread, one handler thread per connection, and one
+``MessageType -> handler`` dispatch table.  :class:`Endpoint` is that
+skeleton, written once: subclasses register handlers and override the
+:meth:`on_start`/:meth:`on_stop` hooks for their extra machinery
+(executor pool, monitor thread).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Optional
+
+from repro.protocol.errors import ConnectionClosed, ProtocolError
+from repro.protocol.messages import MessageType
+from repro.transport.channel import Channel
+from repro.xdr import XdrError
+
+__all__ = ["Endpoint"]
+
+Handler = Callable[[Channel, bytes], None]
+
+
+class Endpoint:
+    """A threaded TCP request/reply endpoint with a handler registry.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    name:
+        Thread-name prefix and HELLO identity.
+
+    Every accepted connection is wrapped in a :class:`Channel` (which
+    sets ``TCP_NODELAY``) and served by a daemon thread: frames are
+    read in a loop and routed through the dispatch table.  An unknown
+    ``MessageType`` gets a well-formed ``ErrorReply`` and the
+    connection stays open; a malformed payload (``XdrError`` escaping a
+    handler) gets ``bad-request``.  ``PING -> PONG`` is pre-registered.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 name: str = "endpoint"):
+        self.name = name
+        self._bind_host = host
+        self._bind_port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = False
+        self._handlers: dict[int, Handler] = {}
+        # Server-side observability: the connection-reuse acceptance
+        # metric of the LAN benchmarks (pooled clients keep this at 1).
+        self.connections_accepted = 0
+        self.register_handler(MessageType.PING, self._handle_ping)
+
+    # -- handler registry ---------------------------------------------------
+
+    def register_handler(self, msg_type: int, handler: Handler) -> None:
+        """Route frames of ``msg_type`` to ``handler(channel, payload)``."""
+        self._handlers[int(msg_type)] = handler
+
+    def _handle_ping(self, channel: Channel, payload: bytes) -> None:
+        channel.send(MessageType.PONG, payload)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Hook: runs before the listener accepts its first connection."""
+
+    def on_stop(self) -> None:
+        """Hook: runs after the listener closes, before thread joins."""
+
+    def start(self) -> "Endpoint":
+        """Bind, listen, and start the accept loop."""
+        if self._running:
+            raise RuntimeError(f"{self.name} already started")
+        self.on_start()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._bind_host, self._bind_port))
+        listener.listen(64)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{self.name}-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down: close the listener, run :meth:`on_stop`, join."""
+        self._running = False
+        if self._listener is not None:
+            # shutdown() (not just close()) is required to wake a thread
+            # blocked in accept(); close() alone leaves it accepting on
+            # the dead fd (and, after fd reuse, stealing other sockets'
+            # connections).
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        self.on_stop()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "Endpoint":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError(f"{self.name} is not running")
+        return self._listener.getsockname()[:2]
+
+    # -- accept / dispatch --------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _peer = self._listener.accept()
+            except (OSError, AttributeError):
+                return  # listener closed
+            if not self._running:
+                conn.close()
+                return
+            self.connections_accepted += 1
+            channel = Channel(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(channel,),
+                name=f"{self.name}-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, channel: Channel) -> None:
+        try:
+            while True:
+                try:
+                    msg_type, payload = channel.recv()
+                except ConnectionClosed:
+                    return
+                handler = self._handlers.get(msg_type)
+                if handler is None:
+                    channel.send_error(
+                        "bad-message", f"unexpected message type {msg_type}"
+                    )
+                    continue
+                try:
+                    handler(channel, payload)
+                except XdrError as exc:
+                    channel.send_error("bad-request", str(exc))
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            channel.close()

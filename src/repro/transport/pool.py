@@ -1,0 +1,173 @@
+"""Keep-alive channel reuse keyed by ``(host, port)``.
+
+The MDS2 scalability study found connection caching to be the single
+largest factor in grid-service throughput; this pool is that knob for
+the reproduction.  ``pool=False`` disables reuse entirely so the
+paper's per-call-connection behaviour (every ``Ninf_call`` pays a TCP
+handshake) stays reproducible as an ablation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.transport.channel import Channel, connect
+
+__all__ = ["ConnectionPool"]
+
+
+class ConnectionPool:
+    """Thread-safe keep-alive pool of :class:`Channel` objects.
+
+    Parameters
+    ----------
+    timeout:
+        Per-operation default deadline handed to every channel dialed
+        by the pool.
+    pool:
+        ``False`` turns the pool into a plain factory: ``checkout``
+        always dials, ``checkin`` always closes -- the paper-fidelity
+        per-call-connection ablation.
+    max_idle_per_key:
+        At most this many idle channels are retained per ``(host,
+        port)``; surplus checkins are closed.
+    max_idle_seconds:
+        Idle channels older than this are evicted (lazily, on the next
+        checkout/checkin touching the pool, or explicitly via
+        :meth:`evict_idle`).
+    connector:
+        Channel factory, injectable for tests; defaults to
+        :func:`repro.transport.channel.connect`.
+    """
+
+    def __init__(self, timeout: Optional[float] = None, pool: bool = True,
+                 max_idle_per_key: int = 8,
+                 max_idle_seconds: float = 60.0,
+                 connect_timeout: Optional[float] = None,
+                 connector: Optional[Callable[..., Channel]] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_idle_per_key < 1:
+            raise ValueError(f"max_idle_per_key must be >= 1, "
+                             f"got {max_idle_per_key}")
+        self.timeout = timeout
+        self.pooling = pool
+        self.max_idle_per_key = max_idle_per_key
+        self.max_idle_seconds = max_idle_seconds
+        self.connect_timeout = connect_timeout
+        self._connect = connector or connect
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (host, port) -> [(channel, checkin_stamp), ...]; reuse is LIFO
+        # so hot channels stay hot and cold ones age out.
+        self._idle: dict[tuple[str, int], list[tuple[Channel, float]]] = {}
+        self._closed = False
+        # Observability for the connection-reuse benchmarks.
+        self.created = 0
+        self.reused = 0
+
+    # -- checkout / checkin -------------------------------------------------
+
+    def checkout(self, host: str, port: int) -> Channel:
+        """An open channel to ``host:port`` -- reused when possible."""
+        key = (host, port)
+        if self.pooling:
+            with self._lock:
+                self._evict_locked(self._clock())
+                bucket = self._idle.get(key)
+                while bucket:
+                    channel, _stamp = bucket.pop()
+                    if not channel.closed:
+                        self.reused += 1
+                        return channel
+        channel = self._connect(host, port, timeout=self.timeout,
+                                connect_timeout=self.connect_timeout)
+        with self._lock:
+            self.created += 1
+        return channel
+
+    def checkin(self, channel: Channel) -> None:
+        """Return a healthy channel for reuse (closes it when pooling is
+        off, the pool is closed, the bucket is full, or the channel has
+        no dialed remote to key on)."""
+        if (not self.pooling or channel.closed or channel.remote is None):
+            channel.close()
+            return
+        now = self._clock()
+        with self._lock:
+            if self._closed:
+                channel.close()
+                return
+            self._evict_locked(now)
+            bucket = self._idle.setdefault(channel.remote, [])
+            if len(bucket) >= self.max_idle_per_key:
+                channel.close()
+                return
+            bucket.append((channel, now))
+
+    def discard(self, channel: Channel) -> None:
+        """Close a channel that hit an error; never goes back in the pool."""
+        channel.close()
+
+    @contextmanager
+    def lease(self, host: str, port: int) -> Iterator[Channel]:
+        """``with pool.lease(h, p) as ch:`` -- checkin on success,
+        discard on any exception (a failed exchange leaves the stream
+        in an unknown framing state, so the connection is burned)."""
+        channel = self.checkout(host, port)
+        try:
+            yield channel
+        except BaseException:
+            self.discard(channel)
+            raise
+        self.checkin(channel)
+
+    # -- eviction / shutdown ------------------------------------------------
+
+    def _evict_locked(self, now: float) -> None:
+        if self.max_idle_seconds is None:
+            return
+        horizon = now - self.max_idle_seconds
+        for key, bucket in list(self._idle.items()):
+            keep = []
+            for channel, stamp in bucket:
+                if stamp < horizon or channel.closed:
+                    channel.close()
+                else:
+                    keep.append((channel, stamp))
+            if keep:
+                self._idle[key] = keep
+            else:
+                del self._idle[key]
+
+    def evict_idle(self) -> None:
+        """Synchronously drop idle channels past ``max_idle_seconds``."""
+        with self._lock:
+            self._evict_locked(self._clock())
+
+    def idle_count(self, host: Optional[str] = None,
+                   port: Optional[int] = None) -> int:
+        """Idle channels held for one key, or for the whole pool."""
+        with self._lock:
+            if host is not None and port is not None:
+                return len(self._idle.get((host, port), ()))
+            return sum(len(bucket) for bucket in self._idle.values())
+
+    def close(self) -> None:
+        """Close every idle channel; the pool stays usable as a factory
+        (subsequent checkins are closed rather than retained)."""
+        with self._lock:
+            self._closed = True
+            buckets = list(self._idle.values())
+            self._idle.clear()
+        for bucket in buckets:
+            for channel, _stamp in bucket:
+                channel.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,166 @@
+"""Endpoint dispatch + the connection-reuse acceptance criteria."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.client import NinfClient
+from repro.protocol.errors import RemoteError, TimeoutError
+from repro.protocol.messages import ErrorReply, MessageType
+from repro.server import NinfServer, Registry
+from repro.transport import Channel, Endpoint, connect
+from repro.xdr import XdrDecoder
+
+DMMUL_IDL = """
+Define dmmul(mode_in int n, mode_in double A[n][n],
+             mode_in double B[n][n], mode_out double C[n][n])
+"double precision matrix multiply"
+CalcOrder "2*n*n*n"
+Calls "C" mmul(n, A, B, C);
+"""
+
+
+def _dmmul(n, a, b, c):
+    np.matmul(a, b, out=c)
+
+
+def build_registry() -> Registry:
+    registry = Registry()
+    registry.register(DMMUL_IDL, _dmmul)
+    return registry
+
+
+@pytest.fixture
+def server():
+    with NinfServer(build_registry(), num_pes=2) as srv:
+        yield srv
+
+
+# -- Endpoint dispatch ------------------------------------------------------
+
+
+def test_unknown_message_type_gets_error_reply_and_keeps_connection(server):
+    host, port = server.address
+    with connect(host, port, timeout=5.0) as channel:
+        channel.send(999, b"")
+        msg_type, payload = channel.recv()
+        assert msg_type == MessageType.ERROR
+        err = ErrorReply.decode(XdrDecoder(payload))
+        assert err.code == "bad-message"
+        # The connection survives: a PING on the same channel still works.
+        channel.send(MessageType.PING, b"still-alive")
+        assert channel.recv() == (MessageType.PONG, b"still-alive")
+
+
+def test_ping_is_preregistered_on_bare_endpoint():
+    with Endpoint(name="bare") as endpoint:
+        host, port = endpoint.address
+        with connect(host, port, timeout=5.0) as channel:
+            _type, _payload = channel.request(MessageType.PING, b"x",
+                                              expect=MessageType.PONG)
+            assert _payload == b"x"
+
+
+def test_endpoint_counts_accepted_connections():
+    with Endpoint(name="counting") as endpoint:
+        host, port = endpoint.address
+        for expected in (1, 2, 3):
+            with connect(host, port, timeout=5.0) as channel:
+                channel.request(MessageType.PING, expect=MessageType.PONG)
+            assert endpoint.connections_accepted == expected
+
+
+def test_accepted_server_socket_has_nodelay():
+    class Introspect(Endpoint):
+        def __init__(self):
+            super().__init__(name="introspect")
+            self.seen = []
+
+        def _serve_connection(self, channel):
+            self.seen.append(
+                channel.sock.getsockopt(socket.IPPROTO_TCP,
+                                        socket.TCP_NODELAY)
+            )
+            super()._serve_connection(channel)
+
+    with Introspect() as endpoint:
+        host, port = endpoint.address
+        with connect(host, port, timeout=5.0) as channel:
+            channel.request(MessageType.PING, expect=MessageType.PONG)
+        assert endpoint.seen and all(flag != 0 for flag in endpoint.seen)
+
+
+def test_deadline_expiry_surfaces_as_timeout_error():
+    class Mute(Endpoint):
+        """Swallows every PING instead of answering it."""
+
+        def __init__(self):
+            super().__init__(name="mute")
+            self.register_handler(MessageType.PING, lambda ch, payload: None)
+
+    with Mute() as endpoint:
+        host, port = endpoint.address
+        with connect(host, port, timeout=0.3) as channel:
+            with pytest.raises(TimeoutError):
+                channel.request(MessageType.PING, expect=MessageType.PONG)
+
+
+def test_stop_is_clean_and_address_raises_after():
+    endpoint = Endpoint(name="stoppable").start()
+    endpoint.stop()
+    with pytest.raises(RuntimeError):
+        endpoint.address
+
+
+# -- acceptance: pooled vs per-call connections over the real stack ----------
+
+
+def test_pooled_client_uses_single_connection_for_n_calls(server):
+    host, port = server.address
+    n = 4
+    a = np.arange(float(n * n)).reshape(n, n)
+    b = np.eye(n)
+    with NinfClient(host, port, pool=True) as client:
+        for _ in range(6):
+            (out,) = client.call("dmmul", n, a, b, np.zeros((n, n)))
+            np.testing.assert_allclose(out, a)
+    # Signature fetch + all six calls rode one TCP connection.
+    assert server.connections_accepted == 1
+
+
+def test_unpooled_client_reproduces_per_call_connections(server):
+    host, port = server.address
+    n = 4
+    a = np.arange(float(n * n)).reshape(n, n)
+    b = np.eye(n)
+    calls = 5
+    with NinfClient(host, port, pool=False) as client:
+        for _ in range(calls):
+            client.call("dmmul", n, a, b, np.zeros((n, n)))
+    # One connection for the signature fetch plus one per call.
+    assert server.connections_accepted == calls + 1
+
+
+def test_remote_error_burns_connection_but_client_recovers(server):
+    host, port = server.address
+    with NinfClient(host, port, pool=True) as client:
+        with pytest.raises(RemoteError):
+            client.get_signature("no-such-function")
+        assert client.ping()
+
+
+def test_no_raw_sockets_outside_transport():
+    """Client/server/metaserver never construct sockets themselves."""
+    import pathlib
+
+    import repro
+
+    src_root = pathlib.Path(repro.__file__).parent
+    offenders = []
+    for layer in ("client", "server", "metaserver"):
+        for path in (src_root / layer).rglob("*.py"):
+            text = path.read_text()
+            if "socket.socket(" in text or "create_connection" in text:
+                offenders.append(str(path))
+    assert not offenders, f"raw socket use outside repro.transport: {offenders}"
