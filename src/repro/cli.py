@@ -175,7 +175,8 @@ def experiment_main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("target",
                         choices=["report", "fig3", "fig4", "fig5", "fig7", "fig10",
                                  "fig11", "table3", "table4", "table5",
-                                 "table6", "table7", "table8"],
+                                 "table6", "table7", "table8",
+                                 "availability"],
                         help="which artifact to regenerate")
     parser.add_argument("--fast", action="store_true",
                         help="smaller sweeps")
@@ -207,6 +208,12 @@ def experiment_main(argv: Optional[list[str]] = None) -> int:
             "table7": lambda: wan.table7_4pe(sizes, clients),
         }
         print(builders[args.target]().format())
+        return 0
+    if args.target == "availability":
+        from repro.experiments import availability_ablation, format_availability
+
+        rates = (0.0, 0.1, 0.3) if args.fast else (0.0, 0.05, 0.1, 0.2, 0.3)
+        print(format_availability(availability_ablation(fault_rates=rates)))
         return 0
     if args.target == "table8":
         from repro.experiments.ep import table8_ep

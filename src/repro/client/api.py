@@ -19,7 +19,7 @@ from repro.protocol.messages import (
     LoadReply,
     MessageType,
 )
-from repro.transport import Channel, ConnectionPool
+from repro.transport import Channel, ConnectionPool, RetryPolicy, is_transient
 from repro.xdr import XdrDecoder, XdrEncoder
 
 __all__ = ["CallRecord", "DetachedCall", "NinfClient", "NinfFuture",
@@ -78,15 +78,37 @@ class NinfFuture:
         self._outputs: Optional[list[Any]] = None
         self._record: Optional[CallRecord] = None
         self._error: Optional[BaseException] = None
+        self._callbacks: list[Callable[["NinfFuture"], None]] = []
+        self._callbacks_lock = threading.Lock()
 
     def _fulfill(self, outputs: list[Any], record: CallRecord) -> None:
         self._outputs = outputs
         self._record = record
-        self._event.set()
+        self._finish()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
+        self._finish()
+
+    def _finish(self) -> None:
         self._event.set()
+        with self._callbacks_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, fn: Callable[["NinfFuture"], None]) -> None:
+        """Run ``fn(self)`` on completion (immediately if already done).
+
+        Callbacks fire on the call's worker thread, exactly once, for
+        success and failure alike -- this is how ``ninf_call_async``
+        closes its throwaway client's connection pool.
+        """
+        with self._callbacks_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     @property
     def done(self) -> bool:
@@ -147,21 +169,44 @@ class NinfClient:
         ablation the LAN benchmarks measure).
     max_idle:
         Seconds a pooled connection may sit idle before eviction.
+    retry:
+        A :class:`~repro.transport.RetryPolicy` applied to the client's
+        *idempotent* operations only (``ping``, ``get_signature``,
+        ``list_functions``, ``query_load``, detached-result polling).
+        ``CALL`` is never auto-retried: the server may have executed
+        the routine even though the reply was lost, and at-most-once is
+        the contract (fault tolerance for calls belongs to
+        :class:`~repro.client.Transaction` migration).
+    fault_plan:
+        A :class:`~repro.transport.FaultPlan` injected into the
+        connection pool -- every channel this client dials becomes a
+        fault-injecting one (the chaos-test hook).
+
+    The counters ``attempts``, ``retries``, and ``faults_seen`` track
+    every transport exchange, its retries, and the transient errors
+    observed, so experiments can report effective availability.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 300.0,
-                 clock=None, pool: bool = True, max_idle: float = 60.0):
+                 clock=None, pool: bool = True, max_idle: float = 60.0,
+                 retry: Optional[RetryPolicy] = None, fault_plan=None):
         import time
 
         self.host = host
         self.port = port
         self.timeout = timeout
         self.clock = clock or time.monotonic
+        self.retry = retry
         self._signatures: dict[str, Signature] = {}
         self._pool = ConnectionPool(timeout=timeout, pool=pool,
-                                    max_idle_seconds=max_idle)
+                                    max_idle_seconds=max_idle,
+                                    fault_plan=fault_plan)
         self.records: list[CallRecord] = []
         self._records_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self.attempts = 0
+        self.retries = 0
+        self.faults_seen = 0
 
     # -- connection pool ------------------------------------------------------
 
@@ -195,25 +240,55 @@ class NinfClient:
                                                  expect=expect)
         return reply
 
+    def _counted(self, fn):
+        """Run one exchange attempt, tracking attempts and faults seen."""
+        with self._counter_lock:
+            self.attempts += 1
+        try:
+            return fn()
+        except BaseException as exc:
+            if is_transient(exc):
+                with self._counter_lock:
+                    self.faults_seen += 1
+            raise
+
+    def _idempotent(self, fn):
+        """Run a side-effect-free exchange under the retry policy."""
+        if self.retry is None:
+            return self._counted(fn)
+
+        def on_retry(_attempt: int, _exc: BaseException) -> None:
+            with self._counter_lock:
+                self.retries += 1
+
+        return self.retry.run(lambda: self._counted(fn), on_retry=on_retry)
+
     def ping(self) -> bool:
         """Liveness probe: True when the server answers PING."""
         try:
-            self._roundtrip(MessageType.PING, b"", MessageType.PONG)
+            self._idempotent(
+                lambda: self._roundtrip(MessageType.PING, b"",
+                                        MessageType.PONG)
+            )
             return True
         except (OSError, ProtocolError):
             return False
 
     def list_functions(self) -> list[str]:
         """Names of every executable registered on the server."""
-        reply = self._roundtrip(MessageType.LIST_REQUEST, b"",
-                                MessageType.LIST_REPLY)
+        reply = self._idempotent(
+            lambda: self._roundtrip(MessageType.LIST_REQUEST, b"",
+                                    MessageType.LIST_REPLY)
+        )
         dec = XdrDecoder(reply)
         return dec.unpack_array(dec.unpack_string)
 
     def query_load(self) -> LoadReply:
         """The server-state snapshot the metaserver monitors."""
-        reply = self._roundtrip(MessageType.LOAD_QUERY, b"",
-                                MessageType.LOAD_REPLY)
+        reply = self._idempotent(
+            lambda: self._roundtrip(MessageType.LOAD_QUERY, b"",
+                                    MessageType.LOAD_REPLY)
+        )
         return LoadReply.decode(XdrDecoder(reply))
 
     def get_signature(self, function: str) -> Signature:
@@ -223,8 +298,11 @@ class NinfClient:
             return cached
         enc = XdrEncoder()
         enc.pack_string(function)
-        reply = self._roundtrip(MessageType.INTERFACE_REQUEST, enc.getvalue(),
-                                MessageType.INTERFACE_REPLY)
+        reply = self._idempotent(
+            lambda: self._roundtrip(MessageType.INTERFACE_REQUEST,
+                                    enc.getvalue(),
+                                    MessageType.INTERFACE_REPLY)
+        )
         signature = Signature.from_wire(reply)
         self._signatures[function] = signature
         return signature
@@ -258,6 +336,9 @@ class NinfClient:
         enc = XdrEncoder()
         CallHeader(function=function, call_id=call_id).encode(enc)
         enc.pack_opaque(args_payload)
+        # CALL is counted but never auto-retried (not idempotent).
+        with self._counter_lock:
+            self.attempts += 1
         channel = self._connect()
         try:
             channel.send(MessageType.CALL, enc.getvalue())
@@ -280,7 +361,10 @@ class NinfClient:
                 raise ProtocolError(
                     f"expected RESULT, got message {reply_type}"
                 )
-        except BaseException:
+        except BaseException as exc:
+            if is_transient(exc):
+                with self._counter_lock:
+                    self.faults_seen += 1
             self._pool.discard(channel)
             raise
         self._release(channel)
@@ -346,7 +430,8 @@ class NinfClient:
         import time as _time
 
         deadline = None if timeout is None else self.clock() + timeout
-        while True:
+
+        def poll_once() -> tuple[int, bytes]:
             enc = XdrEncoder()
             enc.pack_uhyper(call.ticket)
             channel = self._connect()
@@ -357,6 +442,12 @@ class NinfClient:
                 self._pool.discard(channel)
                 raise
             self._release(channel)
+            return reply_type, reply
+
+        while True:
+            # Fetching by ticket is idempotent: the server keeps the
+            # result until it is collected, so retry is safe here.
+            reply_type, reply = self._idempotent(poll_once)
             if reply_type == MessageType.ERROR:
                 err = ErrorReply.decode(XdrDecoder(reply))
                 raise RemoteError(err.code, err.message)
@@ -462,8 +553,14 @@ def ninf_call(url: str, *args: Any) -> list[Any]:
 
 
 def ninf_call_async(url: str, *args: Any) -> NinfFuture:
-    """Asynchronous variant of :func:`ninf_call`."""
+    """Asynchronous variant of :func:`ninf_call`.
+
+    The throwaway client's connection pool is closed when the future
+    completes (success or failure), so fire-and-forget callers do not
+    leak a pooled TCP connection per call.
+    """
     host, port, function = parse_ninf_url(url)
     client = NinfClient(host, port)
     future = client.call_async(function, *args)
+    future.add_done_callback(lambda _future: client.close())
     return future

@@ -24,6 +24,17 @@ Fig 11      :func:`repro.experiments.ep.fig11_metaserver`
 ==========  =====================================================
 """
 
+from repro.experiments.availability import (
+    AvailabilityCell,
+    availability_ablation,
+    format_availability,
+)
 from repro.experiments.common import MulticlientResult, run_multiclient_cell
 
-__all__ = ["MulticlientResult", "run_multiclient_cell"]
+__all__ = [
+    "AvailabilityCell",
+    "MulticlientResult",
+    "availability_ablation",
+    "format_availability",
+    "run_multiclient_cell",
+]

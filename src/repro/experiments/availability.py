@@ -1,0 +1,118 @@
+"""Availability ablation: call success under injected faults, +/- retry.
+
+The WAN story of §6 is ultimately about what happens when the network
+misbehaves; this driver makes that measurable instead of anecdotal.
+Each cell runs the paper's multi-client LAN workload with the
+simulator's fault knob turned up (every call attempt fails with
+probability ``fault_rate``) and reports effective availability -- call
+success rate -- plus the latency tail (p95 elapsed), once with bare
+clients (``retry_attempts=1``) and once with retrying clients.
+
+The real-stack analogue is a :class:`~repro.transport.FaultPlan` on a
+:class:`~repro.client.NinfClient` with a
+:class:`~repro.transport.RetryPolicy`; the chaos suite
+(``tests/chaos``) asserts the same qualitative result over real
+sockets: bare clients measurably fail, retrying clients reach 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.common import run_multiclient_cell
+from repro.model.machines import machine
+from repro.model.network import lan_catalog
+from repro.simninf.calls import linpack_spec
+
+__all__ = ["AvailabilityCell", "availability_ablation", "format_availability"]
+
+
+@dataclass(frozen=True)
+class AvailabilityCell:
+    """One (fault_rate, retry) point of the availability sweep."""
+
+    fault_rate: float
+    retry_attempts: int
+    calls_issued: int
+    calls_completed: int
+    calls_failed: int
+    attempts: int
+    faults_seen: int
+    retries: int
+    success_rate: float
+    mean_elapsed: float
+    p95_elapsed: float
+
+    @property
+    def retrying(self) -> bool:
+        return self.retry_attempts > 1
+
+
+def availability_ablation(
+    fault_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    retry_attempts: int = 3,
+    server_name: str = "j90",
+    n: int = 600,
+    c: int = 8,
+    horizon: float = 120.0,
+    seed: int = 1997,
+    fault_cost: Optional[float] = None,
+) -> list[AvailabilityCell]:
+    """Sweep fault probability with and without client retry.
+
+    Returns two cells per fault rate (bare then retrying), on the
+    standard LAN Linpack workload.  Seeded throughout: the same
+    arguments reproduce the same table exactly.
+    """
+    server = machine(server_name)
+    client = machine("alpha")
+    spec = linpack_spec(server, n)
+    cells: list[AvailabilityCell] = []
+    for rate in fault_rates:
+        for attempts in (1, retry_attempts):
+            catalog = lan_catalog(server)  # fresh links per cell
+
+            def route_factory(net, i, _catalog=catalog, _client=client):
+                return _catalog.route_for(_client, i)
+
+            result = run_multiclient_cell(
+                server, route_factory, spec, c, mode="task", n=n,
+                horizon=horizon, seed=seed, fault_rate=rate,
+                retry_attempts=attempts, fault_cost=fault_cost,
+            )
+            elapsed = [r.elapsed for r in result.records]
+            cells.append(AvailabilityCell(
+                fault_rate=rate,
+                retry_attempts=attempts,
+                calls_issued=result.calls_issued,
+                calls_completed=len(result.records),
+                calls_failed=result.failed_calls,
+                attempts=result.call_attempts,
+                faults_seen=result.faults_seen,
+                retries=result.retries,
+                success_rate=result.success_rate,
+                mean_elapsed=float(np.mean(elapsed)) if elapsed else 0.0,
+                p95_elapsed=(float(np.percentile(elapsed, 95))
+                             if elapsed else 0.0),
+            ))
+    return cells
+
+
+def format_availability(cells: Sequence[AvailabilityCell]) -> str:
+    """Markdown table of the sweep (the EXPERIMENTS.md rendering)."""
+    lines = [
+        "| fault rate | retry | issued | completed | success | "
+        "mean elapsed (s) | p95 elapsed (s) |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for cell in cells:
+        retry = f"x{cell.retry_attempts}" if cell.retrying else "off"
+        lines.append(
+            f"| {cell.fault_rate:.2f} | {retry} | {cell.calls_issued} "
+            f"| {cell.calls_completed} | {100 * cell.success_rate:.1f}% "
+            f"| {cell.mean_elapsed:.2f} | {cell.p95_elapsed:.2f} |"
+        )
+    return "\n".join(lines)

@@ -29,6 +29,21 @@ class MulticlientResult:
     records: list[SimCallRecord]
     server: SimNinfServer
     per_client_counts: list[int] = field(default_factory=list)
+    # Availability accounting under injected faults (fault_rate > 0):
+    # completed = len(records); issued = completed + failed_calls.
+    call_attempts: int = 0
+    faults_seen: int = 0
+    retries: int = 0
+    failed_calls: int = 0
+
+    @property
+    def calls_issued(self) -> int:
+        return len(self.records) + self.failed_calls
+
+    @property
+    def success_rate(self) -> float:
+        issued = self.calls_issued
+        return 1.0 if issued == 0 else len(self.records) / issued
 
 
 def run_multiclient_cell(
@@ -47,6 +62,9 @@ def run_multiclient_cell(
     pooled: bool = False,
     pooled_setup: float = 0.0,
     t_setup: Optional[float] = None,
+    fault_rate: float = 0.0,
+    retry_attempts: int = 1,
+    fault_cost: Optional[float] = None,
 ) -> MulticlientResult:
     """Run one multi-client benchmark cell and aggregate the table row.
 
@@ -56,6 +74,10 @@ def run_multiclient_cell(
     connection (later calls pay only ``pooled_setup`` of the per-call
     setup cost) -- the transport-layer connection-reuse ablation;
     ``t_setup`` overrides the server's per-call setup cost outright.
+    ``fault_rate``/``retry_attempts``/``fault_cost`` drive the
+    availability ablation: each call attempt fails with ``fault_rate``
+    probability and clients retry up to ``retry_attempts`` times (see
+    :class:`~repro.simninf.client.WorkloadClient`).
     """
     if c < 1:
         raise ValueError(f"need at least one client, got {c}")
@@ -73,7 +95,10 @@ def run_multiclient_cell(
         clients.append(
             WorkloadClient(sim, i, server, route, spec, s=s, p=p,
                            horizon=horizon, seed=seed, site=site,
-                           pooled=pooled, pooled_setup=pooled_setup)
+                           pooled=pooled, pooled_setup=pooled_setup,
+                           fault_rate=fault_rate,
+                           retry_attempts=retry_attempts,
+                           fault_cost=fault_cost)
         )
     # Run the issuing window, then drain in-flight calls (the load
     # sampler ticks forever, so step until every client process ends).
@@ -91,6 +116,10 @@ def run_multiclient_cell(
         records=records,
         server=server,
         per_client_counts=[len(cl.records) for cl in clients],
+        call_attempts=sum(cl.call_attempts for cl in clients),
+        faults_seen=sum(cl.faults_seen for cl in clients),
+        retries=sum(cl.retries for cl in clients),
+        failed_calls=sum(cl.failed_calls for cl in clients),
     )
 
 

@@ -14,7 +14,13 @@ from repro.protocol.messages import (
     MessageType,
     ServerInfo,
 )
-from repro.transport import Channel, ConnectionPool, Endpoint, connect
+from repro.transport import (
+    Channel,
+    ConnectionPool,
+    Endpoint,
+    RetryPolicy,
+    connect,
+)
 from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
 __all__ = ["BrokeredClient", "MetaClient", "Metaserver"]
@@ -31,12 +37,18 @@ class Metaserver(Endpoint):
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  scheduler: Optional[Scheduler] = None,
                  poll_interval: float = 1.0,
-                 poll_timeout: float = 5.0):
+                 poll_timeout: float = 5.0,
+                 probe_retry: Optional[RetryPolicy] = None):
         super().__init__(host=host, port=port, name="metaserver")
         self.directory = Directory()
         self.scheduler = scheduler or LoadScheduler()
         self.poll_interval = poll_interval
         self.poll_timeout = poll_timeout
+        # A transient probe failure (one lost frame on a WAN path) must
+        # not evict a healthy server from the directory: the liveness
+        # probe is idempotent, so it may ride a RetryPolicy and a server
+        # is marked dead only once retries are exhausted.
+        self.probe_retry = probe_retry
         self._monitor_thread: Optional[threading.Thread] = None
         self._monitor_wakeup = threading.Event()
         self.register_handler(MessageType.MS_REGISTER, self._handle_register)
@@ -77,9 +89,15 @@ class Metaserver(Endpoint):
             self._poll_one(entry.info.host, entry.info.port)
 
     def _poll_one(self, host: str, port: int) -> None:
-        try:
+        def probe() -> tuple[int, bytes]:
             with connect(host, port, timeout=self.poll_timeout) as channel:
-                msg_type, payload = channel.request(MessageType.LOAD_QUERY)
+                return channel.request(MessageType.LOAD_QUERY)
+
+        try:
+            if self.probe_retry is not None:
+                msg_type, payload = self.probe_retry.run(probe)
+            else:
+                msg_type, payload = probe()
             if msg_type == MessageType.LOAD_REPLY:
                 self.directory.update_load(
                     host, port, LoadReply.decode(XdrDecoder(payload))

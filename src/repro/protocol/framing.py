@@ -1,9 +1,14 @@
-"""Socket framing: ``MAGIC | type | length | payload``.
+"""Socket framing: ``MAGIC | type | length | crc | payload``.
 
-The header is 12 bytes: 4-byte magic ``b"NINF"``, 4-byte big-endian
-message type, 4-byte big-endian payload length.  Payload length is
-bounded by :data:`MAX_FRAME_SIZE` (1 GiB) so a corrupt header cannot
-trigger an absurd allocation.
+The header is 16 bytes: 4-byte magic ``b"NINF"``, 4-byte big-endian
+message type, 4-byte big-endian payload length, and a CRC-32 of the
+type, length, and payload bytes.  Payload length is bounded by
+:data:`MAX_FRAME_SIZE` (1 GiB) so a corrupt header cannot trigger an
+absurd allocation, and the checksum means any single corrupted byte on
+the wire (CRC-32 detects all error bursts shorter than 32 bits) is
+surfaced as :class:`~repro.protocol.errors.ProtocolError` instead of
+being decoded as garbage -- the property the chaos and fuzz suites
+assert.
 
 Both :func:`send_frame` and :func:`recv_frame` accept an optional
 ``timeout`` (seconds) covering the *whole* frame, not each ``recv``:
@@ -18,15 +23,35 @@ from __future__ import annotations
 import socket
 import struct
 import time
+import zlib
 from typing import Optional
 
 from repro.protocol.errors import ConnectionClosed, ProtocolError, TimeoutError
 
-__all__ = ["MAGIC", "MAX_FRAME_SIZE", "recv_frame", "send_frame"]
+__all__ = ["MAGIC", "MAX_FRAME_SIZE", "encode_frame", "recv_frame",
+           "send_frame"]
 
 MAGIC = b"NINF"
-HEADER = struct.Struct(">4sII")
+HEADER = struct.Struct(">4sIII")
 MAX_FRAME_SIZE = 1 << 30
+
+
+def _checksum(msg_type: int, payload: bytes) -> int:
+    return zlib.crc32(struct.pack(">II", msg_type, len(payload)) + payload)
+
+
+def encode_frame(msg_type: int, payload: bytes = b"") -> bytes:
+    """The exact bytes :func:`send_frame` puts on the wire.
+
+    Exposed so fault injection (:mod:`repro.transport.faults`) and the
+    framing property tests can truncate or corrupt real frames without
+    re-implementing the header layout.
+    """
+    if len(payload) > MAX_FRAME_SIZE:
+        raise ProtocolError(f"frame payload too large: {len(payload)} bytes")
+    header = HEADER.pack(MAGIC, msg_type, len(payload),
+                         _checksum(msg_type, payload))
+    return header + payload
 
 
 class _DeadlineSocket:
@@ -86,11 +111,9 @@ def send_frame(sock: socket.socket, msg_type: int, payload: bytes = b"",
     ``timeout`` bounds the whole write; expiry raises
     :class:`~repro.protocol.errors.TimeoutError`.
     """
-    if len(payload) > MAX_FRAME_SIZE:
-        raise ProtocolError(f"frame payload too large: {len(payload)} bytes")
-    header = HEADER.pack(MAGIC, msg_type, len(payload))
+    frame = encode_frame(msg_type, payload)
     with _DeadlineSocket(sock, timeout) as guarded:
-        guarded.sendall(header + payload, "send")
+        guarded.sendall(frame, "send")
 
 
 def _recv_exact(guarded: _DeadlineSocket, count: int, what: str) -> bytes:
@@ -112,16 +135,22 @@ def recv_frame(sock: socket.socket,
     """Read one frame; returns ``(msg_type, payload)``.
 
     Raises :class:`ConnectionClosed` on clean EOF before a header,
-    :class:`ProtocolError` on bad magic or implausible length, and
+    :class:`ProtocolError` on bad magic, implausible length, or a
+    checksum mismatch (a corrupted type, length, or payload byte), and
     :class:`~repro.protocol.errors.TimeoutError` when ``timeout``
     seconds elapse before the full frame arrives.
     """
     with _DeadlineSocket(sock, timeout) as guarded:
         header = _recv_exact(guarded, HEADER.size, "header")
-        magic, msg_type, length = HEADER.unpack(header)
+        magic, msg_type, length, crc = HEADER.unpack(header)
         if magic != MAGIC:
             raise ProtocolError(f"bad frame magic {magic!r}")
         if length > MAX_FRAME_SIZE:
             raise ProtocolError(f"implausible frame length {length}")
         payload = _recv_exact(guarded, length, "payload") if length else b""
+        if crc != _checksum(msg_type, payload):
+            raise ProtocolError(
+                f"frame checksum mismatch for message {msg_type} "
+                f"({length}-byte payload)"
+            )
     return msg_type, payload

@@ -50,15 +50,20 @@ class NinfServer(Endpoint):
         accordingly.
     policy:
         Scheduling policy name or instance (fcfs/sjf/fpfs/fpmpfs).
+    fault_plan:
+        A :class:`~repro.transport.FaultPlan` wrapping every accepted
+        connection -- makes server-side faults (delayed/corrupted/
+        dropped replies) injectable for the chaos tests.
     """
 
     def __init__(self, registry: Registry, host: str = "127.0.0.1",
                  port: int = 0, num_pes: int = 1, mode: str = "task",
                  policy: SchedulingPolicy | str = "fcfs",
-                 name: str = "ninf-server"):
+                 name: str = "ninf-server", fault_plan=None):
         if mode not in ("task", "data"):
             raise ValueError(f"mode must be 'task' or 'data', got {mode!r}")
-        super().__init__(host=host, port=port, name=name)
+        super().__init__(host=host, port=port, name=name,
+                         fault_plan=fault_plan)
         self.registry = registry
         self.num_pes = num_pes
         self.mode = mode

@@ -29,19 +29,35 @@ class WorkloadClient:
     ``ConnectionPool``): the first call pays the full per-call setup
     cost, every later call only ``pooled_setup`` seconds.  The default
     ``pooled=False`` is the paper's connection-per-call client.
+
+    ``fault_rate`` is the simulated analogue of the transport layer's
+    :class:`~repro.transport.FaultPlan`: each call attempt fails with
+    this probability (connection dropped mid-exchange), costing
+    ``fault_cost`` seconds before the client notices.  With
+    ``retry_attempts > 1`` the client retries the call -- a retried
+    pooled client must re-dial, so retries pay the full setup cost.
+    Fault draws come from a *separate* seeded RNG so ``fault_rate=0``
+    reproduces the historical schedules byte-for-byte.
     """
 
     def __init__(self, sim: Simulator, client_id: int, server: SimNinfServer,
                  route: Route, spec: CallSpec, s: float = 3.0, p: float = 0.5,
                  horizon: float = 300.0, seed: int = 0, site: str = "lan",
                  max_calls: Optional[int] = None, pooled: bool = False,
-                 pooled_setup: float = 0.0):
+                 pooled_setup: float = 0.0, fault_rate: float = 0.0,
+                 retry_attempts: int = 1,
+                 fault_cost: Optional[float] = None):
         if not 0.0 < p <= 1.0:
             raise ValueError(f"issue probability must be in (0, 1], got {p}")
         if s < 0:
             raise ValueError(f"interval must be >= 0, got {s}")
         if pooled_setup < 0:
             raise ValueError(f"pooled_setup must be >= 0, got {pooled_setup}")
+        if not 0.0 <= fault_rate < 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1), got {fault_rate}")
+        if retry_attempts < 1:
+            raise ValueError(f"retry_attempts must be >= 1, "
+                             f"got {retry_attempts}")
         self.sim = sim
         self.client_id = client_id
         self.server = server
@@ -54,9 +70,45 @@ class WorkloadClient:
         self.max_calls = max_calls
         self.pooled = pooled
         self.pooled_setup = pooled_setup
+        self.fault_rate = fault_rate
+        self.retry_attempts = retry_attempts
+        # Default failed-attempt cost: a round trip to discover the
+        # drop, never less than a tenth of a second of client-side
+        # timeout machinery.
+        self.fault_cost = (fault_cost if fault_cost is not None
+                           else max(2.0 * route.latency, 0.1))
         self.rng = np.random.default_rng((seed, client_id))
+        self.fault_rng = np.random.default_rng((seed, client_id, 0xFA))
         self.records: list[SimCallRecord] = []
+        # Availability accounting: issued = len(records) + failed_calls.
+        self.call_attempts = 0
+        self.faults_seen = 0
+        self.retries = 0
+        self.failed_calls = 0
+        # A fault burns the keep-alive connection; the next delivered
+        # call re-dials (full setup) and re-opens it.
+        self._connection_open = False
         self.process = sim.process(self._run(), name=f"client-{client_id}")
+
+    def _attempt_faults(self) -> Generator:
+        """Pre-call fault/retry loop; yields the time faults burn.
+
+        Returns (via StopIteration value) ``True`` when an attempt got
+        through and the call proper should execute, ``False`` when all
+        ``retry_attempts`` were eaten by faults.
+        """
+        for attempt in range(1, self.retry_attempts + 1):
+            self.call_attempts += 1
+            if (self.fault_rate == 0.0
+                    or self.fault_rng.random() >= self.fault_rate):
+                return True
+            self.faults_seen += 1
+            self._connection_open = False
+            yield self.sim.timeout(self.fault_cost)
+            if attempt < self.retry_attempts:
+                self.retries += 1
+        self.failed_calls += 1
+        return False
 
     def _run(self) -> Generator:
         sim = self.sim
@@ -71,12 +123,18 @@ class WorkloadClient:
                 break
             record = SimCallRecord(spec=self.spec, client_id=self.client_id,
                                    submit_time=sim.now, site=self.site)
+            delivered = yield from self._attempt_faults()
+            if not delivered:
+                continue
             # A pooled client's connection is already open after the
-            # first call; only the residual setup cost remains.
-            t_setup = (self.pooled_setup if self.pooled and self.records
-                       else None)
+            # first call; only the residual setup cost remains -- but a
+            # faulted attempt burned the connection, so the call right
+            # after a fault re-dials and pays full setup.
+            t_setup = (self.pooled_setup
+                       if self.pooled and self._connection_open else None)
             yield from self.server.execute_call(record, self.route,
                                                 t_setup=t_setup)
+            self._connection_open = True
             self.records.append(record)
             if self.max_calls is not None and len(self.records) >= self.max_calls:
                 return

@@ -12,6 +12,12 @@ three abstractions:
 - :class:`Endpoint` -- the TCP accept-loop + ``MessageType -> handler``
   dispatch skeleton shared by :class:`~repro.server.NinfServer` and
   :class:`~repro.metaserver.Metaserver`.
+- :class:`FaultPlan` / :class:`FaultyChannel` -- seeded, deterministic
+  fault injection at the three places a channel is born (``connect``,
+  pool checkout, endpoint accept); see :mod:`repro.transport.faults`.
+- :class:`RetryPolicy` -- bounded exponential backoff with seeded
+  jitter and transient-error classification, used by the client's
+  idempotent operations and the metaserver's liveness prober.
 
 Layering: ``xdr`` (encoding) -> ``protocol`` (framing + messages) ->
 ``transport`` (connections) -> ``client`` / ``server`` / ``metaserver``.
@@ -19,6 +25,18 @@ Layering: ``xdr`` (encoding) -> ``protocol`` (framing + messages) ->
 
 from repro.transport.channel import Channel, connect
 from repro.transport.endpoint import Endpoint
+from repro.transport.faults import FaultEvent, FaultPlan, FaultyChannel
 from repro.transport.pool import ConnectionPool
+from repro.transport.retry import RetryPolicy, is_transient
 
-__all__ = ["Channel", "ConnectionPool", "Endpoint", "connect"]
+__all__ = [
+    "Channel",
+    "ConnectionPool",
+    "Endpoint",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyChannel",
+    "RetryPolicy",
+    "connect",
+    "is_transient",
+]

@@ -11,6 +11,7 @@ overrides the channel default and surfaces expiry as
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 from typing import Optional, Union
@@ -90,6 +91,23 @@ class Channel:
     def fileno(self) -> int:
         """The underlying socket's file descriptor (for select/poll)."""
         return self.sock.fileno()
+
+    def healthy(self) -> bool:
+        """Whether an *idle* channel is still usable for a request.
+
+        A request/reply channel sitting in a pool owes us nothing, so
+        any readable byte means the peer closed (EOF pending) or broke
+        protocol -- either way the next exchange would fail.  The check
+        is a zero-timeout ``select``, cheap enough to run on every
+        checkout so the pool never hands out a dead connection.
+        """
+        if self._closed:
+            return False
+        try:
+            readable, _, _ = select.select([self.sock], [], [], 0)
+        except (OSError, ValueError):
+            return False  # fd already torn down
+        return not readable
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"

@@ -35,6 +35,11 @@ class Endpoint:
         :attr:`address` after :meth:`start`).
     name:
         Thread-name prefix and HELLO identity.
+    fault_plan:
+        A :class:`~repro.transport.faults.FaultPlan` that wraps every
+        accepted connection, making *server-side* faults (a delayed,
+        corrupted, or dropped reply) injectable without touching any
+        handler.
 
     Every accepted connection is wrapped in a :class:`Channel` (which
     sets ``TCP_NODELAY``) and served by a daemon thread: frames are
@@ -45,8 +50,9 @@ class Endpoint:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 name: str = "endpoint"):
+                 name: str = "endpoint", fault_plan=None):
         self.name = name
+        self.fault_plan = fault_plan
         self._bind_host = host
         self._bind_port = port
         self._listener: Optional[socket.socket] = None
@@ -139,6 +145,8 @@ class Endpoint:
                 return
             self.connections_accepted += 1
             channel = Channel(conn)
+            if self.fault_plan is not None:
+                channel = self.fault_plan.wrap(channel)
             threading.Thread(
                 target=self._serve_connection, args=(channel,),
                 name=f"{self.name}-conn", daemon=True,

@@ -1,0 +1,291 @@
+"""Deterministic fault injection for the transport layer.
+
+The reproduction's robustness claims (client retry, pool hygiene,
+metaserver liveness) need *induced* failures, not just observed ones,
+and they need the same failure sequence on every run.  Two pieces
+provide that:
+
+- :class:`FaultPlan` -- a seeded schedule of fault events.  Every
+  transport operation (``dial``, ``send``, ``recv``) asks the plan
+  whether it should fail; decisions come from one injected
+  ``random.Random``, so the same seed driven through the same operation
+  sequence produces a byte-identical schedule (``plan.schedule()``).
+- :class:`FaultyChannel` -- a :class:`~repro.transport.channel.Channel`
+  whose I/O consults a plan: it can delay a frame, truncate it
+  mid-write, corrupt a byte (caught by the framing CRC on the other
+  side), drop the connection before or after a send, or refuse a dial.
+
+Plans are injectable at the three places a channel is born, so no call
+site changes to come under test:
+
+- :func:`FaultPlan.connector` wraps :func:`repro.transport.connect`
+  (dial-time faults plus a faulty channel);
+- ``ConnectionPool(fault_plan=...)`` uses that connector for every
+  checkout;
+- ``Endpoint(fault_plan=...)`` wraps each accepted connection, so
+  *server-side* faults (a delayed or corrupted reply) are reachable
+  too.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.protocol.errors import ConnectionClosed
+from repro.protocol.framing import HEADER, encode_frame
+from repro.transport.channel import _DEFAULT, Channel, _Unset, connect
+
+__all__ = [
+    "CORRUPT",
+    "DELAY",
+    "DROP_POST",
+    "DROP_PRE",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyChannel",
+    "REFUSE_DIAL",
+    "TRUNCATE",
+]
+
+# Fault kinds.  Names describe what happens to the operation they hit.
+DELAY = "delay"              # sleep before the operation proceeds
+TRUNCATE = "truncate"        # write only a prefix of the frame, then drop
+CORRUPT = "corrupt"          # flip one byte of the frame on the wire
+DROP_PRE = "drop_pre"        # drop the connection before the operation
+DROP_POST = "drop_post"      # complete the write, then drop the connection
+REFUSE_DIAL = "refuse_dial"  # the dial itself is refused
+
+FAULT_KINDS = (DELAY, TRUNCATE, CORRUPT, DROP_PRE, DROP_POST, REFUSE_DIAL)
+
+# Which kinds make sense at which operation.
+_APPLICABLE = {
+    "dial": (REFUSE_DIAL, DELAY),
+    "send": (DELAY, TRUNCATE, CORRUPT, DROP_PRE, DROP_POST),
+    "recv": (DELAY, DROP_PRE),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``ratio`` in [0, 1) positions byte-level faults (truncation point,
+    corruption offset) relative to the frame the event lands on, so the
+    schedule is frame-size independent and still fully deterministic.
+    """
+
+    seq: int
+    op: str
+    kind: str
+    delay: float
+    ratio: float
+
+    def describe(self) -> str:
+        """Canonical one-line form; the determinism tests compare these."""
+        return (f"#{self.seq} {self.op} {self.kind} "
+                f"delay={self.delay:.6f} ratio={self.ratio:.6f}")
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of transport faults.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the plan's private ``random.Random``; two plans with the
+        same seed driven through the same operation sequence inject
+        byte-identical fault schedules.
+    rate:
+        Probability that any one transport operation faults.
+    kinds:
+        Fault kinds to draw from (default: all of :data:`FAULT_KINDS`);
+        only kinds applicable to the faulting operation are considered.
+    max_faults:
+        Stop injecting after this many events (``None`` = unlimited) --
+        the way tests force "exactly one fault, then clean".
+    delay_range:
+        ``(lo, hi)`` seconds for :data:`DELAY` events.
+    """
+
+    def __init__(self, seed: int = 0, rate: float = 0.0,
+                 kinds: Optional[tuple[str, ...]] = None,
+                 max_faults: Optional[int] = None,
+                 delay_range: tuple[float, float] = (0.01, 0.05)):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        for kind in kinds or ():
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        self.seed = seed
+        self.rate = rate
+        self.kinds = tuple(kinds) if kinds is not None else FAULT_KINDS
+        self.max_faults = max_faults
+        self.delay_range = delay_range
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.events: list[FaultEvent] = []
+        self.ops_seen = 0
+        self.injected: dict[str, int] = {}
+
+    # -- the draw ------------------------------------------------------------
+
+    def draw(self, op: str) -> Optional[FaultEvent]:
+        """Decide whether the next ``op`` faults; record the event if so.
+
+        Exactly one ``random()`` is consumed for a clean operation and
+        three more for a faulting one, so schedules from equal seeds
+        stay aligned however the draws resolve.
+        """
+        applicable = [k for k in self.kinds if k in _APPLICABLE[op]]
+        with self._lock:
+            self.ops_seen += 1
+            if (self.max_faults is not None
+                    and len(self.events) >= self.max_faults):
+                return None
+            if self._rng.random() >= self.rate or not applicable:
+                return None
+            kind = applicable[self._rng.randrange(len(applicable))]
+            delay = self._rng.uniform(*self.delay_range)
+            ratio = self._rng.random()
+            event = FaultEvent(seq=len(self.events) + 1, op=op, kind=kind,
+                               delay=delay, ratio=ratio)
+            self.events.append(event)
+            self.injected[kind] = self.injected.get(kind, 0) + 1
+        return event
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.events)
+
+    def schedule(self) -> list[str]:
+        """The injected schedule so far, one canonical line per event."""
+        with self._lock:
+            return [event.describe() for event in self.events]
+
+    # -- channel factories ---------------------------------------------------
+
+    def wrap(self, channel: Channel) -> "FaultyChannel":
+        """Adopt ``channel``'s socket into a fault-injecting channel."""
+        if isinstance(channel, FaultyChannel) and channel.plan is self:
+            return channel
+        return FaultyChannel(channel.sock, self, timeout=channel.timeout,
+                             remote=channel.remote)
+
+    def connector(self, host: str, port: int,
+                  timeout: Optional[float] = None,
+                  connect_timeout: Optional[float] = None) -> "FaultyChannel":
+        """Drop-in for :func:`repro.transport.connect` with dial faults.
+
+        Signature-compatible with ``ConnectionPool``'s ``connector``
+        parameter, which is how a plan reaches every pooled checkout.
+        """
+        event = self.draw("dial")
+        if event is not None:
+            if event.kind == REFUSE_DIAL:
+                raise ConnectionRefusedError(
+                    f"[fault #{event.seq}] dial to {host}:{port} refused"
+                )
+            time.sleep(event.delay)
+        return self.wrap(connect(host, port, timeout=timeout,
+                                 connect_timeout=connect_timeout))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FaultPlan seed={self.seed} rate={self.rate} "
+                f"injected={self.faults_injected}>")
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` whose send/recv paths consult a fault plan.
+
+    Fault semantics (what the *calling* side observes):
+
+    - ``delay``: the operation sleeps, then proceeds normally.
+    - ``truncate`` (send): a prefix of the frame is written, the socket
+      is closed, and :class:`ConnectionClosed` is raised; the peer sees
+      the stream end mid-frame.
+    - ``corrupt`` (send): one byte of the frame is flipped and the full
+      frame is written "successfully" -- the *peer's* framing CRC
+      rejects it and drops the connection, so the failure surfaces on
+      this side as :class:`ConnectionClosed` at the next recv.
+    - ``drop_pre``: the socket is closed and the operation raises
+      (``ConnectionResetError`` for send, :class:`ConnectionClosed` for
+      recv).
+    - ``drop_post`` (send): the frame is delivered, then the socket is
+      closed; the failure surfaces at the next operation.
+    """
+
+    def __init__(self, sock, plan: FaultPlan,
+                 timeout: Optional[float] = None,
+                 remote: Optional[tuple[str, int]] = None):
+        super().__init__(sock, timeout=timeout, remote=remote)
+        self.plan = plan
+
+    def send(self, msg_type: int, payload: bytes = b"",
+             timeout: Union[None, float, _Unset] = _DEFAULT) -> None:
+        """Send one frame, subject to the plan's send-applicable faults."""
+        event = self.plan.draw("send")
+        if event is None:
+            return super().send(msg_type, payload, timeout=timeout)
+        if event.kind == DELAY:
+            time.sleep(event.delay)
+            return super().send(msg_type, payload, timeout=timeout)
+        if event.kind == DROP_PRE:
+            self.close()
+            raise ConnectionResetError(
+                f"[fault #{event.seq}] connection dropped before send"
+            )
+        frame = encode_frame(msg_type, payload)
+        if event.kind == TRUNCATE:
+            cut = max(1, min(len(frame) - 1, int(event.ratio * len(frame))))
+            with self._send_lock:
+                self.sock.sendall(frame[:cut])
+            self.close()
+            raise ConnectionClosed(
+                f"[fault #{event.seq}] frame truncated after "
+                f"{cut}/{len(frame)} bytes"
+            )
+        if event.kind == CORRUPT:
+            frame = _corrupt(frame, event.ratio)
+            with self._send_lock:
+                self.sock.sendall(frame)
+            return None
+        # DROP_POST: deliver, then kill the connection.
+        with self._send_lock:
+            self.sock.sendall(frame)
+        self.close()
+        return None
+
+    def recv(self, timeout: Union[None, float, _Unset] = _DEFAULT
+             ) -> tuple[int, bytes]:
+        """Receive one frame, subject to delay/drop faults."""
+        event = self.plan.draw("recv")
+        if event is not None:
+            if event.kind == DROP_PRE:
+                self.close()
+                raise ConnectionClosed(
+                    f"[fault #{event.seq}] connection dropped before recv"
+                )
+            time.sleep(event.delay)
+        return super().recv(timeout=timeout)
+
+
+def _corrupt(frame: bytes, ratio: float) -> bytes:
+    """Flip one byte of ``frame``, never in the magic or length fields.
+
+    Payload bytes are preferred; a payload-less frame gets its CRC field
+    flipped instead.  Either way the receiver's checksum verification
+    fails deterministically (magic and length are left intact so the
+    receiver reads exactly this frame and cannot mis-frame the stream).
+    """
+    if len(frame) > HEADER.size:
+        index = HEADER.size + int(ratio * (len(frame) - HEADER.size))
+    else:
+        index = 12 + int(ratio * 4)  # within the 4-byte CRC field
+    corrupted = bytearray(frame)
+    corrupted[index] ^= 0xFF
+    return bytes(corrupted)

@@ -41,6 +41,11 @@ class ConnectionPool:
     connector:
         Channel factory, injectable for tests; defaults to
         :func:`repro.transport.channel.connect`.
+    fault_plan:
+        A :class:`~repro.transport.faults.FaultPlan` whose
+        :meth:`~repro.transport.faults.FaultPlan.connector` dials every
+        new channel -- the client-side fault-injection hook (mutually
+        exclusive with ``connector``).
     """
 
     def __init__(self, timeout: Optional[float] = None, pool: bool = True,
@@ -48,15 +53,21 @@ class ConnectionPool:
                  max_idle_seconds: float = 60.0,
                  connect_timeout: Optional[float] = None,
                  connector: Optional[Callable[..., Channel]] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 fault_plan=None):
         if max_idle_per_key < 1:
             raise ValueError(f"max_idle_per_key must be >= 1, "
                              f"got {max_idle_per_key}")
+        if connector is not None and fault_plan is not None:
+            raise ValueError("pass either connector or fault_plan, not both")
         self.timeout = timeout
         self.pooling = pool
         self.max_idle_per_key = max_idle_per_key
         self.max_idle_seconds = max_idle_seconds
         self.connect_timeout = connect_timeout
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            connector = fault_plan.connector
         self._connect = connector or connect
         self._clock = clock
         self._lock = threading.Lock()
@@ -79,9 +90,13 @@ class ConnectionPool:
                 bucket = self._idle.get(key)
                 while bucket:
                     channel, _stamp = bucket.pop()
-                    if not channel.closed:
+                    # healthy() spots sockets whose peer died while the
+                    # channel idled (EOF pending), not just local closes
+                    # -- a dead channel is never handed out.
+                    if channel.healthy():
                         self.reused += 1
                         return channel
+                    channel.close()
         channel = self._connect(host, port, timeout=self.timeout,
                                 connect_timeout=self.connect_timeout)
         with self._lock:

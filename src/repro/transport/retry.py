@@ -1,0 +1,139 @@
+"""Retry with exponential backoff, seeded jitter, and error classification.
+
+The WAN experiments only make sense if a client can distinguish "the
+network ate my frame" from "the remote routine failed": the former is
+worth retrying on a fresh connection, the latter is deterministic and
+never is.  :func:`is_transient` is that classification, shared by
+:class:`RetryPolicy`, the :class:`~repro.client.NinfClient` counters,
+and the metaserver's liveness prober.
+
+Only *idempotent* operations ride a :class:`RetryPolicy` (``ping``,
+``get_signature``, ``list_functions``, ``query_load``, result polling).
+``CALL`` is deliberately excluded: a request that died in flight may
+still execute server-side, so auto-retry would risk running the remote
+routine twice.  CALL-level fault tolerance stays where the paper puts
+it -- :class:`~repro.client.Transaction` migration to another server.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional, TypeVar
+
+from repro.protocol.errors import ProtocolError, RemoteError
+
+__all__ = ["RetryPolicy", "is_transient"]
+
+T = TypeVar("T")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is a transport-level failure worth retrying.
+
+    Transport timeouts, connection resets/refusals (``OSError``), and
+    framing-level :class:`ProtocolError` (bad magic, checksum mismatch,
+    connection closed mid-frame) are transient: a fresh connection may
+    well succeed.  :class:`RemoteError` is the server *answering* --
+    retrying a deterministic failure is pure waste -- and everything
+    else (XDR bugs, ``ValueError``...) is a programming error.
+    """
+    if isinstance(exc, RemoteError):
+        return False
+    return isinstance(exc, (ProtocolError, OSError, TimeoutError))
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (1 = no retry).
+    base_delay, multiplier, max_delay:
+        Backoff before retry *k* (1-based) is
+        ``min(max_delay, base_delay * multiplier**(k-1))``.
+    jitter:
+        Fraction of the backoff randomized: the slept delay is drawn
+        uniformly from ``[delay*(1-jitter), delay*(1+jitter)]`` using
+        ``rng``, so a seeded ``random.Random`` makes the whole retry
+        schedule reproducible (and keeps a fleet of clients from
+        retrying in lockstep).
+    rng:
+        Injected randomness; defaults to a fresh unseeded
+        ``random.Random``.
+    sleep:
+        Injected clock for tests (defaults to ``time.sleep``).
+    classify:
+        Predicate deciding retryability; defaults to
+        :func:`is_transient`.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_delay: float = 0.05,
+                 multiplier: float = 2.0, max_delay: float = 2.0,
+                 jitter: float = 0.5,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 classify: Callable[[BaseException], bool] = is_transient):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.rng = rng if rng is not None else random.Random()
+        self.sleep = sleep
+        self.classify = classify
+        self._lock = threading.Lock()
+        # Aggregate observability (experiments report these).
+        self.attempts = 0
+        self.retries = 0
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A policy that never retries (single attempt)."""
+        return cls(max_attempts=1)
+
+    def backoff(self, retry_index: int) -> float:
+        """Jittered delay before 1-based retry ``retry_index``."""
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (retry_index - 1))
+        if self.jitter:
+            with self._lock:
+                spread = self.jitter * (2.0 * self.rng.random() - 1.0)
+            delay *= 1.0 + spread
+        return max(0.0, delay)
+
+    def run(self, fn: Callable[[], T],
+            on_retry: Optional[Callable[[int, BaseException], None]] = None
+            ) -> T:
+        """Call ``fn`` until it succeeds or retries are exhausted.
+
+        ``on_retry(retry_index, exc)`` fires before each backoff sleep.
+        Non-transient errors and the final transient error propagate
+        unchanged.
+        """
+        attempt = 1
+        while True:
+            with self._lock:
+                self.attempts += 1
+            try:
+                return fn()
+            except BaseException as exc:
+                if not self.classify(exc) or attempt >= self.max_attempts:
+                    raise
+                failure = exc
+            with self._lock:
+                self.retries += 1
+            if on_retry is not None:
+                on_retry(attempt, failure)
+            self.sleep(self.backoff(attempt))
+            attempt += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RetryPolicy attempts<={self.max_attempts} "
+                f"base={self.base_delay}s x{self.multiplier}>")

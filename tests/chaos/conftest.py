@@ -1,0 +1,23 @@
+"""Chaos-suite fixtures: a live server plus fast retry policies.
+
+Everything here reuses the standard RPC registry; what differs is the
+seeded :class:`~repro.transport.FaultPlan` each test injects.
+"""
+
+import pytest
+
+from repro.server import NinfServer
+from repro.transport import RetryPolicy
+from tests.rpc.conftest import build_registry
+
+
+@pytest.fixture
+def server():
+    with NinfServer(build_registry(), num_pes=2, mode="task") as srv:
+        yield srv
+
+
+def fast_retry(attempts: int = 4) -> RetryPolicy:
+    """A RetryPolicy that never sleeps -- chaos tests stay fast."""
+    return RetryPolicy(max_attempts=attempts, base_delay=0.001,
+                       sleep=lambda _seconds: None)

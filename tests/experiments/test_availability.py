@@ -1,0 +1,37 @@
+"""The availability ablation: faults cost calls, retry wins them back."""
+
+from repro.experiments import availability_ablation, format_availability
+
+
+def small_sweep():
+    return availability_ablation(fault_rates=(0.0, 0.2), c=3, n=600,
+                                 horizon=40.0, retry_attempts=3)
+
+
+def test_availability_ablation_cells():
+    cells = small_sweep()
+    assert len(cells) == 4  # (bare, retrying) per fault rate
+    by = {(cell.fault_rate, cell.retrying): cell for cell in cells}
+    assert by[(0.0, False)].success_rate == 1.0
+    assert by[(0.0, True)].success_rate == 1.0
+    bare, retrying = by[(0.2, False)], by[(0.2, True)]
+    assert bare.success_rate < 1.0
+    assert retrying.success_rate > bare.success_rate
+    assert retrying.retries > 0
+    assert bare.calls_issued == bare.calls_completed + bare.calls_failed
+
+
+def test_availability_ablation_deterministic():
+    first = small_sweep()
+    second = small_sweep()
+    assert first == second  # frozen dataclasses compare by value
+
+
+def test_format_availability_table():
+    cells = small_sweep()
+    table = format_availability(cells)
+    lines = table.splitlines()
+    assert len(lines) == len(cells) + 2  # header + separator
+    assert lines[0].startswith("| fault rate | retry |")
+    assert any("| 0.20 | x3 |" in line for line in lines)
+    assert any("| off |" in line for line in lines)

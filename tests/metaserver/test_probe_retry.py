@@ -1,0 +1,88 @@
+"""Metaserver liveness probing under transient failures.
+
+One lost probe frame must not evict a healthy server from the
+directory when the metaserver holds a ``probe_retry`` policy; a truly
+dead server must still be marked dead once retries are exhausted.
+"""
+
+import socket
+
+import pytest
+
+import repro.metaserver.metaserver as ms_mod
+from repro.metaserver import Metaserver
+from repro.protocol.messages import ServerInfo
+from repro.server import NinfServer
+from repro.transport import RetryPolicy
+from tests.rpc.conftest import build_registry
+
+
+@pytest.fixture
+def server():
+    with NinfServer(build_registry(), num_pes=2) as srv:
+        yield srv
+
+
+def no_sleep_retry(attempts=3):
+    return RetryPolicy(max_attempts=attempts, base_delay=0.001,
+                       sleep=lambda _s: None)
+
+
+def register(meta, server):
+    host, port = server.address
+    meta.directory.register(ServerInfo(
+        name="srv", host=host, port=port, num_pes=2,
+        functions=tuple(server.registry.names()),
+    ))
+    return meta.directory.get(host, port)
+
+
+def flaky_connect(monkeypatch, failures):
+    """Patch the metaserver's dial to refuse the first ``failures``."""
+    real_connect = ms_mod.connect
+    state = {"remaining": failures}
+
+    def connector(host, port, timeout=None, connect_timeout=None):
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            raise ConnectionRefusedError("injected dial failure")
+        return real_connect(host, port, timeout=timeout,
+                            connect_timeout=connect_timeout)
+
+    monkeypatch.setattr(ms_mod, "connect", connector)
+    return state
+
+
+def test_one_lost_probe_kills_server_without_retry(server, monkeypatch):
+    meta = Metaserver(poll_interval=60.0)  # never started: polled by hand
+    entry = register(meta, server)
+    flaky_connect(monkeypatch, failures=1)
+    meta.poll_now()
+    assert entry.alive is False
+
+
+def test_probe_retry_survives_one_lost_probe(server, monkeypatch):
+    meta = Metaserver(poll_interval=60.0, probe_retry=no_sleep_retry())
+    entry = register(meta, server)
+    state = flaky_connect(monkeypatch, failures=1)
+    meta.poll_now()
+    assert state["remaining"] == 0  # the injected failure did fire
+    assert entry.alive is True
+    assert entry.load is not None  # the retried probe got a LOAD_REPLY
+
+
+def test_dead_server_still_marked_dead_despite_retry():
+    # A bound-but-not-listening... close() frees the port; dial refused.
+    placeholder = socket.socket()
+    placeholder.bind(("127.0.0.1", 0))
+    host, port = placeholder.getsockname()
+    placeholder.close()
+
+    retry = no_sleep_retry()
+    meta = Metaserver(poll_interval=60.0, probe_retry=retry)
+    entry = meta.directory.register(ServerInfo(
+        name="gone", host=host, port=port, num_pes=1, functions=("f",),
+    ))
+    meta.poll_now()
+    assert entry.alive is False
+    assert retry.attempts == retry.max_attempts  # retries were exhausted

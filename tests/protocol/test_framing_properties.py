@@ -1,0 +1,85 @@
+"""Property tests: framing never hangs, never returns garbage.
+
+For arbitrary truncations and single-byte corruptions of valid wire
+bytes, :func:`recv_frame` must raise :class:`ProtocolError` (or a
+subclass) -- it must never block forever, return a mangled payload, or
+consume bytes past the end of the frame.
+"""
+
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.errors import ConnectionClosed, ProtocolError
+from repro.protocol.framing import encode_frame, recv_frame
+
+# Generous upper bound: every test closes the writer, so recv_frame
+# sees EOF long before this; the deadline only guards against bugs.
+RECV_TIMEOUT = 5.0
+
+msg_types = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def drain(sock: socket.socket) -> bytes:
+    chunks = []
+    while True:
+        chunk = sock.recv(4096)
+        if not chunk:
+            return b"".join(chunks)
+        chunks.append(chunk)
+
+
+@settings(max_examples=60, deadline=None)
+@given(msg_type=msg_types, payload=st.binary(max_size=256), data=st.data())
+def test_any_truncation_raises_connection_closed(msg_type, payload, data):
+    frame = encode_frame(msg_type, payload)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    writer, reader = socket.socketpair()
+    try:
+        writer.sendall(frame[:cut])
+        writer.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(reader, timeout=RECV_TIMEOUT)
+    finally:
+        reader.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(msg_type=msg_types, payload=st.binary(max_size=256), data=st.data())
+def test_any_single_byte_corruption_is_rejected(msg_type, payload, data):
+    """Whichever byte is flipped -- magic, type, length, CRC, or payload
+    -- the frame must be rejected, never decoded as garbage."""
+    frame = encode_frame(msg_type, payload)
+    index = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    corrupted = bytearray(frame)
+    corrupted[index] ^= flip
+    writer, reader = socket.socketpair()
+    try:
+        writer.sendall(bytes(corrupted))
+        writer.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(reader, timeout=RECV_TIMEOUT)
+    finally:
+        reader.close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(msg_type=msg_types, payload=st.binary(max_size=128),
+       trailing=st.binary(min_size=1, max_size=64))
+def test_recv_frame_never_reads_past_the_frame(msg_type, payload, trailing):
+    """A valid frame decodes exactly; bytes after it stay in the stream
+    (pipelined frames must survive their predecessor's read)."""
+    frame = encode_frame(msg_type, payload)
+    writer, reader = socket.socketpair()
+    try:
+        writer.sendall(frame + trailing)
+        writer.close()
+        got_type, got_payload = recv_frame(reader, timeout=RECV_TIMEOUT)
+        assert got_type == msg_type
+        assert got_payload == payload
+        assert drain(reader) == trailing
+    finally:
+        reader.close()

@@ -139,7 +139,7 @@ def test_frame_large_payload_chunked():
 def test_frame_bad_magic_raises():
     a, b = socket_pair()
     try:
-        a.sendall(b"XXXX" + b"\x00" * 8)
+        a.sendall(b"XXXX" + b"\x00" * 12)
         with pytest.raises(ProtocolError):
             recv_frame(b)
     finally:
@@ -162,7 +162,7 @@ def test_frame_truncated_mid_payload():
     try:
         import struct
 
-        a.sendall(struct.pack(">4sII", b"NINF", 1, 100) + b"short")
+        a.sendall(struct.pack(">4sIII", b"NINF", 1, 100, 0) + b"short")
         a.close()
         with pytest.raises(ConnectionClosed):
             recv_frame(b)

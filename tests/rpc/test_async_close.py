@@ -1,0 +1,68 @@
+"""Regression: ``ninf_call_async`` must not leak its throwaway client.
+
+The URL form creates a :class:`NinfClient` nobody can close, so the
+implementation closes its connection pool from a future done-callback
+-- for success and failure alike.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.client.api as api
+from repro.protocol.errors import RemoteError
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+@pytest.fixture
+def capture_clients(monkeypatch):
+    created = []
+    real_client = api.NinfClient
+
+    class CapturingClient(real_client):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    monkeypatch.setattr(api, "NinfClient", CapturingClient)
+    return created
+
+
+def test_async_url_call_closes_pool_on_success(server, capture_clients):
+    host, port = server.address
+    a = np.eye(4)
+    future = api.ninf_call_async(f"ninf://{host}:{port}/dmmul", 4, a, a, None)
+    (c,) = future.result(timeout=30.0)
+    assert np.allclose(c, a)
+    (client,) = capture_clients
+    # The done-callback runs on the call's worker thread just after the
+    # result event is set, so give it a moment.
+    assert wait_until(lambda: client._pool._closed)
+    assert client._pool.idle_count() == 0
+
+
+def test_async_url_call_closes_pool_on_failure(server, capture_clients):
+    host, port = server.address
+    future = api.ninf_call_async(f"ninf://{host}:{port}/always_fails", 1)
+    with pytest.raises(RemoteError):
+        future.result(timeout=30.0)
+    (client,) = capture_clients
+    assert wait_until(lambda: client._pool._closed)
+    assert client._pool.idle_count() == 0
+
+
+def test_done_callback_runs_immediately_when_already_done():
+    future = api.NinfFuture()
+    future._fulfill([1], record=None)
+    fired = []
+    future.add_done_callback(fired.append)
+    assert fired == [future]

@@ -49,7 +49,7 @@ def test_garbage_bytes_then_normal_call(hardened_server):
 
 def test_bad_magic_closes_connection_only(hardened_server):
     sock = raw_connect(hardened_server)
-    sock.sendall(b"XXXX" + struct.pack(">II", 1, 4) + b"data")
+    sock.sendall(b"XXXX" + struct.pack(">III", 1, 4, 0) + b"data")
     # The server drops us: EOF or RST, depending on timing.
     try:
         assert sock.recv(4096) == b""
@@ -61,7 +61,7 @@ def test_bad_magic_closes_connection_only(hardened_server):
 
 def test_oversize_frame_length_rejected(hardened_server):
     sock = raw_connect(hardened_server)
-    sock.sendall(struct.pack(">4sII", MAGIC, MessageType.CALL, 2**31))
+    sock.sendall(struct.pack(">4sIII", MAGIC, MessageType.CALL, 2**31, 0))
     try:
         assert sock.recv(4096) == b""
     except ConnectionResetError:
@@ -72,7 +72,8 @@ def test_oversize_frame_length_rejected(hardened_server):
 
 def test_truncated_frame_then_disconnect(hardened_server):
     sock = raw_connect(hardened_server)
-    sock.sendall(struct.pack(">4sII", MAGIC, MessageType.CALL, 1000) + b"xx")
+    sock.sendall(struct.pack(">4sIII", MAGIC, MessageType.CALL, 1000, 0)
+                 + b"xx")
     sock.close()
     assert server_still_works(hardened_server)
 

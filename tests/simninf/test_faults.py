@@ -1,0 +1,111 @@
+"""Simulator-side fault knob: determinism, retry benefit, baselines."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import run_multiclient_cell
+from repro.model.machines import machine
+from repro.model.network import lan_catalog
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.simninf.calls import linpack_spec
+from repro.simninf.client import WorkloadClient
+from repro.simninf.server import SimNinfServer
+
+
+def run_cell(fault_rate=0.0, retry_attempts=1, seed=1997, c=4,
+             horizon=60.0):
+    server = machine("j90")
+    client = machine("alpha")
+    catalog = lan_catalog(server)
+
+    def route_factory(net, i):
+        return catalog.route_for(client, i)
+
+    return run_multiclient_cell(server, route_factory,
+                                linpack_spec(server, 600), c,
+                                horizon=horizon, seed=seed,
+                                fault_rate=fault_rate,
+                                retry_attempts=retry_attempts)
+
+
+def test_fault_free_run_has_clean_counters():
+    result = run_cell(fault_rate=0.0)
+    assert result.faults_seen == 0
+    assert result.failed_calls == 0
+    assert result.retries == 0
+    assert result.call_attempts == len(result.records)
+    assert result.success_rate == 1.0
+
+
+def test_fault_rate_zero_matches_unfaulted_schedule():
+    """The fault knob at zero must reproduce the historical workload
+    byte-for-byte: fault draws come from a separate RNG and are skipped
+    entirely at rate zero."""
+    base = run_cell()
+    knob = run_cell(fault_rate=0.0, retry_attempts=3)
+    assert [r.submit_time for r in base.records] == \
+        [r.submit_time for r in knob.records]
+    assert [r.elapsed for r in base.records] == \
+        [r.elapsed for r in knob.records]
+
+
+def test_same_seed_same_fault_outcome():
+    first = run_cell(fault_rate=0.2, retry_attempts=2)
+    second = run_cell(fault_rate=0.2, retry_attempts=2)
+    assert first.faults_seen == second.faults_seen > 0
+    assert first.failed_calls == second.failed_calls
+    assert [r.submit_time for r in first.records] == \
+        [r.submit_time for r in second.records]
+
+
+def test_faults_lose_calls_and_retry_recovers_them():
+    bare = run_cell(fault_rate=0.25)
+    retrying = run_cell(fault_rate=0.25, retry_attempts=4)
+    assert bare.failed_calls > 0
+    assert bare.success_rate < 1.0
+    assert retrying.failed_calls < bare.failed_calls
+    assert retrying.success_rate > bare.success_rate
+    assert retrying.retries > 0
+
+
+def test_workload_client_validates_fault_parameters():
+    sim = Simulator()
+    net = Network(sim)
+    server_spec = machine("j90")
+    server = SimNinfServer(sim, net, server_spec)
+    route = lan_catalog(server_spec).route_for(machine("alpha"), 0)
+    spec = linpack_spec(server_spec, 600)
+    with pytest.raises(ValueError, match="fault_rate"):
+        WorkloadClient(sim, 0, server, route, spec, fault_rate=1.0)
+    with pytest.raises(ValueError, match="retry_attempts"):
+        WorkloadClient(sim, 0, server, route, spec, retry_attempts=0)
+
+
+def test_pooled_client_repays_setup_after_fault():
+    """A fault burns the keep-alive connection: the next delivered call
+    pays full setup again, so a faulted pooled run is slower than the
+    fault-free pooled run but still completes everything with retry."""
+    server = machine("j90")
+    client = machine("alpha")
+
+    def run(fault_rate):
+        catalog = lan_catalog(server)
+
+        def route_factory(net, i):
+            return catalog.route_for(client, i)
+
+        return run_multiclient_cell(server, route_factory,
+                                    linpack_spec(server, 600), 2,
+                                    horizon=60.0, seed=7, pooled=True,
+                                    pooled_setup=0.0,
+                                    fault_rate=fault_rate,
+                                    retry_attempts=5)
+
+    clean = run(0.0)
+    faulted = run(0.3)
+    assert faulted.faults_seen > 0
+    assert faulted.success_rate == 1.0  # retry absorbed every fault
+    mean = np.mean([r.elapsed for r in clean.records])
+    faulted_mean = np.mean([r.elapsed for r in faulted.records])
+    assert faulted_mean >= mean

@@ -80,6 +80,14 @@ def test_experiment_cli_fig5(capsys):
     assert "->j90" in out
 
 
+def test_experiment_cli_availability_fast(capsys):
+    assert experiment_main(["availability", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "| fault rate | retry |" in out
+    assert "| 0.30 | off |" in out
+    assert "| 0.30 | x3 |" in out
+
+
 def test_experiment_cli_rejects_unknown_target():
     with pytest.raises(SystemExit):
         experiment_main(["table99"])

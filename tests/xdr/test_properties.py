@@ -1,11 +1,12 @@
 """Property-based tests for the XDR codec (hypothesis)."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays, array_shapes
 
-from repro.xdr import XdrDecoder, XdrEncoder
+from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
 
 @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
@@ -105,8 +106,6 @@ def test_string_array_roundtrip(values):
 def test_decoder_never_reads_past_end(data):
     """Whatever the bytes, unpacking either succeeds within bounds or
     raises XdrError -- never an IndexError/struct.error."""
-    from repro.xdr import XdrError
-
     dec = XdrDecoder(data)
     for unpack in (dec.unpack_int, dec.unpack_string, dec.unpack_double):
         fresh = XdrDecoder(data)
@@ -114,3 +113,25 @@ def test_decoder_never_reads_past_end(data):
             getattr(fresh, unpack.__name__)()
         except XdrError:
             pass
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    text=st.text(max_size=30),
+    values=st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=20),
+    data=st.data(),
+)
+def test_truncated_valid_stream_raises_xdrerror(text, values, data):
+    """Any strict prefix of a valid encoding raises XdrError when the
+    original schema is decoded -- never garbage, never struct.error."""
+    enc = XdrEncoder()
+    enc.pack_string(text)
+    enc.pack_double_array(values)
+    encoded = enc.getvalue()
+    cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    dec = XdrDecoder(encoded[:cut])
+    with pytest.raises(XdrError):
+        dec.unpack_string()
+        dec.unpack_double_array()
+        dec.done()
