@@ -13,8 +13,17 @@ import sys
 import time
 from typing import Optional
 
-__all__ = ["experiment_main", "metaserver_main", "server_main",
-           "standard_registry"]
+__all__ = ["EXPERIMENT_TARGETS", "experiment_main", "metaserver_main",
+           "server_main", "standard_registry"]
+
+# Every ninf-experiment subcommand.  The docs-consistency check
+# (tests/test_docs_consistency.py) asserts each one is documented in
+# README.md or OBSERVABILITY.md -- add the docs when you add a target.
+EXPERIMENT_TARGETS = (
+    "report", "fig3", "fig4", "fig5", "fig7", "fig10", "fig11",
+    "table3", "table4", "table5", "table6", "table7", "table8",
+    "availability", "breakdown",
+)
 
 
 def standard_registry():
@@ -167,16 +176,18 @@ def metaserver_main(argv: Optional[list[str]] = None) -> int:
 
 
 def experiment_main(argv: Optional[list[str]] = None) -> int:
-    """``ninf-experiment``: regenerate a paper table/figure or the report."""
+    """``ninf-experiment``: regenerate a paper table/figure or the report.
+
+    ``--trace FILE`` installs a process-wide tracer for the run
+    (:func:`repro.obs.use_tracer`) and saves every collected span to
+    ``FILE`` as JSON lines -- any target that drives the simulator or
+    the live stack then leaves an OBSERVABILITY.md-schema trace behind.
+    """
     parser = argparse.ArgumentParser(
         prog="ninf-experiment",
         description="Run the paper's experiments on the simulator.",
     )
-    parser.add_argument("target",
-                        choices=["report", "fig3", "fig4", "fig5", "fig7", "fig10",
-                                 "fig11", "table3", "table4", "table5",
-                                 "table6", "table7", "table8",
-                                 "availability"],
+    parser.add_argument("target", choices=list(EXPERIMENT_TARGETS),
                         help="which artifact to regenerate")
     parser.add_argument("--fast", action="store_true",
                         help="smaller sweeps")
@@ -184,8 +195,42 @@ def experiment_main(argv: Optional[list[str]] = None) -> int:
                         help="render figures as ASCII charts")
     parser.add_argument("--output", default="EXPERIMENTS.md",
                         help="output path for the report target")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="capture the run's spans to FILE (JSON lines)")
     args = parser.parse_args(argv)
 
+    if args.trace:
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            code = _experiment_dispatch(args)
+        count = tracer.save(args.trace)
+        print(f"wrote {count} spans to {args.trace}")
+        return code
+    return _experiment_dispatch(args)
+
+
+def _experiment_dispatch(args) -> int:
+    """Run one parsed ``ninf-experiment`` target."""
+    if args.target == "breakdown":
+        from repro.experiments.breakdown import (
+            format_breakdown,
+            live_loopback_breakdown,
+            sim_breakdown,
+        )
+        from repro.obs import current_tracer
+
+        # Under --trace the active tracer collects both runs' spans, so
+        # the saved file holds the live and simulated schemas side by
+        # side; otherwise each driver uses its own private tracer.
+        active = current_tracer()
+        shared = active if active.enabled else None
+        live_row, _ = live_loopback_breakdown(calls=2 if args.fast else 4,
+                                              tracer=shared)
+        sim_row, _ = sim_breakdown(c=2 if args.fast else 4, tracer=shared)
+        print(format_breakdown([live_row, sim_row]))
+        return 0
     if args.target == "report":
         from repro.experiments.report import generate_report
 

@@ -10,6 +10,17 @@ from typing import Any, Callable, Optional, Sequence
 import numpy as np
 
 from repro.idl import Signature
+from repro.obs import MetricsRegistry, Tracer, names
+from repro.obs.trace import (
+    SPAN_COMPUTE,
+    SPAN_CONNECT,
+    SPAN_MARSHAL,
+    SPAN_QUEUE,
+    SPAN_RECV,
+    SPAN_ROOT,
+    SPAN_SEND,
+    SPAN_UNMARSHAL,
+)
 from repro.protocol.errors import ProtocolError, RemoteError
 from repro.protocol.marshal import marshal_inputs, unmarshal_outputs
 from repro.protocol.messages import (
@@ -181,15 +192,30 @@ class NinfClient:
         A :class:`~repro.transport.FaultPlan` injected into the
         connection pool -- every channel this client dials becomes a
         fault-injecting one (the chaos-test hook).
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` backing this client's
+        counters and its pool/transport metrics.  Defaults to a fresh
+        private registry, which is what gives the counters their exact
+        per-client-lifetime semantics; pass a shared registry to
+        aggregate several clients.
+    tracer:
+        A :class:`~repro.obs.Tracer`; when given, every
+        :meth:`call_with_record` emits the OBSERVABILITY.md span
+        schema (``ninf.call`` root + phase children) into it.  Its
+        clock should agree with ``clock`` (both default to
+        ``time.monotonic``).
 
     The counters ``attempts``, ``retries``, and ``faults_seen`` track
     every transport exchange, its retries, and the transient errors
-    observed, so experiments can report effective availability.
+    observed, so experiments can report effective availability; see
+    each property for its exact semantics.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 300.0,
                  clock=None, pool: bool = True, max_idle: float = 60.0,
-                 retry: Optional[RetryPolicy] = None, fault_plan=None):
+                 retry: Optional[RetryPolicy] = None, fault_plan=None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         import time
 
         self.host = host
@@ -198,15 +224,93 @@ class NinfClient:
         self.clock = clock or time.monotonic
         self.retry = retry
         self._signatures: dict[str, Signature] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self._pool = ConnectionPool(timeout=timeout, pool=pool,
                                     max_idle_seconds=max_idle,
-                                    fault_plan=fault_plan)
+                                    fault_plan=fault_plan,
+                                    metrics=self.metrics)
         self.records: list[CallRecord] = []
         self._records_lock = threading.Lock()
-        self._counter_lock = threading.Lock()
-        self.attempts = 0
-        self.retries = 0
-        self.faults_seen = 0
+        self._attempts = self.metrics.counter(
+            names.CLIENT_ATTEMPTS,
+            "Transport exchange attempts (idempotent ops and CALL)")
+        self._retries = self.metrics.counter(
+            names.CLIENT_RETRIES,
+            "Retries taken by this client's idempotent operations")
+        self._faults_seen = self.metrics.counter(
+            names.CLIENT_FAULTS_SEEN,
+            "Transient transport errors observed by this client")
+        self._call_seconds = self.metrics.histogram(
+            names.CLIENT_CALL_SECONDS,
+            "End-to-end Ninf_call latency", labelnames=("function",))
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def attempts(self) -> int:
+        """Transport exchange attempts made by this client.
+
+        Exact semantics: counts every exchange *started* -- each try of
+        a retried idempotent operation (``ping``, ``get_signature``,
+        ``list_functions``, ``query_load``, detached-result polling)
+        and every ``CALL``/``CALL_DETACHED`` (which are made exactly
+        once; CALL is never auto-retried).  Per-client lifetime: the
+        count is monotonic from construction and is *not* reset by
+        ``with`` blocks, :meth:`close`, or pool recycling.  Backed by
+        ``ninf_client_attempts_total`` in :attr:`metrics`.
+        """
+        return int(self._attempts.value())
+
+    @property
+    def retries(self) -> int:
+        """Retries taken by this client's *idempotent* operations only.
+
+        Incremented once per backoff-then-retry cycle of the
+        :class:`~repro.transport.RetryPolicy` passed as ``retry``;
+        always 0 when no policy is set, and never incremented by
+        ``CALL`` (at-most-once, never auto-retried).  Per-client
+        lifetime, monotonic, never reset.  Backed by
+        ``ninf_client_retries_total`` in :attr:`metrics`.
+        """
+        return int(self._retries.value())
+
+    @property
+    def faults_seen(self) -> int:
+        """Transient transport errors this client has observed.
+
+        Incremented when an exchange raises an error classified
+        transient by :func:`~repro.transport.is_transient` (timeouts,
+        resets, framing errors -- never :class:`RemoteError`), whether
+        or not the operation was subsequently retried.  Per-client
+        lifetime, monotonic, never reset.  Backed by
+        ``ninf_client_faults_seen_total`` in :attr:`metrics`.
+        """
+        return int(self._faults_seen.value())
+
+    def fetch_stats(self, fmt: str = "json"):
+        """Fetch the *server's* metrics snapshot via the ``STATS`` op.
+
+        ``fmt="json"`` returns the decoded snapshot dict
+        (:meth:`~repro.obs.MetricsRegistry.snapshot` shape);
+        ``fmt="prom"`` returns the Prometheus text exposition as a
+        string.  The exchange is idempotent and rides the retry policy.
+        """
+        import json
+
+        enc = XdrEncoder()
+        enc.pack_string(fmt)
+        reply = self._idempotent(
+            lambda: self._roundtrip(MessageType.STATS, enc.getvalue(),
+                                    MessageType.STATS_REPLY)
+        )
+        dec = XdrDecoder(reply)
+        reply_fmt = dec.unpack_string()
+        text = dec.unpack_string()
+        dec.done()
+        if reply_fmt == "json":
+            return json.loads(text)
+        return text
 
     # -- connection pool ------------------------------------------------------
 
@@ -242,14 +346,12 @@ class NinfClient:
 
     def _counted(self, fn):
         """Run one exchange attempt, tracking attempts and faults seen."""
-        with self._counter_lock:
-            self.attempts += 1
+        self._attempts.inc()
         try:
             return fn()
         except BaseException as exc:
             if is_transient(exc):
-                with self._counter_lock:
-                    self.faults_seen += 1
+                self._faults_seen.inc()
             raise
 
     def _idempotent(self, fn):
@@ -258,8 +360,7 @@ class NinfClient:
             return self._counted(fn)
 
         def on_retry(_attempt: int, _exc: BaseException) -> None:
-            with self._counter_lock:
-                self.retries += 1
+            self._retries.inc()
 
         return self.retry.run(lambda: self._counted(fn), on_retry=on_retry)
 
@@ -328,58 +429,92 @@ class NinfClient:
         self, function: str, *args: Any,
         on_callback: Optional[Callable[[float, str], None]] = None,
     ) -> tuple[list[Any], CallRecord]:
-        """Like :meth:`call`, also returning the :class:`CallRecord`."""
+        """Like :meth:`call`, also returning the :class:`CallRecord`.
+
+        When the client has an enabled :attr:`tracer`, the call emits
+        the OBSERVABILITY.md span schema: a ``ninf.call`` root plus
+        ``call.marshal`` / ``call.connect`` / ``call.send`` /
+        ``call.recv`` / ``call.unmarshal`` children on the client clock
+        and retrospective ``call.queue`` / ``call.compute`` children
+        reconstructed from the server's :class:`JobTimestamps`
+        (``clock="server-wall"``).
+        """
         signature = self.get_signature(function)
         submit_time = self.clock()
-        args_payload = marshal_inputs(signature, list(args))
         call_id = next(_call_ids)
-        enc = XdrEncoder()
-        CallHeader(function=function, call_id=call_id).encode(enc)
-        enc.pack_opaque(args_payload)
-        # CALL is counted but never auto-retried (not idempotent).
-        with self._counter_lock:
-            self.attempts += 1
-        channel = self._connect()
+        trace = self.tracer.trace(SPAN_ROOT, start=submit_time,
+                                  function=function, call_id=call_id,
+                                  source="live")
         try:
-            channel.send(MessageType.CALL, enc.getvalue())
-            while True:
-                reply_type, reply = channel.recv()
-                if reply_type == MessageType.CALLBACK:
-                    dec = XdrDecoder(reply)
-                    cb_call_id = dec.unpack_uhyper()
-                    progress = dec.unpack_double()
-                    message = dec.unpack_string()
-                    dec.done()
-                    if on_callback is not None and cb_call_id == call_id:
-                        on_callback(progress, message)
-                    continue
-                break
-            if reply_type == MessageType.ERROR:
-                err = ErrorReply.decode(XdrDecoder(reply))
-                raise RemoteError(err.code, err.message)
-            if reply_type != MessageType.RESULT:
-                raise ProtocolError(
-                    f"expected RESULT, got message {reply_type}"
-                )
-        except BaseException as exc:
-            if is_transient(exc):
-                with self._counter_lock:
-                    self.faults_seen += 1
-            self._pool.discard(channel)
+            with trace.span(SPAN_MARSHAL):
+                args_payload = marshal_inputs(signature, list(args))
+                enc = XdrEncoder()
+                CallHeader(function=function, call_id=call_id).encode(enc)
+                enc.pack_opaque(args_payload)
+            # CALL is counted but never auto-retried (not idempotent).
+            self._attempts.inc()
+            with trace.span(SPAN_CONNECT):
+                channel = self._connect()
+            try:
+                with trace.span(SPAN_SEND):
+                    channel.send(MessageType.CALL, enc.getvalue())
+                recv_start = self.clock()
+                while True:
+                    reply_type, reply = channel.recv()
+                    if reply_type == MessageType.CALLBACK:
+                        dec = XdrDecoder(reply)
+                        cb_call_id = dec.unpack_uhyper()
+                        progress = dec.unpack_double()
+                        message = dec.unpack_string()
+                        dec.done()
+                        if on_callback is not None and cb_call_id == call_id:
+                            on_callback(progress, message)
+                        continue
+                    break
+                # The recv window covers server queueing + compute as
+                # seen from the client; the breakdown derives transfer
+                # as total - queue - compute, so the overlap is fine.
+                trace.record(SPAN_RECV, recv_start, self.clock())
+                if reply_type == MessageType.ERROR:
+                    err = ErrorReply.decode(XdrDecoder(reply))
+                    raise RemoteError(err.code, err.message)
+                if reply_type != MessageType.RESULT:
+                    raise ProtocolError(
+                        f"expected RESULT, got message {reply_type}"
+                    )
+            except BaseException as exc:
+                if is_transient(exc):
+                    self._faults_seen.inc()
+                self._pool.discard(channel)
+                raise
+            self._release(channel)
+            with trace.span(SPAN_UNMARSHAL):
+                dec = XdrDecoder(reply)
+                reply_id = dec.unpack_uhyper()
+                if reply_id != call_id:
+                    raise ProtocolError(
+                        f"result for call {reply_id}, expected {call_id}"
+                    )
+                timestamps = JobTimestamps.decode(dec)
+                out_payload = dec.unpack_opaque()
+                dec.done()
+                outputs = unmarshal_outputs(signature, out_payload)
+            # Server-side phases, reconstructed from JobTimestamps.
+            # Timestamps are in the server's clock ("server-wall"):
+            # durations are comparable across clocks, absolute start/end
+            # values are not (OBSERVABILITY.md, clock-injection rules).
+            trace.record(SPAN_QUEUE, timestamps.enqueue, timestamps.dequeue,
+                         clock="server-wall")
+            trace.record(SPAN_COMPUTE, timestamps.dequeue,
+                         timestamps.complete, clock="server-wall")
+            complete_time = self.clock()
+        except BaseException:
+            trace.end(at=self.clock(), status="error")
             raise
-        self._release(channel)
-        dec = XdrDecoder(reply)
-        reply_id = dec.unpack_uhyper()
-        if reply_id != call_id:
-            raise ProtocolError(
-                f"result for call {reply_id}, expected {call_id}"
-            )
-        timestamps = JobTimestamps.decode(dec)
-        out_payload = dec.unpack_opaque()
-        dec.done()
-        outputs = unmarshal_outputs(signature, out_payload)
-        complete_time = self.clock()
         self._write_back(signature, args, outputs)
+        self._call_seconds.observe(complete_time - submit_time,
+                                   function=function)
+        trace.end(at=complete_time, status="ok")
         record = CallRecord(
             function=function,
             call_id=call_id,

@@ -29,12 +29,28 @@ from repro.experiments.availability import (
     availability_ablation,
     format_availability,
 )
+from repro.experiments.breakdown import (
+    CallPhases,
+    PhaseBreakdown,
+    breakdown_from_spans,
+    format_breakdown,
+    live_loopback_breakdown,
+    sim_breakdown,
+    summarize,
+)
 from repro.experiments.common import MulticlientResult, run_multiclient_cell
 
 __all__ = [
     "AvailabilityCell",
+    "CallPhases",
     "MulticlientResult",
+    "PhaseBreakdown",
     "availability_ablation",
+    "breakdown_from_spans",
     "format_availability",
+    "format_breakdown",
+    "live_loopback_breakdown",
     "run_multiclient_cell",
+    "sim_breakdown",
+    "summarize",
 ]

@@ -65,6 +65,7 @@ def run_multiclient_cell(
     fault_rate: float = 0.0,
     retry_attempts: int = 1,
     fault_cost: Optional[float] = None,
+    tracer=None,
 ) -> MulticlientResult:
     """Run one multi-client benchmark cell and aggregate the table row.
 
@@ -77,7 +78,10 @@ def run_multiclient_cell(
     ``fault_rate``/``retry_attempts``/``fault_cost`` drive the
     availability ablation: each call attempt fails with ``fault_rate``
     probability and clients retry up to ``retry_attempts`` times (see
-    :class:`~repro.simninf.client.WorkloadClient`).
+    :class:`~repro.simninf.client.WorkloadClient`).  ``tracer`` hands
+    the server a :class:`~repro.obs.Tracer` so every simulated call
+    emits the OBSERVABILITY.md span schema (build it with the sim
+    clock; :func:`repro.experiments.breakdown.sim_breakdown` shows how).
     """
     if c < 1:
         raise ValueError(f"need at least one client, got {c}")
@@ -85,7 +89,8 @@ def run_multiclient_cell(
     network = Network(sim)
     server_kwargs = {} if t_setup is None else {"t_setup": t_setup}
     server = SimNinfServer(sim, network, server_spec, mode=mode,
-                           switch_overhead=switch_overhead, **server_kwargs)
+                           switch_overhead=switch_overhead, tracer=tracer,
+                           **server_kwargs)
     stats = server.machine.stats_window()
     LoadSampler(sim, server.machine, stats, interval=2.0)
     clients = []

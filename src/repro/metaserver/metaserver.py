@@ -51,6 +51,16 @@ class Metaserver(Endpoint):
         self.probe_retry = probe_retry
         self._monitor_thread: Optional[threading.Thread] = None
         self._monitor_wakeup = threading.Event()
+        # Monitoring observability (OBSERVABILITY.md): probe outcomes
+        # and the resulting alive-server count, exposed via STATS.
+        from repro.obs import names
+
+        self._probes = self.metrics.counter(
+            names.METASERVER_PROBES, "Liveness/load probes by outcome",
+            labelnames=("outcome",))
+        self._alive_gauge = self.metrics.gauge(
+            names.METASERVER_SERVERS_ALIVE,
+            "Registered servers currently marked alive")
         self.register_handler(MessageType.MS_REGISTER, self._handle_register)
         self.register_handler(MessageType.MS_UNREGISTER,
                               self._handle_unregister)
@@ -87,6 +97,8 @@ class Metaserver(Endpoint):
         """Synchronously refresh load for every registered server."""
         for entry in self.directory.entries():
             self._poll_one(entry.info.host, entry.info.port)
+        self._alive_gauge.set(
+            sum(1 for e in self.directory.entries() if e.alive))
 
     def _poll_one(self, host: str, port: int) -> None:
         def probe() -> tuple[int, bytes]:
@@ -102,8 +114,10 @@ class Metaserver(Endpoint):
                 self.directory.update_load(
                     host, port, LoadReply.decode(XdrDecoder(payload))
                 )
+            self._probes.inc(outcome="ok")
         except (OSError, ProtocolError, RemoteError, XdrError):
             self.directory.mark_dead(host, port)
+            self._probes.inc(outcome="dead")
 
     def _monitor_loop(self) -> None:
         while self._running:

@@ -1,0 +1,57 @@
+"""``repro.obs``: the observability layer (metrics + tracing).
+
+One subsystem replaces the reproduction's three divergent ad-hoc
+measurement mechanisms (client counters, pool counters, simulator
+record fields):
+
+- :class:`MetricsRegistry` -- lock-safe counters, gauges, and
+  fixed-bucket histograms with Prometheus-text and JSON snapshot
+  exposition (:mod:`repro.obs.registry`).
+- :class:`Tracer`/:class:`Trace`/:class:`Span` -- per-call span trees
+  with explicit clock injection, emitted identically by the live RPC
+  stack and the simulator (:mod:`repro.obs.trace`).
+- :data:`METRIC_NAMES` / :data:`SPAN_NAMES` -- the canonical name
+  registries that OBSERVABILITY.md documents and the CI docs check
+  enforces (:mod:`repro.obs.names`).
+
+See OBSERVABILITY.md for the full schema, naming conventions, and a
+worked end-to-end example; DESIGN.md §3.3 for the architecture.
+"""
+
+from repro.obs.names import METRIC_NAMES
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    PHASE_OF_SPAN,
+    SPAN_FIELDS,
+    SPAN_NAMES,
+    Span,
+    Trace,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "PHASE_OF_SPAN",
+    "SPAN_FIELDS",
+    "SPAN_NAMES",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+]

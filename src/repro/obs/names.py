@@ -1,0 +1,77 @@
+"""The canonical registry of exported metric names.
+
+Every metric any repro component registers is declared here as a
+constant and listed in :data:`METRIC_NAMES`.  Two things key off this
+module:
+
+- instrumented components import the constants instead of retyping
+  strings, so a renamed metric is renamed everywhere;
+- the docs-consistency check (``tests/test_docs_consistency.py``)
+  asserts every name in :data:`METRIC_NAMES` is documented in
+  OBSERVABILITY.md, and fails CI when a metric is added without docs.
+
+Naming convention (OBSERVABILITY.md §"Metric naming"):
+``ninf_<subsystem>_<quantity>[_<unit>][_total]`` -- ``_total`` marks
+counters, ``_seconds``/``_bytes`` mark units, gauges carry neither.
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRIC_NAMES"]
+
+# -- transport: Channel framed I/O (per pool/endpoint registry) ----------
+TRANSPORT_BYTES_SENT = "ninf_transport_bytes_sent_total"
+TRANSPORT_BYTES_RECEIVED = "ninf_transport_bytes_received_total"
+TRANSPORT_FRAMES_SENT = "ninf_transport_frames_sent_total"
+TRANSPORT_FRAMES_RECEIVED = "ninf_transport_frames_received_total"
+
+# -- transport: ConnectionPool ------------------------------------------
+POOL_CONNECTIONS_CREATED = "ninf_pool_connections_created_total"
+POOL_CONNECTIONS_REUSED = "ninf_pool_connections_reused_total"
+POOL_IDLE_CONNECTIONS = "ninf_pool_idle_connections"
+
+# -- transport: fault injection and retry -------------------------------
+FAULTS_INJECTED = "ninf_faults_injected_total"        # label: kind
+RETRY_ATTEMPTS = "ninf_retry_attempts_total"
+RETRY_RETRIES = "ninf_retry_retries_total"
+
+# -- client -------------------------------------------------------------
+CLIENT_ATTEMPTS = "ninf_client_attempts_total"
+CLIENT_RETRIES = "ninf_client_retries_total"
+CLIENT_FAULTS_SEEN = "ninf_client_faults_seen_total"
+CLIENT_CALL_SECONDS = "ninf_client_call_seconds"      # label: function
+
+# -- endpoint / server --------------------------------------------------
+ENDPOINT_CONNECTIONS_ACCEPTED = "ninf_endpoint_connections_accepted_total"
+SERVER_DISPATCH_SECONDS = "ninf_server_dispatch_seconds"
+SERVER_EXECUTE_SECONDS = "ninf_server_execute_seconds"  # label: function
+SERVER_QUEUE_DEPTH = "ninf_server_queue_depth"
+SERVER_CALLS = "ninf_server_calls_total"              # labels: function, status
+
+# -- metaserver ---------------------------------------------------------
+METASERVER_PROBES = "ninf_metaserver_probes_total"    # label: outcome
+METASERVER_SERVERS_ALIVE = "ninf_metaserver_servers_alive"
+
+METRIC_NAMES = (
+    TRANSPORT_BYTES_SENT,
+    TRANSPORT_BYTES_RECEIVED,
+    TRANSPORT_FRAMES_SENT,
+    TRANSPORT_FRAMES_RECEIVED,
+    POOL_CONNECTIONS_CREATED,
+    POOL_CONNECTIONS_REUSED,
+    POOL_IDLE_CONNECTIONS,
+    FAULTS_INJECTED,
+    RETRY_ATTEMPTS,
+    RETRY_RETRIES,
+    CLIENT_ATTEMPTS,
+    CLIENT_RETRIES,
+    CLIENT_FAULTS_SEEN,
+    CLIENT_CALL_SECONDS,
+    ENDPOINT_CONNECTIONS_ACCEPTED,
+    SERVER_DISPATCH_SECONDS,
+    SERVER_EXECUTE_SECONDS,
+    SERVER_QUEUE_DEPTH,
+    SERVER_CALLS,
+    METASERVER_PROBES,
+    METASERVER_SERVERS_ALIVE,
+)

@@ -41,6 +41,12 @@ class MessageType(enum.IntEnum):
     # Server -> client progress callback during a held-open CALL (§2.3's
     # optional "client callback functions").
     CALLBACK = 18
+    # Observability (OBSERVABILITY.md): fetch a remote metrics snapshot
+    # from any Endpoint (server or metaserver).  The STATS payload is an
+    # optional XDR string naming the exposition format ("json" default,
+    # or "prom"); STATS_REPLY is format-string + rendered-snapshot
+    # string.  Pre-registered on every Endpoint, like PING.
+    STATS = 19
     # Metaserver messages.
     MS_REGISTER = 20
     MS_UNREGISTER = 21
@@ -52,6 +58,7 @@ class MessageType(enum.IntEnum):
     MS_LIST = 27
     MS_LIST_REPLY = 28
     MS_OK = 29
+    STATS_REPLY = 30
 
 
 PROTOCOL_VERSION = 2

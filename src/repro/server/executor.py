@@ -56,16 +56,43 @@ class Job:
 
 
 class Executor:
-    """Policy-driven job executor over a pool of ``num_pes`` PE slots."""
+    """Policy-driven job executor over a pool of ``num_pes`` PE slots.
+
+    When given a :class:`~repro.obs.MetricsRegistry` (``metrics``), the
+    executor publishes the server-side half of the OBSERVABILITY.md
+    breakdown: ``ninf_server_queue_depth`` (jobs awaiting a PE),
+    ``ninf_server_dispatch_seconds`` (the paper's ``T_wait``:
+    dequeue - enqueue), ``ninf_server_execute_seconds{function}`` (the
+    service time: complete - dequeue), and
+    ``ninf_server_calls_total{function,status}``.
+    """
 
     def __init__(self, num_pes: int = 1,
                  policy: Optional[SchedulingPolicy] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics=None):
         if num_pes < 1:
             raise ValueError(f"num_pes must be >= 1, got {num_pes}")
         self.num_pes = num_pes
         self.policy = policy or FCFSPolicy()
         self.clock = clock
+        self._queue_gauge = self._dispatch_hist = None
+        self._execute_hist = self._calls_counter = None
+        if metrics is not None:
+            from repro.obs import names
+
+            self._queue_gauge = metrics.gauge(
+                names.SERVER_QUEUE_DEPTH, "Jobs queued awaiting a PE")
+            self._dispatch_hist = metrics.histogram(
+                names.SERVER_DISPATCH_SECONDS,
+                "Queue wait per job (T_dequeue - T_enqueue)")
+            self._execute_hist = metrics.histogram(
+                names.SERVER_EXECUTE_SECONDS,
+                "Executable service time (T_complete - T_dequeue)",
+                labelnames=("function",))
+            self._calls_counter = metrics.counter(
+                names.SERVER_CALLS, "Jobs run to completion",
+                labelnames=("function", "status"))
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending: list[Job] = []
@@ -115,6 +142,8 @@ class Executor:
             )
             self._seq += 1
             self._pending.append(job)
+            if self._queue_gauge is not None:
+                self._queue_gauge.set(len(self._pending))
             self._wakeup.notify_all()
         return job
 
@@ -148,6 +177,8 @@ class Executor:
                 if self._shutdown:
                     return
                 job = self._pending.pop(index)
+                if self._queue_gauge is not None:
+                    self._queue_gauge.set(len(self._pending))
                 self._free_pes -= job.pes_required
                 self._running += 1
             worker = threading.Thread(
@@ -166,6 +197,13 @@ class Executor:
         except Exception as exc:  # defensive: invoke wraps, but be safe
             job.error = ExecutionError(job.executable.name, exc)
         job.complete_time = self.clock()
+        if self._dispatch_hist is not None:
+            self._dispatch_hist.observe(job.dequeue_time - job.enqueue_time)
+            self._execute_hist.observe(job.complete_time - job.dequeue_time,
+                                       function=job.executable.name)
+            self._calls_counter.inc(
+                function=job.executable.name,
+                status="ok" if job.error is None else "error")
         with self._lock:
             self._free_pes += job.pes_required
             self._running -= 1

@@ -54,16 +54,21 @@ class NinfServer(Endpoint):
         A :class:`~repro.transport.FaultPlan` wrapping every accepted
         connection -- makes server-side faults (delayed/corrupted/
         dropped replies) injectable for the chaos tests.
+    metrics:
+        The process :class:`~repro.obs.MetricsRegistry` (default: a
+        fresh one).  The executor publishes its queue/dispatch/execute
+        metrics here and remote clients can fetch a snapshot via the
+        ``STATS`` op (OBSERVABILITY.md).
     """
 
     def __init__(self, registry: Registry, host: str = "127.0.0.1",
                  port: int = 0, num_pes: int = 1, mode: str = "task",
                  policy: SchedulingPolicy | str = "fcfs",
-                 name: str = "ninf-server", fault_plan=None):
+                 name: str = "ninf-server", fault_plan=None, metrics=None):
         if mode not in ("task", "data"):
             raise ValueError(f"mode must be 'task' or 'data', got {mode!r}")
         super().__init__(host=host, port=port, name=name,
-                         fault_plan=fault_plan)
+                         fault_plan=fault_plan, metrics=metrics)
         self.registry = registry
         self.num_pes = num_pes
         self.mode = mode
@@ -98,7 +103,8 @@ class NinfServer(Endpoint):
 
     def on_start(self) -> None:
         """Spin up the PE-pool executor before accepting connections."""
-        self.executor = Executor(num_pes=self.num_pes, policy=self.policy)
+        self.executor = Executor(num_pes=self.num_pes, policy=self.policy,
+                                 metrics=self.metrics)
         self._start_time = time.monotonic()
         self._load_stamp = self._start_time
 

@@ -12,6 +12,17 @@ from typing import Generator, Optional
 
 from repro.model.machines import MachineSpec
 from repro.model.perf import DEFAULT_T_COMM0
+from repro.obs import Tracer, current_tracer
+from repro.obs.trace import (
+    SPAN_COMPUTE,
+    SPAN_CONNECT,
+    SPAN_MARSHAL,
+    SPAN_QUEUE,
+    SPAN_RECV,
+    SPAN_ROOT,
+    SPAN_SEND,
+    SPAN_UNMARSHAL,
+)
 from repro.server.scheduling import SchedulingPolicy
 from repro.sim.engine import AllOf, Signal, Simulator
 from repro.sim.machine import Machine
@@ -49,6 +60,13 @@ class SimNinfServer:
     t_setup:
         Per-call connection + two-stage-RPC setup time (the model's
         ``T_comm0``), split evenly between upload and download phases.
+    tracer:
+        A :class:`~repro.obs.Tracer` (ideally built with the sim clock:
+        ``Tracer(clock=lambda: sim.now, clock_name="sim")``).  Every
+        simulated call then emits the same OBSERVABILITY.md span schema
+        as the live :class:`~repro.client.NinfClient`; defaults to the
+        process-wide :func:`~repro.obs.current_tracer`, resolved per
+        call (the ``ninf-experiment --trace`` hook).
     """
 
     def __init__(self, sim: Simulator, network: Network, spec: MachineSpec,
@@ -56,7 +74,8 @@ class SimNinfServer:
                  load_tau: float = 60.0,
                  switch_overhead: float = 0.0,
                  policy: Optional[SchedulingPolicy] = None,
-                 max_concurrent: Optional[int] = None):
+                 max_concurrent: Optional[int] = None,
+                 tracer: Optional[Tracer] = None):
         if mode not in ("task", "data"):
             raise ValueError(f"mode must be 'task' or 'data', got {mode!r}")
         self.sim = sim
@@ -75,6 +94,7 @@ class SimNinfServer:
         # The default (None) is the 1997 fork-on-arrival behaviour.
         self.policy = policy
         self.max_concurrent = max_concurrent
+        self.tracer = tracer
         self._admission_queue: list[_QueuedJob] = []
         self._admitted = 0
         self._admission_seq = 0
@@ -144,6 +164,7 @@ class SimNinfServer:
         comm_start = sim.now
         yield from self._transfer(route, spec.input_bytes)
         record.comm_seconds += sim.now - comm_start
+        upload_end = sim.now
         # Computation on the PE pool.
         if pes_required >= self.spec.num_pes and self.spec.num_pes > 1:
             work = spec.comp_seconds(data_parallel=True) * self.spec.num_pes
@@ -151,6 +172,7 @@ class SimNinfServer:
         else:
             work = spec.comp_seconds(data_parallel=False)
             yield from self.machine.run(work, max_pes=float(pes_required))
+        compute_end = sim.now
         # Result download (marshalling again pipelined).
         comm_start = sim.now
         yield from self._transfer(route, spec.output_bytes)
@@ -159,7 +181,38 @@ class SimNinfServer:
         record.complete_time = sim.now
         self.calls_completed += 1
         self._release_admission(pes_required)
+        self._emit_trace(record, upload_end, compute_end)
         return record
+
+    def _emit_trace(self, record: SimCallRecord, upload_end: float,
+                    compute_end: float) -> None:
+        """Emit the OBSERVABILITY.md span schema for one finished call.
+
+        Everything is recorded retroactively from simulated timestamps,
+        so the spans carry ``clock="sim"`` regardless of the tracer's
+        own clock.  Marshalling is folded into the transfer flows by the
+        model (:meth:`_transfer` pipelines it with the wire transfer),
+        so ``call.marshal``/``call.unmarshal`` are emitted as
+        zero-duration markers -- keeping the live and simulated schemas
+        identical without inventing a phase the model does not resolve.
+        """
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        trace = tracer.trace(SPAN_ROOT, start=record.submit_time,
+                             function=record.spec.name,
+                             client_id=record.client_id, source="sim")
+        root = getattr(trace, "root", None)
+        if root is not None:
+            root.clock = "sim"
+        submit, enqueue = record.submit_time, record.enqueue_time
+        dequeue, complete = record.dequeue_time, record.complete_time
+        trace.record(SPAN_MARSHAL, submit, submit, clock="sim")
+        trace.record(SPAN_CONNECT, submit, enqueue, clock="sim")
+        trace.record(SPAN_QUEUE, enqueue, dequeue, clock="sim")
+        trace.record(SPAN_SEND, dequeue, upload_end, clock="sim")
+        trace.record(SPAN_COMPUTE, upload_end, compute_end, clock="sim")
+        trace.record(SPAN_RECV, compute_end, complete, clock="sim")
+        trace.record(SPAN_UNMARSHAL, complete, complete, clock="sim")
+        trace.end(at=complete, status="ok")
 
     def _transfer(self, route, nbytes: float) -> Generator:
         """One direction of data movement: flow + marshalling in parallel.

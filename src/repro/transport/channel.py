@@ -17,7 +17,7 @@ import threading
 from typing import Optional, Union
 
 from repro.protocol.errors import ProtocolError, RemoteError
-from repro.protocol.framing import recv_frame, send_frame
+from repro.protocol.framing import HEADER, recv_frame, send_frame
 from repro.protocol.messages import ErrorReply, MessageType
 from repro.xdr import XdrDecoder, XdrEncoder
 
@@ -51,6 +51,12 @@ class Channel:
         The ``(host, port)`` this channel dials, recorded so a
         :class:`~repro.transport.pool.ConnectionPool` can route
         ``checkin`` back to the right bucket.
+
+    The :attr:`metrics` attribute (a
+    :class:`~repro.obs.MetricsRegistry`, default ``None`` = no
+    recording) is set by whoever owns the channel -- the pool on
+    checkout, the endpoint on accept -- and receives per-frame
+    byte/frame counters (``ninf_transport_*``; see OBSERVABILITY.md).
     """
 
     def __init__(self, sock: socket.socket,
@@ -63,6 +69,7 @@ class Channel:
         self.sock = sock
         self.timeout = timeout
         self.remote = remote
+        self.metrics = None
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self._rpc_lock = threading.RLock()
@@ -118,18 +125,43 @@ class Channel:
     def _resolve(self, timeout: Union[None, float, _Unset]) -> Optional[float]:
         return self.timeout if isinstance(timeout, _Unset) else timeout
 
+    def _note_io(self, direction: str, payload_len: int) -> None:
+        """Record one framed exchange into the attached registry."""
+        registry = self.metrics
+        if registry is None:
+            return
+        from repro.obs import names
+
+        nbytes = HEADER.size + payload_len
+        if direction == "sent":
+            registry.counter(names.TRANSPORT_BYTES_SENT,
+                             "Framed bytes written, header included"
+                             ).inc(nbytes)
+            registry.counter(names.TRANSPORT_FRAMES_SENT,
+                             "Frames written").inc()
+        else:
+            registry.counter(names.TRANSPORT_BYTES_RECEIVED,
+                             "Framed bytes read, header included"
+                             ).inc(nbytes)
+            registry.counter(names.TRANSPORT_FRAMES_RECEIVED,
+                             "Frames read").inc()
+
     def send(self, msg_type: int, payload: bytes = b"",
              timeout: Union[None, float, _Unset] = _DEFAULT) -> None:
         """Write one frame; safe to call from multiple threads."""
         with self._send_lock:
             send_frame(self.sock, msg_type, payload,
                        timeout=self._resolve(timeout))
+        self._note_io("sent", len(payload))
 
     def recv(self, timeout: Union[None, float, _Unset] = _DEFAULT
              ) -> tuple[int, bytes]:
         """Read one frame as ``(msg_type, payload)``."""
         with self._recv_lock:
-            return recv_frame(self.sock, timeout=self._resolve(timeout))
+            msg_type, payload = recv_frame(self.sock,
+                                           timeout=self._resolve(timeout))
+        self._note_io("received", len(payload))
+        return msg_type, payload
 
     def request(self, msg_type: int, payload: bytes = b"",
                 expect: Optional[int] = None,

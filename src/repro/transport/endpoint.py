@@ -11,14 +11,16 @@ skeleton, written once: subclasses register handlers and override the
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 from typing import Callable, Optional
 
+from repro.obs import MetricsRegistry, names
 from repro.protocol.errors import ConnectionClosed, ProtocolError
 from repro.protocol.messages import MessageType
 from repro.transport.channel import Channel
-from repro.xdr import XdrError
+from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
 __all__ = ["Endpoint"]
 
@@ -40,17 +42,24 @@ class Endpoint:
         accepted connection, making *server-side* faults (a delayed,
         corrupted, or dropped reply) injectable without touching any
         handler.
+    metrics:
+        The process's :class:`~repro.obs.MetricsRegistry` (default: a
+        fresh one).  Every accepted channel records its framed I/O
+        here, and the pre-registered ``STATS`` op exposes a snapshot of
+        it remotely (see OBSERVABILITY.md).
 
     Every accepted connection is wrapped in a :class:`Channel` (which
     sets ``TCP_NODELAY``) and served by a daemon thread: frames are
     read in a loop and routed through the dispatch table.  An unknown
     ``MessageType`` gets a well-formed ``ErrorReply`` and the
     connection stays open; a malformed payload (``XdrError`` escaping a
-    handler) gets ``bad-request``.  ``PING -> PONG`` is pre-registered.
+    handler) gets ``bad-request``.  ``PING -> PONG`` and
+    ``STATS -> STATS_REPLY`` are pre-registered.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 name: str = "endpoint", fault_plan=None):
+                 name: str = "endpoint", fault_plan=None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.name = name
         self.fault_plan = fault_plan
         self._bind_host = host
@@ -60,9 +69,16 @@ class Endpoint:
         self._running = False
         self._handlers: dict[int, Handler] = {}
         # Server-side observability: the connection-reuse acceptance
-        # metric of the LAN benchmarks (pooled clients keep this at 1).
-        self.connections_accepted = 0
+        # metric of the LAN benchmarks (pooled clients keep this at 1);
+        # registry-backed, see the connections_accepted property.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if fault_plan is not None and fault_plan.metrics is None:
+            fault_plan.metrics = self.metrics
+        self._accepted = self.metrics.counter(
+            names.ENDPOINT_CONNECTIONS_ACCEPTED,
+            "TCP connections accepted by this endpoint")
         self.register_handler(MessageType.PING, self._handle_ping)
+        self.register_handler(MessageType.STATS, self._handle_stats)
 
     # -- handler registry ---------------------------------------------------
 
@@ -72,6 +88,31 @@ class Endpoint:
 
     def _handle_ping(self, channel: Channel, payload: bytes) -> None:
         channel.send(MessageType.PONG, payload)
+
+    def _handle_stats(self, channel: Channel, payload: bytes) -> None:
+        """The STATS op: reply with a snapshot of this endpoint's
+        registry, JSON (default) or Prometheus text (``"prom"``)."""
+        fmt = "json"
+        if payload:
+            fmt = XdrDecoder(payload).unpack_string()
+        if fmt == "prom":
+            text = self.metrics.render_prometheus()
+        elif fmt == "json":
+            text = json.dumps(self.metrics.snapshot(), sort_keys=True)
+        else:
+            channel.send_error("bad-request",
+                               f"unknown stats format {fmt!r}")
+            return
+        enc = XdrEncoder()
+        enc.pack_string(fmt)
+        enc.pack_string(text)
+        channel.send(MessageType.STATS_REPLY, enc.getvalue())
+
+    @property
+    def connections_accepted(self) -> int:
+        """Connections accepted over this endpoint's lifetime
+        (registry-backed: ``ninf_endpoint_connections_accepted_total``)."""
+        return int(self._accepted.value())
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -85,13 +126,17 @@ class Endpoint:
         """Bind, listen, and start the accept loop."""
         if self._running:
             raise RuntimeError(f"{self.name} already started")
-        self.on_start()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self._bind_host, self._bind_port))
         listener.listen(64)
         self._listener = listener
+        # _running must be True before on_start: subclass hooks spawn
+        # threads whose loops gate on it (the metaserver monitor), and a
+        # thread scheduled immediately would otherwise see False and
+        # exit before the first poll.
         self._running = True
+        self.on_start()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"{self.name}-accept", daemon=True
         )
@@ -143,10 +188,11 @@ class Endpoint:
             if not self._running:
                 conn.close()
                 return
-            self.connections_accepted += 1
+            self._accepted.inc()
             channel = Channel(conn)
             if self.fault_plan is not None:
                 channel = self.fault_plan.wrap(channel)
+            channel.metrics = self.metrics
             threading.Thread(
                 target=self._serve_connection, args=(channel,),
                 name=f"{self.name}-conn", daemon=True,

@@ -25,6 +25,15 @@ site changes to come under test:
 - ``Endpoint(fault_plan=...)`` wraps each accepted connection, so
   *server-side* faults (a delayed or corrupted reply) are reachable
   too.
+
+Emitted metrics (see OBSERVABILITY.md for the full conventions): a
+plan attached to a pool or endpoint inherits its owner's
+:class:`~repro.obs.MetricsRegistry` and counts every injected event in
+``ninf_faults_injected_total{kind=...}``; the victims of those events
+surface on the observing side as ``ninf_client_faults_seen_total``
+(client) and retry activity in ``ninf_retry_*`` / ``ninf_client_retries_total``.
+The plan's own ``events``/``injected``/``schedule()`` remain the
+deterministic, seed-aligned record the chaos tests compare.
 """
 
 from __future__ import annotations
@@ -131,6 +140,10 @@ class FaultPlan:
         self.events: list[FaultEvent] = []
         self.ops_seen = 0
         self.injected: dict[str, int] = {}
+        # Set by the ConnectionPool/Endpoint the plan is attached to, so
+        # injected faults appear in that process's metric snapshot as
+        # ninf_faults_injected_total{kind=...} (OBSERVABILITY.md).
+        self.metrics = None
 
     # -- the draw ------------------------------------------------------------
 
@@ -156,6 +169,13 @@ class FaultPlan:
                                delay=delay, ratio=ratio)
             self.events.append(event)
             self.injected[kind] = self.injected.get(kind, 0) + 1
+        registry = self.metrics
+        if registry is not None:
+            from repro.obs import names
+
+            registry.counter(names.FAULTS_INJECTED,
+                             "Transport faults injected by a FaultPlan",
+                             labelnames=("kind",)).inc(kind=kind)
         return event
 
     @property

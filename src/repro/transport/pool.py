@@ -14,6 +14,7 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
+from repro.obs import MetricsRegistry, names
 from repro.transport.channel import Channel, connect
 
 __all__ = ["ConnectionPool"]
@@ -46,6 +47,13 @@ class ConnectionPool:
         :meth:`~repro.transport.faults.FaultPlan.connector` dials every
         new channel -- the client-side fault-injection hook (mutually
         exclusive with ``connector``).
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` receiving the pool's
+        ``ninf_pool_*`` counters/gauge and, via the channels it hands
+        out, the ``ninf_transport_*`` I/O counters (OBSERVABILITY.md).
+        Defaults to a fresh private registry; owners (e.g.
+        :class:`~repro.client.NinfClient`) pass their own to unify
+        exposition.
     """
 
     def __init__(self, timeout: Optional[float] = None, pool: bool = True,
@@ -54,7 +62,8 @@ class ConnectionPool:
                  connect_timeout: Optional[float] = None,
                  connector: Optional[Callable[..., Channel]] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 fault_plan=None):
+                 fault_plan=None,
+                 metrics: Optional[MetricsRegistry] = None):
         if max_idle_per_key < 1:
             raise ValueError(f"max_idle_per_key must be >= 1, "
                              f"got {max_idle_per_key}")
@@ -75,9 +84,33 @@ class ConnectionPool:
         # so hot channels stay hot and cold ones age out.
         self._idle: dict[tuple[str, int], list[tuple[Channel, float]]] = {}
         self._closed = False
-        # Observability for the connection-reuse benchmarks.
-        self.created = 0
-        self.reused = 0
+        # Observability for the connection-reuse benchmarks (PR 1's
+        # ad-hoc created/reused counters, now registry-backed -- see
+        # the created/reused properties).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if fault_plan is not None and fault_plan.metrics is None:
+            fault_plan.metrics = self.metrics
+        self._created = self.metrics.counter(
+            names.POOL_CONNECTIONS_CREATED, "Channels dialed by the pool")
+        self._reused = self.metrics.counter(
+            names.POOL_CONNECTIONS_REUSED,
+            "Checkouts satisfied from an idle channel")
+        self._idle_gauge = self.metrics.gauge(
+            names.POOL_IDLE_CONNECTIONS, "Idle channels currently held")
+
+    @property
+    def created(self) -> int:
+        """Channels dialed over this pool's lifetime (registry-backed)."""
+        return int(self._created.value())
+
+    @property
+    def reused(self) -> int:
+        """Checkouts served from an idle channel (registry-backed)."""
+        return int(self._reused.value())
+
+    def _sync_idle_gauge_locked(self) -> None:
+        self._idle_gauge.set(
+            sum(len(bucket) for bucket in self._idle.values()))
 
     # -- checkout / checkin -------------------------------------------------
 
@@ -94,13 +127,15 @@ class ConnectionPool:
                     # channel idled (EOF pending), not just local closes
                     # -- a dead channel is never handed out.
                     if channel.healthy():
-                        self.reused += 1
+                        self._reused.inc()
+                        self._sync_idle_gauge_locked()
                         return channel
                     channel.close()
+                self._sync_idle_gauge_locked()
         channel = self._connect(host, port, timeout=self.timeout,
                                 connect_timeout=self.connect_timeout)
-        with self._lock:
-            self.created += 1
+        channel.metrics = self.metrics
+        self._created.inc()
         return channel
 
     def checkin(self, channel: Channel) -> None:
@@ -121,6 +156,7 @@ class ConnectionPool:
                 channel.close()
                 return
             bucket.append((channel, now))
+            self._sync_idle_gauge_locked()
 
     def discard(self, channel: Channel) -> None:
         """Close a channel that hit an error; never goes back in the pool."""
@@ -161,6 +197,7 @@ class ConnectionPool:
         """Synchronously drop idle channels past ``max_idle_seconds``."""
         with self._lock:
             self._evict_locked(self._clock())
+            self._sync_idle_gauge_locked()
 
     def idle_count(self, host: Optional[str] = None,
                    port: Optional[int] = None) -> int:
@@ -177,6 +214,7 @@ class ConnectionPool:
             self._closed = True
             buckets = list(self._idle.values())
             self._idle.clear()
+            self._sync_idle_gauge_locked()
         for bucket in buckets:
             for channel, _stamp in bucket:
                 channel.close()

@@ -13,6 +13,13 @@ Only *idempotent* operations ride a :class:`RetryPolicy` (``ping``,
 still execute server-side, so auto-retry would risk running the remote
 routine twice.  CALL-level fault tolerance stays where the paper puts
 it -- :class:`~repro.client.Transaction` migration to another server.
+
+Emitted metrics (conventions and exact semantics in OBSERVABILITY.md):
+a policy given a :class:`~repro.obs.MetricsRegistry` counts every
+wrapped invocation in ``ninf_retry_attempts_total`` and every backoff-
+then-retry in ``ninf_retry_retries_total``; the per-client view of the
+same activity is ``ninf_client_attempts_total`` /
+``ninf_client_retries_total`` on :class:`~repro.client.NinfClient`.
 """
 
 from __future__ import annotations
@@ -68,6 +75,11 @@ class RetryPolicy:
     classify:
         Predicate deciding retryability; defaults to
         :func:`is_transient`.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving
+        ``ninf_retry_attempts_total`` / ``ninf_retry_retries_total``
+        alongside the instance's own ``attempts``/``retries``
+        attributes (which always work, registry or not).
     """
 
     def __init__(self, max_attempts: int = 3, base_delay: float = 0.05,
@@ -75,7 +87,8 @@ class RetryPolicy:
                  jitter: float = 0.5,
                  rng: Optional[random.Random] = None,
                  sleep: Callable[[float], None] = time.sleep,
-                 classify: Callable[[BaseException], bool] = is_transient):
+                 classify: Callable[[BaseException], bool] = is_transient,
+                 metrics=None):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if not 0.0 <= jitter <= 1.0:
@@ -89,9 +102,21 @@ class RetryPolicy:
         self.sleep = sleep
         self.classify = classify
         self._lock = threading.Lock()
-        # Aggregate observability (experiments report these).
+        # Aggregate observability (experiments report these).  The
+        # attributes are authoritative; the optional registry mirrors
+        # them for remote exposition (OBSERVABILITY.md).
         self.attempts = 0
         self.retries = 0
+        self._attempts_metric = self._retries_metric = None
+        if metrics is not None:
+            from repro.obs import names
+
+            self._attempts_metric = metrics.counter(
+                names.RETRY_ATTEMPTS,
+                "Invocations wrapped by a RetryPolicy")
+            self._retries_metric = metrics.counter(
+                names.RETRY_RETRIES,
+                "Backoff-then-retry cycles taken by a RetryPolicy")
 
     @classmethod
     def none(cls) -> "RetryPolicy":
@@ -121,6 +146,8 @@ class RetryPolicy:
         while True:
             with self._lock:
                 self.attempts += 1
+            if self._attempts_metric is not None:
+                self._attempts_metric.inc()
             try:
                 return fn()
             except BaseException as exc:
@@ -129,6 +156,8 @@ class RetryPolicy:
                 failure = exc
             with self._lock:
                 self.retries += 1
+            if self._retries_metric is not None:
+                self._retries_metric.inc()
             if on_retry is not None:
                 on_retry(attempt, failure)
             self.sleep(self.backoff(attempt))

@@ -1,0 +1,199 @@
+"""End-to-end observability: live/sim schema parity, the breakdown
+pipeline, the STATS op, and the registry wiring through every layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cli import standard_registry
+from repro.client import NinfClient
+from repro.experiments.breakdown import (
+    breakdown_from_spans,
+    format_breakdown,
+    live_loopback_breakdown,
+    sim_breakdown,
+    summarize,
+)
+from repro.obs import SPAN_FIELDS, SPAN_NAMES, Tracer, names
+from repro.server import NinfServer
+
+
+@pytest.fixture(scope="module")
+def live_trace():
+    """One traced live loopback run, shared across schema tests."""
+    tracer = Tracer()
+    row, calls = live_loopback_breakdown(calls=2, n=32, tracer=tracer)
+    return tracer, row, calls
+
+
+@pytest.fixture(scope="module")
+def sim_trace():
+    """One traced simulated cell, shared across schema tests."""
+    tracer = Tracer(clock_name="sim")
+    row, calls = sim_breakdown(n=600, c=2, horizon=30.0, tracer=tracer)
+    return tracer, row, calls
+
+
+def test_live_and_sim_emit_identical_schema(live_trace, sim_trace):
+    """The tentpole invariant: same span-name set, same exported keys,
+    for traces from the real TCP stack and from simulated time."""
+    live_tracer, _, _ = live_trace
+    sim_tracer, _, _ = sim_trace
+    live_names = {s.name for s in live_tracer.spans}
+    sim_names = {s.name for s in sim_tracer.spans}
+    assert live_names == set(SPAN_NAMES)
+    assert sim_names == set(SPAN_NAMES)
+    for tracer in (live_tracer, sim_tracer):
+        for exported in tracer.export():
+            assert tuple(exported.keys()) == SPAN_FIELDS
+
+
+def test_live_spans_are_wall_clock_with_server_retro(live_trace):
+    tracer, _, _ = live_trace
+    clocks = {s.name: s.clock for s in tracer.spans}
+    assert clocks["ninf.call"] == "wall"
+    assert clocks["call.send"] == "wall"
+    assert clocks["call.queue"] == "server-wall"
+    assert clocks["call.compute"] == "server-wall"
+
+
+def test_sim_spans_are_sim_clock(sim_trace):
+    tracer, _, _ = sim_trace
+    assert {s.clock for s in tracer.spans} == {"sim"}
+
+
+def test_breakdown_live(live_trace):
+    _, row, calls = live_trace
+    assert row.calls == len(calls) == 2
+    for call in calls:
+        assert call.source == "live"
+        assert call.total > 0
+        assert call.queue >= 0 and call.compute >= 0
+        assert call.transfer == pytest.approx(
+            max(0.0, call.total - call.queue - call.compute))
+    assert row.total == pytest.approx(
+        sum(c.total for c in calls) / len(calls))
+
+
+def test_breakdown_sim(sim_trace):
+    _, row, calls = sim_trace
+    assert row.calls == len(calls) > 0
+    # In the Table 3 scenario compute dominates neither trivially nor
+    # completely; all three phases must be present and sum to total.
+    assert row.compute > 0
+    assert row.transfer > 0
+    for call in calls:
+        assert call.source == "sim"
+        assert call.transfer + call.queue + call.compute \
+            == pytest.approx(call.total, abs=1e-9)
+
+
+def test_breakdown_accepts_exported_dicts(sim_trace):
+    tracer, _, calls = sim_trace
+    from_dicts = breakdown_from_spans(tracer.export())
+    assert [c.total for c in from_dicts if c.source == "sim"] \
+        == [c.total for c in calls]
+
+
+def test_breakdown_skips_unfinished_traces():
+    tracer = Tracer(clock=lambda: 0.0)
+    trace = tracer.trace(function="f", source="live")
+    trace.record("call.queue", 0.0, 1.0)  # root never ends
+    assert breakdown_from_spans(tracer.spans) == []
+    assert summarize([]).calls == 0
+
+
+def test_format_breakdown_renders_rows(live_trace, sim_trace):
+    _, live_row, _ = live_trace
+    _, sim_row, _ = sim_trace
+    text = format_breakdown([live_row, sim_row])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert "transfer" in lines[0]
+    assert live_row.label in text and sim_row.label in text
+    assert math.isclose(live_row.share("transfer")
+                        + live_row.share("queue")
+                        + live_row.share("compute"), 1.0, rel_tol=1e-6)
+
+
+# -- STATS op and registry wiring -------------------------------------------
+
+@pytest.fixture(scope="module")
+def live_pair():
+    """A running server + client that has made one dmmul call."""
+    with NinfServer(standard_registry(), num_pes=2) as server:
+        with NinfClient(*server.address) as client:
+            n = 16
+            a, b = np.ones((n, n)), np.ones((n, n))
+            c = np.zeros((n, n))
+            client.call("dmmul", n, a, b, c)
+            yield server, client
+
+
+def test_fetch_stats_json(live_pair):
+    server, client = live_pair
+    snap = client.fetch_stats()
+    calls = snap[names.SERVER_CALLS]["values"]
+    assert {"labels": {"function": "dmmul", "status": "ok"},
+            "value": 1.0} in calls
+    assert snap[names.SERVER_EXECUTE_SECONDS]["values"][0]["count"] == 1
+    assert snap[names.ENDPOINT_CONNECTIONS_ACCEPTED]["values"][0]["value"] \
+        >= 1.0
+
+
+def test_fetch_stats_prom(live_pair):
+    _, client = live_pair
+    text = client.fetch_stats("prom")
+    assert f"# TYPE {names.SERVER_DISPATCH_SECONDS} histogram" in text
+    assert f"# TYPE {names.SERVER_QUEUE_DEPTH} gauge" in text
+    assert text.endswith("\n")
+
+
+def test_fetch_stats_unknown_format_raises(live_pair):
+    from repro.protocol.errors import RemoteError
+
+    _, client = live_pair
+    with pytest.raises(RemoteError):
+        client.fetch_stats("xml")
+
+
+def test_client_registry_wiring(live_pair):
+    """Client-side counters, transport I/O, and the call histogram all
+    land in the client's own registry."""
+    _, client = live_pair
+    snap = client.metrics.snapshot()
+    assert snap[names.CLIENT_ATTEMPTS]["values"][0]["value"] \
+        == float(client.attempts)
+    assert snap[names.POOL_CONNECTIONS_CREATED]["values"][0]["value"] >= 1.0
+    assert snap[names.TRANSPORT_BYTES_SENT]["values"][0]["value"] > 0
+    assert snap[names.TRANSPORT_FRAMES_RECEIVED]["values"][0]["value"] >= 1.0
+    hist = client.metrics.get(names.CLIENT_CALL_SECONDS)
+    assert hist.count(function="dmmul") == 1
+
+
+def test_metaserver_probe_metrics():
+    # Probe counts are >= because the monitor thread also runs one
+    # poll_now at startup; the long poll_interval keeps it to one.
+    from repro.metaserver import MetaClient, Metaserver
+    from repro.protocol.messages import ServerInfo
+
+    with NinfServer(standard_registry()) as server:
+        with Metaserver(poll_interval=3600.0) as meta:
+            with MetaClient(*meta.address) as mc:
+                mc.register_server(server)
+            meta.poll_now()
+            assert meta.metrics.get(names.METASERVER_PROBES) \
+                .value(outcome="ok") >= 1.0
+            assert meta.metrics.get(names.METASERVER_SERVERS_ALIVE) \
+                .value() == 1.0
+    with Metaserver(poll_interval=3600.0) as meta:
+        dead = ServerInfo(name="dead", host="127.0.0.1", port=1,
+                          num_pes=1, functions=("dmmul",))
+        with MetaClient(*meta.address) as mc:
+            mc.register(dead)
+        meta.poll_now()
+        assert meta.metrics.get(names.METASERVER_PROBES) \
+            .value(outcome="dead") >= 1.0
+        assert meta.metrics.get(names.METASERVER_SERVERS_ALIVE) \
+            .value() == 0.0

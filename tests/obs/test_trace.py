@@ -1,0 +1,146 @@
+"""Tracer/Trace/Span unit tests: clocks, spans, export, active tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    PHASE_OF_SPAN,
+    SPAN_FIELDS,
+    SPAN_NAMES,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+from repro.obs.trace import SPAN_COMPUTE, SPAN_QUEUE, SPAN_ROOT, SPAN_SEND
+
+
+class FakeClock:
+    """A deterministic injectable clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_live_span_reads_tracer_clock():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock, clock_name="fake")
+    trace = tracer.trace(SPAN_ROOT, function="f")
+    clock.now = 1.0
+    with trace.span(SPAN_SEND):
+        clock.now = 3.0
+    clock.now = 10.0
+    trace.end(status="ok")
+    spans = tracer.spans
+    assert [s.name for s in spans] == [SPAN_SEND, SPAN_ROOT]
+    send, root = spans
+    assert (send.start, send.end, send.duration) == (1.0, 3.0, 2.0)
+    assert send.clock == "fake"
+    assert root.duration == 10.0
+    assert root.attrs == {"function": "f", "status": "ok"}
+    assert send.parent_id == root.span_id
+    assert send.trace_id == root.trace_id
+
+
+def test_record_overrides_clock_name():
+    tracer = Tracer(clock=FakeClock(), clock_name="wall")
+    trace = tracer.trace()
+    span = trace.record(SPAN_QUEUE, 5.0, 7.5, clock="server-wall")
+    assert span.duration == 2.5
+    assert span.clock == "server-wall"
+    default = trace.record(SPAN_COMPUTE, 0.0, 1.0)
+    assert default.clock == "wall"
+
+
+def test_span_error_status_on_exception():
+    tracer = Tracer(clock=FakeClock())
+    trace = tracer.trace()
+    with pytest.raises(RuntimeError):
+        with trace.span(SPAN_SEND):
+            raise RuntimeError("boom")
+    (span,) = tracer.spans
+    assert span.attrs["status"] == "error"
+
+
+def test_trace_context_manager_stamps_error():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(ValueError):
+        with tracer.trace():
+            raise ValueError("x")
+    (root,) = tracer.spans
+    assert root.attrs["status"] == "error"
+
+
+def test_end_is_idempotent():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    trace = tracer.trace()
+    clock.now = 1.0
+    trace.end()
+    clock.now = 9.0
+    trace.end()  # no second emit, no end mutation
+    assert len(tracer) == 1
+    assert tracer.spans[0].end == 1.0
+
+
+def test_explicit_timestamps():
+    tracer = Tracer(clock=FakeClock())
+    trace = tracer.trace(start=100.0)
+    root = trace.end(at=142.0)
+    assert root.start == 100.0
+    assert root.duration == 42.0
+
+
+def test_disabled_tracer_collects_nothing():
+    tracer = Tracer(enabled=False)
+    trace = tracer.trace(function="f")
+    with trace.span(SPAN_SEND):
+        pass
+    trace.record(SPAN_QUEUE, 0.0, 1.0)
+    trace.end()
+    assert len(tracer) == 0
+    assert tracer.export() == []
+
+
+def test_export_schema_and_save(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    trace = tracer.trace(function="f")
+    trace.record(SPAN_QUEUE, 0.0, 1.0)
+    trace.end()
+    exported = tracer.export()
+    assert all(tuple(d.keys()) == SPAN_FIELDS for d in exported)
+    path = tmp_path / "spans.jsonl"
+    assert tracer.save(str(path)) == 2
+    lines = path.read_text().splitlines()
+    assert [json.loads(line)["name"] for line in lines] \
+        == [SPAN_QUEUE, SPAN_ROOT]
+
+
+def test_clear():
+    tracer = Tracer(clock=FakeClock())
+    tracer.trace().end()
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_taxonomy_is_complete():
+    assert set(PHASE_OF_SPAN) == set(SPAN_NAMES)
+    assert set(PHASE_OF_SPAN.values()) == {"total", "transfer", "queue",
+                                           "compute"}
+
+
+def test_use_tracer_installs_and_restores():
+    assert current_tracer() is NULL_TRACER
+    tracer = Tracer(clock=FakeClock())
+    with use_tracer(tracer) as installed:
+        assert installed is tracer
+        assert current_tracer() is tracer
+        inner = Tracer(clock=FakeClock())
+        with use_tracer(inner):
+            assert current_tracer() is inner
+        assert current_tracer() is tracer
+    assert current_tracer() is NULL_TRACER

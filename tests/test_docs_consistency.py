@@ -1,0 +1,81 @@
+"""Docs-consistency check (CI-enforced; see .github/workflows/ci.yml).
+
+Fails when code grows a user-visible surface the docs don't mention:
+
+- every ``ninf-experiment`` subcommand (``repro.cli.EXPERIMENT_TARGETS``)
+  must appear in README.md or OBSERVABILITY.md;
+- every public ``repro.obs`` name (``repro.obs.__all__``), every metric
+  in ``repro.obs.names.METRIC_NAMES``, and every span name in
+  ``repro.obs.SPAN_NAMES`` must appear in OBSERVABILITY.md.
+
+The check is grep-based on purpose: it keeps the docs honest without
+requiring any doc-generation machinery.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.obs
+from repro.cli import EXPERIMENT_TARGETS
+from repro.obs import SPAN_NAMES
+from repro.obs.names import METRIC_NAMES
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _doc(name: str) -> str:
+    path = REPO_ROOT / name
+    assert path.is_file(), f"{name} is missing from the repo root"
+    return path.read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def readme() -> str:
+    """README.md contents."""
+    return _doc("README.md")
+
+
+@pytest.fixture(scope="module")
+def observability() -> str:
+    """OBSERVABILITY.md contents."""
+    return _doc("OBSERVABILITY.md")
+
+
+def test_every_experiment_target_is_documented(readme, observability):
+    undocumented = [t for t in EXPERIMENT_TARGETS
+                    if f"`{t}`" not in readme
+                    and f"`{t}`" not in observability]
+    assert not undocumented, (
+        f"ninf-experiment subcommands missing from README.md / "
+        f"OBSERVABILITY.md: {undocumented} -- document each target "
+        f"(as `target`) when adding it to repro.cli.EXPERIMENT_TARGETS")
+
+
+def test_every_public_obs_api_is_documented(observability):
+    undocumented = [n for n in repro.obs.__all__ if n not in observability]
+    assert not undocumented, (
+        f"public repro.obs names missing from OBSERVABILITY.md: "
+        f"{undocumented} -- every name exported from repro.obs must be "
+        f"covered by the observability doc")
+
+
+def test_every_metric_name_is_documented(observability):
+    undocumented = [m for m in METRIC_NAMES if m not in observability]
+    assert not undocumented, (
+        f"metrics missing from the OBSERVABILITY.md catalog: "
+        f"{undocumented}")
+
+
+def test_every_span_name_is_documented(observability):
+    undocumented = [s for s in SPAN_NAMES if f"`{s}`" not in observability]
+    assert not undocumented, (
+        f"span names missing from the OBSERVABILITY.md schema table: "
+        f"{undocumented}")
+
+
+def test_obs_all_matches_module_surface():
+    """``repro.obs.__all__`` names all resolve, so the doc check above
+    is checking the real public surface."""
+    missing = [n for n in repro.obs.__all__ if not hasattr(repro.obs, n)]
+    assert not missing

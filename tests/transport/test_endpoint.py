@@ -113,6 +113,19 @@ def test_stop_is_clean_and_address_raises_after():
         endpoint.address
 
 
+def test_on_start_sees_running_endpoint():
+    # Regression: on_start hooks spawn threads whose loops gate on
+    # _running (the metaserver monitor).  start() once flipped _running
+    # only after on_start, so a promptly-scheduled monitor thread saw
+    # False and exited before its first poll.
+    class Probe(Endpoint):
+        def on_start(self):
+            self.running_at_on_start = self._running
+
+    with Probe(name="probe") as endpoint:
+        assert endpoint.running_at_on_start is True
+
+
 # -- acceptance: pooled vs per-call connections over the real stack ----------
 
 
