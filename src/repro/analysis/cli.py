@@ -1,0 +1,132 @@
+"""The ``ninf-lint`` command line (also ``python -m repro.analysis``).
+
+Exit codes: 0 -- clean (or all findings baselined), 1 -- new findings,
+2 -- usage error.  ``--format json`` emits a machine-readable report
+for CI artefacts; ``--write-baseline`` records the current findings so
+only regressions fail thereafter (the repo itself carries no baseline:
+every true positive gets fixed, not recorded -- see ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import all_checkers
+from repro.analysis.core import (
+    Finding,
+    load_baseline,
+    run_checks,
+    write_baseline,
+)
+
+__all__ = ["build_parser", "find_repo_root", "main"]
+
+
+def find_repo_root(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ancestor carrying ``pyproject.toml`` (the repo root)."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in [current, *current.parents]:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``ninf-lint`` argument parser (kept separate for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="ninf-lint",
+        description="Project-aware static checks for the Ninf "
+                    "reproduction (see ANALYSIS.md).")
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to check (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--rules", metavar="RULE[,RULE...]",
+        help="comma-separated subset of rules to run")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=Path,
+        help="suppress findings recorded in this baseline file")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into --baseline and exit 0")
+    parser.add_argument(
+        "--root", metavar="DIR", type=Path,
+        help="repo root for relative paths and doc cross-checks "
+             "(default: nearest ancestor with pyproject.toml)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run ``ninf-lint``; returns the process exit code (0/1/2)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve() if args.root else find_repo_root()
+    checkers = all_checkers(repo_root=root)
+    if args.list_rules:
+        for checker in checkers:
+            print(f"{checker.rule}: {checker.description}")
+        return 0
+    if args.rules:
+        wanted = {part.strip() for part in args.rules.split(",")
+                  if part.strip()}
+        known = {checker.rule for checker in checkers}
+        unknown = wanted - known
+        if unknown:
+            print(f"ninf-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        checkers = tuple(c for c in checkers if c.rule in wanted)
+    if args.write_baseline and args.baseline is None:
+        print("ninf-lint: --write-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"ninf-lint: no such path: "
+              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+
+    findings = run_checks(paths, checkers, root=root)
+
+    if args.write_baseline:
+        count = write_baseline(args.baseline, findings)
+        print(f"ninf-lint: wrote {count} fingerprint(s) to {args.baseline}")
+        return 0
+    if args.baseline is not None and args.baseline.is_file():
+        known_prints = load_baseline(args.baseline)
+        findings = [f for f in findings
+                    if f.fingerprint() not in known_prints]
+
+    _report(findings, args.format)
+    return 1 if findings else 0
+
+
+def _report(findings: Sequence[Finding], fmt: str) -> None:
+    if fmt == "json":
+        payload = {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+        }
+        print(json.dumps(payload, indent=2))
+        return
+    for finding in findings:
+        print(finding.render())
+    noun = "finding" if len(findings) == 1 else "findings"
+    print(f"ninf-lint: {len(findings)} {noun}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

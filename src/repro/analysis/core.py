@@ -1,0 +1,265 @@
+"""The AST-walking framework under ``ninf-lint``.
+
+Three pieces every checker builds on:
+
+- :class:`SourceModule` -- one parsed Python file: source text, AST,
+  parent links, and the ``# lint: ignore[rule]`` suppressions scraped
+  from its comments.
+- :class:`Finding` -- one diagnostic, pinned to ``file:line:col`` with
+  a stable rule id and the enclosing ``Class.method`` symbol.  Findings
+  order and fingerprint deterministically, so text output is diffable
+  and baselines survive unrelated edits.
+- :class:`Checker` -- the per-rule visitor base.  A checker receives a
+  :class:`SourceModule` and yields findings; the runner handles file
+  discovery, suppression filtering, and ordering.
+
+Suppression syntax (see ANALYSIS.md): a comment anywhere on the
+physical line of the finding --
+
+``x = self._idle  # lint: ignore[lock-discipline]``
+
+``# lint: ignore`` with no bracket suppresses every rule on that line;
+a bracketed, comma-separated list suppresses just those rules.
+
+Baselines: :func:`write_baseline` records the fingerprints of the
+current findings; :func:`load_baseline` + the runner's filtering make
+``ninf-lint`` fail only on *new* findings.  Fingerprints deliberately
+exclude line numbers so a baseline survives code motion.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "SourceModule",
+    "iter_python_files",
+    "load_baseline",
+    "run_checks",
+    "write_baseline",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\- ]*)\])?")
+
+#: Marker meaning "every rule is suppressed on this line".
+_ALL_RULES = frozenset({"*"})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    symbol: str = ""
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` -- the clickable anchor."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by baselines.
+
+        Excludes ``line``/``col`` on purpose: moving code around must
+        not turn a baselined finding into a "new" one.
+        """
+        return f"{self.rule}|{self.path}|{self.symbol}|{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """The JSON-output form (``ninf-lint --format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        """The one-line text form."""
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.location}: {self.rule}: {self.message}{where}"
+
+
+class SourceModule:
+    """One parsed source file plus the lookups checkers need."""
+
+    def __init__(self, path: Path, display_path: str, source: str,
+                 tree: ast.Module):
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.suppressions = _scan_suppressions(self.lines)
+        self._parents: Optional[dict[ast.AST, ast.AST]] = None
+
+    @classmethod
+    def load(cls, path: Path, display_path: str
+             ) -> tuple[Optional["SourceModule"], Optional[Finding]]:
+        """Parse ``path``; a syntax error becomes a finding, not a crash."""
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            return None, Finding(path=display_path, line=int(line), col=0,
+                                 rule="parse-error",
+                                 message=f"cannot analyse file: {exc}")
+        return cls(path, display_path, source, tree), None
+
+    # -- structure lookups ---------------------------------------------------
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent map over the whole tree (built lazily)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def enclosing_symbol(self, node: ast.AST) -> str:
+        """``Class.method`` (or function / class name) containing ``node``."""
+        names: list[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                names.append(current.name)
+            current = self.parents.get(current)
+        return ".".join(reversed(names))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether a ``# lint: ignore`` comment covers this finding."""
+        rules = self.suppressions.get(finding.line)
+        if rules is None:
+            return False
+        return rules is _ALL_RULES or finding.rule in rules
+
+
+def _scan_suppressions(lines: Sequence[str]
+                       ) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rules suppressed on that line."""
+    table: dict[int, frozenset[str]] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            table[index] = _ALL_RULES
+        else:
+            rules = frozenset(
+                part.strip() for part in spec.split(",") if part.strip())
+            table[index] = rules or _ALL_RULES
+    return table
+
+
+class Checker:
+    """Base class every rule implements.
+
+    Subclasses set :attr:`rule` (the stable id used in output and in
+    suppression comments) and :attr:`description`, and implement
+    :meth:`check` as a generator of findings over one module.
+    """
+
+    rule: str = ""
+    description: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Yield every finding this rule produces for ``module``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+    def finding(self, module: SourceModule, node: ast.AST,
+                message: str) -> Finding:
+        """Build a finding anchored at ``node`` with the symbol filled in."""
+        return Finding(
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            symbol=module.enclosing_symbol(node),
+        )
+
+
+# -- file discovery and the runner ------------------------------------------
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files listed directly, trees
+    recursively), deduplicated and sorted for deterministic output."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            seen.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            seen.add(path)
+    return sorted(seen)
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def run_checks(paths: Sequence[Path], checkers: Sequence[Checker],
+               root: Optional[Path] = None) -> list[Finding]:
+    """Run ``checkers`` over every Python file under ``paths``.
+
+    Returns the surviving findings -- suppressed ones are dropped --
+    sorted by (path, line, col, rule).  ``root`` shortens reported
+    paths to repo-relative form.
+    """
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        module, parse_finding = SourceModule.load(
+            path, _display_path(path, root))
+        if parse_finding is not None:
+            findings.append(parse_finding)
+            continue
+        assert module is not None
+        for checker in checkers:
+            for finding in checker.check(module):
+                if not module.is_suppressed(finding):
+                    findings.append(finding)
+    return sorted(findings)
+
+
+# -- baselines ---------------------------------------------------------------
+
+def load_baseline(path: Path) -> set[str]:
+    """The fingerprints recorded by a previous ``--write-baseline``."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    fingerprints = data.get("fingerprints", [])
+    if not isinstance(fingerprints, list):
+        raise ValueError(f"malformed baseline file {path}")
+    return {str(item) for item in fingerprints}
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Record ``findings`` as the accepted baseline; returns the count."""
+    fingerprints = sorted({f.fingerprint() for f in findings})
+    payload = {"version": 1, "fingerprints": fingerprints}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(fingerprints)

@@ -1,0 +1,149 @@
+"""Rule ``deadline-propagation``: accepted deadlines must be threaded.
+
+Every layer of the RPC stack takes per-operation deadlines
+(``timeout=`` / ``connect_timeout=`` / ``deadline=``) and the paper's
+WAN results depend on them actually reaching the socket: a deadline
+accepted by a signature but silently dropped turns a bounded call into
+an unbounded hang on a half-dead peer.  Two sub-rules:
+
+- **dropped parameter** -- a function declares a deadline-named
+  parameter but its body never references it.  The caller believes the
+  operation is bounded; it is not.
+- **unforwarded at the transport boundary** -- a function that *has* a
+  deadline parameter makes a transport-primitive call (``.send()`` /
+  ``.recv()`` / ``.request()`` / ``connect()`` / ``send_frame()`` /
+  ``recv_frame()`` / ``create_connection()``) without a deadline
+  keyword and without referencing its own deadline parameter anywhere
+  in the call.  The deadline stops propagating exactly at the layer
+  that talks to the network.
+
+Nested functions are separate scopes for both sub-rules: a closure's
+transport call is judged against the closure's own parameters (the
+enclosing deadline usually bounds the *overall* operation -- e.g. the
+polling loop of ``fetch_detached`` -- not each frame).  Calls whose
+channel carries a baked-in default deadline and whose enclosing
+function accepts none are fine: the rule is about *accepting* a
+deadline and then dropping it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.analysis.core import Checker, Finding, SourceModule
+
+__all__ = ["DeadlinePropagationChecker"]
+
+#: Parameter names that promise a bounded operation.
+DEADLINE_PARAMS = frozenset({
+    "timeout", "deadline", "connect_timeout", "poll_timeout",
+})
+
+#: ``obj.<attr>(...)`` transport primitives that accept a deadline.
+TRANSPORT_ATTRS = frozenset({"send", "recv", "request"})
+
+#: Bare-name transport primitives that accept a deadline.
+TRANSPORT_NAMES = frozenset({
+    "connect", "send_frame", "recv_frame", "create_connection",
+})
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class DeadlinePropagationChecker(Checker):
+    """Flag deadline parameters that are accepted but not threaded."""
+
+    rule = "deadline-propagation"
+    description = ("timeout=/deadline= parameters must be used and "
+                   "forwarded to transport calls, not silently dropped")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Check every function in ``module`` that takes a deadline."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: SourceModule,
+                        function: _FunctionDef) -> Iterator[Finding]:
+        params = _deadline_params(function)
+        if not params:
+            return
+        local = _scope_local_nodes(function)
+        used = {node.id for node in local
+                if isinstance(node, ast.Name) and node.id in params}
+        # Nested scopes may legitimately close over the parameter
+        # (deferred sends, retry thunks) -- that still counts as use.
+        used |= {node.id for node in ast.walk(function)
+                 if isinstance(node, ast.Name) and node.id in params}
+        for name in sorted(params - used):
+            yield self.finding(
+                module, function,
+                f"parameter {name!r} is accepted by {function.name}() but "
+                f"never used: the deadline is silently dropped")
+        if not used:
+            return
+        for node in local:
+            if isinstance(node, ast.Call) and _is_transport_call(node) \
+                    and not _forwards_deadline(node, used):
+                yield self.finding(
+                    module, node,
+                    f"transport call {_describe(node)} inside "
+                    f"{function.name}() forwards no deadline although "
+                    f"{_fmt(used)} is in scope; pass timeout= through")
+
+
+def _deadline_params(function: _FunctionDef) -> set[str]:
+    args = function.args
+    names = [a.arg for a in
+             args.posonlyargs + args.args + args.kwonlyargs]
+    return {name for name in names if name in DEADLINE_PARAMS}
+
+
+def _scope_local_nodes(function: _FunctionDef) -> list[ast.AST]:
+    """Every node in ``function`` excluding nested function bodies."""
+    collected: list[ast.AST] = []
+
+    def walk(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            collected.append(child)
+            walk(child)
+
+    walk(function)
+    return collected
+
+
+def _is_transport_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in TRANSPORT_NAMES
+    if isinstance(func, ast.Attribute):
+        return func.attr in TRANSPORT_ATTRS
+    return False
+
+
+def _forwards_deadline(call: ast.Call, params: set[str]) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg in DEADLINE_PARAMS or keyword.arg is None:
+            return True  # explicit timeout= (or **kwargs passthrough)
+    for arg in call.args:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and node.id in params:
+                return True
+    return False
+
+
+def _describe(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return f"{func.id}(...)"
+    if isinstance(func, ast.Attribute):
+        return f".{func.attr}(...)"
+    return "(...)"
+
+
+def _fmt(used: set[str]) -> str:
+    return "/".join(sorted(used))

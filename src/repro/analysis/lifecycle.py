@@ -1,0 +1,341 @@
+"""Rule ``resource-lifecycle``: acquired connections must be disposed.
+
+The PR 2 ``ninf_call_async`` bug -- a throwaway :class:`NinfClient`
+whose connection pool leaked one TCP connection per call -- is a whole
+class of bug: something that owns a socket is constructed and no path
+ever closes it.  This checker tracks every *acquisition site* (calls
+that mint an owned connection-like resource) and demands each one
+reach a disposal.
+
+Acquisition sites: calls to ``connect``/``create_connection``,
+``Channel``/``FaultyChannel``, ``NinfClient``/``MetaClient``,
+``ConnectionPool``, ``socket.socket(...)``, ``pool.checkout(...)``,
+``listener.accept(...)`` and the client/pool ``self._connect(...)``
+helpers.
+
+A site is clean when the resulting value is
+
+- used as a context manager (``with connect(...) as ch:``), or
+- immediately transferred: returned, yielded, passed as an argument to
+  another call (``Channel(sock)``, ``pool.checkin(ch)``), or stored
+  into an attribute/container (``self._pool = ...``) whose owner takes
+  over the close obligation;
+
+or, when bound to a local name, that name is later released: a
+``.close()``/``.stop()``/``.shutdown()`` call, a ``with`` statement, a
+transfer as above -- anywhere in the function, including nested
+functions and lambdas (deferred done-callbacks count).
+
+Exception-safety: if the function *uses* the resource between
+acquisition and release (any method call beyond the release set can
+raise mid-flight), at least one release must live in an ``except``
+handler, a ``finally`` block, or a nested function -- otherwise the
+error path leaks and the checker says so.  Pure
+acquire-then-transfer needs no handler.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.analysis.core import Checker, Finding, SourceModule
+
+__all__ = ["ResourceLifecycleChecker"]
+
+#: Bare-name calls that mint an owned resource.
+ACQUIRING_NAMES = frozenset({
+    "connect", "create_connection", "Channel", "FaultyChannel",
+    "NinfClient", "MetaClient", "ConnectionPool",
+})
+
+#: ``obj.<attr>(...)`` calls that mint an owned resource.
+ACQUIRING_ATTRS = frozenset({
+    "socket", "create_connection", "checkout", "_connect",
+})
+
+#: ``.accept()`` mints a socket only on socket-like receivers -- the
+#: IDL lexer's token ``accept()`` must not match.
+_ACCEPT_RECEIVER_HINTS = ("listen", "sock", "server")
+
+#: Method names that count as disposing of the resource.
+RELEASE_METHODS = frozenset({"close", "stop", "shutdown"})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+class ResourceLifecycleChecker(Checker):
+    """Flag connection-like resources that never reach a disposal."""
+
+    rule = "resource-lifecycle"
+    description = ("every Channel/socket/client construction must reach "
+                   "close()/with/transfer on all paths")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Check every acquisition site in ``module``."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_acquisition(node):
+                yield from self._check_site(module, node)
+
+    # -- per-site ------------------------------------------------------------
+
+    def _check_site(self, module: SourceModule,
+                    call: ast.Call) -> Iterator[Finding]:
+        parents = module.parents
+        parent = parents.get(call)
+        what = _call_label(call)
+
+        # with Acq(...) as x:  -- the with statement owns the close.
+        if isinstance(parent, ast.withitem):
+            return
+        # return/yield/await Acq(...), or Acq(...) as an argument of an
+        # enclosing call -- ownership transfers out of this scope.
+        if _transfers_immediately(call, parents):
+            return
+        # Acq(...).method(...) with the value never bound: the resource
+        # is constructed, used once, and dropped -- nothing can close it.
+        if isinstance(parent, ast.Attribute):
+            yield self.finding(
+                module, call,
+                f"{what} is constructed and discarded without close(); "
+                f"bind it (prefer 'with {what} as ...') so it can be "
+                f"closed")
+            return
+
+        name = _binding_name(call, parents)
+        if name is None:
+            # Bare expression statement or an unsupported binding shape:
+            # nothing holds the resource, so nothing can release it.
+            yield self.finding(
+                module, call,
+                f"result of {what} is never bound or transferred, so the "
+                f"underlying connection can never be closed")
+            return
+
+        function = _enclosing_function(call, parents)
+        if function is None:
+            return  # module-level singletons are out of scope
+        releases = _find_releases(function, name, call)
+        if not releases:
+            yield self.finding(
+                module, call,
+                f"{what} bound to {name!r} is never closed, returned, or "
+                f"transferred in this function (leaked on every path)")
+            return
+        if _has_risky_use(function, name, releases, call) and not any(
+                kind in ("handler", "nested", "with")
+                for kind, _node in releases):
+            yield self.finding(
+                module, call,
+                f"{what} bound to {name!r} is used before release but "
+                f"never closed on error paths; release it in a finally/"
+                f"except block (or use 'with')")
+
+    # (helper functions below are module-level for testability)
+
+
+# -- classification helpers --------------------------------------------------
+
+def _is_acquisition(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in ACQUIRING_NAMES
+    if isinstance(func, ast.Attribute):
+        if func.attr == "accept":
+            receiver = _receiver_name(func.value)
+            return receiver is not None and any(
+                hint in receiver.lower()
+                for hint in _ACCEPT_RECEIVER_HINTS)
+        return func.attr in ACQUIRING_ATTRS
+    return False
+
+
+def _receiver_name(node: ast.AST) -> Optional[str]:
+    """The trailing identifier of ``x`` / ``self.x`` / ``a.b.x``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _call_label(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return f"{func.id}(...)"
+    if isinstance(func, ast.Attribute):
+        return f"...{func.attr}(...)"
+    return "acquisition"
+
+
+def _transfers_immediately(call: ast.Call,
+                           parents: dict[ast.AST, ast.AST]) -> bool:
+    """True when the call's value flows straight out of the scope."""
+    node: ast.AST = call
+    parent = parents.get(node)
+    while parent is not None:
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom,
+                               ast.Await)):
+            return True
+        if isinstance(parent, ast.Call) and node is not parent.func:
+            return True  # argument of another call: ownership handed over
+        if isinstance(parent, (ast.Tuple, ast.List, ast.Dict, ast.Set,
+                               ast.IfExp, ast.BoolOp, ast.Starred,
+                               ast.keyword)):
+            node, parent = parent, parents.get(parent)
+            continue
+        if isinstance(parent, ast.Assign):
+            # self.x = Acq(...) / container[k] = Acq(...): the owner
+            # object takes over the close obligation.
+            return all(isinstance(t, (ast.Attribute, ast.Subscript))
+                       for t in parent.targets)
+        return False
+    return False
+
+
+def _binding_name(call: ast.Call,
+                  parents: dict[ast.AST, ast.AST]) -> Optional[str]:
+    """The local name the acquisition is bound to, if any.
+
+    Handles ``x = Acq(...)``, ``x: T = Acq(...)``, and the
+    ``conn, addr = listener.accept()`` tuple form (first element).
+    """
+    parent = parents.get(call)
+    if isinstance(parent, ast.Assign) and parent.value is call:
+        target = parent.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+        if (isinstance(target, ast.Tuple) and target.elts
+                and isinstance(target.elts[0], ast.Name)):
+            return target.elts[0].id
+    if (isinstance(parent, ast.AnnAssign) and parent.value is call
+            and isinstance(parent.target, ast.Name)):
+        return parent.target.id
+    if (isinstance(parent, ast.NamedExpr)
+            and isinstance(parent.target, ast.Name)):
+        return parent.target.id
+    return None
+
+
+def _enclosing_function(node: ast.AST, parents: dict[ast.AST, ast.AST]
+                        ) -> Optional[_FunctionNode]:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def _find_releases(function: _FunctionNode, name: str,
+                   acquisition: ast.Call) -> list[tuple[str, ast.AST]]:
+    """Every point where ``name`` is released or transferred.
+
+    Returns ``(kind, node)`` pairs; ``kind`` is one of ``"plain"``
+    (straight-line release), ``"handler"`` (inside except/finally),
+    ``"nested"`` (inside a nested def/lambda -- a deferred callback),
+    or ``"with"`` (the name governs a with statement).
+    """
+    releases: list[tuple[str, ast.AST]] = []
+    body = function.body if not isinstance(function, ast.Lambda) \
+        else [function.body]
+
+    def classify(node: ast.AST, in_handler: bool,
+                 in_nested: bool) -> Optional[str]:
+        # Only code at or after the acquisition can be releasing *this*
+        # binding; earlier same-named uses belong to a different value
+        # (e.g. the pooled-reuse loop above ConnectionPool's dial).
+        if getattr(node, "lineno", acquisition.lineno) < acquisition.lineno:
+            return None
+        if _is_release_node(node, name, acquisition):
+            if in_nested:
+                return "nested"
+            if in_handler:
+                return "handler"
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                return "with"
+            return "plain"
+        return None
+
+    def walk(node: ast.AST, in_handler: bool, in_nested: bool) -> None:
+        kind = classify(node, in_handler, in_nested)
+        if kind is not None:
+            releases.append((kind, node))
+        if isinstance(node, ast.Try):
+            for child in node.body + node.orelse:
+                walk(child, in_handler, in_nested)
+            for handler in node.handlers:
+                for child in handler.body:
+                    walk(child, True, in_nested)
+            for child in node.finalbody:
+                walk(child, True, in_nested)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in node.body:
+                walk(child, in_handler, True)
+            return
+        if isinstance(node, ast.Lambda):
+            walk(node.body, in_handler, True)
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child, in_handler, in_nested)
+
+    for stmt in body:
+        walk(stmt, False, False)
+    return releases
+
+
+def _is_release_node(node: ast.AST, name: str,
+                     acquisition: ast.Call) -> bool:
+    """Whether ``node`` disposes of / transfers the tracked ``name``."""
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        return any(_mentions_name(item.context_expr, name)
+                   for item in node.items)
+    if isinstance(node, ast.Call):
+        func = node.func
+        # name.close() / name.stop() / name.shutdown()
+        if (isinstance(func, ast.Attribute) and func.attr in RELEASE_METHODS
+                and _mentions_name(func.value, name)):
+            return True
+        # any call taking the name as (part of) an argument -- checkin,
+        # discard, Channel(sock), Thread(args=(ch,)), callbacks...
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if _mentions_name(arg, name):
+                return True
+        return False
+    if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+        value = node.value
+        return value is not None and _mentions_name(value, name)
+    if isinstance(node, ast.Assign):
+        if node.value is acquisition:
+            return False  # the acquisition itself, not a transfer
+        if _mentions_name(node.value, name):
+            return any(isinstance(t, (ast.Attribute, ast.Subscript))
+                       for t in node.targets)
+    return False
+
+
+def _mentions_name(node: ast.AST, name: str) -> bool:
+    # A lambda body referencing the name is a deferred use: the lambda
+    # itself (passed around as a callback) carries the reference.
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+    return False
+
+
+def _has_risky_use(function: _FunctionNode, name: str,
+                   releases: list[tuple[str, ast.AST]],
+                   acquisition: ast.Call) -> bool:
+    """Any ``name.method(...)`` call that is not itself a release."""
+    release_nodes = {id(node) for _kind, node in releases}
+    for node in ast.walk(function):
+        if (isinstance(node, ast.Call) and id(node) not in release_nodes
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+                and node.func.attr not in RELEASE_METHODS
+                and node.lineno >= acquisition.lineno):
+            return True
+    return False

@@ -132,8 +132,8 @@ def server_main(argv: Optional[list[str]] = None) -> int:
           f"{args.policy})")
     if args.register_with:
         ms_host, ms_port = args.register_with.rsplit(":", 1)
-        MetaClient(ms_host, int(ms_port)).register_server(server,
-                                                          name=args.name)
+        with MetaClient(ms_host, int(ms_port)) as meta_client:
+            meta_client.register_server(server, name=args.name)
         print(f"registered with metaserver {args.register_with}")
     try:
         while True:

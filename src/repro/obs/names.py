@@ -46,7 +46,7 @@ ENDPOINT_CONNECTIONS_ACCEPTED = "ninf_endpoint_connections_accepted_total"
 SERVER_DISPATCH_SECONDS = "ninf_server_dispatch_seconds"
 SERVER_EXECUTE_SECONDS = "ninf_server_execute_seconds"  # label: function
 SERVER_QUEUE_DEPTH = "ninf_server_queue_depth"
-SERVER_CALLS = "ninf_server_calls_total"              # labels: function, status
+SERVER_CALLS = "ninf_server_calls_total"        # labels: function, status
 
 # -- metaserver ---------------------------------------------------------
 METASERVER_PROBES = "ninf_metaserver_probes_total"    # label: outcome

@@ -218,7 +218,7 @@ class Histogram(_Instrument):
         self.buckets = bounds
         self._children: dict[tuple, _HistChild] = {}
 
-    def _child(self, labels: dict) -> _HistChild:
+    def _child_locked(self, labels: dict) -> _HistChild:
         key = self._key(labels)
         child = self._children.get(key)
         if child is None:
@@ -230,7 +230,7 @@ class Histogram(_Instrument):
         value = float(value)
         index = bisect.bisect_left(self.buckets, value)
         with self._lock:
-            child = self._child(labels)
+            child = self._child_locked(labels)
             child.counts[index] += 1
             child.sum += value
             child.count += 1

@@ -195,6 +195,12 @@ class Trace:
         self.end(**({"status": "error"} if exc_type else {}))
 
 
+# What _NullTrace hands back: a single throwaway span, so its method
+# signatures match Trace exactly (mypy --strict checks the overrides).
+_NULL_SPAN = Span(trace_id=0, span_id=0, parent_id=None, name="null",
+                  start=0.0, end=0.0, clock="null")
+
+
 class _NullTrace(Trace):
     """Trace that records nothing; keeps instrumented code branch-free."""
 
@@ -202,16 +208,18 @@ class _NullTrace(Trace):
         pass
 
     @contextmanager
-    def span(self, name: str, **attrs) -> Iterator[None]:
+    def span(self, name: str, **attrs) -> Iterator[Span]:
         """No-op child span."""
-        yield None
+        yield _NULL_SPAN
 
     def record(self, name: str, start: float, end: float,
-               clock: Optional[str] = None, **attrs) -> None:
+               clock: Optional[str] = None, **attrs) -> Span:
         """No-op retro span."""
+        return _NULL_SPAN
 
-    def end(self, at: Optional[float] = None, **attrs) -> None:
+    def end(self, at: Optional[float] = None, **attrs) -> Span:
         """No-op close."""
+        return _NULL_SPAN
 
     def __exit__(self, exc_type, *exc_info) -> None:
         pass

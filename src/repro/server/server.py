@@ -76,6 +76,9 @@ class NinfServer(Endpoint):
         self.executor: Executor | None = None
         self._start_time = 0.0
         self._load_decay: float = 60.0
+        # EWMA state is updated from every LOAD_QUERY handler thread;
+        # unguarded read-modify-write loses decay steps under load.
+        self._load_lock = threading.Lock()
         self._load_value = 0.0
         self._load_stamp = 0.0
         # Two-phase RPC (§5.1): server-assigned tickets -> finished
@@ -106,7 +109,8 @@ class NinfServer(Endpoint):
         self.executor = Executor(num_pes=self.num_pes, policy=self.policy,
                                  metrics=self.metrics)
         self._start_time = time.monotonic()
-        self._load_stamp = self._start_time
+        with self._load_lock:
+            self._load_stamp = self._start_time
 
     def on_stop(self) -> None:
         """Drain the executor once the listener is down."""
@@ -127,14 +131,16 @@ class NinfServer(Endpoint):
     def _sample_load(self) -> float:
         now = time.monotonic()
         level = self.executor.load() if self.executor else 0.0
-        dt = now - self._load_stamp
-        if dt > 0:
-            import math
+        with self._load_lock:
+            dt = now - self._load_stamp
+            if dt > 0:
+                import math
 
-            decay = math.exp(-dt / self._load_decay)
-            self._load_value = self._load_value * decay + level * (1 - decay)
-            self._load_stamp = now
-        return self._load_value
+                decay = math.exp(-dt / self._load_decay)
+                self._load_value = (self._load_value * decay
+                                    + level * (1 - decay))
+                self._load_stamp = now
+            return self._load_value
 
     # -- RPC handlers ---------------------------------------------------------
 

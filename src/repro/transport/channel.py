@@ -204,5 +204,10 @@ def connect(host: str, port: int, timeout: Optional[float] = None,
         (host, port),
         timeout=timeout if connect_timeout is None else connect_timeout,
     )
-    sock.settimeout(None)  # per-operation deadlines are framing's job
-    return Channel(sock, timeout=timeout, remote=(host, port))
+    try:
+        sock.settimeout(None)  # per-operation deadlines are framing's job
+        return Channel(sock, timeout=timeout, remote=(host, port))
+    except BaseException:
+        # Nothing owns the socket until Channel construction succeeds.
+        sock.close()
+        raise

@@ -67,6 +67,12 @@ class Endpoint:
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._running = False
+        # Guards the lifecycle state above: start()/stop() may be called
+        # from any thread, and the old check-then-act on _running let two
+        # concurrent start() calls both pass the "already started" check.
+        # Loop threads still read _running unlocked by design (a stale
+        # True costs one extra accept() wakeup, nothing more).
+        self._lock = threading.Lock()
         self._handlers: dict[int, Handler] = {}
         # Server-side observability: the connection-reuse acceptance
         # metric of the LAN benchmarks (pooled clients keep this at 1);
@@ -124,46 +130,64 @@ class Endpoint:
 
     def start(self) -> "Endpoint":
         """Bind, listen, and start the accept loop."""
-        if self._running:
-            raise RuntimeError(f"{self.name} already started")
+        # Atomic check-and-set: two racing start() calls must not both
+        # pass the "already started" gate and bind two listeners.
+        with self._lock:
+            if self._running:
+                raise RuntimeError(f"{self.name} already started")
+            # _running must be True before on_start: subclass hooks
+            # spawn threads whose loops gate on it (the metaserver
+            # monitor), and a thread scheduled immediately would
+            # otherwise see False and exit before the first poll.
+            self._running = True
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self._bind_host, self._bind_port))
-        listener.listen(64)
-        self._listener = listener
-        # _running must be True before on_start: subclass hooks spawn
-        # threads whose loops gate on it (the metaserver monitor), and a
-        # thread scheduled immediately would otherwise see False and
-        # exit before the first poll.
-        self._running = True
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._bind_host, self._bind_port))
+            listener.listen(64)
+        except BaseException:
+            # A failed bind/listen (port in use, bad address) must not
+            # leak the fd or leave the endpoint claiming to run.
+            listener.close()
+            with self._lock:
+                self._running = False
+            raise
+        with self._lock:
+            self._listener = listener
         self.on_start()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"{self.name}-accept", daemon=True
+        thread = threading.Thread(
+            target=self._accept_loop, args=(listener,),
+            name=f"{self.name}-accept", daemon=True,
         )
-        self._accept_thread.start()
+        with self._lock:
+            self._accept_thread = thread
+        thread.start()
         return self
 
     def stop(self) -> None:
         """Shut down: close the listener, run :meth:`on_stop`, join."""
-        self._running = False
-        if self._listener is not None:
+        with self._lock:
+            self._running = False
+            listener = self._listener
+            self._listener = None
+            thread = self._accept_thread
+            self._accept_thread = None
+        if listener is not None:
             # shutdown() (not just close()) is required to wake a thread
             # blocked in accept(); close() alone leaves it accepting on
             # the dead fd (and, after fd reuse, stealing other sockets'
             # connections).
             try:
-                self._listener.shutdown(socket.SHUT_RDWR)
+                listener.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
             try:
-                self._listener.close()
+                listener.close()
             except OSError:
                 pass
-            self._listener = None
         self.on_stop()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
-            self._accept_thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "Endpoint":
         return self.start()
@@ -179,11 +203,14 @@ class Endpoint:
 
     # -- accept / dispatch --------------------------------------------------
 
-    def _accept_loop(self) -> None:
+    def _accept_loop(self, listener: socket.socket) -> None:
+        # The listener arrives as an argument: stop() nulls
+        # self._listener concurrently, and reading the attribute here
+        # forced an AttributeError catch to paper over that race.
         while self._running:
             try:
-                conn, _peer = self._listener.accept()
-            except (OSError, AttributeError):
+                conn, _peer = listener.accept()
+            except OSError:
                 return  # listener closed
             if not self._running:
                 conn.close()

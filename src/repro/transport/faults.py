@@ -180,7 +180,8 @@ class FaultPlan:
 
     @property
     def faults_injected(self) -> int:
-        return len(self.events)
+        with self._lock:
+            return len(self.events)
 
     def schedule(self) -> list[str]:
         """The injected schedule so far, one canonical line per event."""

@@ -1,0 +1,20 @@
+"""Fixture: catalog-pinned-names true positives."""
+
+from repro.obs import names  # noqa: F401
+
+UNPINNED_SPAN = "call.bogus"
+
+
+def register(metrics):
+    # BAD: freehand string, not in METRIC_NAMES.
+    metrics.counter("bogus_metric_total", "not in the catalog")
+    # BAD: no such constant in repro.obs.names.
+    metrics.gauge(names.NOT_A_METRIC, "typo'd constant")
+
+
+def instrument(tracer):
+    # BAD: literal span name not in SPAN_NAMES.
+    trace = tracer.trace("call.bogus")
+    # BAD: constant not defined by the span catalog module.
+    with trace.span(UNPINNED_SPAN):
+        pass

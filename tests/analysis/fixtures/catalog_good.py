@@ -1,0 +1,23 @@
+"""Fixture: catalog-pinned-names true negatives."""
+
+from repro.obs import names
+from repro.obs.trace import SPAN_MARSHAL, SPAN_ROOT
+
+
+def register(metrics):
+    metrics.counter(names.SERVER_CALLS, "catalog attribute form")
+    metrics.gauge("ninf_server_queue_depth", "literal, but catalogued")
+
+
+def instrument(tracer, observation):
+    trace = tracer.trace(SPAN_ROOT)
+    with trace.span(SPAN_MARSHAL):
+        pass
+    # Dynamic name arguments are out of scope for a literal check.
+    trace.record(observation.name, 0.0, 1.0)
+
+
+def unrelated(np, eigenvalues):
+    # .histogram() on numpy is not an instrumentation site name issue:
+    # the name argument is dynamic, so it is skipped.
+    return np.histogram(eigenvalues, bins=16)

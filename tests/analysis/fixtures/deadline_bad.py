@@ -1,0 +1,12 @@
+"""Fixture: deadline-propagation true positives."""
+
+
+def dropped_param(channel, payload, timeout=None):
+    # BAD: accepts a timeout, never references it.
+    return channel.request(1, payload)
+
+
+def unforwarded(channel, payload, timeout=None):
+    channel.send(1, payload, timeout=timeout)
+    # BAD: second transport call drops the in-scope deadline.
+    return channel.recv()

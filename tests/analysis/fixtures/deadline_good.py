@@ -1,0 +1,39 @@
+"""Fixture: deadline-propagation true negatives."""
+
+
+def forwarded(channel, payload, timeout=None):
+    channel.send(1, payload, timeout=timeout)
+    return channel.recv(timeout=timeout)
+
+
+def positional_forward(host, port, connect_timeout=None):
+    return connect(host, port, None, connect_timeout)
+
+
+def derived_budget(channel, payload, deadline=None):
+    remaining = deadline
+    return channel.request(1, payload, timeout=remaining)
+
+
+def nested_scope_is_separate(channel, poll_timeout=None):
+    # The outer deadline bounds the polling loop as a whole; the
+    # closure's frame-level call is judged in its own scope.
+    def poll_once():
+        return channel.request(2, b"", timeout=0.05)
+
+    return wait_until(poll_once, poll_timeout)
+
+
+def no_deadline_here(channel, payload):
+    # Accepting no deadline is fine: the channel default applies.
+    return channel.request(1, payload)
+
+
+def connect(host, port, timeout=None, connect_timeout=None):
+    del host, port
+    return (timeout, connect_timeout)
+
+
+def wait_until(fn, timeout):
+    del timeout
+    return fn()

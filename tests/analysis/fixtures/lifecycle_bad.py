@@ -1,0 +1,23 @@
+"""Fixture: resource-lifecycle true positives."""
+
+from repro.transport import connect  # noqa: F401 (fixture, never run)
+
+
+def leaked_local(host, port):
+    ch = connect(host, port)
+    payload = ch.request(1, b"")
+    return payload  # BAD: 'ch' never closed on any path
+
+
+def discarded_chain(host, port):
+    connect(host, port).send(1, b"")  # BAD: unbound, nothing can close it
+
+
+def unbound_expression(host, port):
+    connect(host, port)  # BAD: result dropped on the floor
+
+
+def unsafe_error_path(host, port):
+    ch = connect(host, port)
+    ch.send(1, b"x")  # raises mid-flight -> 'ch' leaks
+    ch.close()  # BAD: release only on the happy path

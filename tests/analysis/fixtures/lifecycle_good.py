@@ -1,0 +1,34 @@
+"""Fixture: resource-lifecycle true negatives."""
+
+from repro.transport import Channel, connect  # noqa: F401
+
+
+def with_statement(host, port):
+    with connect(host, port) as ch:
+        return ch.request(1, b"")
+
+
+def returned(host, port):
+    return connect(host, port)  # ownership transfers to the caller
+
+
+def wrapped(sock):
+    return Channel(sock)  # the new Channel owns the socket
+
+
+def stored(pool, host, port):
+    pool.idle = connect(host, port)  # the pool owns it now
+
+
+def closed_in_finally(host, port):
+    ch = connect(host, port)
+    try:
+        return ch.request(1, b"")
+    finally:
+        ch.close()
+
+
+def deferred_close(future, host, port):
+    ch = connect(host, port)
+    future.add_done_callback(lambda _f: ch.close())
+    return future

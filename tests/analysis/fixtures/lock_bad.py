@@ -1,0 +1,19 @@
+"""Fixture: lock-discipline true positives (class is in _GUARDED_BY)."""
+
+import threading
+
+
+class ConnectionPool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._idle = {}
+        self._closed = False
+
+    def checkout(self):
+        return self._idle.popitem()  # BAD: read without the lock
+
+    def close(self):
+        self._closed = True  # BAD: write without the lock
+
+    def close_suppressed(self):
+        self._closed = True  # lint: ignore[lock-discipline]

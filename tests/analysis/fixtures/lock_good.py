@@ -1,0 +1,30 @@
+"""Fixture: lock-discipline true negatives."""
+
+import threading
+
+
+class ConnectionPool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._idle = {}
+        self._closed = False  # __init__ is exempt: no aliasing yet
+
+    def checkout(self):
+        with self._lock:
+            return self._idle.popitem()
+
+    def close(self):
+        with self._lock:
+            self._closed = True
+            self._evict_locked()
+
+    def _evict_locked(self):
+        # _locked suffix: the caller holds the lock by convention.
+        self._idle.clear()
+
+
+class Unregistered:
+    """Not in the registry: its attributes are unconstrained."""
+
+    def touch(self):
+        self._idle = None

@@ -1,0 +1,145 @@
+"""The four project checkers against the fixture pairs.
+
+Every checker gets a true-positive fixture (``*_bad.py``: each seeded
+violation must be reported) and a true-negative fixture (``*_good.py``:
+idiomatic code must stay silent).  These fixtures are also what makes
+CI fail if a checker regresses into missing its bug class.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CatalogNamesChecker,
+    DeadlinePropagationChecker,
+    LockDisciplineChecker,
+    ResourceLifecycleChecker,
+)
+from repro.analysis.core import run_checks
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _run(checker, stem):
+    return run_checks([FIXTURES / f"{stem}.py"], [checker], root=FIXTURES)
+
+
+# -- lock-discipline ----------------------------------------------------------
+
+def test_lock_discipline_flags_unlocked_access():
+    findings = _run(LockDisciplineChecker(), "lock_bad")
+    assert all(f.rule == "lock-discipline" for f in findings)
+    messages = [f.message for f in findings]
+    assert any("read of ConnectionPool._idle" in m for m in messages)
+    assert any("write to ConnectionPool._closed" in m for m in messages)
+    # checkout + close only: the suppressed line must not report.
+    assert {f.symbol for f in findings} == {
+        "ConnectionPool.checkout", "ConnectionPool.close"}
+
+
+def test_lock_discipline_accepts_locked_access():
+    assert _run(LockDisciplineChecker(), "lock_good") == []
+
+
+def test_lock_discipline_honours_locked_suffix_and_init_exemption():
+    findings = _run(LockDisciplineChecker(), "lock_good")
+    assert findings == []  # _evict_locked and __init__ both exempt
+
+
+# -- resource-lifecycle -------------------------------------------------------
+
+def test_resource_lifecycle_flags_each_leak_shape():
+    findings = _run(ResourceLifecycleChecker(), "lifecycle_bad")
+    assert all(f.rule == "resource-lifecycle" for f in findings)
+    by_symbol = {f.symbol for f in findings}
+    assert by_symbol == {"leaked_local", "discarded_chain",
+                         "unbound_expression", "unsafe_error_path"}
+
+
+def test_resource_lifecycle_accepts_owned_and_transferred():
+    assert _run(ResourceLifecycleChecker(), "lifecycle_good") == []
+
+
+# -- deadline-propagation -----------------------------------------------------
+
+def test_deadline_propagation_flags_dropped_and_unforwarded():
+    findings = _run(DeadlinePropagationChecker(), "deadline_bad")
+    assert all(f.rule == "deadline-propagation" for f in findings)
+    messages = [f.message for f in findings]
+    assert any("'timeout' is accepted by dropped_param()" in m
+               for m in messages)
+    assert any(".recv(...) inside unforwarded()" in m for m in messages)
+    assert len(findings) == 2
+
+
+def test_deadline_propagation_accepts_threaded_deadlines():
+    assert _run(DeadlinePropagationChecker(), "deadline_good") == []
+
+
+# -- catalog-pinned-names -----------------------------------------------------
+
+def test_catalog_names_flags_unpinned_metrics_and_spans():
+    findings = _run(CatalogNamesChecker(), "catalog_bad")
+    assert all(f.rule == "catalog-pinned-names" for f in findings)
+    messages = [f.message for f in findings]
+    assert any("'bogus_metric_total'" in m for m in messages)
+    assert any("NOT_A_METRIC" in m for m in messages)
+    assert any("'call.bogus'" in m for m in messages)
+    assert any("UNPINNED_SPAN" in m for m in messages)
+    assert len(findings) == 4
+
+
+def test_catalog_names_accepts_catalogued_forms():
+    assert _run(CatalogNamesChecker(), "catalog_good") == []
+
+
+def test_catalog_docs_audit_flags_undocumented_metric(tmp_path):
+    """The migrated docs half: a catalogued-but-undocumented metric is
+    reported when scanning the catalog module itself."""
+    obs = tmp_path / "repro" / "obs"
+    obs.mkdir(parents=True)
+    metric = "ninf_transport_bytes_sent_total"
+    (obs / "names.py").write_text(
+        f'TRANSPORT_BYTES_SENT = "{metric}"\n', encoding="utf-8")
+    (tmp_path / "OBSERVABILITY.md").write_text(
+        "# Observability\n(nothing documented)\n", encoding="utf-8")
+    findings = run_checks([obs], [CatalogNamesChecker(repo_root=tmp_path)],
+                          root=tmp_path)
+    assert [f.rule for f in findings] == ["catalog-pinned-names"]
+    assert "missing from OBSERVABILITY.md" in findings[0].message
+
+
+def test_catalog_docs_audit_passes_when_documented(tmp_path):
+    obs = tmp_path / "repro" / "obs"
+    obs.mkdir(parents=True)
+    metric = "ninf_transport_bytes_sent_total"
+    (obs / "names.py").write_text(
+        f'TRANSPORT_BYTES_SENT = "{metric}"\n', encoding="utf-8")
+    (tmp_path / "OBSERVABILITY.md").write_text(
+        f"- {metric}: documented\n", encoding="utf-8")
+    findings = run_checks([obs], [CatalogNamesChecker(repo_root=tmp_path)],
+                          root=tmp_path)
+    assert findings == []
+
+
+def test_catalog_docs_audit_covers_span_backtick_form():
+    """At head, every SPAN_NAMES entry is backtick-documented, so the
+    audit over the real catalog modules is silent."""
+    repo_root = Path(__file__).resolve().parents[2]
+    trace_py = repo_root / "src" / "repro" / "obs" / "trace.py"
+    names_py = repo_root / "src" / "repro" / "obs" / "names.py"
+    findings = run_checks([trace_py, names_py],
+                          [CatalogNamesChecker(repo_root=repo_root)],
+                          root=repo_root)
+    assert findings == []
+
+
+# -- registry sanity ----------------------------------------------------------
+
+@pytest.mark.parametrize("cls", ["ConnectionPool", "Endpoint", "Executor",
+                                 "NinfServer", "MetricsRegistry",
+                                 "FaultPlan"])
+def test_guarded_by_registry_covers_the_concurrent_classes(cls):
+    from repro.analysis import GUARDED_BY
+    assert cls in GUARDED_BY

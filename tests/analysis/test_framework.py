@@ -1,0 +1,154 @@
+"""The ninf-lint framework: findings, suppressions, baselines.
+
+The checkers themselves are covered by test_checkers.py against the
+fixture files; this file exercises the machinery they all share
+(repro.analysis.core).
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    SourceModule,
+    iter_python_files,
+    load_baseline,
+    run_checks,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _load(tmp_path: Path, source: str, name: str = "mod.py") -> SourceModule:
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    module, parse_finding = SourceModule.load(path, name)
+    assert parse_finding is None
+    assert module is not None
+    return module
+
+
+class EveryNameChecker(Checker):
+    """Toy rule: flags every Name node (drives the framework tests)."""
+
+    rule = "every-name"
+    description = "flags every name"
+
+    def check(self, module):
+        """One finding per Name node."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name):
+                yield self.finding(module, node, f"name {node.id}")
+
+
+# -- Finding ------------------------------------------------------------------
+
+def test_finding_renders_location_rule_and_symbol():
+    f = Finding(path="src/x.py", line=3, col=4, rule="r",
+                message="boom", symbol="C.m")
+    assert f.location == "src/x.py:3:4"
+    assert f.render() == "src/x.py:3:4: r: boom [C.m]"
+    assert f.to_dict() == {"path": "src/x.py", "line": 3, "col": 4,
+                           "rule": "r", "message": "boom", "symbol": "C.m"}
+
+
+def test_findings_sort_by_position_then_rule():
+    late = Finding(path="b.py", line=1, col=0, rule="r", message="m")
+    early = Finding(path="a.py", line=9, col=0, rule="r", message="m")
+    assert sorted([late, early]) == [early, late]
+
+
+def test_fingerprint_survives_code_motion():
+    """Baselines key on everything *except* the line/col."""
+    f1 = Finding(path="x.py", line=3, col=4, rule="r", message="m",
+                 symbol="C.m")
+    f2 = Finding(path="x.py", line=99, col=0, rule="r", message="m",
+                 symbol="C.m")
+    assert f1.fingerprint() == f2.fingerprint()
+    assert f1.fingerprint() != Finding(
+        path="x.py", line=3, col=4, rule="other", message="m",
+        symbol="C.m").fingerprint()
+
+
+# -- SourceModule -------------------------------------------------------------
+
+def test_parse_error_becomes_a_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def f(:\n", encoding="utf-8")
+    module, finding = SourceModule.load(path, "broken.py")
+    assert module is None
+    assert finding is not None
+    assert finding.rule == "parse-error"
+    assert finding.path == "broken.py"
+
+
+def test_enclosing_symbol_walks_classes_and_functions(tmp_path):
+    module = _load(tmp_path, "class C:\n    def m(self):\n        x = 1\n")
+    assign = module.tree.body[0].body[0].body[0]
+    assert module.enclosing_symbol(assign.targets[0]) == "C.m"
+
+
+def test_suppression_comment_scoped_to_rule(tmp_path):
+    module = _load(tmp_path, "x = 1  # lint: ignore[every-name]\ny = 2\n")
+    findings = [f for f in EveryNameChecker().check(module)
+                if not module.is_suppressed(f)]
+    assert [f.line for f in findings] == [2]
+
+
+def test_bare_suppression_covers_all_rules(tmp_path):
+    module = _load(tmp_path, "x = 1  # lint: ignore\n")
+    f = EveryNameChecker().check(module)
+    assert all(module.is_suppressed(item) for item in f)
+
+
+def test_suppression_list_is_comma_separated(tmp_path):
+    module = _load(tmp_path, "x = 1  # lint: ignore[other, every-name]\n")
+    f = next(iter(EveryNameChecker().check(module)))
+    assert module.is_suppressed(f)
+
+
+def test_unrelated_rule_not_suppressed(tmp_path):
+    module = _load(tmp_path, "x = 1  # lint: ignore[some-other-rule]\n")
+    f = next(iter(EveryNameChecker().check(module)))
+    assert not module.is_suppressed(f)
+
+
+# -- runner + baselines -------------------------------------------------------
+
+def test_iter_python_files_recurses_and_dedupes(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("a = 1\n")
+    (tmp_path / "b.py").write_text("b = 1\n")
+    (tmp_path / "notes.txt").write_text("not python\n")
+    files = iter_python_files([tmp_path, tmp_path / "b.py"])
+    assert [p.name for p in files] == ["b.py", "a.py"] or \
+        [p.name for p in files] == ["a.py", "b.py"]
+    assert len(files) == 2
+
+
+def test_run_checks_sorts_and_reports_relative_paths(tmp_path):
+    (tmp_path / "m.py").write_text("x = 1\ny = 2\n")
+    findings = run_checks([tmp_path], [EveryNameChecker()], root=tmp_path)
+    assert [f.path for f in findings] == ["m.py", "m.py"]
+    assert [f.line for f in findings] == [1, 2]
+
+
+def test_baseline_round_trip(tmp_path):
+    (tmp_path / "m.py").write_text("x = 1\n")
+    findings = run_checks([tmp_path], [EveryNameChecker()], root=tmp_path)
+    baseline = tmp_path / "baseline.json"
+    count = write_baseline(baseline, findings)
+    assert count == 1
+    prints = load_baseline(baseline)
+    assert {f.fingerprint() for f in findings} == prints
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"fingerprints": "oops"}', encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(path)

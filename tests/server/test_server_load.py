@@ -1,0 +1,66 @@
+"""NinfServer load-EWMA locking (regression for a ninf-lint finding).
+
+``_sample_load`` is called from every concurrent ``LOAD_QUERY`` handler
+thread; its decay step used to read-modify-write ``_load_value`` /
+``_load_stamp`` with no lock, losing decay steps under multi-client
+load -- exactly the state the metaserver's scheduler ranks servers by.
+"""
+
+import threading
+
+from repro.server import NinfServer, Registry
+
+
+class _BusyExecutor:
+    """Stub executor pinned at full load."""
+
+    def load(self):
+        return 1.0
+
+
+def _server() -> NinfServer:
+    return NinfServer(Registry(), name="load-probe")
+
+
+def test_sample_load_takes_the_load_lock():
+    """Deterministic lock check: while the test holds _load_lock, a
+    sampling thread must block instead of racing past it."""
+    server = _server()
+    server.executor = _BusyExecutor()
+    done = threading.Event()
+
+    def sample():
+        server._sample_load()
+        done.set()
+
+    with server._load_lock:
+        thread = threading.Thread(target=sample, daemon=True)
+        thread.start()
+        assert not done.wait(0.2), "_sample_load ignored _load_lock"
+    assert done.wait(5.0)
+    thread.join(timeout=5.0)
+
+
+def test_concurrent_sampling_keeps_ewma_in_range():
+    """Hammer the EWMA from many threads: the value must stay a convex
+    combination of observed loads (in [0, 1]) and the stamp monotone."""
+    server = _server()
+    server.executor = _BusyExecutor()
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(200):
+            value = server._sample_load()
+            if not 0.0 <= value <= 1.0:
+                errors.append(value)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert errors == []
+    with server._load_lock:
+        assert 0.0 <= server._load_value <= 1.0

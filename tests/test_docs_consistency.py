@@ -4,9 +4,13 @@ Fails when code grows a user-visible surface the docs don't mention:
 
 - every ``ninf-experiment`` subcommand (``repro.cli.EXPERIMENT_TARGETS``)
   must appear in README.md or OBSERVABILITY.md;
-- every public ``repro.obs`` name (``repro.obs.__all__``), every metric
-  in ``repro.obs.names.METRIC_NAMES``, and every span name in
-  ``repro.obs.SPAN_NAMES`` must appear in OBSERVABILITY.md.
+- every public ``repro.obs`` name (``repro.obs.__all__``) must appear
+  in OBSERVABILITY.md.
+
+The metric/span-name half of this check moved into ``ninf-lint``'s
+``catalog-pinned-names`` rule (see ANALYSIS.md), which also pins the
+names used at instrumentation sites; this file now covers only the
+README/OBSERVABILITY prose surface.
 
 The check is grep-based on purpose: it keeps the docs honest without
 requiring any doc-generation machinery.
@@ -18,8 +22,6 @@ import pytest
 
 import repro.obs
 from repro.cli import EXPERIMENT_TARGETS
-from repro.obs import SPAN_NAMES
-from repro.obs.names import METRIC_NAMES
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -58,20 +60,6 @@ def test_every_public_obs_api_is_documented(observability):
         f"public repro.obs names missing from OBSERVABILITY.md: "
         f"{undocumented} -- every name exported from repro.obs must be "
         f"covered by the observability doc")
-
-
-def test_every_metric_name_is_documented(observability):
-    undocumented = [m for m in METRIC_NAMES if m not in observability]
-    assert not undocumented, (
-        f"metrics missing from the OBSERVABILITY.md catalog: "
-        f"{undocumented}")
-
-
-def test_every_span_name_is_documented(observability):
-    undocumented = [s for s in SPAN_NAMES if f"`{s}`" not in observability]
-    assert not undocumented, (
-        f"span names missing from the OBSERVABILITY.md schema table: "
-        f"{undocumented}")
 
 
 def test_obs_all_matches_module_surface():

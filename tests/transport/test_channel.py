@@ -178,3 +178,29 @@ def test_connect_sets_tcp_nodelay():
         channel.close()
         accepted.close()
         listener.close()
+
+
+def test_connect_closes_socket_when_channel_construction_fails(monkeypatch):
+    """Regression: connect() used to leak the freshly-dialled socket if
+    Channel.__init__ raised.  ninf-lint rule: resource-lifecycle."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()[:2]
+    captured = []
+
+    class Boom:
+        def __init__(self, sock, **kwargs):
+            captured.append(sock)
+            raise RuntimeError("channel construction failed")
+
+    import repro.transport.channel as channel_mod
+
+    monkeypatch.setattr(channel_mod, "Channel", Boom)
+    try:
+        with pytest.raises(RuntimeError, match="construction failed"):
+            channel_mod.connect(host, port, timeout=5.0)
+        assert len(captured) == 1
+        assert captured[0].fileno() == -1  # closed on the error path
+    finally:
+        listener.close()

@@ -1,6 +1,7 @@
 """Endpoint dispatch + the connection-reuse acceptance criteria."""
 
 import socket
+import threading
 
 import numpy as np
 import pytest
@@ -177,3 +178,87 @@ def test_no_raw_sockets_outside_transport():
             if "socket.socket(" in text or "create_connection" in text:
                 offenders.append(str(path))
     assert not offenders, f"raw socket use outside repro.transport: {offenders}"
+
+
+# -- lifecycle races and leaks (found by ninf-lint) ---------------------------
+
+
+def test_failed_bind_closes_listener_and_resets_state():
+    """Regression: a failed bind()/listen() used to leak the listener
+    fd and leave _running True, so the endpoint could never be
+    restarted.  ninf-lint rule: resource-lifecycle."""
+    occupant = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    occupant.bind(("127.0.0.1", 0))
+    occupant.listen(1)
+    _, busy_port = occupant.getsockname()[:2]
+    try:
+        endpoint = Endpoint(port=busy_port, name="collider")
+        with pytest.raises(OSError):
+            endpoint.start()
+        assert endpoint._running is False
+        assert endpoint._listener is None
+        # The endpoint recovers: rebinding on an ephemeral port works.
+        endpoint._bind_port = 0
+        with endpoint:
+            assert endpoint.address[1] != busy_port
+    finally:
+        occupant.close()
+
+
+def test_failed_bind_does_not_leak_the_socket_fd():
+    created = []
+    real_socket = socket.socket
+
+    class Capturing(socket.socket):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    occupant = real_socket(socket.AF_INET, socket.SOCK_STREAM)
+    occupant.bind(("127.0.0.1", 0))
+    occupant.listen(1)
+    _, busy_port = occupant.getsockname()[:2]
+    socket.socket = Capturing
+    try:
+        endpoint = Endpoint(port=busy_port, name="fd-probe")
+        with pytest.raises(OSError):
+            endpoint.start()
+    finally:
+        socket.socket = real_socket
+        occupant.close()
+    assert len(created) == 1
+    assert created[0].fileno() == -1  # closed, not leaked
+
+
+def test_concurrent_start_admits_exactly_one_caller():
+    """Regression: start() used an unlocked check-then-act on _running,
+    so two racing callers could both bind.  ninf-lint rule:
+    lock-discipline (Endpoint._running)."""
+    endpoint = Endpoint(name="racy")
+    barrier = threading.Barrier(8)
+    outcomes = []
+
+    def contender():
+        barrier.wait()
+        try:
+            endpoint.start()
+            outcomes.append("started")
+        except RuntimeError:
+            outcomes.append("rejected")
+
+    threads = [threading.Thread(target=contender) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5.0)
+    try:
+        assert outcomes.count("started") == 1
+        assert outcomes.count("rejected") == 7
+    finally:
+        endpoint.stop()
+
+
+def test_stop_while_never_started_is_a_no_op():
+    endpoint = Endpoint(name="unstarted")
+    endpoint.stop()  # must not raise
+    assert endpoint._running is False

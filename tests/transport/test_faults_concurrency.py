@@ -1,0 +1,48 @@
+"""FaultPlan counters under concurrent draws (ninf-lint regression).
+
+``faults_injected`` used to read ``plan.events`` without the plan lock
+while draw() threads appended to it -- a torn read returns a count
+mid-update.  The property now snapshots under the lock, so the final
+tallies must agree exactly with the event list however many threads
+drew concurrently.
+"""
+
+import threading
+
+from repro.transport.faults import FaultPlan
+
+
+def test_faults_injected_consistent_under_concurrent_draws():
+    plan = FaultPlan(seed=7, rate=1.0)
+    observed = []
+    barrier = threading.Barrier(9)
+
+    def draw_loop():
+        barrier.wait()
+        for _ in range(50):
+            plan.draw("send")
+
+    def read_loop():
+        barrier.wait()
+        for _ in range(200):
+            observed.append(plan.faults_injected)
+
+    threads = [threading.Thread(target=draw_loop) for _ in range(8)]
+    threads.append(threading.Thread(target=read_loop))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+
+    assert plan.faults_injected == len(plan.schedule()) == 8 * 50
+    assert plan.ops_seen == 8 * 50
+    # Reads taken mid-run are monotone snapshots, never torn values.
+    assert observed == sorted(observed)
+    assert all(0 <= count <= 8 * 50 for count in observed)
+
+
+def test_faults_injected_matches_injected_tally():
+    plan = FaultPlan(seed=3, rate=1.0)
+    for _ in range(20):
+        plan.draw("recv")
+    assert plan.faults_injected == sum(plan.injected.values()) == 20
