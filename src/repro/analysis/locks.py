@@ -75,6 +75,8 @@ GUARDED_BY: dict[str, tuple[LockSpec, ...]] = {
     # repro.transport.faults
     "FaultPlan": (_spec("_lock",
                         guarded=("events", "injected", "ops_seen")),),
+    # repro.transport.breaker
+    "CircuitBreaker": (_spec("_lock", guarded=("_keys", "trips")),),
     # repro.transport.endpoint -- loop threads read the flags unlocked
     # by design, so only writes are guarded.
     "Endpoint": (_spec("_lock",
@@ -83,17 +85,23 @@ GUARDED_BY: dict[str, tuple[LockSpec, ...]] = {
     # repro.server.executor
     "Executor": (_spec("_lock",
                        guarded=("_pending", "_free_pes", "_seq",
-                                "_shutdown", "completed", "failed"),
+                                "_shutdown", "completed", "failed",
+                                "_service_ewma", "expired", "cancelled",
+                                "shed"),
                        writes=("_running",)),),
+    # repro.server.dedup
+    "DedupCache": (_spec("_lock", guarded=("_entries", "hits")),),
     # repro.server.server (on top of the inherited Endpoint spec)
     "NinfServer": (
-        _spec("_detached_lock", guarded=("_detached", "_ticket_counter")),
+        _spec("_detached_lock", guarded=("_detached", "_ticket_counter",
+                                         "_detached_jobs")),
         _spec("_load_lock", guarded=("_load_value", "_load_stamp")),
     ),
     # repro.client.api
     "NinfClient": (_spec("_records_lock", guarded=("records",)),),
     # repro.metaserver.metaserver
-    "BrokeredClient": (_spec("_lock", guarded=("_clients", "records")),),
+    "BrokeredClient": (_spec("_lock", guarded=("_clients", "records",
+                                               "failovers")),),
 }
 
 _EXEMPT_METHODS = frozenset({"__init__", "__del__"})

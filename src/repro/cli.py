@@ -22,7 +22,7 @@ __all__ = ["EXPERIMENT_TARGETS", "experiment_main", "metaserver_main",
 EXPERIMENT_TARGETS = (
     "report", "fig3", "fig4", "fig5", "fig7", "fig10", "fig11",
     "table3", "table4", "table5", "table6", "table7", "table8",
-    "availability", "breakdown",
+    "availability", "breakdown", "overload",
 )
 
 
@@ -259,6 +259,27 @@ def _experiment_dispatch(args) -> int:
 
         rates = (0.0, 0.1, 0.3) if args.fast else (0.0, 0.05, 0.1, 0.2, 0.3)
         print(format_availability(availability_ablation(fault_rates=rates)))
+        return 0
+    if args.target == "overload":
+        from repro.experiments import (
+            failover_ablation,
+            format_failover,
+            format_overload,
+            overload_ablation,
+        )
+
+        if args.fast:
+            loads = (0.5, 2.0)
+            over = overload_ablation(load_factors=loads, horizon=40.0)
+            fail = failover_ablation(kill_fractions=(0.0, 0.5),
+                                     n_servers=2, c=4, horizon=40.0)
+        else:
+            over = overload_ablation()
+            fail = failover_ablation()
+        print("## Overload: shed vs queue\n")
+        print(format_overload(over))
+        print("\n## Availability under server kills\n")
+        print(format_failover(fail))
         return 0
     if args.target == "table8":
         from repro.experiments.ep import table8_ep

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import uuid
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
@@ -21,9 +22,10 @@ from repro.obs.trace import (
     SPAN_SEND,
     SPAN_UNMARSHAL,
 )
-from repro.protocol.errors import ProtocolError, RemoteError
+from repro.protocol.errors import ProtocolError, RemoteError, ServerBusy
 from repro.protocol.marshal import marshal_inputs, unmarshal_outputs
 from repro.protocol.messages import (
+    BusyReply,
     CallHeader,
     ErrorReply,
     JobTimestamps,
@@ -182,12 +184,24 @@ class NinfClient:
         Seconds a pooled connection may sit idle before eviction.
     retry:
         A :class:`~repro.transport.RetryPolicy` applied to the client's
-        *idempotent* operations only (``ping``, ``get_signature``,
+        *idempotent* operations (``ping``, ``get_signature``,
         ``list_functions``, ``query_load``, detached-result polling).
-        ``CALL`` is never auto-retried: the server may have executed
-        the routine even though the reply was lost, and at-most-once is
-        the contract (fault tolerance for calls belongs to
-        :class:`~repro.client.Transaction` migration).
+        By default ``CALL`` is not auto-retried: the server may have
+        executed the routine even though the reply was lost, and
+        at-most-once is the historical contract.
+    retry_calls:
+        Opt ``CALL``/``CALL_DETACHED`` into the retry policy too
+        (DESIGN.md §3.5).  Safe against double execution because every
+        logical call carries a UUID ``logical_id`` and the server's
+        dedup cache replays the first attempt's result instead of
+        recomputing; requires a v3 server.  No effect without
+        ``retry``.
+    call_budget:
+        Default per-logical-call deadline budget in seconds, stamped
+        on the CALL wire header so the server can shed or expire work
+        the client will no longer wait for; ``None`` (default) sends
+        no deadline.  Overridable per call via
+        ``call_with_record(..., timeout=...)``.
     fault_plan:
         A :class:`~repro.transport.FaultPlan` injected into the
         connection pool -- every channel this client dials becomes a
@@ -215,7 +229,9 @@ class NinfClient:
                  clock=None, pool: bool = True, max_idle: float = 60.0,
                  retry: Optional[RetryPolicy] = None, fault_plan=None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 retry_calls: bool = False,
+                 call_budget: Optional[float] = None):
         import time
 
         self.host = host
@@ -223,6 +239,8 @@ class NinfClient:
         self.timeout = timeout
         self.clock = clock or time.monotonic
         self.retry = retry
+        self.retry_calls = retry_calls
+        self.call_budget = call_budget
         self._signatures: dict[str, Signature] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
@@ -254,24 +272,27 @@ class NinfClient:
         Exact semantics: counts every exchange *started* -- each try of
         a retried idempotent operation (``ping``, ``get_signature``,
         ``list_functions``, ``query_load``, detached-result polling)
-        and every ``CALL``/``CALL_DETACHED`` (which are made exactly
-        once; CALL is never auto-retried).  Per-client lifetime: the
-        count is monotonic from construction and is *not* reset by
-        ``with`` blocks, :meth:`close`, or pool recycling.  Backed by
-        ``ninf_client_attempts_total`` in :attr:`metrics`.
+        and each try of a ``CALL``/``CALL_DETACHED`` (exactly one per
+        call unless ``retry_calls`` opts CALL into the retry policy).
+        Per-client lifetime: the count is monotonic from construction
+        and is *not* reset by ``with`` blocks, :meth:`close`, or pool
+        recycling.  Backed by ``ninf_client_attempts_total`` in
+        :attr:`metrics`.
         """
         return int(self._attempts.value())
 
     @property
     def retries(self) -> int:
-        """Retries taken by this client's *idempotent* operations only.
+        """Retries taken by this client's retried operations.
 
         Incremented once per backoff-then-retry cycle of the
-        :class:`~repro.transport.RetryPolicy` passed as ``retry``;
-        always 0 when no policy is set, and never incremented by
-        ``CALL`` (at-most-once, never auto-retried).  Per-client
-        lifetime, monotonic, never reset.  Backed by
-        ``ninf_client_retries_total`` in :attr:`metrics`.
+        :class:`~repro.transport.RetryPolicy` passed as ``retry``:
+        always 0 when no policy is set, covers the idempotent
+        operations, and covers ``CALL``/``CALL_DETACHED`` only when
+        ``retry_calls`` is set (otherwise CALL stays at-most-once and
+        never contributes).  Per-client lifetime, monotonic, never
+        reset.  Backed by ``ninf_client_retries_total`` in
+        :attr:`metrics`.
         """
         return int(self._retries.value())
 
@@ -280,8 +301,9 @@ class NinfClient:
         """Transient transport errors this client has observed.
 
         Incremented when an exchange raises an error classified
-        transient by :func:`~repro.transport.is_transient` (timeouts,
-        resets, framing errors -- never :class:`RemoteError`), whether
+        transient by :func:`~repro.transport.is_transient` *except*
+        the server's own BUSY/shutdown replies (those are retryable but
+        arrive on a healthy transport, so they are not faults), whether
         or not the operation was subsequently retried.  Per-client
         lifetime, monotonic, never reset.  Backed by
         ``ninf_client_faults_seen_total`` in :attr:`metrics`.
@@ -350,7 +372,9 @@ class NinfClient:
         try:
             return fn()
         except BaseException as exc:
-            if is_transient(exc):
+            # Shed/shutdown replies are transient (retryable) but not
+            # transport faults -- the wire worked fine.
+            if is_transient(exc) and not isinstance(exc, RemoteError):
                 self._faults_seen.inc()
             raise
 
@@ -428,6 +452,7 @@ class NinfClient:
     def call_with_record(
         self, function: str, *args: Any,
         on_callback: Optional[Callable[[float, str], None]] = None,
+        timeout: Optional[float] = None,
     ) -> tuple[list[Any], CallRecord]:
         """Like :meth:`call`, also returning the :class:`CallRecord`.
 
@@ -438,20 +463,39 @@ class NinfClient:
         and retrospective ``call.queue`` / ``call.compute`` children
         reconstructed from the server's :class:`JobTimestamps`
         (``clock="server-wall"``).
+
+        ``timeout`` is this logical call's deadline budget (defaulting
+        to the client's ``call_budget``): the remaining budget rides
+        the wire header so the server can shed or expire the job, and
+        it bounds the retry loop when ``retry_calls`` is enabled.  With
+        ``retry_calls``, every attempt reuses the same ``call_id`` and
+        ``logical_id`` (with an incremented attempt number), which is
+        what lets the server's dedup cache replay a completed first
+        attempt instead of recomputing.
         """
         signature = self.get_signature(function)
         submit_time = self.clock()
         call_id = next(_call_ids)
+        budget = self.call_budget if timeout is None else timeout
+        deadline = None if budget is None else submit_time + budget
+        logical_id = uuid.uuid4().hex
+        attempt_ids = itertools.count(1)
         trace = self.tracer.trace(SPAN_ROOT, start=submit_time,
                                   function=function, call_id=call_id,
                                   source="live")
-        try:
-            with trace.span(SPAN_MARSHAL):
-                args_payload = marshal_inputs(signature, list(args))
-                enc = XdrEncoder()
-                CallHeader(function=function, call_id=call_id).encode(enc)
-                enc.pack_opaque(args_payload)
-            # CALL is counted but never auto-retried (not idempotent).
+        def attempt() -> bytes:
+            """One wire attempt of the logical call; returns the RESULT
+            payload.  Re-invoked by the retry policy (same logical id,
+            fresh attempt number and re-computed remaining budget)."""
+            remaining = 0.0
+            if deadline is not None:
+                remaining = max(0.001, deadline - self.clock())
+            enc = XdrEncoder()
+            CallHeader(function=function, call_id=call_id,
+                       logical_id=logical_id,
+                       attempt=next(attempt_ids),
+                       budget=remaining).encode(enc)
+            enc.pack_opaque(args_payload)
             self._attempts.inc()
             with trace.span(SPAN_CONNECT):
                 channel = self._connect()
@@ -478,16 +522,35 @@ class NinfClient:
                 if reply_type == MessageType.ERROR:
                     err = ErrorReply.decode(XdrDecoder(reply))
                     raise RemoteError(err.code, err.message)
+                if reply_type == MessageType.BUSY:
+                    busy = BusyReply.decode(XdrDecoder(reply))
+                    raise ServerBusy(busy.reason,
+                                     retry_after=busy.retry_after)
                 if reply_type != MessageType.RESULT:
                     raise ProtocolError(
                         f"expected RESULT, got message {reply_type}"
                     )
             except BaseException as exc:
-                if is_transient(exc):
+                if is_transient(exc) and not isinstance(exc, RemoteError):
                     self._faults_seen.inc()
                 self._pool.discard(channel)
                 raise
             self._release(channel)
+            return reply
+
+        try:
+            with trace.span(SPAN_MARSHAL):
+                args_payload = marshal_inputs(signature, list(args))
+            if self.retry is not None and self.retry_calls:
+                # Exactly-once: safe because the server dedups on
+                # logical_id (DESIGN.md §3.5).
+                reply = self.retry.run(
+                    attempt,
+                    on_retry=lambda _a, _e: self._retries.inc(),
+                    deadline=deadline, clock=self.clock)
+            else:
+                # Historical at-most-once CALL: one shot only.
+                reply = attempt()
             with trace.span(SPAN_UNMARSHAL):
                 dec = XdrDecoder(reply)
                 reply_id = dec.unpack_uhyper()
@@ -530,21 +593,47 @@ class NinfClient:
 
     # -- two-phase RPC (§5.1) ------------------------------------------------
 
-    def call_detached(self, function: str, *args: Any) -> "DetachedCall":
+    def call_detached(self, function: str, *args: Any,
+                      timeout: Optional[float] = None) -> "DetachedCall":
         """Phase one: upload arguments and get a ticket; no connection is
         held while the server computes ("remote argument transfer takes
         place in the first phase, whereupon the communication is
         terminated").
+
+        ``timeout`` (default: the client's ``call_budget``) rides the
+        wire header as the deadline budget; a retried submission (with
+        ``retry_calls``) replays the same logical id, so a lost
+        CALL_ACCEPTED yields the original ticket rather than a second
+        queued job.
         """
         signature = self.get_signature(function)
         submit_time = self.clock()
+        budget = self.call_budget if timeout is None else timeout
+        deadline = None if budget is None else submit_time + budget
         args_payload = marshal_inputs(signature, list(args))
         call_id = next(_call_ids)
-        enc = XdrEncoder()
-        CallHeader(function=function, call_id=call_id).encode(enc)
-        enc.pack_opaque(args_payload)
-        reply = self._roundtrip(MessageType.CALL_DETACHED, enc.getvalue(),
-                                MessageType.CALL_ACCEPTED)
+        logical_id = uuid.uuid4().hex
+        attempt_ids = itertools.count(1)
+
+        def submit_once() -> bytes:
+            remaining = 0.0
+            if deadline is not None:
+                remaining = max(0.001, deadline - self.clock())
+            enc = XdrEncoder()
+            CallHeader(function=function, call_id=call_id,
+                       logical_id=logical_id, attempt=next(attempt_ids),
+                       budget=remaining).encode(enc)
+            enc.pack_opaque(args_payload)
+            return self._roundtrip(MessageType.CALL_DETACHED, enc.getvalue(),
+                                   MessageType.CALL_ACCEPTED)
+
+        if self.retry is not None and self.retry_calls:
+            reply = self.retry.run(
+                lambda: self._counted(submit_once),
+                on_retry=lambda _a, _e: self._retries.inc(),
+                deadline=deadline, clock=self.clock)
+        else:
+            reply = submit_once()
         dec = XdrDecoder(reply)
         reply_id = dec.unpack_uhyper()
         ticket = dec.unpack_uhyper()
@@ -588,6 +677,10 @@ class NinfClient:
                 raise RemoteError(err.code, err.message)
             if reply_type == MessageType.RESULT_PENDING:
                 if deadline is not None and self.clock() >= deadline:
+                    # Deadline expired: tell the server to drop the job
+                    # if it is still queued (best-effort) — no point
+                    # computing a result nobody will fetch.
+                    self.cancel_detached(call)
                     raise TimeoutError(
                         f"detached call {call.function} (ticket "
                         f"{call.ticket}) still pending"
@@ -620,6 +713,28 @@ class NinfClient:
             with self._records_lock:
                 self.records.append(record)
             return outputs
+
+    def cancel_detached(self, call: "DetachedCall") -> bool:
+        """Ask the server to drop a still-queued detached call.
+
+        Best-effort and idempotent: returns ``True`` when the server
+        confirms it dropped the queued job (counted server-side in
+        ``ninf_server_jobs_cancelled_total``), ``False`` when the job
+        already ran, the ticket is unknown, or the server is
+        unreachable.  Running jobs are never interrupted.
+        """
+        enc = XdrEncoder()
+        enc.pack_uhyper(call.ticket)
+        try:
+            reply = self._roundtrip(MessageType.CANCEL, enc.getvalue(),
+                                    MessageType.CANCEL_REPLY)
+        except (OSError, ProtocolError, RemoteError):
+            return False
+        dec = XdrDecoder(reply)
+        ticket = dec.unpack_uhyper()
+        dropped = dec.unpack_bool()
+        dec.done()
+        return dropped and ticket == call.ticket
 
     def call_async(self, function: str, *args: Any) -> NinfFuture:
         """``Ninf_call_async``: immediately returns a :class:`NinfFuture`."""

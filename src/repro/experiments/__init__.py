@@ -39,17 +39,31 @@ from repro.experiments.breakdown import (
     summarize,
 )
 from repro.experiments.common import MulticlientResult, run_multiclient_cell
+from repro.experiments.overload import (
+    FailoverCell,
+    OverloadCell,
+    failover_ablation,
+    format_failover,
+    format_overload,
+    overload_ablation,
+)
 
 __all__ = [
     "AvailabilityCell",
     "CallPhases",
+    "FailoverCell",
     "MulticlientResult",
+    "OverloadCell",
     "PhaseBreakdown",
     "availability_ablation",
     "breakdown_from_spans",
+    "failover_ablation",
     "format_availability",
     "format_breakdown",
+    "format_failover",
+    "format_overload",
     "live_loopback_breakdown",
+    "overload_ablation",
     "run_multiclient_cell",
     "sim_breakdown",
     "summarize",

@@ -35,6 +35,10 @@ class MulticlientResult:
     faults_seen: int = 0
     retries: int = 0
     failed_calls: int = 0
+    # Resilience accounting (DESIGN.md §3.5).
+    shed_seen: int = 0
+    late_calls: int = 0
+    failovers: int = 0
 
     @property
     def calls_issued(self) -> int:
@@ -65,6 +69,10 @@ def run_multiclient_cell(
     fault_rate: float = 0.0,
     retry_attempts: int = 1,
     fault_cost: Optional[float] = None,
+    max_queued: Optional[int] = None,
+    dedup: bool = True,
+    post_fault_rate: float = 0.0,
+    call_deadline: Optional[float] = None,
     tracer=None,
 ) -> MulticlientResult:
     """Run one multi-client benchmark cell and aggregate the table row.
@@ -78,7 +86,12 @@ def run_multiclient_cell(
     ``fault_rate``/``retry_attempts``/``fault_cost`` drive the
     availability ablation: each call attempt fails with ``fault_rate``
     probability and clients retry up to ``retry_attempts`` times (see
-    :class:`~repro.simninf.client.WorkloadClient`).  ``tracer`` hands
+    :class:`~repro.simninf.client.WorkloadClient`).  ``max_queued``
+    bounds the server's admission queue (excess calls are shed with a
+    retry-after hint), ``post_fault_rate`` loses reply frames after
+    execution (``dedup`` decides whether the retry replays or
+    re-executes), and ``call_deadline`` counts completed calls that
+    blew the per-call budget -- the DESIGN.md §3.5 overload ablation.  ``tracer`` hands
     the server a :class:`~repro.obs.Tracer` so every simulated call
     emits the OBSERVABILITY.md span schema (build it with the sim
     clock; :func:`repro.experiments.breakdown.sim_breakdown` shows how).
@@ -90,6 +103,7 @@ def run_multiclient_cell(
     server_kwargs = {} if t_setup is None else {"t_setup": t_setup}
     server = SimNinfServer(sim, network, server_spec, mode=mode,
                            switch_overhead=switch_overhead, tracer=tracer,
+                           max_queued=max_queued, dedup=dedup,
                            **server_kwargs)
     stats = server.machine.stats_window()
     LoadSampler(sim, server.machine, stats, interval=2.0)
@@ -103,7 +117,9 @@ def run_multiclient_cell(
                            pooled=pooled, pooled_setup=pooled_setup,
                            fault_rate=fault_rate,
                            retry_attempts=retry_attempts,
-                           fault_cost=fault_cost)
+                           fault_cost=fault_cost,
+                           post_fault_rate=post_fault_rate,
+                           call_deadline=call_deadline)
         )
     # Run the issuing window, then drain in-flight calls (the load
     # sampler ticks forever, so step until every client process ends).
@@ -125,6 +141,9 @@ def run_multiclient_cell(
         faults_seen=sum(cl.faults_seen for cl in clients),
         retries=sum(cl.retries for cl in clients),
         failed_calls=sum(cl.failed_calls for cl in clients),
+        shed_seen=sum(cl.shed_seen for cl in clients),
+        late_calls=sum(cl.late_calls for cl in clients),
+        failovers=sum(cl.failovers for cl in clients),
     )
 
 

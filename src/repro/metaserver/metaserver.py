@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.client.api import CallRecord, NinfClient
 from repro.metaserver.directory import Directory
@@ -16,10 +16,12 @@ from repro.protocol.messages import (
 )
 from repro.transport import (
     Channel,
+    CircuitBreaker,
     ConnectionPool,
     Endpoint,
     RetryPolicy,
     connect,
+    is_transient,
 )
 from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
@@ -155,11 +157,19 @@ class Metaserver(Endpoint):
         has_flops = dec.unpack_bool()
         flops = dec.unpack_double() if has_flops else None
         site = dec.unpack_string()
+        # Failover (DESIGN.md §3.5): the client may append hosts that
+        # just refused/shed/died so the re-pick lands elsewhere.  The
+        # list is optional on the wire for pre-v3 pickers.
+        excluded: set[tuple[str, int]] = set()
+        if dec.remaining:
+            count = dec.unpack_uint()
+            for _ in range(count):
+                excluded.add((dec.unpack_string(), dec.unpack_uint()))
         estimate = CallEstimate(function, comm_bytes=comm_bytes,
                                 flops=flops, site=site)
-        chosen = self.scheduler.choose(
-            self.directory.providers(function), estimate
-        )
+        providers = [entry for entry in self.directory.providers(function)
+                     if (entry.info.host, entry.info.port) not in excluded]
+        chosen = self.scheduler.choose(providers, estimate)
         if chosen is None:
             channel.send_error("no-provider",
                                f"no server provides {function!r}")
@@ -257,9 +267,14 @@ class MetaClient:
         return [ServerInfo.decode(dec) for _ in range(count)]
 
     def pick(self, function: str, comm_bytes: float = 0.0,
-             flops: Optional[float] = None,
-             site: str = "default") -> ServerInfo:
-        """MS_PICK: the scheduler's placement for a call estimate."""
+             flops: Optional[float] = None, site: str = "default",
+             exclude: Sequence[tuple[str, int]] = ()) -> ServerInfo:
+        """MS_PICK: the scheduler's placement for a call estimate.
+
+        ``exclude`` lists ``(host, port)`` pairs the placement must
+        avoid — servers that just refused, shed, or died during this
+        logical call (failover re-pick, DESIGN.md §3.5).
+        """
         enc = XdrEncoder()
         enc.pack_string(function)
         enc.pack_double(comm_bytes)
@@ -267,6 +282,10 @@ class MetaClient:
         if flops is not None:
             enc.pack_double(flops)
         enc.pack_string(site)
+        enc.pack_uint(len(exclude))
+        for host, port in exclude:
+            enc.pack_string(host)
+            enc.pack_uint(port)
         reply = self._roundtrip(MessageType.MS_PICK, enc.getvalue(),
                                 MessageType.MS_PICK_REPLY)
         return ServerInfo.decode(XdrDecoder(reply))
@@ -298,53 +317,119 @@ class BrokeredClient:
     metaserver to pick a server, call it directly, then report the
     achieved bandwidth (closing the monitoring loop the
     bandwidth-aware scheduler feeds on).
+
+    With ``max_failover > 0``, a transiently failing server (dead
+    socket, shed, shut down) triggers a re-pick that excludes the
+    failed host plus anything the per-host circuit breaker currently
+    blocks; the call replays on the next candidate.  Non-transient
+    errors (the function itself raised) never fail over.
     """
 
     def __init__(self, meta: MetaClient, site: str = "default",
-                 pool: bool = True):
+                 pool: bool = True, max_failover: int = 0,
+                 breaker: Optional[CircuitBreaker] = None,
+                 metrics=None, retry: Optional[RetryPolicy] = None,
+                 retry_calls: bool = False,
+                 call_budget: Optional[float] = None):
         self.meta = meta
         self.site = site
         self.pool = pool
+        self.max_failover = max_failover
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.retry = retry
+        self.retry_calls = retry_calls
+        self.call_budget = call_budget
         self._clients: dict[tuple[str, int], NinfClient] = {}
         self._lock = threading.Lock()
         self.records: list[tuple[ServerInfo, CallRecord]] = []
+        self.failovers = 0
+        self._failover_metric = None
+        if metrics is not None:
+            from repro.obs import names
+
+            self._failover_metric = metrics.counter(
+                names.CLIENT_FAILOVERS,
+                "Brokered calls replayed on another server after a "
+                "transient failure")
 
     def _client_for(self, info: ServerInfo) -> NinfClient:
         key = (info.host, info.port)
         with self._lock:
             client = self._clients.get(key)
             if client is None:
-                client = NinfClient(info.host, info.port, pool=self.pool)
+                client = NinfClient(info.host, info.port, pool=self.pool,
+                                    retry=self.retry,
+                                    retry_calls=self.retry_calls,
+                                    call_budget=self.call_budget)
                 self._clients[key] = client
             return client
+
+    def _estimate(self, providers: list[ServerInfo], function: str,
+                  args: tuple) -> tuple[float, Optional[float]]:
+        """Cost estimate from the signature of any reachable provider."""
+        for info in providers:
+            try:
+                signature = self._client_for(info).get_signature(function)
+                bound = signature.bind(list(args))
+                return (float(bound.input_bytes + bound.output_bytes),
+                        bound.predicted_flops)
+            except Exception:
+                continue
+        return 0.0, None
+
+    def _note_failover(self) -> None:
+        with self._lock:
+            self.failovers += 1
+        if self._failover_metric is not None:
+            self._failover_metric.inc()
 
     def call(self, function: str, *args) -> list:
         """Metaserver-brokered Ninf_call: lookup, pick, call, report."""
         providers = self.meta.lookup(function)
         if not providers:
             raise RemoteError("no-provider", f"no server provides {function!r}")
-        # Estimate from the signature of any provider (they agree on IDL).
-        probe = self._client_for(providers[0])
-        signature = probe.get_signature(function)
-        try:
-            bound = signature.bind(list(args))
-            comm_bytes = float(bound.input_bytes + bound.output_bytes)
-            flops = bound.predicted_flops
-        except Exception:
-            comm_bytes, flops = 0.0, None
-        chosen = self.meta.pick(function, comm_bytes=comm_bytes,
-                                flops=flops, site=self.site)
-        client = self._client_for(chosen)
-        outputs, record = client.call_with_record(function, *args)
-        with self._lock:
-            self.records.append((chosen, record))
-        if record.elapsed > 0 and record.comm_bytes > 0:
+        comm_bytes, flops = self._estimate(providers, function, args)
+        failed: set[tuple[str, int]] = set()
+        last_exc: Optional[BaseException] = None
+        for _attempt in range(1 + max(0, self.max_failover)):
+            exclude = failed | self.breaker.blocked()
             try:
-                self.meta.report(chosen.host, chosen.port, self.site,
-                                 record.throughput)
-            except (OSError, ProtocolError, RemoteError):
-                pass  # monitoring is best-effort
-        return outputs
+                chosen = self.meta.pick(function, comm_bytes=comm_bytes,
+                                        flops=flops, site=self.site,
+                                        exclude=sorted(exclude))
+            except RemoteError as exc:
+                if exc.code == "no-provider" and last_exc is not None:
+                    break  # every candidate is excluded; report the failure
+                raise
+            key = (chosen.host, chosen.port)
+            if not self.breaker.allow(key):
+                # blocked() raced with a fresh trip; skip this host.
+                failed.add(key)
+                continue
+            client = self._client_for(chosen)
+            try:
+                outputs, record = client.call_with_record(function, *args)
+            except Exception as exc:
+                if not is_transient(exc):
+                    raise
+                self.breaker.record_failure(key)
+                failed.add(key)
+                last_exc = exc
+                if _attempt < max(0, self.max_failover):
+                    self._note_failover()  # a replay will actually happen
+                continue
+            self.breaker.record_success(key)
+            with self._lock:
+                self.records.append((chosen, record))
+            if record.elapsed > 0 and record.comm_bytes > 0:
+                try:
+                    self.meta.report(chosen.host, chosen.port, self.site,
+                                     record.throughput)
+                except (OSError, ProtocolError, RemoteError):
+                    pass  # monitoring is best-effort
+            return outputs
+        assert last_exc is not None
+        raise last_exc
 
     def close(self) -> None:
         """Close the per-server client pool."""

@@ -34,12 +34,14 @@ POOL_IDLE_CONNECTIONS = "ninf_pool_idle_connections"
 FAULTS_INJECTED = "ninf_faults_injected_total"        # label: kind
 RETRY_ATTEMPTS = "ninf_retry_attempts_total"
 RETRY_RETRIES = "ninf_retry_retries_total"
+BREAKER_TRIPS = "ninf_breaker_trips_total"
 
 # -- client -------------------------------------------------------------
 CLIENT_ATTEMPTS = "ninf_client_attempts_total"
 CLIENT_RETRIES = "ninf_client_retries_total"
 CLIENT_FAULTS_SEEN = "ninf_client_faults_seen_total"
 CLIENT_CALL_SECONDS = "ninf_client_call_seconds"      # label: function
+CLIENT_FAILOVERS = "ninf_client_failovers_total"
 
 # -- endpoint / server --------------------------------------------------
 ENDPOINT_CONNECTIONS_ACCEPTED = "ninf_endpoint_connections_accepted_total"
@@ -47,6 +49,11 @@ SERVER_DISPATCH_SECONDS = "ninf_server_dispatch_seconds"
 SERVER_EXECUTE_SECONDS = "ninf_server_execute_seconds"  # label: function
 SERVER_QUEUE_DEPTH = "ninf_server_queue_depth"
 SERVER_CALLS = "ninf_server_calls_total"        # labels: function, status
+SERVER_JOBS_EXPIRED = "ninf_server_jobs_expired_total"
+SERVER_JOBS_CANCELLED = "ninf_server_jobs_cancelled_total"
+SERVER_JOBS_SHED = "ninf_server_jobs_shed_total"      # label: reason
+SERVER_DEDUP_HITS = "ninf_server_dedup_hits_total"
+SERVER_DEDUP_ENTRIES = "ninf_server_dedup_entries"
 
 # -- metaserver ---------------------------------------------------------
 METASERVER_PROBES = "ninf_metaserver_probes_total"    # label: outcome
@@ -63,15 +70,22 @@ METRIC_NAMES = (
     FAULTS_INJECTED,
     RETRY_ATTEMPTS,
     RETRY_RETRIES,
+    BREAKER_TRIPS,
     CLIENT_ATTEMPTS,
     CLIENT_RETRIES,
     CLIENT_FAULTS_SEEN,
     CLIENT_CALL_SECONDS,
+    CLIENT_FAILOVERS,
     ENDPOINT_CONNECTIONS_ACCEPTED,
     SERVER_DISPATCH_SECONDS,
     SERVER_EXECUTE_SECONDS,
     SERVER_QUEUE_DEPTH,
     SERVER_CALLS,
+    SERVER_JOBS_EXPIRED,
+    SERVER_JOBS_CANCELLED,
+    SERVER_JOBS_SHED,
+    SERVER_DEDUP_HITS,
+    SERVER_DEDUP_ENTRIES,
     METASERVER_PROBES,
     METASERVER_SERVERS_ALIVE,
 )

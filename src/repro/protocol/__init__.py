@@ -26,10 +26,13 @@ from repro.protocol.errors import (
     ConnectionClosed,
     ProtocolError,
     RemoteError,
+    ServerBusy,
+    ServerShutdown,
     TimeoutError,
 )
 from repro.protocol.framing import MAX_FRAME_SIZE, recv_frame, send_frame
 from repro.protocol.messages import (
+    BusyReply,
     CallHeader,
     ErrorReply,
     JobTimestamps,
@@ -44,6 +47,7 @@ from repro.protocol.marshal import (
 )
 
 __all__ = [
+    "BusyReply",
     "CallHeader",
     "ConnectionClosed",
     "ErrorReply",
@@ -53,6 +57,8 @@ __all__ = [
     "MessageType",
     "ProtocolError",
     "RemoteError",
+    "ServerBusy",
+    "ServerShutdown",
     "TimeoutError",
     "marshal_inputs",
     "marshal_outputs",

@@ -31,3 +31,27 @@ class RemoteError(RuntimeError):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+
+class ServerBusy(RemoteError):
+    """A BUSY reply: the server shed the call instead of queueing it.
+
+    Unlike other :class:`RemoteError` subclasses this one is
+    *transient* — the call never entered the queue, so retrying (after
+    ``retry_after`` seconds, ideally elsewhere) is always safe.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__("busy", message)
+        self.retry_after = retry_after
+
+
+class ServerShutdown(RemoteError):
+    """The server shut down before dispatching a queued call.
+
+    Transient for retry purposes: the job never ran, so replaying it
+    (against a failover candidate) is safe.
+    """
+
+    def __init__(self, message: str = "server shut down before dispatch"):
+        super().__init__("server-shutdown", message)

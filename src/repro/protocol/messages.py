@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from repro.xdr import XdrDecoder, XdrEncoder
 
 __all__ = [
+    "BusyReply",
     "CallHeader",
     "ErrorReply",
     "JobTimestamps",
@@ -59,27 +60,58 @@ class MessageType(enum.IntEnum):
     MS_LIST_REPLY = 28
     MS_OK = 29
     STATS_REPLY = 30
+    # Resilience (DESIGN.md §3.5): a server that sheds an over-budget or
+    # over-capacity call answers BUSY (retry-after hint) instead of
+    # queueing it; a client whose deadline expires on a detached call
+    # sends CANCEL so the server can drop the still-queued job.
+    BUSY = 31
+    CANCEL = 32
+    CANCEL_REPLY = 33
 
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 
 @dataclass(frozen=True)
 class CallHeader:
-    """Prefix of a CALL payload: which routine, client-chosen call id."""
+    """Prefix of a CALL / CALL_DETACHED payload.
+
+    ``call_id`` is the client-chosen numeric id echoed in the RESULT;
+    the resilience fields (protocol v3, DESIGN.md §3.5) ride after it:
+
+    - ``logical_id`` identifies the *logical* call across retries (a
+      UUID hex string; empty = client opted out of dedup);
+    - ``attempt`` is the 1-based attempt number for this logical call;
+    - ``budget`` is the client's remaining deadline budget in seconds,
+      *relative* so clock skew cannot corrupt it (0 = no deadline).
+      The server converts it to an absolute deadline on its own
+      monotonic clock at receipt.
+    """
 
     function: str
     call_id: int
+    logical_id: str = ""
+    attempt: int = 1
+    budget: float = 0.0
 
     def encode(self, enc: XdrEncoder) -> None:
         """Append the wire form to an encoder."""
         enc.pack_string(self.function)
         enc.pack_uhyper(self.call_id)
+        enc.pack_string(self.logical_id)
+        enc.pack_uint(self.attempt)
+        enc.pack_double(self.budget)
 
     @classmethod
     def decode(cls, dec: XdrDecoder) -> "CallHeader":
         """Read the wire form from a decoder."""
-        return cls(function=dec.unpack_string(), call_id=dec.unpack_uhyper())
+        return cls(
+            function=dec.unpack_string(),
+            call_id=dec.unpack_uhyper(),
+            logical_id=dec.unpack_string(),
+            attempt=dec.unpack_uint(),
+            budget=dec.unpack_double(),
+        )
 
 
 @dataclass(frozen=True)
@@ -133,6 +165,30 @@ class ErrorReply:
     def decode(cls, dec: XdrDecoder) -> "ErrorReply":
         """Read the wire form from a decoder."""
         return cls(code=dec.unpack_string(), message=dec.unpack_string())
+
+
+@dataclass(frozen=True)
+class BusyReply:
+    """BUSY payload: the server shed this call instead of queueing it.
+
+    ``retry_after`` is the server's estimate (seconds) of when capacity
+    frees up — clients should wait at least this long before retrying
+    here; ``reason`` is a short slug (``"queue-full"``,
+    ``"deadline-unmeetable"``, ``"deadline-expired"``).
+    """
+
+    retry_after: float
+    reason: str
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        enc.pack_double(self.retry_after)
+        enc.pack_string(self.reason)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "BusyReply":
+        """Read the wire form from a decoder."""
+        return cls(retry_after=dec.unpack_double(), reason=dec.unpack_string())
 
 
 @dataclass(frozen=True)

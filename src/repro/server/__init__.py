@@ -15,7 +15,10 @@ process as Ninf executables" (paper §2.1).
   IDL ``CalcOrder`` predictions), and the §5.3 multiprocessor policies
   FPFS and FPMPFS.
 - :mod:`repro.server.executor` -- the PE pool: task-parallel (one PE
-  per call) or data-parallel (all PEs per call, serialized) execution.
+  per call) or data-parallel (all PEs per call, serialized) execution,
+  with bounded-queue admission control and deadline expiry sweeps.
+- :mod:`repro.server.dedup` -- the exactly-once dedup/result cache
+  that makes CALL retries safe (DESIGN.md §3.5).
 - :mod:`repro.server.server` -- the TCP server: accept loop, two-stage
   RPC, per-job timestamps, load reporting for the metaserver.
 """
@@ -28,10 +31,13 @@ from repro.server.scheduling import (
     SJFPolicy,
     SchedulingPolicy,
 )
+from repro.server.dedup import DedupCache, DedupEntry
 from repro.server.executor import Executor, Job
 from repro.server.server import NinfServer
 
 __all__ = [
+    "DedupCache",
+    "DedupEntry",
     "Executor",
     "FCFSPolicy",
     "FPFSPolicy",

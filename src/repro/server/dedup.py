@@ -1,0 +1,174 @@
+"""The exactly-once dedup/result cache (DESIGN.md §3.5).
+
+A CALL whose reply is lost in flight leaves the client unable to tell
+"never ran" from "ran, reply lost" — so CALL historically could not be
+retried.  This cache closes that gap server-side: every logical call
+(identified by the client's UUID ``logical_id``) passes through
+:meth:`DedupCache.begin` before execution, and the encoded reply frame
+is parked in :meth:`DedupCache.complete`.  A retried attempt then either
+
+- finds the entry ``"done"`` and replays the cached frame (no second
+  execution),
+- finds it ``"pending"`` (first attempt still executing) and blocks on
+  the entry's event rather than double-executing, or
+- finds nothing (``"new"``) — the first attempt was shed before
+  entering the queue via :meth:`abort` — and executes normally.
+
+Entries are TTL'd (a retry arriving after ``ttl`` seconds re-executes —
+acceptable, since the client has long since timed out) and the cache is
+size-bounded, evicting the oldest *completed* entries first; pending
+entries are never evicted, because a waiter may be blocked on them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = ["DedupCache", "DedupEntry"]
+
+Reply = tuple[int, bytes]  # (MessageType, encoded payload)
+
+
+class DedupEntry:
+    """One logical call's slot: pending until ``reply`` is parked."""
+
+    __slots__ = ("done", "reply", "stamp")
+
+    def __init__(self, stamp: float) -> None:
+        self.done = threading.Event()
+        self.reply: Optional[Reply] = None
+        self.stamp = stamp  # creation time; completion time once done
+
+
+class DedupCache:
+    """Bounded, TTL'd map ``logical_id -> reply frame``.
+
+    Parameters
+    ----------
+    max_entries:
+        Completed-entry bound; exceeded -> oldest completed entries are
+        evicted (pending entries don't count against the bound and are
+        never evicted).
+    ttl:
+        Seconds a completed entry stays replayable.
+    clock:
+        Injected monotonic clock (tests drive it manually).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving
+        ``ninf_server_dedup_hits_total`` (replays of a cached or
+        in-flight attempt) and ``ninf_server_dedup_entries`` (current
+        size, gauge).
+    """
+
+    def __init__(self, max_entries: int = 1024, ttl: float = 300.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics=None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, DedupEntry] = OrderedDict()
+        self.hits = 0
+        self._hits_metric = self._entries_metric = None
+        if metrics is not None:
+            from repro.obs import names
+
+            self._hits_metric = metrics.counter(
+                names.SERVER_DEDUP_HITS,
+                "Retried CALL attempts answered from the dedup cache")
+            self._entries_metric = metrics.gauge(
+                names.SERVER_DEDUP_ENTRIES,
+                "Logical calls currently tracked by the dedup cache")
+
+    # -- internal -----------------------------------------------------------
+
+    def _purge_locked(self, now: float) -> None:
+        """Drop expired + over-bound completed entries (oldest first)."""
+        expired = [key for key, entry in self._entries.items()
+                   if entry.reply is not None and now - entry.stamp > self.ttl]
+        for key in expired:
+            del self._entries[key]
+        # OrderedDict iterates insertion-order = oldest first;
+        # completion re-inserts at the back, so the front is the
+        # coldest.  Pending entries neither count against the bound
+        # nor get evicted — waiters hold them.
+        completed = [k for k, e in self._entries.items()
+                     if e.reply is not None]
+        excess = max(0, len(completed) - self.max_entries)
+        for key in completed[:excess]:
+            del self._entries[key]
+
+    def _note_size_locked(self) -> None:
+        if self._entries_metric is not None:
+            self._entries_metric.set(len(self._entries))
+
+    def _hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+        if self._hits_metric is not None:
+            self._hits_metric.inc()
+
+    # -- protocol -----------------------------------------------------------
+
+    def begin(self, key: str) -> tuple[str, DedupEntry]:
+        """Register attempt arrival; returns ``(state, entry)``.
+
+        ``state`` is ``"new"`` (this attempt should execute — the entry
+        is now pending and the caller *must* eventually
+        :meth:`complete` or :meth:`abort` it), ``"pending"`` (another
+        attempt is executing; wait on ``entry.done``), or ``"done"``
+        (``entry.reply`` is ready to replay).
+        """
+        now = self.clock()
+        with self._lock:
+            self._purge_locked(now)
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = DedupEntry(now)
+                self._note_size_locked()
+                return "new", entry
+            state = "done" if entry.reply is not None else "pending"
+        self._hit()
+        return state, entry
+
+    def complete(self, key: str, reply: Reply) -> None:
+        """Park the encoded reply and release any blocked attempts."""
+        now = self.clock()
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:  # aborted or evicted concurrently
+                entry = DedupEntry(now)
+            entry.reply = reply
+            entry.stamp = now
+            self._entries[key] = entry  # re-insert at the back (freshest)
+            self._purge_locked(now)
+            self._note_size_locked()
+        entry.done.set()
+
+    def abort(self, key: str) -> None:
+        """Forget a pending entry (the call was shed before executing).
+
+        Blocked attempts are released with ``entry.reply`` still
+        ``None`` — they re-:meth:`begin` and become the new executor.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            self._note_size_locked()
+        if entry is not None:
+            entry.done.set()
+
+    def wait(self, entry: DedupEntry,
+             timeout: Optional[float] = None) -> Optional[Reply]:
+        """Block until ``entry`` completes; ``None`` = timeout or abort."""
+        if not entry.done.wait(timeout):
+            return None
+        return entry.reply
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

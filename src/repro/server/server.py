@@ -13,8 +13,10 @@ import threading
 import time
 
 from repro.idl import IdlError
+from repro.protocol.errors import RemoteError, ServerBusy, ServerShutdown
 from repro.protocol.marshal import marshal_outputs, unmarshal_inputs
 from repro.protocol.messages import (
+    BusyReply,
     CallHeader,
     ErrorReply,
     JobTimestamps,
@@ -22,6 +24,7 @@ from repro.protocol.messages import (
     MessageType,
     PROTOCOL_VERSION,
 )
+from repro.server.dedup import DedupCache
 from repro.server.executor import Executor, Job
 from repro.server.registry import Registry
 from repro.server.scheduling import SchedulingPolicy, make_policy
@@ -59,12 +62,22 @@ class NinfServer(Endpoint):
         fresh one).  The executor publishes its queue/dispatch/execute
         metrics here and remote clients can fetch a snapshot via the
         ``STATS`` op (OBSERVABILITY.md).
+    max_queued:
+        Executor queue bound (``None`` = unbounded, the historical
+        behaviour).  Over-bound or deadline-unmeetable calls are shed
+        with a ``BUSY`` reply instead of queued (DESIGN.md §3.5).
+    dedup_ttl, dedup_max_entries:
+        Exactly-once result cache tuning (:class:`DedupCache`): how
+        long and how many completed logical calls stay replayable for
+        retried attempts.
     """
 
     def __init__(self, registry: Registry, host: str = "127.0.0.1",
                  port: int = 0, num_pes: int = 1, mode: str = "task",
                  policy: SchedulingPolicy | str = "fcfs",
-                 name: str = "ninf-server", fault_plan=None, metrics=None):
+                 name: str = "ninf-server", fault_plan=None, metrics=None,
+                 max_queued: int | None = None,
+                 dedup_ttl: float = 300.0, dedup_max_entries: int = 1024):
         if mode not in ("task", "data"):
             raise ValueError(f"mode must be 'task' or 'data', got {mode!r}")
         super().__init__(host=host, port=port, name=name,
@@ -73,7 +86,12 @@ class NinfServer(Endpoint):
         self.num_pes = num_pes
         self.mode = mode
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.max_queued = max_queued
         self.executor: Executor | None = None
+        # Exactly-once: completed logical calls stay replayable so a
+        # retried CALL whose first attempt finished does not recompute.
+        self.dedup = DedupCache(max_entries=dedup_max_entries,
+                                ttl=dedup_ttl, metrics=self.metrics)
         self._start_time = 0.0
         self._load_decay: float = 60.0
         # EWMA state is updated from every LOAD_QUERY handler thread;
@@ -86,6 +104,8 @@ class NinfServer(Endpoint):
         self._ticket_counter = 0
         self._detached_lock = threading.Lock()
         self._detached: dict[int, bytes | None] = {}
+        # Still-queued detached jobs by ticket, so CANCEL can drop them.
+        self._detached_jobs: dict[int, Job] = {}
         self.max_detached_results = 256
         # Execution trace (§5.1): per-call observations feeding
         # repro.metaserver.predictor for learned cost models.
@@ -101,13 +121,15 @@ class NinfServer(Endpoint):
         self.register_handler(MessageType.CALL_DETACHED,
                               self._handle_call_detached)
         self.register_handler(MessageType.FETCH_RESULT, self._handle_fetch)
+        self.register_handler(MessageType.CANCEL, self._handle_cancel)
 
     # -- lifecycle ----------------------------------------------------------
 
     def on_start(self) -> None:
         """Spin up the PE-pool executor before accepting connections."""
         self.executor = Executor(num_pes=self.num_pes, policy=self.policy,
-                                 metrics=self.metrics)
+                                 metrics=self.metrics,
+                                 max_queued=self.max_queued)
         self._start_time = time.monotonic()
         with self._load_lock:
             self._load_stamp = self._start_time
@@ -182,6 +204,59 @@ class NinfServer(Endpoint):
         channel.send(MessageType.INTERFACE_REPLY,
                      executable.signature.to_wire())
 
+    def _send_busy(self, channel: Channel, busy: ServerBusy) -> None:
+        """Answer with a BUSY frame (shed/expired call; best-effort)."""
+        enc = XdrEncoder()
+        BusyReply(retry_after=busy.retry_after,
+                  reason=busy.message).encode(enc)
+        try:
+            channel.send(MessageType.BUSY, enc.getvalue())
+        except OSError:
+            pass  # client went away; nothing to do
+
+    @staticmethod
+    def _send_reply(channel: Channel, reply: tuple[int, bytes]) -> None:
+        """Send a prepared (type, payload) reply frame, best-effort."""
+        reply_type, reply_payload = reply
+        try:
+            channel.send(reply_type, reply_payload)
+        except OSError:
+            pass  # client went away; nothing to do
+
+    def _dedup_admit(self, channel: Channel, header: CallHeader):
+        """Run a call's logical id through the dedup cache.
+
+        Returns ``(handled, key, entry)``: when ``handled`` the reply
+        (cached result, or BUSY while the first attempt still runs) has
+        been sent and the caller must not execute; otherwise ``key`` is
+        the dedup key to complete/abort (``None`` = client opted out)
+        and this attempt owns execution.
+        """
+        key = header.logical_id or None
+        if key is None:
+            return False, None, None
+        state, entry = self.dedup.begin(key)
+        while state == "pending":
+            # Another attempt of the same logical call is executing;
+            # block on it rather than double-executing, bounded by this
+            # attempt's own budget.
+            finished = entry.done.wait(
+                header.budget if header.budget > 0 else None)
+            if not finished:
+                self._send_busy(channel, ServerBusy(
+                    "duplicate-pending",
+                    retry_after=self.executor.estimated_wait()))
+                return True, key, entry
+            if entry.reply is not None:
+                self._send_reply(channel, entry.reply)
+                return True, key, entry
+            # The owning attempt was shed/aborted: race to take over.
+            state, entry = self.dedup.begin(key)
+        if state == "done":
+            self._send_reply(channel, entry.reply)
+            return True, key, entry
+        return False, key, entry
+
     def _handle_call(self, channel: Channel, payload: bytes) -> None:
         try:
             dec = XdrDecoder(payload)
@@ -204,16 +279,49 @@ class NinfServer(Endpoint):
         # Data-parallel mode: every call occupies the whole machine.
         if self.mode == "data":
             executable = _with_pes(executable, self.num_pes)
+        handled, key, _entry = self._dedup_admit(channel, header)
+        if handled:
+            return
+        # The budget is relative on the wire (clock-skew safe); pin it
+        # to this server's monotonic clock at receipt.
+        deadline = (self.executor.clock() + header.budget
+                    if header.budget > 0 else None)
+
+        def finish(reply_type: int, reply_payload: bytes,
+                   cache: bool = True) -> None:
+            if key is not None:
+                if cache:
+                    self.dedup.complete(key, (reply_type, reply_payload))
+                else:
+                    self.dedup.abort(key)
+            self._send_reply(channel, (reply_type, reply_payload))
 
         def on_complete(job: Job) -> None:
+            if isinstance(job.error, ServerBusy):
+                # Expired in the queue: never ran, safe to retry.
+                if key is not None:
+                    self.dedup.abort(key)
+                self._send_busy(channel, job.error)
+                return
             if job.error is not None:
-                channel.send_error("execution-failed", str(job.error))
+                if isinstance(job.error, RemoteError):
+                    code, message = job.error.code, job.error.message
+                else:
+                    code, message = "execution-failed", str(job.error)
+                enc = XdrEncoder()
+                ErrorReply(code=code, message=message).encode(enc)
+                # ServerShutdown never ran the job -- don't cache it,
+                # a retry elsewhere should execute for real.
+                finish(MessageType.ERROR, enc.getvalue(),
+                       cache=not isinstance(job.error, ServerShutdown))
                 return
             try:
                 out_payload = marshal_outputs(executable.signature,
                                               _merge_outputs(executable, job))
             except (XdrError, IdlError) as exc:
-                channel.send_error("bad-result", str(exc))
+                enc = XdrEncoder()
+                ErrorReply(code="bad-result", message=str(exc)).encode(enc)
+                finish(MessageType.ERROR, enc.getvalue())
                 return
             self._record_trace(executable, job,
                                len(args_payload) + len(out_payload))
@@ -221,10 +329,7 @@ class NinfServer(Endpoint):
             enc.pack_uhyper(header.call_id)
             job.timestamps().encode(enc)
             enc.pack_opaque(out_payload)
-            try:
-                channel.send(MessageType.RESULT, enc.getvalue())
-            except OSError:
-                pass  # client went away; nothing to do
+            finish(MessageType.RESULT, enc.getvalue())
 
         def send_callback(progress: float, message: str) -> None:
             enc = XdrEncoder()
@@ -236,10 +341,22 @@ class NinfServer(Endpoint):
             except OSError:
                 pass  # client went away; progress is best-effort
 
-        self.executor.submit(
-            executable, values, on_complete=on_complete,
-            callback=send_callback if executable.wants_callback else None,
-        )
+        try:
+            self.executor.submit(
+                executable, values, on_complete=on_complete,
+                callback=send_callback if executable.wants_callback else None,
+                deadline=deadline,
+            )
+        except ServerBusy as busy:
+            if key is not None:
+                self.dedup.abort(key)
+            self._send_busy(channel, busy)
+            return
+        except ServerShutdown as exc:
+            if key is not None:
+                self.dedup.abort(key)
+            channel.send_error(exc.code, exc.message)
+            return
         self._sample_load()
 
     def _record_trace(self, executable, job: Job, comm_bytes: int) -> None:
@@ -281,6 +398,13 @@ class NinfServer(Endpoint):
             return
         if self.mode == "data":
             executable = _with_pes(executable, self.num_pes)
+        handled, key, _entry = self._dedup_admit(channel, header)
+        if handled:
+            # A retried CALL_DETACHED replays the original CALL_ACCEPTED
+            # (same ticket), so the client's fetch loop keeps working.
+            return
+        deadline = (self.executor.clock() + header.budget
+                    if header.budget > 0 else None)
         with self._detached_lock:
             self._ticket_counter += 1
             ticket = self._ticket_counter
@@ -289,9 +413,13 @@ class NinfServer(Endpoint):
         def on_complete(job: Job) -> None:
             enc = XdrEncoder()
             if job.error is not None:
+                code = (job.error.code if isinstance(job.error, RemoteError)
+                        else "execution-failed")
+                message = (job.error.message
+                           if isinstance(job.error, RemoteError)
+                           else str(job.error))
                 enc.pack_bool(False)
-                ErrorReply(code="execution-failed",
-                           message=str(job.error)).encode(enc)
+                ErrorReply(code=code, message=message).encode(enc)
             else:
                 try:
                     out_payload = marshal_outputs(
@@ -306,17 +434,67 @@ class NinfServer(Endpoint):
                     enc.pack_opaque(out_payload)
             with self._detached_lock:
                 self._detached[ticket] = enc.getvalue()
+                self._detached_jobs.pop(ticket, None)
                 # Bound the store: evict the oldest *finished* results.
                 finished = [t for t, v in self._detached.items()
                             if v is not None]
                 while len(finished) > self.max_detached_results:
-                    self._detached.pop(finished.pop(0), None)
+                    evicted = finished.pop(0)
+                    self._detached.pop(evicted, None)
+                    self._detached_jobs.pop(evicted, None)
 
-        self.executor.submit(executable, values, on_complete=on_complete)
+        try:
+            job = self.executor.submit(executable, values,
+                                       on_complete=on_complete,
+                                       deadline=deadline)
+        except ServerBusy as busy:
+            with self._detached_lock:
+                self._detached.pop(ticket, None)
+            if key is not None:
+                self.dedup.abort(key)
+            self._send_busy(channel, busy)
+            return
+        except ServerShutdown as exc:
+            with self._detached_lock:
+                self._detached.pop(ticket, None)
+            if key is not None:
+                self.dedup.abort(key)
+            channel.send_error(exc.code, exc.message)
+            return
+        with self._detached_lock:
+            if not job.done.is_set():
+                self._detached_jobs[ticket] = job
         reply = XdrEncoder()
         reply.pack_uhyper(header.call_id)
         reply.pack_uhyper(ticket)
+        if key is not None:
+            # Cache the acceptance itself: a retried attempt (lost
+            # CALL_ACCEPTED) gets the same ticket, not a second job.
+            self.dedup.complete(key, (MessageType.CALL_ACCEPTED,
+                                      reply.getvalue()))
         channel.send(MessageType.CALL_ACCEPTED, reply.getvalue())
+
+    def _handle_cancel(self, channel: Channel, payload: bytes) -> None:
+        """Drop a still-queued detached job; running jobs finish.
+
+        Idempotent: unknown or already-dispatched tickets answer
+        ``dropped=False`` rather than erroring, so a client can fire
+        CANCEL best-effort on its own deadline expiry.
+        """
+        try:
+            dec = XdrDecoder(payload)
+            ticket = dec.unpack_uhyper()
+            dec.done()
+        except XdrError as exc:
+            channel.send_error("bad-request", str(exc))
+            return
+        with self._detached_lock:
+            job = self._detached_jobs.get(ticket)
+        dropped = self.executor.cancel(job) if job is not None else False
+        enc = XdrEncoder()
+        enc.pack_uhyper(ticket)
+        enc.pack_bool(dropped)
+        channel.send(MessageType.CANCEL_REPLY, enc.getvalue())
 
     def _handle_fetch(self, channel: Channel, payload: bytes) -> None:
         """Phase two: a (possibly new) connection collects the result."""

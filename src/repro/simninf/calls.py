@@ -85,6 +85,12 @@ class SimCallRecord:
     complete_time: float = 0.0
     comm_seconds: float = 0.0  # measured transfer time (both directions)
     site: str = "lan"
+    # Resilience accounting (DESIGN.md §3.5): "ok" once a reply reached
+    # the client, "shed" when admission refused the attempt (BUSY),
+    # "dead" when the server was down.  ``retry_after`` carries the
+    # server's estimated-wait hint alongside a shed.
+    outcome: str = "ok"
+    retry_after: float = 0.0
 
     @property
     def elapsed(self) -> float:

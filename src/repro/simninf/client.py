@@ -9,7 +9,7 @@ one outstanding call per client, like the benchmark driver.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +38,19 @@ class WorkloadClient:
     pooled client must re-dial, so retries pay the full setup cost.
     Fault draws come from a *separate* seeded RNG so ``fault_rate=0``
     reproduces the historical schedules byte-for-byte.
+
+    Resilience knobs (DESIGN.md §3.5):
+
+    - ``post_fault_rate`` drops the *reply* after execution (the
+      transport's ``drop_post``).  The retried call replays from the
+      server's dedup cache when it has one, or re-executes when not --
+      the simulated exactly-once-vs-at-least-once ablation.
+    - ``backups`` lists ``(server, route)`` failover targets; a shed or
+      dead primary moves the call to the next target (the live
+      BrokeredClient re-pick).  Without backups a shed call waits out
+      the server's ``retry_after`` hint and retries in place.
+    - ``call_deadline`` marks completed calls that blew the per-call
+      budget (counted in ``late_calls``).
     """
 
     def __init__(self, sim: Simulator, client_id: int, server: SimNinfServer,
@@ -46,7 +59,10 @@ class WorkloadClient:
                  max_calls: Optional[int] = None, pooled: bool = False,
                  pooled_setup: float = 0.0, fault_rate: float = 0.0,
                  retry_attempts: int = 1,
-                 fault_cost: Optional[float] = None):
+                 fault_cost: Optional[float] = None,
+                 post_fault_rate: float = 0.0,
+                 backups: Sequence[tuple[SimNinfServer, Route]] = (),
+                 call_deadline: Optional[float] = None):
         if not 0.0 < p <= 1.0:
             raise ValueError(f"issue probability must be in (0, 1], got {p}")
         if s < 0:
@@ -55,6 +71,9 @@ class WorkloadClient:
             raise ValueError(f"pooled_setup must be >= 0, got {pooled_setup}")
         if not 0.0 <= fault_rate < 1.0:
             raise ValueError(f"fault_rate must be in [0, 1), got {fault_rate}")
+        if not 0.0 <= post_fault_rate < 1.0:
+            raise ValueError(f"post_fault_rate must be in [0, 1), "
+                             f"got {post_fault_rate}")
         if retry_attempts < 1:
             raise ValueError(f"retry_attempts must be >= 1, "
                              f"got {retry_attempts}")
@@ -72,6 +91,9 @@ class WorkloadClient:
         self.pooled_setup = pooled_setup
         self.fault_rate = fault_rate
         self.retry_attempts = retry_attempts
+        self.post_fault_rate = post_fault_rate
+        self.backups = list(backups)
+        self.call_deadline = call_deadline
         # Default failed-attempt cost: a round trip to discover the
         # drop, never less than a tenth of a second of client-side
         # timeout machinery.
@@ -85,6 +107,9 @@ class WorkloadClient:
         self.faults_seen = 0
         self.retries = 0
         self.failed_calls = 0
+        self.shed_seen = 0
+        self.failovers = 0
+        self.late_calls = 0
         # A fault burns the keep-alive connection; the next delivered
         # call re-dials (full setup) and re-opens it.
         self._connection_open = False
@@ -126,18 +151,87 @@ class WorkloadClient:
             delivered = yield from self._attempt_faults()
             if not delivered:
                 continue
+            delivered = yield from self._issue(record)
+            if not delivered:
+                continue
+            if (self.call_deadline is not None
+                    and record.elapsed > self.call_deadline):
+                self.late_calls += 1
+            self.records.append(record)
+            if self.max_calls is not None and len(self.records) >= self.max_calls:
+                return
+
+    def _issue(self, record: SimCallRecord) -> Generator:
+        """Issue one logical call, riding out sheds, deaths, and lost
+        replies.
+
+        Returns ``True`` when a reply reached the client (the record is
+        complete), ``False`` when the attempt budget ran out.  The
+        attempt budget is ``retry_attempts``, stretched to cover every
+        failover target at least once when backups are configured.
+        """
+        sim = self.sim
+        targets = [(self.server, self.route), *self.backups]
+        budget = max(self.retry_attempts, len(targets))
+        target = 0
+        for attempt in range(1, budget + 1):
+            server, route = targets[target % len(targets)]
+            primary = server is self.server
             # A pooled client's connection is already open after the
             # first call; only the residual setup cost remains -- but a
             # faulted attempt burned the connection, so the call right
             # after a fault re-dials and pays full setup.
             t_setup = (self.pooled_setup
-                       if self.pooled and self._connection_open else None)
-            yield from self.server.execute_call(record, self.route,
-                                                t_setup=t_setup)
-            self._connection_open = True
-            self.records.append(record)
-            if self.max_calls is not None and len(self.records) >= self.max_calls:
-                return
+                       if self.pooled and primary and self._connection_open
+                       else None)
+            if attempt > 1:
+                self.call_attempts += 1
+                self.retries += 1
+            yield from server.execute_call(record, route, t_setup=t_setup)
+            if record.outcome == "ok":
+                if primary:
+                    self._connection_open = True
+                yield from self._maybe_lose_reply(record, server, route)
+                return True
+            if record.outcome == "shed":
+                self.shed_seen += 1
+            if attempt >= budget:
+                break
+            if len(targets) > 1:
+                # Failover: replay on the next candidate (the live
+                # BrokeredClient's metaserver re-pick).
+                target += 1
+                self.failovers += 1
+            elif record.outcome == "dead":
+                break  # nowhere else to go; retrying a corpse is futile
+            else:
+                # Shed with no backup: honour the server's retry-after
+                # hint (the BUSY reply's backoff floor).
+                yield sim.timeout(max(record.retry_after, 0.05))
+        self.failed_calls += 1
+        return False
+
+    def _maybe_lose_reply(self, record: SimCallRecord,
+                          server: SimNinfServer, route: Route) -> Generator:
+        """Post-execution reply loss (the transport's ``drop_post``).
+
+        The call executed; the reply frame died in flight.  The retry
+        replays from the server's dedup cache when it keeps one
+        (exactly-once), or re-executes the whole call when it does not
+        (at-least-once, paying queue + compute again).
+        """
+        if (self.post_fault_rate == 0.0
+                or self.fault_rng.random() >= self.post_fault_rate):
+            return
+        self.faults_seen += 1
+        self._connection_open = False
+        self.call_attempts += 1
+        self.retries += 1
+        yield self.sim.timeout(self.fault_cost)
+        if server.dedup:
+            yield from server.replay_result(record, route)
+        else:
+            yield from server.execute_call(record, route)
 
 
 def run_single_call(sim: Simulator, server: SimNinfServer, route: Route,

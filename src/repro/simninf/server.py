@@ -75,6 +75,8 @@ class SimNinfServer:
                  switch_overhead: float = 0.0,
                  policy: Optional[SchedulingPolicy] = None,
                  max_concurrent: Optional[int] = None,
+                 max_queued: Optional[int] = None,
+                 dedup: bool = True,
                  tracer: Optional[Tracer] = None):
         if mode not in ("task", "data"):
             raise ValueError(f"mode must be 'task' or 'data', got {mode!r}")
@@ -94,10 +96,39 @@ class SimNinfServer:
         # The default (None) is the 1997 fork-on-arrival behaviour.
         self.policy = policy
         self.max_concurrent = max_concurrent
+        # Overload shedding (DESIGN.md §3.5): with ``max_queued`` set,
+        # a call arriving while ``capacity + max_queued`` calls are
+        # already in flight is refused at the door (outcome "shed",
+        # the live server's BUSY reply) instead of joining the
+        # processor-share pile-up.  None = today's accept-everything.
+        self.max_queued = max_queued
+        # Exactly-once analogue: with ``dedup`` on, a client whose
+        # reply frame was lost may call :meth:`replay_result` instead
+        # of re-executing (the live DedupCache replay path).
+        self.dedup = dedup
+        self.alive = True
+        self.shed = 0
+        self.replays = 0
+        self._inflight = 0
         self.tracer = tracer
         self._admission_queue: list[_QueuedJob] = []
         self._admitted = 0
         self._admission_seq = 0
+
+    # -- resilience knobs ---------------------------------------------------
+
+    def kill(self) -> None:
+        """Take the server down: subsequent arrivals get outcome "dead"."""
+        self.alive = False
+
+    def _capacity(self) -> int:
+        """Concurrent calls the PE pool absorbs without queueing."""
+        return self.spec.num_pes if self.mode == "task" else 1
+
+    def _shed_hint(self, spec: CallSpec) -> float:
+        """The BUSY retry-after estimate: backlog x service time / PEs."""
+        service = spec.comp_seconds(self.mode == "data")
+        return service * self._inflight / max(1, self._capacity())
 
     # -- admission control --------------------------------------------------
 
@@ -149,6 +180,19 @@ class SimNinfServer:
         # Request packet reaches the server; acceptance stamps T_enqueue.
         yield sim.timeout(route.latency + setup / 2)
         record.enqueue_time = sim.now
+        if not self.alive:
+            record.outcome = "dead"
+            record.complete_time = sim.now
+            return record
+        if (self.max_queued is not None
+                and self._inflight >= self._capacity() + self.max_queued):
+            # Admission refuses at the door (the live server's BUSY).
+            self.shed += 1
+            record.outcome = "shed"
+            record.retry_after = self._shed_hint(spec)
+            record.complete_time = sim.now
+            return record
+        self._inflight += 1
         # Optional admission control (SJF etc.) queues here (§5.2).
         if spec.pes is not None:
             pes_required = spec.pes
@@ -173,15 +217,44 @@ class SimNinfServer:
             work = spec.comp_seconds(data_parallel=False)
             yield from self.machine.run(work, max_pes=float(pes_required))
         compute_end = sim.now
+        if not self.alive:
+            # Killed mid-call: the computed result never leaves the host.
+            self._inflight -= 1
+            self._release_admission(pes_required)
+            record.outcome = "dead"
+            record.complete_time = sim.now
+            return record
         # Result download (marshalling again pipelined).
         comm_start = sim.now
         yield from self._transfer(route, spec.output_bytes)
         yield sim.timeout(setup / 2)
         record.comm_seconds += sim.now - comm_start
         record.complete_time = sim.now
+        record.outcome = "ok"
         self.calls_completed += 1
+        self._inflight -= 1
         self._release_admission(pes_required)
         self._emit_trace(record, upload_end, compute_end)
+        return record
+
+    def replay_result(self, record: SimCallRecord, route: Route,
+                      t_setup: Optional[float] = None) -> Generator:
+        """Re-deliver a completed call's cached reply (dedup hit).
+
+        The live analogue: a retried CALL whose ``logical_id`` is
+        already "done" in the server's :class:`~repro.server.DedupCache`
+        pays connection + result download, never queue or compute.
+        """
+        sim = self.sim
+        setup = self.t_setup if t_setup is None else t_setup
+        yield sim.timeout(route.latency + setup / 2)
+        comm_start = sim.now
+        yield from self._transfer(route, record.spec.output_bytes)
+        yield sim.timeout(setup / 2)
+        record.comm_seconds += sim.now - comm_start
+        record.complete_time = sim.now
+        record.outcome = "ok"
+        self.replays += 1
         return record
 
     def _emit_trace(self, record: SimCallRecord, upload_end: float,

@@ -17,12 +17,17 @@ three abstractions:
   pool checkout, endpoint accept); see :mod:`repro.transport.faults`.
 - :class:`RetryPolicy` -- bounded exponential backoff with seeded
   jitter and transient-error classification, used by the client's
-  idempotent operations and the metaserver's liveness prober.
+  idempotent operations (and, with server-side dedup, CALL itself) and
+  the metaserver's liveness prober.
+- :class:`CircuitBreaker` -- per-host consecutive-failure trip with a
+  half-open probe, so failover skips dead hosts without paying a
+  connect timeout each time; see :mod:`repro.transport.breaker`.
 
 Layering: ``xdr`` (encoding) -> ``protocol`` (framing + messages) ->
 ``transport`` (connections) -> ``client`` / ``server`` / ``metaserver``.
 """
 
+from repro.transport.breaker import CircuitBreaker
 from repro.transport.channel import Channel, connect
 from repro.transport.endpoint import Endpoint
 from repro.transport.faults import FaultEvent, FaultPlan, FaultyChannel
@@ -31,6 +36,7 @@ from repro.transport.retry import RetryPolicy, is_transient
 
 __all__ = [
     "Channel",
+    "CircuitBreaker",
     "ConnectionPool",
     "Endpoint",
     "FaultEvent",

@@ -16,9 +16,9 @@ import socket
 import threading
 from typing import Optional, Union
 
-from repro.protocol.errors import ProtocolError, RemoteError
+from repro.protocol.errors import ProtocolError, RemoteError, ServerBusy
 from repro.protocol.framing import HEADER, recv_frame, send_frame
-from repro.protocol.messages import ErrorReply, MessageType
+from repro.protocol.messages import BusyReply, ErrorReply, MessageType
 from repro.xdr import XdrDecoder, XdrEncoder
 
 __all__ = ["Channel", "connect"]
@@ -170,8 +170,10 @@ class Channel:
         """One send + one recv, atomically with respect to other callers.
 
         An ``ERROR`` reply is decoded and re-raised as
-        :class:`~repro.protocol.errors.RemoteError`; when ``expect`` is
-        given, any other reply type raises
+        :class:`~repro.protocol.errors.RemoteError`, a ``BUSY`` reply
+        as :class:`~repro.protocol.errors.ServerBusy` (carrying the
+        server's retry-after hint); when ``expect`` is given, any other
+        reply type raises
         :class:`~repro.protocol.errors.ProtocolError`.
         """
         with self._rpc_lock:
@@ -180,6 +182,9 @@ class Channel:
         if reply_type == MessageType.ERROR:
             err = ErrorReply.decode(XdrDecoder(reply))
             raise RemoteError(err.code, err.message)
+        if reply_type == MessageType.BUSY:
+            busy = BusyReply.decode(XdrDecoder(reply))
+            raise ServerBusy(busy.reason, retry_after=busy.retry_after)
         if expect is not None and reply_type != expect:
             raise ProtocolError(f"expected message {expect}, got {reply_type}")
         return reply_type, reply

@@ -7,12 +7,18 @@ never is.  :func:`is_transient` is that classification, shared by
 :class:`RetryPolicy`, the :class:`~repro.client.NinfClient` counters,
 and the metaserver's liveness prober.
 
-Only *idempotent* operations ride a :class:`RetryPolicy` (``ping``,
-``get_signature``, ``list_functions``, ``query_load``, result polling).
-``CALL`` is deliberately excluded: a request that died in flight may
-still execute server-side, so auto-retry would risk running the remote
-routine twice.  CALL-level fault tolerance stays where the paper puts
-it -- :class:`~repro.client.Transaction` migration to another server.
+Idempotent operations (``ping``, ``get_signature``, ``list_functions``,
+``query_load``, result polling) always ride a :class:`RetryPolicy`.
+``CALL`` historically could not: a request that died in flight may
+still execute server-side, so auto-retry risked running the remote
+routine twice.  Since the server grew a dedup/result cache keyed on
+the logical call id (DESIGN.md §3.5), a retried CALL that actually
+completed replays the cached reply instead of recomputing, and
+``NinfClient(retry_calls=True)`` opts CALL into the policy too.
+:class:`~repro.protocol.errors.ServerBusy` (a shed call — never
+queued) and :class:`~repro.protocol.errors.ServerShutdown` (queued but
+never dispatched) are therefore classified transient even though they
+arrive as remote replies.
 
 Emitted metrics (conventions and exact semantics in OBSERVABILITY.md):
 a policy given a :class:`~repro.obs.MetricsRegistry` counts every
@@ -29,7 +35,12 @@ import threading
 import time
 from typing import Callable, Optional, TypeVar
 
-from repro.protocol.errors import ProtocolError, RemoteError
+from repro.protocol.errors import (
+    ProtocolError,
+    RemoteError,
+    ServerBusy,
+    ServerShutdown,
+)
 
 __all__ = ["RetryPolicy", "is_transient"]
 
@@ -42,10 +53,15 @@ def is_transient(exc: BaseException) -> bool:
     Transport timeouts, connection resets/refusals (``OSError``), and
     framing-level :class:`ProtocolError` (bad magic, checksum mismatch,
     connection closed mid-frame) are transient: a fresh connection may
-    well succeed.  :class:`RemoteError` is the server *answering* --
-    retrying a deterministic failure is pure waste -- and everything
-    else (XDR bugs, ``ValueError``...) is a programming error.
+    well succeed.  So are :class:`ServerBusy` (the call was shed, never
+    queued) and :class:`ServerShutdown` (queued, never dispatched) --
+    the server *declining* work it provably did not run.  Any other
+    :class:`RemoteError` is the server answering -- retrying a
+    deterministic failure is pure waste -- and everything else (XDR
+    bugs, ``ValueError``...) is a programming error.
     """
+    if isinstance(exc, (ServerBusy, ServerShutdown)):
+        return True
     if isinstance(exc, RemoteError):
         return False
     return isinstance(exc, (ProtocolError, OSError, TimeoutError))
@@ -134,13 +150,20 @@ class RetryPolicy:
         return max(0.0, delay)
 
     def run(self, fn: Callable[[], T],
-            on_retry: Optional[Callable[[int, BaseException], None]] = None
-            ) -> T:
+            on_retry: Optional[Callable[[int, BaseException], None]] = None,
+            deadline: Optional[float] = None,
+            clock: Callable[[], float] = time.monotonic) -> T:
         """Call ``fn`` until it succeeds or retries are exhausted.
 
         ``on_retry(retry_index, exc)`` fires before each backoff sleep.
         Non-transient errors and the final transient error propagate
-        unchanged.
+        unchanged.  A ``deadline`` (on ``clock``) stops retrying once
+        the budget is spent: an error raised at or past the deadline
+        propagates even if transient, and the backoff sleep never
+        overshoots the remaining budget.  A :class:`ServerBusy` failure
+        stretches the sleep to its ``retry_after`` hint (capped at
+        ``max_delay``) -- retrying sooner than the server asked is
+        guaranteed to be shed again.
         """
         attempt = 1
         while True:
@@ -151,7 +174,9 @@ class RetryPolicy:
             try:
                 return fn()
             except BaseException as exc:
-                if not self.classify(exc) or attempt >= self.max_attempts:
+                if (not self.classify(exc)
+                        or attempt >= self.max_attempts
+                        or (deadline is not None and clock() >= deadline)):
                     raise
                 failure = exc
             with self._lock:
@@ -160,7 +185,13 @@ class RetryPolicy:
                 self._retries_metric.inc()
             if on_retry is not None:
                 on_retry(attempt, failure)
-            self.sleep(self.backoff(attempt))
+            delay = self.backoff(attempt)
+            hint = getattr(failure, "retry_after", 0.0)
+            if hint:
+                delay = max(delay, min(float(hint), self.max_delay))
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - clock()))
+            self.sleep(delay)
             attempt += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

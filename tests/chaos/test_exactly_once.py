@@ -1,0 +1,87 @@
+"""Exactly-once CALL under chaos: drop_post + retry must never
+double-execute and never lose a result (DESIGN.md §3.5).
+
+A DROP_POST fault kills the connection after the request frame is on
+the wire, so the server executes but the reply is lost — the classic
+"did it run?" ambiguity.  With ``retry_calls`` the client resubmits the
+same ``logical_id``; the server's dedup cache replays the parked reply
+instead of executing again.
+"""
+
+import pytest
+
+from repro.client import NinfClient
+from repro.server import NinfServer, Registry
+from repro.transport import FaultPlan
+from repro.transport.faults import DROP_POST
+from tests.chaos.conftest import fast_retry
+
+BUMP_IDL = ('Define bump(mode_in int n, mode_out int doubled) '
+            '"records the call and doubles n";')
+
+
+def make_env():
+    executions = []
+    registry = Registry()
+
+    def bump(n, doubled):
+        executions.append(int(n))
+        return 2 * int(n)
+
+    registry.register(BUMP_IDL, bump)
+    return registry, executions
+
+
+def warm(client):
+    """Cache the signature so faults only ever hit CALL frames."""
+    with NinfClient(client.host, client.port) as clean:
+        client._signatures["bump"] = clean.get_signature("bump")
+
+
+def test_n_logical_calls_execute_exactly_n_times():
+    registry, executions = make_env()
+    n = 20
+    plan = FaultPlan(seed=1997, rate=0.3, kinds=(DROP_POST,))
+    with NinfServer(registry, num_pes=2) as server:
+        with NinfClient(*server.address, timeout=5.0,
+                        retry=fast_retry(6), retry_calls=True,
+                        fault_plan=plan) as client:
+            warm(client)
+            for i in range(n):
+                assert client.call("bump", i, None) == [2 * i]
+        assert plan.faults_injected >= 1  # chaos actually happened
+        assert server.dedup.hits >= 1  # ...and dedup absorbed it
+    assert sorted(executions) == list(range(n))  # exactly once each
+
+
+def test_without_retry_the_call_is_simply_lost():
+    """The control: a bare client (no call retry) under the same plan
+    surfaces the fault to the caller, who cannot tell whether the
+    server ran the call (an RST may or may not beat the request frame
+    to the server) — exactly the ambiguity retry+dedup resolves."""
+    registry, executions = make_env()
+    plan = FaultPlan(seed=1997, rate=1.0, kinds=(DROP_POST,),
+                     max_faults=1)
+    with NinfServer(registry, num_pes=2) as server:
+        with NinfClient(*server.address, timeout=5.0,
+                        fault_plan=plan) as client:
+            warm(client)
+            with pytest.raises(OSError):
+                client.call("bump", 1, None)
+    assert len(executions) <= 1  # ran at most once; result lost either way
+
+
+def test_lost_call_accepted_replays_the_same_ticket():
+    """Detached flavor: when CALL_ACCEPTED is lost, the retried submit
+    must get the *original* ticket back, not enqueue a second job."""
+    registry, executions = make_env()
+    plan = FaultPlan(seed=11, rate=1.0, kinds=(DROP_POST,), max_faults=1)
+    with NinfServer(registry, num_pes=2) as server:
+        with NinfClient(*server.address, timeout=5.0,
+                        retry=fast_retry(6), retry_calls=True,
+                        fault_plan=plan) as client:
+            warm(client)
+            call = client.call_detached("bump", 21, None)
+            assert client.fetch_detached(call, timeout=5.0) == [42]
+        assert plan.faults_injected == 1
+    assert executions == [21]

@@ -1,0 +1,120 @@
+"""Metaserver failover chaos: live servers die mid-workload and the
+brokered client must route around them (DESIGN.md §3.5).
+
+Determinism trick: the metaserver's LoadScheduler picks the least
+loaded provider, so painting the dead server as idle and the live one
+as busy forces every fresh pick onto the corpse — the failover path
+runs on every call instead of by luck.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metaserver import BrokeredClient, MetaClient, Metaserver
+from repro.protocol.messages import LoadReply
+from repro.server import NinfServer
+from repro.transport import CircuitBreaker
+from tests.rpc.conftest import build_registry
+
+
+@pytest.fixture
+def fleet():
+    servers = [NinfServer(build_registry(), num_pes=2, name=f"srv{i}").start()
+               for i in range(2)]
+    meta = Metaserver(poll_interval=3600.0).start()  # no background polls
+    meta_client = MetaClient(*meta.address)
+    for server in servers:
+        meta_client.register_server(server)
+    yield servers, meta, meta_client
+    meta.stop()
+    for server in servers:
+        server.stop()
+
+
+def kill_and_bait(fleet):
+    """Stop srv0 and make the scheduler prefer it (idle vs busy)."""
+    servers, meta, _ = fleet
+    dead = servers[0].address
+    servers[0].stop()
+    meta.directory.update_load(
+        *dead, LoadReply(num_pes=2, running=0, queued=0,
+                         load_average=0.0, completed=0))
+    meta.directory.update_load(
+        *servers[1].address,
+        LoadReply(num_pes=2, running=2, queued=8, load_average=5.0,
+                  completed=0))
+    return dead
+
+
+def dmmul_args(rng, n=4):
+    a = rng.standard_normal((n, n))
+    return (n, a, a, None), a
+
+
+def test_failover_survives_a_dead_server(fleet):
+    _, _, meta_client = fleet
+    dead = kill_and_bait(fleet)
+    rng = np.random.default_rng(0)
+    with BrokeredClient(meta_client, max_failover=1) as broker:
+        args, a = dmmul_args(rng)
+        (c,) = broker.call("dmmul", *args)
+        np.testing.assert_allclose(c, a @ a, rtol=1e-12)
+        assert broker.failovers == 1
+        info, _record = broker.records[-1]
+        assert (info.host, info.port) != dead
+
+
+def test_bare_client_fails_without_failover(fleet):
+    _, _, meta_client = fleet
+    kill_and_bait(fleet)
+    rng = np.random.default_rng(1)
+    with BrokeredClient(meta_client, max_failover=0) as broker:
+        args, _a = dmmul_args(rng)
+        with pytest.raises(OSError):
+            broker.call("dmmul", *args)
+        assert broker.failovers == 0
+
+
+def test_breaker_trips_and_later_calls_skip_the_corpse(fleet):
+    _, _, meta_client = fleet
+    dead = kill_and_bait(fleet)
+    rng = np.random.default_rng(2)
+    breaker = CircuitBreaker(threshold=2, cooldown=3600.0)
+    with BrokeredClient(meta_client, max_failover=1,
+                        breaker=breaker) as broker:
+        for _ in range(2):  # two failovers feed the breaker
+            args, _a = dmmul_args(rng)
+            broker.call("dmmul", *args)
+        assert broker.failovers == 2
+        assert breaker.state(dead) == "open"
+        assert breaker.trips == 1
+        # With the breaker open, the pick excludes the dead host up
+        # front: the next call routes straight to the survivor.
+        args, _a = dmmul_args(rng)
+        broker.call("dmmul", *args)
+        assert broker.failovers == 2  # no new failover needed
+
+
+def test_metaserver_poll_also_retires_the_dead(fleet):
+    """Belt and braces: once the monitor notices the corpse, pick never
+    offers it and even a failover-less client succeeds."""
+    servers, meta, meta_client = fleet
+    kill_and_bait(fleet)
+    meta.poll_now()
+    rng = np.random.default_rng(3)
+    with BrokeredClient(meta_client, max_failover=0) as broker:
+        args, a = dmmul_args(rng)
+        (c,) = broker.call("dmmul", *args)
+        np.testing.assert_allclose(c, a @ a, rtol=1e-12)
+        assert broker.failovers == 0
+
+
+def test_all_servers_dead_raises(fleet):
+    servers, meta, meta_client = fleet
+    for server in servers:
+        server.stop()
+    rng = np.random.default_rng(4)
+    with BrokeredClient(meta_client, max_failover=3) as broker:
+        args, _a = dmmul_args(rng)
+        with pytest.raises((OSError, Exception)):
+            broker.call("dmmul", *args)

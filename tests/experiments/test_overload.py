@@ -1,0 +1,73 @@
+"""The resilience ablations: shedding beats queueing past saturation,
+failover beats bare clients under server kills."""
+
+from repro.experiments import (
+    failover_ablation,
+    format_failover,
+    format_overload,
+    overload_ablation,
+)
+
+
+def small_overload():
+    return overload_ablation(load_factors=(0.5, 2.0), max_queued=2,
+                             horizon=40.0)
+
+
+def small_failover():
+    return failover_ablation(kill_fractions=(0.0, 0.5), n_servers=2,
+                             c=4, horizon=40.0)
+
+
+def test_overload_cells_and_headline_inequality():
+    cells = small_overload()
+    assert len(cells) == 4  # (unbounded, bounded) per load point
+    by = {(cell.load_factor, cell.bounded): cell for cell in cells}
+    light_unbounded = by[(0.5, False)]
+    assert light_unbounded.calls_shed == 0  # under capacity: no shedding
+    over_unbounded, over_bounded = by[(2.0, False)], by[(2.0, True)]
+    # The acceptance criterion: at 2x capacity, shedding keeps the
+    # served calls fast while the unbounded pile-up blows the tail.
+    assert over_bounded.p95_elapsed < over_unbounded.p95_elapsed
+    assert over_bounded.goodput >= over_unbounded.goodput
+    assert over_bounded.calls_shed > 0
+
+
+def test_overload_accounting_consistent():
+    for cell in small_overload():
+        assert cell.calls_completed + cell.calls_failed <= cell.calls_issued
+        assert 0.0 <= cell.success_rate <= 1.0
+        assert cell.late_calls <= cell.calls_completed
+
+
+def test_overload_deterministic():
+    assert small_overload() == small_overload()
+
+
+def test_failover_cells_and_headline_inequality():
+    cells = small_failover()
+    assert len(cells) == 4
+    by = {(cell.kill_fraction, cell.failover): cell for cell in cells}
+    assert by[(0.0, False)].availability == 1.0
+    assert by[(0.0, True)].availability == 1.0
+    bare, failing_over = by[(0.5, False)], by[(0.5, True)]
+    assert bare.availability < 1.0  # killed primaries cost bare clients
+    assert failing_over.availability > bare.availability
+    assert failing_over.failovers > 0
+
+
+def test_failover_deterministic():
+    assert small_failover() == small_failover()
+
+
+def test_format_tables():
+    overload_table = format_overload(small_overload())
+    lines = overload_table.splitlines()
+    assert lines[0].startswith("| load | queue |")
+    assert any("bounded(2)" in line for line in lines)
+    assert any("unbounded" in line for line in lines)
+
+    failover_table = format_failover(small_failover())
+    lines = failover_table.splitlines()
+    assert lines[0].startswith("| killed | failover |")
+    assert any("| 1/2 | on |" in line for line in lines)

@@ -1,0 +1,141 @@
+"""DedupCache: TTL, bounds, pending protection, and concurrency."""
+
+import threading
+
+from repro.obs import MetricsRegistry
+from repro.obs import names
+from repro.server import DedupCache
+
+REPLY = (10, b"result-frame")
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_new_then_done_replays():
+    cache = DedupCache()
+    state, entry = cache.begin("call-1")
+    assert state == "new"
+    cache.complete("call-1", REPLY)
+    state, entry = cache.begin("call-1")
+    assert state == "done"
+    assert entry.reply == REPLY
+    assert cache.hits == 1
+
+
+def test_distinct_keys_are_independent():
+    cache = DedupCache()
+    assert cache.begin("a")[0] == "new"
+    assert cache.begin("b")[0] == "new"
+    cache.complete("a", REPLY)
+    assert cache.begin("a")[0] == "done"
+    assert cache.begin("b")[0] == "pending"
+
+
+def test_ttl_eviction_reexecutes():
+    clock = ManualClock()
+    cache = DedupCache(ttl=10.0, clock=clock)
+    cache.begin("x")
+    cache.complete("x", REPLY)
+    clock.advance(9.0)
+    assert cache.begin("x")[0] == "done"  # still fresh
+    clock.advance(2.0)  # 11 s past completion
+    assert cache.begin("x")[0] == "new"  # expired: caller re-executes
+
+
+def test_completion_refreshes_ttl_stamp():
+    clock = ManualClock()
+    cache = DedupCache(ttl=10.0, clock=clock)
+    cache.begin("x")
+    clock.advance(9.0)  # execution took 9 s
+    cache.complete("x", REPLY)
+    clock.advance(9.0)  # 18 s after begin, 9 s after completion
+    assert cache.begin("x")[0] == "done"
+
+
+def test_bounded_size_evicts_oldest_completed():
+    cache = DedupCache(max_entries=2)
+    for key in ("a", "b", "c"):
+        cache.begin(key)
+        cache.complete(key, REPLY)
+    assert len(cache) == 2
+    assert cache.begin("a")[0] == "new"  # oldest was evicted
+    assert cache.begin("b")[0] == "done"
+    assert cache.begin("c")[0] == "done"
+
+
+def test_pending_entries_never_evicted():
+    cache = DedupCache(max_entries=1)
+    assert cache.begin("pending-call")[0] == "new"
+    for key in ("a", "b", "c"):
+        cache.begin(key)
+        cache.complete(key, REPLY)
+    # The pending entry survived the churn; a retry still blocks on it
+    # rather than re-executing.
+    assert cache.begin("pending-call")[0] == "pending"
+
+
+def test_abort_wakes_waiter_with_none():
+    cache = DedupCache()
+    _state, entry = cache.begin("shed-call")
+    results = []
+    waiter = threading.Thread(
+        target=lambda: results.append(cache.wait(entry, timeout=2.0)))
+    waiter.start()
+    cache.abort("shed-call")
+    waiter.join(2.0)
+    assert results == [None]
+    # The key is free again: the waiter re-begins and takes over.
+    assert cache.begin("shed-call")[0] == "new"
+
+
+def test_concurrent_same_key_blocks_not_double_executes():
+    cache = DedupCache()
+    executions = []
+    barrier = threading.Barrier(4)
+    replies = []
+
+    def attempt():
+        barrier.wait()
+        state, entry = cache.begin("hot-call")
+        if state == "new":
+            executions.append(1)
+            cache.complete("hot-call", REPLY)
+            replies.append(REPLY)
+        elif state == "pending":
+            replies.append(cache.wait(entry, timeout=2.0))
+        else:
+            replies.append(entry.reply)
+
+    threads = [threading.Thread(target=attempt) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(2.0)
+    assert len(executions) == 1  # exactly one attempt executed
+    assert replies == [REPLY] * 4  # everyone got the same reply
+
+
+def test_wait_timeout_returns_none():
+    cache = DedupCache()
+    _state, entry = cache.begin("slow")
+    assert cache.wait(entry, timeout=0.01) is None
+
+
+def test_metrics_mirror_hits_and_size():
+    registry = MetricsRegistry()
+    cache = DedupCache(metrics=registry)
+    cache.begin("a")
+    cache.complete("a", REPLY)
+    cache.begin("a")
+    snap = registry.snapshot()
+    assert snap[names.SERVER_DEDUP_HITS]["values"][0]["value"] == 1
+    assert snap[names.SERVER_DEDUP_ENTRIES]["values"][0]["value"] == 1

@@ -1,0 +1,121 @@
+"""CircuitBreaker: trip threshold, cooldown, half-open probe."""
+
+from repro.obs import MetricsRegistry, names
+from repro.transport import CircuitBreaker
+
+KEY = ("host-a", 5656)
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make(threshold=3, cooldown=5.0, metrics=None):
+    clock = ManualClock()
+    return CircuitBreaker(threshold=threshold, cooldown=cooldown,
+                          clock=clock, metrics=metrics), clock
+
+
+def test_closed_until_threshold():
+    breaker, _clock = make(threshold=3)
+    for _ in range(2):
+        breaker.record_failure(KEY)
+        assert breaker.state(KEY) == "closed"
+        assert breaker.allow(KEY)
+    breaker.record_failure(KEY)
+    assert breaker.state(KEY) == "open"
+    assert not breaker.allow(KEY)
+    assert breaker.trips == 1
+
+
+def test_success_resets_consecutive_count():
+    breaker, _clock = make(threshold=3)
+    breaker.record_failure(KEY)
+    breaker.record_failure(KEY)
+    breaker.record_success(KEY)
+    breaker.record_failure(KEY)
+    breaker.record_failure(KEY)
+    assert breaker.state(KEY) == "closed"  # never 3 consecutive
+
+
+def test_half_open_admits_exactly_one_probe():
+    breaker, clock = make(threshold=1, cooldown=5.0)
+    breaker.record_failure(KEY)
+    assert not breaker.allow(KEY)
+    clock.advance(5.0)
+    assert breaker.state(KEY) == "half-open"
+    assert breaker.allow(KEY)  # the probe slot
+    assert not breaker.allow(KEY)  # only one caller gets it
+
+
+def test_probe_success_closes():
+    breaker, clock = make(threshold=1, cooldown=5.0)
+    breaker.record_failure(KEY)
+    clock.advance(5.0)
+    assert breaker.allow(KEY)
+    breaker.record_success(KEY)
+    assert breaker.state(KEY) == "closed"
+    assert breaker.allow(KEY)
+
+
+def test_probe_failure_reopens_and_counts_a_trip():
+    breaker, clock = make(threshold=1, cooldown=5.0)
+    breaker.record_failure(KEY)
+    assert breaker.trips == 1
+    clock.advance(5.0)
+    assert breaker.allow(KEY)
+    breaker.record_failure(KEY)
+    assert breaker.trips == 2
+    assert breaker.state(KEY) == "open"
+    assert not breaker.allow(KEY)
+    # The cooldown restarted at the probe failure.
+    clock.advance(4.9)
+    assert not breaker.allow(KEY)
+    clock.advance(0.2)
+    assert breaker.allow(KEY)
+
+
+def test_blocked_lists_open_but_not_half_open():
+    breaker, clock = make(threshold=1, cooldown=5.0)
+    other = ("host-b", 5656)
+    breaker.record_failure(KEY)
+    breaker.record_failure(other)
+    assert breaker.blocked() == {KEY, other}
+    clock.advance(5.0)
+    # Cooldown elapsed, probes available: excluding blocked() must
+    # still let a scheduler route the probe, so neither key is listed.
+    assert breaker.blocked() == set()
+    # ...but once someone holds the probe slot, the key blocks again.
+    assert breaker.allow(KEY)
+    assert breaker.blocked() == {KEY}
+
+
+def test_keys_are_independent():
+    breaker, _clock = make(threshold=1)
+    other = ("host-b", 5656)
+    breaker.record_failure(KEY)
+    assert not breaker.allow(KEY)
+    assert breaker.allow(other)
+    assert breaker.state(other) == "closed"
+
+
+def test_failure_while_open_does_not_count_extra_trip():
+    breaker, _clock = make(threshold=1)
+    breaker.record_failure(KEY)  # trips
+    breaker.record_failure(KEY)  # an in-flight call landing late
+    assert breaker.trips == 1
+
+
+def test_trips_metric_mirrors():
+    registry = MetricsRegistry()
+    breaker, _clock = make(threshold=1, metrics=registry)
+    breaker.record_failure(KEY)
+    snap = registry.snapshot()
+    assert snap[names.BREAKER_TRIPS]["values"][0]["value"] == 1

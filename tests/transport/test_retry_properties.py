@@ -1,0 +1,175 @@
+"""Property tests for RetryPolicy: backoff shape, classification,
+deadlines, and the BUSY retry-after floor."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import (
+    ProtocolError,
+    RemoteError,
+    ServerBusy,
+    ServerShutdown,
+)
+from repro.transport import RetryPolicy, is_transient
+
+# ------------------------------------------------------------- backoff
+
+
+@given(
+    base=st.floats(min_value=1e-4, max_value=1.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=0.1, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_backoff_monotone_and_bounded_without_jitter(base, multiplier,
+                                                     max_delay, seed):
+    """With jitter off, backoff never decreases and never exceeds the
+    cap; with jitter on, it stays within [0, max_delay * (1+jitter)]."""
+    policy = RetryPolicy(max_attempts=8, base_delay=base,
+                         multiplier=multiplier, max_delay=max_delay,
+                         jitter=0.0, rng=random.Random(seed),
+                         sleep=lambda _s: None)
+    delays = [policy.backoff(k) for k in range(1, 9)]
+    assert all(d2 >= d1 for d1, d2 in zip(delays, delays[1:]))
+    assert all(0.0 <= d <= max_delay for d in delays)
+
+
+@given(
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_jittered_backoff_stays_in_envelope(jitter, seed):
+    policy = RetryPolicy(max_attempts=8, base_delay=0.05, multiplier=2.0,
+                         max_delay=2.0, jitter=jitter,
+                         rng=random.Random(seed), sleep=lambda _s: None)
+    for k in range(1, 9):
+        nominal = min(2.0, 0.05 * 2.0 ** (k - 1))
+        d = policy.backoff(k)
+        assert 0.0 <= d <= nominal * (1.0 + jitter) + 1e-12
+
+
+# -------------------------------------------------------- classification
+
+
+@pytest.mark.parametrize("exc,expected", [
+    (ServerBusy("queue-full", retry_after=0.5), True),
+    (ServerShutdown(), True),
+    (RemoteError("execution-failed", "kaboom"), False),
+    (ProtocolError("bad magic"), True),
+    (OSError("connection reset"), True),
+    (ConnectionRefusedError(), True),
+    (TimeoutError(), True),
+    (ValueError("not transport"), False),
+    (KeyError("nope"), False),
+])
+def test_is_transient_classification(exc, expected):
+    assert is_transient(exc) is expected
+
+
+def test_server_refusals_are_remote_errors_yet_transient():
+    """The subtlety the client's faults_seen counter relies on: a shed
+    call is retryable but NOT a transport fault."""
+    busy = ServerBusy("queue-full")
+    assert isinstance(busy, RemoteError)
+    assert is_transient(busy)
+
+
+# ------------------------------------------------------------- deadlines
+
+
+def make_policy(**kwargs):
+    kwargs.setdefault("max_attempts", 5)
+    kwargs.setdefault("base_delay", 0.01)
+    kwargs.setdefault("jitter", 0.0)
+    kwargs.setdefault("sleep", lambda _s: None)
+    return RetryPolicy(**kwargs)
+
+
+def test_expired_deadline_stops_retrying():
+    policy = make_policy()
+    calls = []
+
+    def fn():
+        calls.append(1)
+        raise ProtocolError("transient")
+
+    with pytest.raises(ProtocolError):
+        policy.run(fn, deadline=10.0, clock=lambda: 10.0)
+    assert len(calls) == 1  # budget already spent: no retry
+
+
+@given(budget=st.floats(min_value=0.001, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_backoff_sleep_never_overshoots_budget(budget):
+    now = [0.0]
+    slept = []
+
+    def sleep(seconds):
+        slept.append(seconds)
+        now[0] += seconds
+
+    policy = make_policy(max_attempts=10, base_delay=10.0, max_delay=10.0,
+                         sleep=sleep)
+
+    def fn():
+        raise ProtocolError("transient")
+
+    with pytest.raises(ProtocolError):
+        policy.run(fn, deadline=budget, clock=lambda: now[0])
+    assert all(s <= budget + 1e-9 for s in slept)
+    assert now[0] <= budget + 1e-9
+
+
+def test_run_without_deadline_retries_to_max_attempts():
+    policy = make_policy(max_attempts=4)
+    calls = []
+
+    def fn():
+        calls.append(1)
+        raise ProtocolError("transient")
+
+    with pytest.raises(ProtocolError):
+        policy.run(fn)
+    assert len(calls) == 4
+
+
+# ----------------------------------------------------------- retry-after
+
+
+@given(hint=st.floats(min_value=0.001, max_value=10.0))
+@settings(max_examples=40, deadline=None)
+def test_busy_retry_after_floors_the_backoff(hint):
+    slept = []
+    policy = make_policy(max_attempts=2, base_delay=0.001, max_delay=2.0,
+                         sleep=slept.append)
+    attempts = []
+
+    def fn():
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise ServerBusy("queue-full", retry_after=hint)
+        return "ok"
+
+    assert policy.run(fn) == "ok"
+    assert len(slept) == 1
+    # Slept at least the hint, capped by max_delay.
+    assert slept[0] >= min(hint, 2.0) - 1e-12
+    assert slept[0] <= 2.0 + 1e-12
+
+
+def test_non_transient_never_retried_even_with_budget():
+    policy = make_policy()
+    calls = []
+
+    def fn():
+        calls.append(1)
+        raise RemoteError("execution-failed", "deterministic")
+
+    with pytest.raises(RemoteError):
+        policy.run(fn, deadline=100.0, clock=lambda: 0.0)
+    assert len(calls) == 1
