@@ -1,12 +1,13 @@
 """``repro.analysis`` -- project-aware static checks (``ninf-lint``).
 
 An AST-walking lint framework (:mod:`repro.analysis.core`) plus the
-four checkers that encode this repo's concurrency and observability
+five checkers that encode this repo's concurrency and observability
 conventions:
 
 - ``lock-discipline`` (:mod:`repro.analysis.locks`)
 - ``resource-lifecycle`` (:mod:`repro.analysis.lifecycle`)
 - ``deadline-propagation`` (:mod:`repro.analysis.deadlines`)
+- ``await-under-lock`` (:mod:`repro.analysis.awaitlock`)
 - ``catalog-pinned-names`` (:mod:`repro.analysis.catalog`)
 
 Run it as ``ninf-lint src`` (or ``python -m repro.analysis src``).
@@ -19,6 +20,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional
 
+from repro.analysis.awaitlock import AwaitUnderLockChecker
 from repro.analysis.catalog import CatalogNamesChecker
 from repro.analysis.core import (
     Checker,
@@ -35,6 +37,7 @@ from repro.analysis.locks import GUARDED_BY, LockDisciplineChecker, LockSpec
 
 __all__ = [
     "ALL_CHECKER_CLASSES",
+    "AwaitUnderLockChecker",
     "CatalogNamesChecker",
     "Checker",
     "DeadlinePropagationChecker",
@@ -56,6 +59,7 @@ ALL_CHECKER_CLASSES = (
     LockDisciplineChecker,
     ResourceLifecycleChecker,
     DeadlinePropagationChecker,
+    AwaitUnderLockChecker,
     CatalogNamesChecker,
 )
 
@@ -67,5 +71,6 @@ def all_checkers(repo_root: Optional[Path] = None) -> tuple[Checker, ...]:
         LockDisciplineChecker(),
         ResourceLifecycleChecker(),
         DeadlinePropagationChecker(),
+        AwaitUnderLockChecker(),
         CatalogNamesChecker(repo_root=repo_root),
     )

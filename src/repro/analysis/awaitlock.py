@@ -1,0 +1,174 @@
+"""Rule ``await-under-lock``: never ``await`` holding a threading lock.
+
+The asyncio core (DESIGN.md §3.6) shares state with executor threads
+through plain ``threading.Lock``s -- the retry policy's counters, the
+fault plan's draw log, pool bookkeeping.  Taking one of those locks
+from a coroutine is fine *as long as the critical section never yields
+to the event loop*: an ``await`` while the lock is held parks the
+coroutine mid-section, and the next thread (or coroutine on another
+loop) that touches the lock blocks for an unbounded time -- in the
+worst case on the very loop that must run to release it.  That is a
+deadlock the type system cannot see and tests rarely provoke.
+
+What counts as a threading lock:
+
+- ``self.X`` assigned ``threading.Lock()`` / ``RLock()`` /
+  ``Condition()`` / ``Semaphore()`` anywhere in the class (the
+  project's constructor convention), plus every lock declared for the
+  class (or an AST base) in the ``lock-discipline`` registry
+  :data:`repro.analysis.locks.GUARDED_BY`;
+- a module-level name assigned one of the same constructors.
+
+What counts as yielding inside the ``with`` block: ``await ...``,
+``async for`` and ``async with`` -- each suspends the coroutine with
+the lock held.  ``asyncio`` locks are exempt by construction: they are
+entered with ``async with``, which this rule never treats as a lock
+acquisition.  Nested ``def``/``async def`` bodies are separate scopes:
+a closure created under the lock runs later, without it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.core import Checker, Finding, SourceModule
+from repro.analysis.locks import GUARDED_BY
+
+__all__ = ["AwaitUnderLockChecker"]
+
+#: ``threading`` constructors whose result must never be held across a
+#: suspension point.
+_LOCK_CONSTRUCTORS = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+})
+
+
+def _lock_constructor(value: ast.AST) -> bool:
+    """True for ``threading.Lock()``-shaped calls (any constructor in
+    :data:`_LOCK_CONSTRUCTORS`, plain or ``threading.``-qualified)."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return (isinstance(func.value, ast.Name)
+                and func.value.id == "threading"
+                and func.attr in _LOCK_CONSTRUCTORS)
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_CONSTRUCTORS
+    return False
+
+
+class AwaitUnderLockChecker(Checker):
+    """Flag suspension points inside ``with self.<threading lock>:``."""
+
+    rule = "await-under-lock"
+    description = ("coroutines must not await (or enter async for/with) "
+                   "while holding a threading.Lock")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Check every ``async def`` in ``module``, however nested."""
+        module_locks = _module_level_locks(module.tree)
+        yield from self._walk(module, module.tree.body, frozenset(),
+                              module_locks, held=None)
+
+    # -- the walk ------------------------------------------------------------
+
+    def _walk(self, module: SourceModule, nodes: Sequence[ast.AST],
+              attr_locks: frozenset[str], module_locks: frozenset[str],
+              held: Optional[str]) -> Iterator[Finding]:
+        for node in nodes:
+            yield from self._visit(module, node, attr_locks, module_locks,
+                                   held)
+
+    def _visit(self, module: SourceModule, node: ast.AST,
+               attr_locks: frozenset[str], module_locks: frozenset[str],
+               held: Optional[str]) -> Iterator[Finding]:
+        if isinstance(node, ast.ClassDef):
+            # Methods see the class's own locks, never an outer section.
+            yield from self._walk(module, node.body, _class_locks(node),
+                                  module_locks, held=None)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested scope runs outside the enclosing critical section
+            # (a closure created under the lock executes later), so the
+            # held state resets; its body may still hold locks of its
+            # own, and may nest further coroutines.
+            yield from self._walk(module, node.body, attr_locks,
+                                  module_locks, held=None)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # cannot contain await or a with statement
+        if held is not None and isinstance(
+                node, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+            what = {"Await": "await", "AsyncFor": "async for",
+                    "AsyncWith": "async with"}[type(node).__name__]
+            yield self.finding(
+                module, node,
+                f"{what} while holding threading lock {held}: the "
+                f"coroutine suspends mid-critical-section and every "
+                f"other holder blocks (move the await outside the "
+                f"with block)")
+            # Keep walking: an async-for/with body can hide more.
+        if isinstance(node, ast.With):
+            acquired = held
+            for item in node.items:
+                lock = _lock_expr(item.context_expr, attr_locks,
+                                  module_locks)
+                if lock is not None:
+                    acquired = lock
+            yield from self._walk(module, node.body, attr_locks,
+                                  module_locks, acquired)
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(module, child, attr_locks, module_locks,
+                                   held)
+
+
+def _class_locks(classdef: ast.ClassDef) -> frozenset[str]:
+    """Threading-lock attribute names of ``classdef``.
+
+    Union of ``self.X = threading.Lock()`` assignments found in any
+    method and the locks registered for the class or its AST bases in
+    :data:`GUARDED_BY`.
+    """
+    locks: set[str] = set()
+    for node in ast.walk(classdef):
+        if isinstance(node, ast.Assign) and _lock_constructor(node.value):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    locks.add(target.attr)
+    names = [classdef.name] + [
+        base.id if isinstance(base, ast.Name) else base.attr
+        for base in classdef.bases
+        if isinstance(base, (ast.Name, ast.Attribute))]
+    for name in names:
+        for spec in GUARDED_BY.get(name, ()):
+            locks.add(spec.lock)
+    return frozenset(locks)
+
+
+def _module_level_locks(tree: ast.Module) -> frozenset[str]:
+    """Module-global names bound to ``threading.Lock()``-shaped calls."""
+    locks: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _lock_constructor(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    locks.add(target.id)
+    return frozenset(locks)
+
+
+def _lock_expr(expr: ast.AST, attr_locks: frozenset[str],
+               module_locks: frozenset[str]) -> Optional[str]:
+    """``self.<lock>`` or a module-level lock name; else ``None``."""
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in attr_locks):
+        return f"self.{expr.attr}"
+    if isinstance(expr, ast.Name) and expr.id in module_locks:
+        return expr.id
+    return None

@@ -43,9 +43,13 @@ DEADLINE_PARAMS = frozenset({
 #: ``obj.<attr>(...)`` transport primitives that accept a deadline.
 TRANSPORT_ATTRS = frozenset({"send", "recv", "request"})
 
-#: Bare-name transport primitives that accept a deadline.
+#: Bare-name transport primitives that accept a deadline.  The async
+#: framing twins (``read_frame``/``write_frame``) and dialer
+#: (``aconnect``) are judged identically: ``await``-ing them without a
+#: deadline is the same unbounded hang.
 TRANSPORT_NAMES = frozenset({
     "connect", "send_frame", "recv_frame", "create_connection",
+    "read_frame", "write_frame", "aconnect",
 })
 
 _FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]

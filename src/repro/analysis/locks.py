@@ -8,7 +8,7 @@ convention machine-checkable: it declares, per class, which attributes
 are guarded by which lock, populated from the actual ``self._lock``
 usage in ``repro.obs.registry``, ``repro.transport.pool``,
 ``repro.transport.faults``, ``repro.transport.endpoint``,
-``repro.server.executor``, ``repro.server.server``,
+``repro.server.executor``, ``repro.server.services``,
 ``repro.metaserver.metaserver``, and ``repro.client.api``.
 
 Two guard strengths:
@@ -91,8 +91,15 @@ GUARDED_BY: dict[str, tuple[LockSpec, ...]] = {
                        writes=("_running",)),),
     # repro.server.dedup
     "DedupCache": (_spec("_lock", guarded=("_entries", "hits")),),
-    # repro.server.server (on top of the inherited Endpoint spec)
-    "NinfServer": (
+    # repro.transport.aioendpoint -- same discipline as Endpoint: the
+    # lifecycle attributes are written under _lock, read unlocked.
+    "AsyncEndpoint": (_spec("_lock",
+                            writes=("_running", "_runner", "_server",
+                                    "_sockname", "_handler_pool")),),
+    # repro.server.services -- the RPC mixin shared by NinfServer
+    # (Endpoint spec inherited) and AsyncNinfServer (AsyncEndpoint spec
+    # inherited).
+    "NinfRpcServices": (
         _spec("_detached_lock", guarded=("_detached", "_ticket_counter",
                                          "_detached_jobs")),
         _spec("_load_lock", guarded=("_load_value", "_load_stamp")),
@@ -104,7 +111,12 @@ GUARDED_BY: dict[str, tuple[LockSpec, ...]] = {
                                                "failovers")),),
 }
 
-_EXEMPT_METHODS = frozenset({"__init__", "__del__"})
+#: Construction/destruction runs before the object is shared (no other
+#: thread can hold a reference yet), so guarded attributes may be
+#: initialised bare.  ``_init_services`` is the mixin constructor
+#: delegate of :class:`repro.server.services.NinfRpcServices`, called
+#: only from ``__init__``.
+_EXEMPT_METHODS = frozenset({"__init__", "__del__", "_init_services"})
 
 
 class LockDisciplineChecker(Checker):

@@ -1,0 +1,26 @@
+"""``repro.bench`` -- the ``ninf-bench`` performance benchmarks.
+
+- :mod:`repro.bench.connections` -- the C10K idle-plus-ping benchmark
+  proving the asyncio core's concurrency claim (DESIGN.md §3.6):
+  thousands of connections against :class:`~repro.server.AsyncNinfServer`
+  with per-connection memory, ping latency percentiles, event-loop lag,
+  and the thread-per-connection ceiling measured alongside.
+- :mod:`repro.bench.cli` -- the ``ninf-bench`` entry point; the
+  ``connections`` subcommand writes ``BENCH_asyncio.json``.
+"""
+
+from repro.bench.connections import (
+    PhaseReport,
+    bench_async_phase,
+    bench_threaded_phase,
+    run_connections_benchmark,
+    write_report,
+)
+
+__all__ = [
+    "PhaseReport",
+    "bench_async_phase",
+    "bench_threaded_phase",
+    "run_connections_benchmark",
+    "write_report",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.bench`` == ``ninf-bench``."""
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""``ninf-bench`` -- repeatable performance benchmarks.
+
+One subcommand today::
+
+    ninf-bench connections [--connections N] [--threaded N]
+                           [--output BENCH_asyncio.json] [--quiet]
+
+which runs the C10K idle-plus-ping benchmark of
+:mod:`repro.bench.connections` against both the asyncio and the
+thread-per-connection server and writes the JSON report CI archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ninf-bench",
+        description="Ninf reproduction performance benchmarks")
+    sub = parser.add_subparsers(dest="command", required=True)
+    conn = sub.add_parser(
+        "connections",
+        help="C10K idle-plus-ping ramp against both servers")
+    conn.add_argument("--connections", type=int, default=5000,
+                      help="async-server connection target "
+                           "(default: %(default)s)")
+    conn.add_argument("--threaded", type=int, default=512,
+                      help="thread-per-connection ceiling probe "
+                           "(default: %(default)s)")
+    conn.add_argument("--output", type=Path,
+                      default=Path("BENCH_asyncio.json"),
+                      help="report path (default: %(default)s)")
+    conn.add_argument("--quiet", action="store_true",
+                      help="suppress progress lines")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "connections":
+        from repro.bench.connections import run_connections_benchmark
+
+        log = (lambda *a, **k: None) if args.quiet else print
+        report = run_connections_benchmark(
+            connections=args.connections,
+            threaded_connections=args.threaded,
+            output=args.output, log=log)
+        ping = report["async"]["ping"]
+        print(f"async: {report['async']['sustained_connections']} "
+              f"connections, p95 ping {ping.get('p95_ms', 0.0)} ms, "
+              f"{ping['throughput_per_s']} pings/s")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

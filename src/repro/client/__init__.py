@@ -9,6 +9,10 @@ are filled in place, and results are also returned.
 - :class:`NinfClient` -- connection to one computational server:
   :meth:`~NinfClient.call` (synchronous), :meth:`~NinfClient.call_async`
   (returns a :class:`NinfFuture`), signature cache, ping/load queries.
+  By default a blocking facade over asyncio connections (DESIGN.md
+  §3.6); ``transport="threads"`` restores the blocking-socket wire.
+- :class:`AsyncNinfClient` -- the same client natively ``async``:
+  ``await client.call(...)`` on the caller's event loop.
 - :func:`ninf_call` / :func:`ninf_call_async` -- the paper's free-form
   API: ``ninf_call("ninf://host:port/dmmul", n, A, B, C)``.
 - :class:`Transaction` -- ``Ninf_transaction_begin``/``end``: records
@@ -16,6 +20,7 @@ are filled in place, and results are also returned.
   calls in parallel across one or more servers (§2.4).
 """
 
+from repro.client.aio import AsyncNinfClient
 from repro.client.api import (
     DetachedCall,
     NinfClient,
@@ -26,6 +31,7 @@ from repro.client.api import (
 from repro.client.transaction import Transaction
 
 __all__ = [
+    "AsyncNinfClient",
     "DetachedCall",
     "NinfClient",
     "NinfFuture",

@@ -218,6 +218,16 @@ class NinfClient:
         schema (``ninf.call`` root + phase children) into it.  Its
         clock should agree with ``clock`` (both default to
         ``time.monotonic``).
+    transport:
+        ``"asyncio"`` (default) dials
+        :class:`~repro.transport.AsyncChannel` connections on the
+        process-wide client loop and wraps them in blocking
+        :class:`~repro.transport.FacadeChannel` facades -- the wire
+        behaviour, deadlines, and fault-injection draw sequences are
+        identical to the threaded transport (DESIGN.md §3.6).
+        ``"threads"`` keeps the historical blocking-socket
+        :class:`~repro.transport.Channel`.  For a natively
+        asynchronous API use :class:`~repro.client.AsyncNinfClient`.
 
     The counters ``attempts``, ``retries``, and ``faults_seen`` track
     every transport exchange, its retries, and the transient errors
@@ -231,9 +241,13 @@ class NinfClient:
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
                  retry_calls: bool = False,
-                 call_budget: Optional[float] = None):
+                 call_budget: Optional[float] = None,
+                 transport: str = "asyncio"):
         import time
 
+        if transport not in ("asyncio", "threads"):
+            raise ValueError(f"transport must be 'asyncio' or 'threads', "
+                             f"got {transport!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -241,13 +255,38 @@ class NinfClient:
         self.retry = retry
         self.retry_calls = retry_calls
         self.call_budget = call_budget
+        self.transport = transport
         self._signatures: dict[str, Signature] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
-        self._pool = ConnectionPool(timeout=timeout, pool=pool,
-                                    max_idle_seconds=max_idle,
-                                    fault_plan=fault_plan,
-                                    metrics=self.metrics)
+        if transport == "asyncio":
+            # Same pool, different wire: every dial yields a
+            # FacadeChannel over an AsyncChannel on the shared client
+            # loop.  All call/retry/trace logic above the pool is
+            # untouched -- the connector is the only transport seam.
+            from repro.transport import facade_connect
+
+            def _facade_connector(chost, cport, timeout=None,
+                                  connect_timeout=None):
+                return facade_connect(chost, cport, timeout=timeout,
+                                      connect_timeout=connect_timeout,
+                                      fault_plan=fault_plan)
+
+            self._pool = ConnectionPool(timeout=timeout, pool=pool,
+                                        max_idle_seconds=max_idle,
+                                        connector=_facade_connector,
+                                        metrics=self.metrics)
+            # connector= and fault_plan= are mutually exclusive in the
+            # pool ctor, so restore the plan attribute and its metrics
+            # wiring by hand for chaos-test introspection parity.
+            self._pool.fault_plan = fault_plan
+            if fault_plan is not None and fault_plan.metrics is None:
+                fault_plan.metrics = self.metrics
+        else:
+            self._pool = ConnectionPool(timeout=timeout, pool=pool,
+                                        max_idle_seconds=max_idle,
+                                        fault_plan=fault_plan,
+                                        metrics=self.metrics)
         self.records: list[CallRecord] = []
         self._records_lock = threading.Lock()
         self._attempts = self.metrics.counter(

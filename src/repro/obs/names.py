@@ -29,6 +29,7 @@ TRANSPORT_FRAMES_RECEIVED = "ninf_transport_frames_received_total"
 POOL_CONNECTIONS_CREATED = "ninf_pool_connections_created_total"
 POOL_CONNECTIONS_REUSED = "ninf_pool_connections_reused_total"
 POOL_IDLE_CONNECTIONS = "ninf_pool_idle_connections"
+POOL_DIALS_REFUSED = "ninf_pool_dials_refused_total"
 
 # -- transport: fault injection and retry -------------------------------
 FAULTS_INJECTED = "ninf_faults_injected_total"        # label: kind
@@ -54,6 +55,8 @@ SERVER_JOBS_CANCELLED = "ninf_server_jobs_cancelled_total"
 SERVER_JOBS_SHED = "ninf_server_jobs_shed_total"      # label: reason
 SERVER_DEDUP_HITS = "ninf_server_dedup_hits_total"
 SERVER_DEDUP_ENTRIES = "ninf_server_dedup_entries"
+SERVER_CONNECTIONS_OPEN = "ninf_server_connections_open"
+SERVER_LOOP_LAG = "ninf_server_loop_lag_seconds"
 
 # -- metaserver ---------------------------------------------------------
 METASERVER_PROBES = "ninf_metaserver_probes_total"    # label: outcome
@@ -67,6 +70,7 @@ METRIC_NAMES = (
     POOL_CONNECTIONS_CREATED,
     POOL_CONNECTIONS_REUSED,
     POOL_IDLE_CONNECTIONS,
+    POOL_DIALS_REFUSED,
     FAULTS_INJECTED,
     RETRY_ATTEMPTS,
     RETRY_RETRIES,
@@ -86,6 +90,8 @@ METRIC_NAMES = (
     SERVER_JOBS_SHED,
     SERVER_DEDUP_HITS,
     SERVER_DEDUP_ENTRIES,
+    SERVER_CONNECTIONS_OPEN,
+    SERVER_LOOP_LAG,
     METASERVER_PROBES,
     METASERVER_SERVERS_ALIVE,
 )

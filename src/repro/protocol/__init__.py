@@ -17,6 +17,8 @@ two-stage RPC:
 Modules:
 
 - :mod:`repro.protocol.framing` -- socket framing: magic, type, length.
+- :mod:`repro.protocol.aframing` -- the same frame format over asyncio
+  streams (:func:`read_frame` / :func:`write_frame`).
 - :mod:`repro.protocol.messages` -- typed message encode/decode.
 - :mod:`repro.protocol.marshal` -- signature-driven argument and result
   marshalling.
@@ -30,6 +32,7 @@ from repro.protocol.errors import (
     ServerShutdown,
     TimeoutError,
 )
+from repro.protocol.aframing import read_frame, write_frame
 from repro.protocol.framing import MAX_FRAME_SIZE, recv_frame, send_frame
 from repro.protocol.messages import (
     BusyReply,
@@ -62,8 +65,10 @@ __all__ = [
     "TimeoutError",
     "marshal_inputs",
     "marshal_outputs",
+    "read_frame",
     "recv_frame",
     "send_frame",
+    "write_frame",
     "unmarshal_inputs",
     "unmarshal_outputs",
 ]

@@ -1,0 +1,107 @@
+"""Asyncio framing: the :mod:`repro.protocol.framing` wire format on
+:class:`asyncio.StreamReader` / :class:`asyncio.StreamWriter`.
+
+Byte-for-byte the same protocol -- ``MAGIC | type | length | crc |
+payload`` with the 16-byte ``>4sIII`` header -- produced by the shared
+:func:`repro.protocol.framing.encode_frame`, so a sync client speaks to
+an async server (and vice versa) without either noticing.
+
+Deadline semantics also match the sync framing layer: ``timeout``
+covers the *whole* frame, not each ``read`` -- a peer trickling one
+byte per second cannot stretch a 5-second deadline indefinitely.  The
+deadline is tracked against :func:`time.monotonic` and each await is
+bounded by the remaining budget via :func:`asyncio.wait_for`.  Expiry
+raises :class:`repro.protocol.errors.TimeoutError` (the repro type, on
+every Python version -- ``asyncio.TimeoutError`` is *not* the builtin
+``TimeoutError`` on 3.10, so it is always converted here and never
+allowed to escape).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from repro.protocol.errors import ConnectionClosed, ProtocolError, TimeoutError
+from repro.protocol.framing import HEADER, MAGIC, MAX_FRAME_SIZE, _checksum, \
+    encode_frame
+
+__all__ = ["read_frame", "write_frame"]
+
+
+class _Deadline:
+    """Remaining-budget tracker for a whole-frame deadline."""
+
+    def __init__(self, timeout: Optional[float]):
+        self.at = None if timeout is None else time.monotonic() + timeout
+
+    def remaining(self, what: str) -> Optional[float]:
+        if self.at is None:
+            return None
+        left = self.at - time.monotonic()
+        if left <= 0:
+            raise TimeoutError(f"frame {what} deadline expired")
+        return left
+
+
+async def _bounded(awaitable, deadline: _Deadline, what: str):
+    left = deadline.remaining(what)
+    try:
+        return await asyncio.wait_for(awaitable, left)
+    except asyncio.TimeoutError:
+        raise TimeoutError(f"frame {what} timed out") from None
+
+
+async def _read_exact(reader: asyncio.StreamReader, count: int,
+                      deadline: _Deadline, what: str) -> bytes:
+    if not count:
+        return b""
+    try:
+        return await _bounded(reader.readexactly(count), deadline, what)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosed(
+            f"connection closed with {count - len(exc.partial)} bytes "
+            f"outstanding"
+        ) from None
+
+
+async def write_frame(writer: asyncio.StreamWriter, msg_type: int,
+                      payload: bytes = b"",
+                      timeout: Optional[float] = None) -> None:
+    """Write one frame; raises ProtocolError on oversize payloads.
+
+    ``timeout`` bounds the whole write (including the ``drain`` that
+    waits out transport backpressure); expiry raises
+    :class:`~repro.protocol.errors.TimeoutError`.
+    """
+    frame = encode_frame(msg_type, payload)
+    deadline = _Deadline(timeout)
+    writer.write(frame)
+    await _bounded(writer.drain(), deadline, "send")
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     timeout: Optional[float] = None) -> tuple[int, bytes]:
+    """Read one frame; returns ``(msg_type, payload)``.
+
+    Raises :class:`ConnectionClosed` on clean EOF before a header,
+    :class:`ProtocolError` on bad magic, implausible length, or a
+    checksum mismatch, and :class:`~repro.protocol.errors.TimeoutError`
+    when ``timeout`` seconds elapse before the full frame arrives --
+    the exact contract of the sync :func:`repro.protocol.framing.recv_frame`.
+    """
+    deadline = _Deadline(timeout)
+    header = await _read_exact(reader, HEADER.size, deadline, "header")
+    magic, msg_type, length, crc = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_SIZE:
+        raise ProtocolError(f"implausible frame length {length}")
+    payload = await _read_exact(reader, length, deadline, "payload")
+    if crc != _checksum(msg_type, payload):
+        raise ProtocolError(
+            f"frame checksum mismatch for message {msg_type} "
+            f"({length}-byte payload)"
+        )
+    return msg_type, payload

@@ -19,10 +19,16 @@ process as Ninf executables" (paper §2.1).
   with bounded-queue admission control and deadline expiry sweeps.
 - :mod:`repro.server.dedup` -- the exactly-once dedup/result cache
   that makes CALL retries safe (DESIGN.md §3.5).
-- :mod:`repro.server.server` -- the TCP server: accept loop, two-stage
-  RPC, per-job timestamps, load reporting for the metaserver.
+- :mod:`repro.server.services` -- the RPC semantics (two-stage RPC,
+  per-job timestamps, load reporting, detached calls) as a mixin
+  shared by both serving transports.
+- :mod:`repro.server.server` -- the threaded TCP server (one thread
+  per connection).
+- :mod:`repro.server.asyncserver` -- the asyncio server (one event
+  loop, C10K-capable), same wire behaviour.
 """
 
+from repro.server.asyncserver import AsyncNinfServer
 from repro.server.registry import NinfExecutable, Registry
 from repro.server.scheduling import (
     FCFSPolicy,
@@ -34,8 +40,10 @@ from repro.server.scheduling import (
 from repro.server.dedup import DedupCache, DedupEntry
 from repro.server.executor import Executor, Job
 from repro.server.server import NinfServer
+from repro.server.services import NinfRpcServices
 
 __all__ = [
+    "AsyncNinfServer",
     "DedupCache",
     "DedupEntry",
     "Executor",
@@ -44,6 +52,7 @@ __all__ = [
     "FPMPFSPolicy",
     "Job",
     "NinfExecutable",
+    "NinfRpcServices",
     "NinfServer",
     "Registry",
     "SJFPolicy",

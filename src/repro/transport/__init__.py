@@ -22,27 +22,57 @@ three abstractions:
 - :class:`CircuitBreaker` -- per-host consecutive-failure trip with a
   half-open probe, so failover skips dead hosts without paying a
   connect timeout each time; see :mod:`repro.transport.breaker`.
+- :class:`AsyncChannel` / :class:`AsyncConnectionPool` /
+  :class:`AsyncEndpoint` -- the asyncio twins of the three
+  abstractions above, one event loop instead of a thread per
+  connection (DESIGN.md §3.6).  :class:`LoopThread` and
+  :class:`FacadeChannel` (:mod:`repro.transport.loopbridge`) bridge
+  them back to synchronous callers.
 
 Layering: ``xdr`` (encoding) -> ``protocol`` (framing + messages) ->
 ``transport`` (connections) -> ``client`` / ``server`` / ``metaserver``.
 """
 
+from repro.transport.aiochannel import (
+    AsyncChannel,
+    AsyncFaultyChannel,
+    aconnect,
+    aconnect_with_faults,
+)
+from repro.transport.aioendpoint import AsyncEndpoint
+from repro.transport.aiopool import AsyncConnectionPool
 from repro.transport.breaker import CircuitBreaker
 from repro.transport.channel import Channel, connect
 from repro.transport.endpoint import Endpoint
 from repro.transport.faults import FaultEvent, FaultPlan, FaultyChannel
+from repro.transport.loopbridge import (
+    FacadeChannel,
+    LoopThread,
+    facade_connect,
+    shared_loop,
+)
 from repro.transport.pool import ConnectionPool
 from repro.transport.retry import RetryPolicy, is_transient
 
 __all__ = [
+    "AsyncChannel",
+    "AsyncConnectionPool",
+    "AsyncEndpoint",
+    "AsyncFaultyChannel",
     "Channel",
     "CircuitBreaker",
     "ConnectionPool",
     "Endpoint",
+    "FacadeChannel",
     "FaultEvent",
     "FaultPlan",
     "FaultyChannel",
+    "LoopThread",
     "RetryPolicy",
+    "aconnect",
+    "aconnect_with_faults",
     "connect",
+    "facade_connect",
     "is_transient",
+    "shared_loop",
 ]

@@ -1,0 +1,329 @@
+"""The asyncio twin of :class:`~repro.transport.channel.Channel`.
+
+:class:`AsyncChannel` speaks the identical wire protocol (via
+:mod:`repro.protocol.aframing`) with the identical deadline and error
+semantics, but multiplexes thousands of connections on one event loop
+instead of parking a thread per socket.  Within a loop, coroutine
+interleaving replaces thread preemption, so the channel's send/recv/rpc
+critical sections are :class:`asyncio.Lock` instances -- never
+``threading`` locks, which would deadlock the loop (ninf-lint's
+``await-under-lock`` rule enforces this project-wide).
+
+:class:`AsyncFaultyChannel` reproduces
+:class:`~repro.transport.faults.FaultyChannel` exactly: same
+:class:`~repro.transport.faults.FaultPlan` draw sequence (one
+``random()`` per clean op, three more per faulting op), same observable
+outcomes per kind, so a chaos seed produces the same schedule whichever
+transport runs under it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Union
+
+from repro.protocol.aframing import read_frame, write_frame
+from repro.protocol.errors import ConnectionClosed, ProtocolError, \
+    RemoteError, ServerBusy, TimeoutError
+from repro.protocol.framing import encode_frame
+from repro.protocol.messages import BusyReply, ErrorReply, MessageType
+from repro.transport.channel import _DEFAULT, _Unset
+from repro.transport.faults import CORRUPT, DELAY, DROP_PRE, REFUSE_DIAL, \
+    TRUNCATE, FaultPlan, _corrupt
+from repro.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["AsyncChannel", "AsyncFaultyChannel", "aconnect",
+           "aconnect_with_faults"]
+
+
+class AsyncChannel:
+    """One framed connection on an event loop, Channel-equivalent.
+
+    Owns an :class:`asyncio.StreamReader`/``StreamWriter`` pair and
+    applies the channel-default ``timeout`` to every operation unless a
+    call passes its own (the same ``_DEFAULT`` sentinel protocol as the
+    sync :class:`~repro.transport.channel.Channel`).  All methods must
+    run on the loop that created the streams; cross-thread use goes
+    through the sync facade (:mod:`repro.transport.loopbridge`).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 timeout: Optional[float] = None,
+                 remote: Optional[tuple[str, int]] = None):
+        self.reader = reader
+        self.writer = writer
+        self.timeout = timeout
+        self.remote = remote
+        self.metrics = None
+        self._send_lock = asyncio.Lock()
+        self._recv_lock = asyncio.Lock()
+        self._rpc_lock = asyncio.Lock()
+        self._closed = False
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                import socket as _socket
+
+                sock.setsockopt(_socket.IPPROTO_TCP,
+                                _socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # not a TCP socket -- fine
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drop the transport (idempotent, synchronous, loop-affine)."""
+        self._closed = True
+        try:
+            self.writer.close()
+        except (OSError, RuntimeError):
+            pass
+
+    async def wait_closed(self) -> None:
+        """Await the transport teardown after :meth:`close`."""
+        try:
+            await self.writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+    async def __aenter__(self) -> "AsyncChannel":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()
+        await self.wait_closed()
+
+    def fileno(self) -> int:
+        """The underlying socket's file descriptor (for diagnostics)."""
+        sock = self.writer.get_extra_info("socket")
+        if sock is None:
+            raise OSError("transport has no socket")
+        return sock.fileno()
+
+    def healthy(self) -> bool:
+        """Whether an *idle* channel is still usable for a request.
+
+        The loop eagerly drains readable bytes into the stream buffer,
+        so the sync channel's zero-timeout ``select`` probe translates
+        to: not closed, no EOF seen, and nothing buffered (an idle
+        request/reply channel owes us no bytes; anything pending means
+        the peer closed or broke protocol).
+        """
+        if self._closed or self.reader.at_eof():
+            return False
+        return not getattr(self.reader, "_buffer", b"")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<AsyncChannel {self.remote or ''} {state}>"
+
+    # -- framed I/O ---------------------------------------------------------
+
+    def _resolve(self, timeout: Union[None, float, _Unset]) -> Optional[float]:
+        return self.timeout if isinstance(timeout, _Unset) else timeout
+
+    def _note_io(self, direction: str, payload_len: int) -> None:
+        """Record one framed exchange into the attached registry."""
+        registry = self.metrics
+        if registry is None:
+            return
+        from repro.obs import names
+        from repro.protocol.framing import HEADER
+
+        nbytes = HEADER.size + payload_len
+        if direction == "sent":
+            registry.counter(names.TRANSPORT_BYTES_SENT,
+                             "Framed bytes written, header included"
+                             ).inc(nbytes)
+            registry.counter(names.TRANSPORT_FRAMES_SENT,
+                             "Frames written").inc()
+        else:
+            registry.counter(names.TRANSPORT_BYTES_RECEIVED,
+                             "Framed bytes read, header included"
+                             ).inc(nbytes)
+            registry.counter(names.TRANSPORT_FRAMES_RECEIVED,
+                             "Frames read").inc()
+
+    def _check_open(self) -> None:
+        # Same observable as the sync channel, where I/O on a locally
+        # closed socket raises EBADF: local close -> OSError, only a
+        # *peer* close reads as ConnectionClosed.
+        if self._closed:
+            raise OSError("I/O operation on closed channel")
+
+    async def send(self, msg_type: int, payload: bytes = b"",
+                   timeout: Union[None, float, _Unset] = _DEFAULT) -> None:
+        """Write one frame; safe to call from multiple tasks."""
+        self._check_open()
+        async with self._send_lock:
+            await write_frame(self.writer, msg_type, payload,
+                              timeout=self._resolve(timeout))
+        self._note_io("sent", len(payload))
+
+    async def recv(self, timeout: Union[None, float, _Unset] = _DEFAULT
+                   ) -> tuple[int, bytes]:
+        """Read one frame as ``(msg_type, payload)``."""
+        self._check_open()
+        async with self._recv_lock:
+            msg_type, payload = await read_frame(
+                self.reader, timeout=self._resolve(timeout))
+        self._note_io("received", len(payload))
+        return msg_type, payload
+
+    async def request(self, msg_type: int, payload: bytes = b"",
+                      expect: Optional[int] = None,
+                      timeout: Union[None, float, _Unset] = _DEFAULT
+                      ) -> tuple[int, bytes]:
+        """One send + one recv, atomically with respect to other tasks.
+
+        Reply decoding matches :meth:`Channel.request`: ``ERROR`` ->
+        :class:`RemoteError`, ``BUSY`` -> :class:`ServerBusy`, and an
+        ``expect`` mismatch -> :class:`ProtocolError`.
+        """
+        async with self._rpc_lock:
+            await self.send(msg_type, payload, timeout=timeout)
+            reply_type, reply = await self.recv(timeout=timeout)
+        if reply_type == MessageType.ERROR:
+            err = ErrorReply.decode(XdrDecoder(reply))
+            raise RemoteError(err.code, err.message)
+        if reply_type == MessageType.BUSY:
+            busy = BusyReply.decode(XdrDecoder(reply))
+            raise ServerBusy(busy.reason, retry_after=busy.retry_after)
+        if expect is not None and reply_type != expect:
+            raise ProtocolError(f"expected message {expect}, got {reply_type}")
+        return reply_type, reply
+
+    async def send_error(self, code: str, message: str) -> None:
+        """Reply with a well-formed ``ErrorReply`` frame (server side)."""
+        enc = XdrEncoder()
+        ErrorReply(code=code, message=message).encode(enc)
+        await self.send(MessageType.ERROR, enc.getvalue())
+
+
+async def aconnect(host: str, port: int, timeout: Optional[float] = None,
+                   connect_timeout: Optional[float] = None) -> AsyncChannel:
+    """Dial ``host:port`` on the running loop; the async ``connect``.
+
+    ``connect_timeout`` bounds the TCP handshake only (defaulting to
+    ``timeout``); ``timeout`` becomes the channel's per-operation
+    default.  Handshake expiry raises the repro
+    :class:`~repro.protocol.errors.TimeoutError`, never a bare
+    ``asyncio.TimeoutError``.
+    """
+    budget = timeout if connect_timeout is None else connect_timeout
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), budget)
+    except asyncio.TimeoutError:
+        raise TimeoutError(
+            f"connect to {host}:{port} timed out after {budget}s") from None
+    try:
+        return AsyncChannel(reader, writer, timeout=timeout,
+                            remote=(host, port))
+    except BaseException:
+        # Nothing owns the transport until construction succeeds.
+        writer.close()
+        raise
+
+
+class AsyncFaultyChannel(AsyncChannel):
+    """An :class:`AsyncChannel` whose I/O consults a fault plan.
+
+    Observable semantics are identical to the sync
+    :class:`~repro.transport.faults.FaultyChannel`, kind for kind:
+    delay sleeps then proceeds, truncate writes a prefix and raises
+    :class:`ConnectionClosed`, corrupt flips one byte and "succeeds",
+    drop_pre raises before the operation (``ConnectionResetError`` on
+    send, :class:`ConnectionClosed` on recv), drop_post delivers then
+    drops.  The plan's draw sequence is shared, so chaos seeds replay
+    the same schedule on either transport.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, plan: FaultPlan,
+                 timeout: Optional[float] = None,
+                 remote: Optional[tuple[str, int]] = None):
+        super().__init__(reader, writer, timeout=timeout, remote=remote)
+        self.plan = plan
+
+    async def send(self, msg_type: int, payload: bytes = b"",
+                   timeout: Union[None, float, _Unset] = _DEFAULT) -> None:
+        """Send one frame, subject to the plan's send-applicable faults."""
+        event = self.plan.draw("send")
+        if event is None:
+            return await super().send(msg_type, payload, timeout=timeout)
+        if event.kind == DELAY:
+            await asyncio.sleep(event.delay)
+            return await super().send(msg_type, payload, timeout=timeout)
+        if event.kind == DROP_PRE:
+            self.close()
+            raise ConnectionResetError(
+                f"[fault #{event.seq}] connection dropped before send"
+            )
+        frame = encode_frame(msg_type, payload)
+        if event.kind == TRUNCATE:
+            cut = max(1, min(len(frame) - 1, int(event.ratio * len(frame))))
+            async with self._send_lock:
+                self.writer.write(frame[:cut])
+                await self._drain()
+            self.close()
+            raise ConnectionClosed(
+                f"[fault #{event.seq}] frame truncated after "
+                f"{cut}/{len(frame)} bytes"
+            )
+        if event.kind == CORRUPT:
+            frame = _corrupt(frame, event.ratio)
+            async with self._send_lock:
+                self.writer.write(frame)
+                await self._drain()
+            return None
+        # DROP_POST: deliver, then kill the connection.
+        async with self._send_lock:
+            self.writer.write(frame)
+            await self._drain()
+        self.close()
+        return None
+
+    async def _drain(self) -> None:
+        try:
+            await self.writer.drain()
+        except (OSError, ConnectionError):
+            pass  # injected writes are best-effort, like raw sendall
+
+    async def recv(self, timeout: Union[None, float, _Unset] = _DEFAULT
+                   ) -> tuple[int, bytes]:
+        """Receive one frame, subject to delay/drop faults."""
+        event = self.plan.draw("recv")
+        if event is not None:
+            if event.kind == DROP_PRE:
+                self.close()
+                raise ConnectionClosed(
+                    f"[fault #{event.seq}] connection dropped before recv"
+                )
+            await asyncio.sleep(event.delay)
+        return await super().recv(timeout=timeout)
+
+
+async def aconnect_with_faults(plan: FaultPlan, host: str, port: int,
+                               timeout: Optional[float] = None,
+                               connect_timeout: Optional[float] = None
+                               ) -> AsyncFaultyChannel:
+    """The async :meth:`FaultPlan.connector`: dial faults + faulty channel."""
+    event = plan.draw("dial")
+    if event is not None:
+        if event.kind == REFUSE_DIAL:
+            raise ConnectionRefusedError(
+                f"[fault #{event.seq}] dial to {host}:{port} refused"
+            )
+        await asyncio.sleep(event.delay)
+    channel = await aconnect(host, port, timeout=timeout,
+                             connect_timeout=connect_timeout)
+    faulty = AsyncFaultyChannel(channel.reader, channel.writer, plan,
+                                timeout=channel.timeout,
+                                remote=channel.remote)
+    return faulty

@@ -37,6 +37,10 @@ class Endpoint:
         :attr:`address` after :meth:`start`).
     name:
         Thread-name prefix and HELLO identity.
+    backlog:
+        Explicit listen backlog (the kernel accept queue).  Bursty
+        multi-client dials overflow small queues; refused dials are
+        observable client-side as ``ninf_pool_dials_refused_total``.
     fault_plan:
         A :class:`~repro.transport.faults.FaultPlan` that wraps every
         accepted connection, making *server-side* faults (a delayed,
@@ -59,9 +63,11 @@ class Endpoint:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  name: str = "endpoint", fault_plan=None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 backlog: int = 512):
         self.name = name
         self.fault_plan = fault_plan
+        self.backlog = backlog
         self._bind_host = host
         self._bind_port = port
         self._listener: Optional[socket.socket] = None
@@ -144,7 +150,7 @@ class Endpoint:
         try:
             listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             listener.bind((self._bind_host, self._bind_port))
-            listener.listen(64)
+            listener.listen(self.backlog)
         except BaseException:
             # A failed bind/listen (port in use, bad address) must not
             # leak the fd or leave the endpoint claiming to run.

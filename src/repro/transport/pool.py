@@ -97,6 +97,9 @@ class ConnectionPool:
             "Checkouts satisfied from an idle channel")
         self._idle_gauge = self.metrics.gauge(
             names.POOL_IDLE_CONNECTIONS, "Idle channels currently held")
+        self._dials_refused = self.metrics.counter(
+            names.POOL_DIALS_REFUSED,
+            "Dials that failed with connection-refused")
 
     @property
     def created(self) -> int:
@@ -107,6 +110,12 @@ class ConnectionPool:
     def reused(self) -> int:
         """Checkouts served from an idle channel (registry-backed)."""
         return int(self._reused.value())
+
+    @property
+    def dials_refused(self) -> int:
+        """Dials refused by the peer (registry-backed).  A busy server
+        whose accept queue overflows shows up here, not as a hang."""
+        return int(self._dials_refused.value())
 
     def _sync_idle_gauge_locked(self) -> None:
         self._idle_gauge.set(
@@ -132,8 +141,12 @@ class ConnectionPool:
                         return channel
                     channel.close()
                 self._sync_idle_gauge_locked()
-        channel = self._connect(host, port, timeout=self.timeout,
-                                connect_timeout=self.connect_timeout)
+        try:
+            channel = self._connect(host, port, timeout=self.timeout,
+                                    connect_timeout=self.connect_timeout)
+        except ConnectionRefusedError:
+            self._dials_refused.inc()
+            raise
         channel.metrics = self.metrics
         self._created.inc()
         return channel

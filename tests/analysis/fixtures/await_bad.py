@@ -1,0 +1,38 @@
+"""Fixture: await-under-lock true positives."""
+
+import asyncio
+import threading
+
+_registry_lock = threading.Lock()
+
+
+class RetryState:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.attempts = 0
+
+    async def backoff(self, delay):
+        with self._lock:
+            self.attempts += 1
+            await asyncio.sleep(delay)  # BAD: suspends holding _lock
+
+    async def drain(self, queue):
+        with self._lock:
+            async for item in queue:  # BAD: async for under _lock
+                self.attempts += item
+
+    async def nested_attempt(self, channel):
+        async def attempt():
+            with self._lock:
+                return await channel.recv()  # BAD: nested coroutine
+
+        return await attempt()
+
+    async def suppressed(self, delay):
+        with self._lock:
+            await asyncio.sleep(delay)  # lint: ignore[await-under-lock]
+
+
+async def register(entry, store):
+    with _registry_lock:
+        await store.put(entry)  # BAD: module-level lock held

@@ -1,0 +1,40 @@
+"""Fixture: await-under-lock true negatives."""
+
+import asyncio
+import threading
+
+
+class RetryState:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._alock = asyncio.Lock()
+        self.attempts = 0
+
+    async def backoff(self, delay):
+        # Bookkeeping under the lock, the suspension outside: fine.
+        with self._lock:
+            self.attempts += 1
+        await asyncio.sleep(delay)
+
+    async def async_lock_is_fine(self, channel):
+        # asyncio locks are entered with `async with`; awaiting while
+        # holding one is the whole point of the primitive.
+        async with self._alock:
+            return await channel.recv()
+
+    async def closure_escapes_the_section(self, channel):
+        # The nested coroutine runs later, without the lock.
+        with self._lock:
+            async def later():
+                return await channel.recv()
+        return await later()
+
+    def sync_caller(self):
+        # Plain methods may hold the lock as long as they like.
+        with self._lock:
+            self.attempts += 1
+
+    async def non_lock_context(self, tracer, channel):
+        # `with` on something that is not a threading lock is ignored.
+        with tracer.span("call.send"):
+            return await channel.recv()

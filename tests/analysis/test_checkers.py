@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import (
+    AwaitUnderLockChecker,
     CatalogNamesChecker,
     DeadlinePropagationChecker,
     LockDisciplineChecker,
@@ -77,6 +78,46 @@ def test_deadline_propagation_accepts_threaded_deadlines():
     assert _run(DeadlinePropagationChecker(), "deadline_good") == []
 
 
+# -- await-under-lock ---------------------------------------------------------
+
+def test_await_under_lock_flags_each_suspension_shape():
+    findings = _run(AwaitUnderLockChecker(), "await_bad")
+    assert all(f.rule == "await-under-lock" for f in findings)
+    messages = [f.message for f in findings]
+    assert any("await while holding threading lock self._lock" in m
+               for m in messages)
+    assert any("async for while holding threading lock self._lock" in m
+               for m in messages)
+    assert any("threading lock _registry_lock" in m for m in messages)
+    # backoff + drain + nested_attempt + register; the suppressed line
+    # must not report.
+    assert len(findings) == 4
+
+
+def test_await_under_lock_accepts_disciplined_coroutines():
+    assert _run(AwaitUnderLockChecker(), "await_good") == []
+
+
+def test_deadline_propagation_covers_async_framing_primitives():
+    """The async transport twins count as transport boundaries."""
+    import ast
+    import textwrap
+
+    from repro.analysis.core import SourceModule
+
+    source = textwrap.dedent("""
+        async def unforwarded(reader, timeout=None):
+            if timeout:
+                pass
+            return await read_frame(reader)
+    """)
+    module = SourceModule(Path("inline.py"), "inline.py", source,
+                          ast.parse(source))
+    findings = list(DeadlinePropagationChecker().check(module))
+    assert len(findings) == 1
+    assert "read_frame(...)" in findings[0].message
+
+
 # -- catalog-pinned-names -----------------------------------------------------
 
 def test_catalog_names_flags_unpinned_metrics_and_spans():
@@ -137,8 +178,9 @@ def test_catalog_docs_audit_covers_span_backtick_form():
 
 # -- registry sanity ----------------------------------------------------------
 
-@pytest.mark.parametrize("cls", ["ConnectionPool", "Endpoint", "Executor",
-                                 "NinfServer", "MetricsRegistry",
+@pytest.mark.parametrize("cls", ["ConnectionPool", "Endpoint",
+                                 "AsyncEndpoint", "Executor",
+                                 "NinfRpcServices", "MetricsRegistry",
                                  "FaultPlan"])
 def test_guarded_by_registry_covers_the_concurrent_classes(cls):
     from repro.analysis import GUARDED_BY

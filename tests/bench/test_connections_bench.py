@@ -1,0 +1,62 @@
+"""Smoke tests for ``ninf-bench connections`` (small-scale run).
+
+CI's "Async core" job runs the real 2,000-connection smoke; here the
+same code path runs at toy scale so the suite stays fast while still
+proving both phases work end-to-end and the report schema holds.
+"""
+
+import json
+
+from repro.bench import run_connections_benchmark
+from repro.bench.cli import main
+from repro.bench.connections import (
+    _percentiles_ms,
+    current_rss_bytes,
+    raise_fd_limit,
+)
+
+
+def test_full_benchmark_report_schema(tmp_path):
+    out = tmp_path / "BENCH_asyncio.json"
+    report = run_connections_benchmark(
+        connections=64, threaded_connections=8, output=out,
+        log=lambda *a, **k: None)
+    written = json.loads(out.read_text(encoding="utf-8"))
+    assert written == report
+    assert report["benchmark"] == "connections"
+    for flavour in ("async", "threaded"):
+        phase = report[flavour]
+        assert phase["sustained_connections"] == \
+            phase["target_connections"]
+        assert phase["dial_failures"] == 0
+        assert phase["ping"]["count"] == phase["sustained_connections"]
+        assert phase["ping"]["throughput_per_s"] > 0
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert phase["ping"][key] >= 0.0
+    assert report["async"]["rss_per_connection_bytes"] >= 0.0
+    assert report["threaded"]["server_threads"] >= 8
+
+
+def test_cli_connections_writes_report(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["connections", "--connections", "32", "--threaded", "4",
+                 "--output", str(out), "--quiet"])
+    assert code == 0
+    assert "32 connections" in capsys.readouterr().out
+    report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["async"]["sustained_connections"] == 32
+
+
+def test_percentiles_of_known_distribution():
+    samples = [i / 1000.0 for i in range(1, 101)]  # 1..100 ms
+    stats = _percentiles_ms(samples)
+    assert stats["p50_ms"] == 50.0
+    assert stats["p95_ms"] == 95.0
+    assert stats["p99_ms"] == 99.0
+    assert _percentiles_ms([]) == {
+        "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+
+
+def test_fd_limit_helpers_report_sane_values():
+    assert raise_fd_limit(256) >= 256
+    assert current_rss_bytes() > 0

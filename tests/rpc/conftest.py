@@ -1,13 +1,28 @@
-"""Shared fixtures: a live Ninf server with the standard library registered."""
+"""Shared fixtures: a live Ninf server with the standard library registered.
+
+The ``server`` and ``client`` fixtures are parametrized so every RPC
+test runs against the full transport matrix (DESIGN.md §3.6):
+
+- ``server``: the thread-per-connection :class:`NinfServer` and the
+  asyncio :class:`AsyncNinfServer`, both composing the same
+  :class:`~repro.server.services.NinfRpcServices` handlers.
+- ``client``: the synchronous :class:`NinfClient` facade and the native
+  :class:`AsyncNinfClient` driven from blocking test code through a
+  private :class:`~repro.transport.loopbridge.LoopThread`
+  (:class:`NativeClientDriver` below).
+"""
+
+import asyncio
 
 import numpy as np
 import pytest
 
-from repro.client import NinfClient
+from repro.client import AsyncNinfClient, NinfClient, NinfFuture
 from repro.libs.ep import ep_kernel
 from repro.libs.linpack import dmmul as dmmul_impl
 from repro.libs.linpack import linpack_solve
-from repro.server import NinfServer, Registry
+from repro.server import AsyncNinfServer, NinfServer, Registry
+from repro.transport import LoopThread
 
 DMMUL_IDL = """
 Define dmmul(mode_in int n, mode_in double A[n][n],
@@ -72,17 +87,139 @@ def build_registry() -> Registry:
     return registry
 
 
-@pytest.fixture
-def server():
-    with NinfServer(build_registry(), num_pes=4, mode="task") as srv:
+SERVER_CLASSES = {"threaded": NinfServer, "async": AsyncNinfServer}
+
+
+class NativeClientDriver:
+    """Blocking shim over :class:`AsyncNinfClient` for the sync tests.
+
+    Owns a private :class:`LoopThread`; every RPC method submits the
+    matching coroutine and blocks on the result, so the existing test
+    bodies exercise the native async client without rewriting a line.
+    """
+
+    def __init__(self, host, port, **kwargs):
+        self._runner = LoopThread(name="ninf-test-native")
+        self._client = self._runner.run(self._construct(host, port, kwargs))
+
+    @staticmethod
+    async def _construct(host, port, kwargs):
+        # Built on the loop so every asyncio primitive binds to it.
+        return AsyncNinfClient(host, port, **kwargs)
+
+    # -- blocking mirrors of the coroutine surface ------------------------
+
+    def ping(self):
+        return self._runner.run(self._client.ping())
+
+    def list_functions(self):
+        return self._runner.run(self._client.list_functions())
+
+    def query_load(self):
+        return self._runner.run(self._client.query_load())
+
+    def get_signature(self, function):
+        return self._runner.run(self._client.get_signature(function))
+
+    def fetch_stats(self, fmt="json"):
+        return self._runner.run(self._client.fetch_stats(fmt))
+
+    def call(self, function, *args, on_callback=None):
+        return self._runner.run(
+            self._client.call(function, *args, on_callback=on_callback))
+
+    def call_with_record(self, function, *args, on_callback=None,
+                         timeout=None):
+        return self._runner.run(
+            self._client.call_with_record(function, *args,
+                                          on_callback=on_callback,
+                                          timeout=timeout))
+
+    def call_async(self, function, *args, on_callback=None):
+        future = NinfFuture()
+
+        async def drive():
+            try:
+                outputs, record = await self._client.call_with_record(
+                    function, *args, on_callback=on_callback)
+            except BaseException as exc:  # delivered via future.result()
+                future._fail(exc)
+            else:
+                future._fulfill(outputs, record)
+
+        asyncio.run_coroutine_threadsafe(drive(), self._runner.loop)
+        return future
+
+    def call_detached(self, function, *args):
+        handle = self._runner.run(
+            self._client.call_detached(function, *args))
+        # Re-home the handle so handle.fetch() blocks via this driver
+        # instead of returning the async client's coroutine.
+        handle.client = self
+        return handle
+
+    def fetch_detached(self, call, timeout=None, poll_interval=0.02):
+        return self._runner.run(
+            self._client.fetch_detached(call, timeout=timeout,
+                                        poll_interval=poll_interval))
+
+    def cancel_detached(self, call):
+        return self._runner.run(self._client.cancel_detached(call))
+
+    # -- bookkeeping ------------------------------------------------------
+
+    @property
+    def records(self):
+        return self._client.records
+
+    @property
+    def attempts(self):
+        return self._client.attempts
+
+    @property
+    def retries(self):
+        return self._client.retries
+
+    def close(self):
+        if self._runner.alive():
+            try:
+                self._runner.run(self._shutdown())
+            except OSError:
+                pass
+        self._runner.stop()
+
+    async def _shutdown(self):
+        self._client.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+@pytest.fixture(params=sorted(SERVER_CLASSES), ids=sorted(SERVER_CLASSES))
+def server_cls(request):
+    """Both server implementations, for tests that build servers inline."""
+    return SERVER_CLASSES[request.param]
+
+
+@pytest.fixture(params=["threaded", "async"])
+def server(request):
+    with SERVER_CLASSES[request.param](build_registry(), num_pes=4,
+                                       mode="task") as srv:
         yield srv
 
 
-@pytest.fixture
-def client(server):
+@pytest.fixture(params=["facade", "native"])
+def client(request, server):
     host, port = server.address
-    with NinfClient(host, port) as cli:
-        yield cli
+    if request.param == "facade":
+        with NinfClient(host, port) as cli:
+            yield cli
+    else:
+        with NativeClientDriver(host, port) as cli:
+            yield cli
 
 
 @pytest.fixture

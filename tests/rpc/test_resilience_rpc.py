@@ -1,5 +1,6 @@
 """End-to-end resilience over the real wire: BUSY shedding, deadline
-budgets, CANCEL, and logical-id dedup (DESIGN.md §3.5)."""
+budgets, CANCEL, and logical-id dedup (DESIGN.md §3.5), exercised
+against both the threaded and the asyncio server (§3.6)."""
 
 import threading
 
@@ -10,7 +11,7 @@ from repro.idl import Signature
 from repro.protocol import RemoteError, ServerBusy
 from repro.protocol.marshal import marshal_inputs
 from repro.protocol.messages import CallHeader, MessageType
-from repro.server import NinfServer, Registry
+from repro.server import Registry
 from repro.transport import RetryPolicy, connect
 
 SLEEP_IDL = 'Define sleeper(mode_in double seconds) "waits on an event";'
@@ -53,8 +54,8 @@ def occupy(env, client):
 # ----------------------------------------------------------- overload
 
 
-def test_call_sheds_busy_when_queue_full(env):
-    with NinfServer(env.registry, num_pes=1, max_queued=0) as server:
+def test_call_sheds_busy_when_queue_full(env, server_cls):
+    with server_cls(env.registry, num_pes=1, max_queued=0) as server:
         with NinfClient(*server.address) as client:
             parked = occupy(env, client)
             with pytest.raises(ServerBusy) as info:
@@ -65,11 +66,11 @@ def test_call_sheds_busy_when_queue_full(env):
             client.fetch_detached(parked, timeout=5.0)
 
 
-def test_busy_call_retried_until_capacity_frees(env):
+def test_busy_call_retried_until_capacity_frees(env, server_cls):
     """A shed CALL rides RetryPolicy (BUSY is transient) and lands once
     the blocking job releases the PE."""
     retry = RetryPolicy(max_attempts=20, base_delay=0.05, jitter=0.0)
-    with NinfServer(env.registry, num_pes=1, max_queued=0) as server:
+    with server_cls(env.registry, num_pes=1, max_queued=0) as server:
         with NinfClient(*server.address, retry=retry,
                         retry_calls=True) as client:
             parked = occupy(env, client)
@@ -86,8 +87,8 @@ def test_busy_call_retried_until_capacity_frees(env):
 # ----------------------------------------------------------- deadlines
 
 
-def test_wire_deadline_expires_queued_call(env):
-    with NinfServer(env.registry, num_pes=1) as server:
+def test_wire_deadline_expires_queued_call(env, server_cls):
+    with server_cls(env.registry, num_pes=1) as server:
         with NinfClient(*server.address) as client:
             parked = occupy(env, client)
             with pytest.raises(ServerBusy) as info:
@@ -98,8 +99,8 @@ def test_wire_deadline_expires_queued_call(env):
             client.fetch_detached(parked, timeout=5.0)
 
 
-def test_fetch_deadline_expiry_cancels_queued_job(env):
-    with NinfServer(env.registry, num_pes=1) as server:
+def test_fetch_deadline_expiry_cancels_queued_job(env, server_cls):
+    with server_cls(env.registry, num_pes=1) as server:
         with NinfClient(*server.address) as client:
             parked = occupy(env, client)
             doomed = client.call_detached("sleeper", 0.0)
@@ -114,8 +115,8 @@ def test_fetch_deadline_expiry_cancels_queued_job(env):
 # -------------------------------------------------------------- cancel
 
 
-def test_cancel_detached_queued_job(env):
-    with NinfServer(env.registry, num_pes=1) as server:
+def test_cancel_detached_queued_job(env, server_cls):
+    with server_cls(env.registry, num_pes=1) as server:
         with NinfClient(*server.address) as client:
             parked = occupy(env, client)
             queued = client.call_detached("sleeper", 0.0)
@@ -131,8 +132,8 @@ def test_cancel_detached_queued_job(env):
             client.fetch_detached(parked, timeout=5.0)
 
 
-def test_cancel_running_job_is_refused(env):
-    with NinfServer(env.registry, num_pes=1) as server:
+def test_cancel_running_job_is_refused(env, server_cls):
+    with server_cls(env.registry, num_pes=1) as server:
         with NinfClient(*server.address) as client:
             parked = occupy(env, client)
             assert client.cancel_detached(parked) is False
@@ -154,11 +155,11 @@ def _send_call(channel, signature, logical_id, attempt):
     return channel.recv()
 
 
-def test_retried_logical_id_executes_exactly_once(env):
+def test_retried_logical_id_executes_exactly_once(env, server_cls):
     """A second attempt of the same logical call replays the cached
     reply frame byte-for-byte instead of re-executing."""
     signature = Signature.from_idl(BUMP_IDL)
-    with NinfServer(env.registry, num_pes=1) as server:
+    with server_cls(env.registry, num_pes=1) as server:
         host, port = server.address
         channel = connect(host, port, timeout=5.0)
         try:
@@ -174,9 +175,9 @@ def test_retried_logical_id_executes_exactly_once(env):
         assert server.dedup.hits == 1
 
 
-def test_distinct_logical_ids_execute_independently(env):
+def test_distinct_logical_ids_execute_independently(env, server_cls):
     signature = Signature.from_idl(BUMP_IDL)
-    with NinfServer(env.registry, num_pes=1) as server:
+    with server_cls(env.registry, num_pes=1) as server:
         host, port = server.address
         channel = connect(host, port, timeout=5.0)
         try:

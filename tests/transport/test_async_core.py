@@ -1,0 +1,243 @@
+"""The asyncio transport core: framing, channel, pool, endpoint, facade.
+
+No pytest-asyncio in the toolchain: each test drives its coroutines
+with ``asyncio.run`` (client side) against an :class:`AsyncEndpoint`,
+which owns its private loop thread and is started from sync code.
+"""
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.protocol import ConnectionClosed, ProtocolError, TimeoutError
+from repro.protocol.aframing import read_frame, write_frame
+from repro.protocol.framing import encode_frame
+from repro.protocol.messages import MessageType
+from repro.transport import (
+    AsyncConnectionPool,
+    AsyncEndpoint,
+    aconnect,
+    facade_connect,
+)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def test_async_framing_roundtrips_the_sync_wire_format():
+    async def main():
+        async def echo(reader, writer):
+            msg_type, payload = await read_frame(reader, timeout=5.0)
+            await write_frame(writer, msg_type, payload, timeout=5.0)
+            writer.close()
+
+        server = await asyncio.start_server(echo, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        payload = bytes(range(256)) * 11
+        await write_frame(writer, MessageType.CALL, payload, timeout=5.0)
+        result = await read_frame(reader, timeout=5.0)
+        writer.close()
+        server.close()
+        return result
+
+    assert asyncio.run(main()) == (MessageType.CALL, bytes(range(256)) * 11)
+
+
+def test_async_framing_rejects_corrupt_crc():
+    async def main():
+        async def corrupter(reader, writer):
+            frame = bytearray(encode_frame(MessageType.PONG, b"ninf"))
+            frame[-1] ^= 0xFF  # flip a payload byte, keep the old CRC
+            writer.write(bytes(frame))
+            await writer.drain()
+
+        server = await asyncio.start_server(corrupter, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, _writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            with pytest.raises(ProtocolError, match="checksum"):
+                await read_frame(reader, timeout=5.0)
+        finally:
+            server.close()
+
+    asyncio.run(main())
+
+
+def test_async_framing_deadline_covers_the_whole_frame():
+    """A peer that sends the header then stalls cannot stretch the
+    deadline: expiry raises the repro TimeoutError."""
+
+    async def main():
+        stall = asyncio.Event()
+
+        async def trickler(reader, writer):
+            frame = encode_frame(MessageType.PONG, b"x" * 64)
+            writer.write(frame[:16])  # header only, then stall
+            await writer.drain()
+            await stall.wait()
+
+        server = await asyncio.start_server(trickler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, _writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            with pytest.raises(TimeoutError):
+                await read_frame(reader, timeout=0.2)
+        finally:
+            stall.set()
+            server.close()
+
+    asyncio.run(main())
+
+
+# -- channel against a live endpoint ------------------------------------------
+
+
+def test_async_channel_pings_the_endpoint():
+    with AsyncEndpoint() as endpoint:
+        host, port = endpoint.address
+
+        async def main():
+            channel = await aconnect(host, port, timeout=5.0)
+            reply = await channel.request(MessageType.PING, b"probe",
+                                          expect=MessageType.PONG)
+            assert channel.healthy()
+            channel.close()
+            return reply
+
+        assert asyncio.run(main()) == (MessageType.PONG, b"probe")
+
+
+def test_async_channel_local_close_raises_oserror():
+    """I/O after a *local* close is OSError -- the sync channel's
+    EBADF observable -- never ConnectionClosed."""
+    with AsyncEndpoint() as endpoint:
+        host, port = endpoint.address
+
+        async def main():
+            channel = await aconnect(host, port, timeout=5.0)
+            channel.close()
+            with pytest.raises(OSError) as info:
+                await channel.recv()
+            assert not isinstance(info.value, ConnectionClosed)
+
+        asyncio.run(main())
+
+
+def test_async_channel_peer_close_reads_as_connection_closed():
+    endpoint = AsyncEndpoint().start()
+    host, port = endpoint.address
+
+    async def main():
+        channel = await aconnect(host, port, timeout=5.0)
+        # Roundtrip first so the server-side connection task is live.
+        await channel.request(MessageType.PING, b"",
+                              expect=MessageType.PONG)
+        endpoint.stop()  # server side goes away
+        with pytest.raises(ConnectionClosed):
+            await channel.recv(timeout=5.0)
+
+    asyncio.run(main())
+
+
+# -- endpoint -----------------------------------------------------------------
+
+
+def test_endpoint_listener_sets_reuseaddr_and_counts_connections():
+    with AsyncEndpoint(backlog=128) as endpoint:
+        assert endpoint.backlog == 128
+        listener = endpoint._server.sockets[0]
+        assert listener.getsockopt(socket.SOL_SOCKET,
+                                   socket.SO_REUSEADDR) == 1
+        host, port = endpoint.address
+
+        async def main():
+            channel = await aconnect(host, port, timeout=5.0)
+            await channel.request(MessageType.PING, b"",
+                                  expect=MessageType.PONG)
+            open_now = endpoint.connections_open
+            channel.close()
+            return open_now
+
+        assert asyncio.run(main()) == 1
+        assert endpoint.connections_accepted == 1
+
+
+def test_endpoint_runs_sync_handlers_in_the_thread_pool():
+    """A plain-function handler is bridged off-loop with a facade
+    channel; the loop thread itself never runs it."""
+    seen = {}
+
+    def handler(channel, payload):
+        seen["thread"] = threading.current_thread().name
+        channel.send(MessageType.HELLO_REPLY, payload.upper())
+
+    with AsyncEndpoint() as endpoint:
+        endpoint.register_handler(MessageType.HELLO, handler)
+        host, port = endpoint.address
+
+        async def main():
+            channel = await aconnect(host, port, timeout=5.0)
+            reply = await channel.request(MessageType.HELLO, b"ninf",
+                                          expect=MessageType.HELLO_REPLY)
+            channel.close()
+            return reply
+
+        assert asyncio.run(main()) == (MessageType.HELLO_REPLY, b"NINF")
+    assert "loop" not in seen["thread"]
+
+
+# -- pool ---------------------------------------------------------------------
+
+
+def test_async_pool_reuses_checked_in_channels():
+    with AsyncEndpoint() as endpoint:
+        host, port = endpoint.address
+
+        async def main():
+            pool = AsyncConnectionPool(timeout=5.0)
+            first = await pool.checkout(host, port)
+            pool.checkin(first)
+            second = await pool.checkout(host, port)
+            assert second is first
+            pool.close()
+            return pool.created, pool.reused
+
+        assert asyncio.run(main()) == (1, 1)
+
+
+def test_async_pool_counts_refused_dials():
+    port = _free_port()  # nothing listening
+
+    async def main():
+        pool = AsyncConnectionPool(timeout=1.0)
+        with pytest.raises(ConnectionRefusedError):
+            await pool.checkout("127.0.0.1", port)
+        return pool.dials_refused
+
+    assert asyncio.run(main()) == 1
+
+
+# -- sync facade --------------------------------------------------------------
+
+
+def test_facade_channel_drives_the_loop_from_blocking_code():
+    with AsyncEndpoint() as endpoint:
+        host, port = endpoint.address
+        channel = facade_connect(host, port, timeout=5.0)
+        try:
+            assert channel.request(MessageType.PING, b"sync",
+                                   expect=MessageType.PONG) \
+                == (MessageType.PONG, b"sync")
+            assert channel.healthy()
+        finally:
+            channel.close()
+        assert channel.closed
