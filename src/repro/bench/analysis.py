@@ -1,0 +1,236 @@
+"""Statistics for the DiPerF-style RPC harness.
+
+Pure functions, no I/O: saturation-knee detection on a stage series,
+Jain's fairness index over per-client call counts, and merging of the
+fixed-bucket latency histograms the worker processes ship back (the
+:class:`~repro.obs.registry.Histogram` snapshot shape), including the
+same bucket-interpolation quantile estimate the live registry uses.
+
+The saturation methodology follows DiPerF (PAPERS.md): the unit of
+comparison is the throughput-vs-offered-concurrency *curve*, and the
+saturation point is where its slope collapses -- detected here by a
+windowed least-squares regression over the stage series rather than by
+eyeballing a plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = [
+    "BENCH_LATENCY_BUCKETS",
+    "SaturationPoint",
+    "detect_saturation",
+    "jain_fairness",
+    "merge_cumulative_buckets",
+    "quantile_from_cumulative",
+    "window_slopes",
+]
+
+#: Upper bucket bounds (seconds) for the harness latency histograms.
+#: Finer than the registry default at the sub-millisecond end because a
+#: loopback noop call sits at a few hundred microseconds; +Inf implicit.
+BENCH_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every client got an equal share, ``1/n`` when one client
+    got everything, and (by convention) 1.0 for an empty or all-zero
+    population -- nothing was distributed, so nothing was unfair.
+    """
+    n = len(values)
+    if n == 0:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (n * squares)
+
+
+def _least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Ordinary least-squares slope of ``ys`` on ``xs``."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        raise ValueError(f"degenerate window: all x equal ({xs[0]!r})")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx
+
+
+def window_slopes(xs: Sequence[float], ys: Sequence[float],
+                  window: int = 3) -> list[float]:
+    """Least-squares slope of each length-``window`` sliding window.
+
+    ``slopes[k]`` is the regression slope over points ``k .. k+window-1``;
+    the list has ``len(xs) - window + 1`` entries.
+    """
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} != {len(ys)}")
+    if len(xs) < window:
+        return []
+    if any(b <= a for a, b in zip(xs, xs[1:])):
+        raise ValueError("x series must be strictly increasing")
+    return [
+        _least_squares_slope(xs[k:k + window], ys[k:k + window])
+        for k in range(len(xs) - window + 1)
+    ]
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """The detected throughput knee of a stage series.
+
+    ``detected`` is False when the series never flattens (every window's
+    slope stays above the threshold) or is too short to regress; the
+    peak fields are filled either way so a report always carries the
+    best observed operating point.
+    """
+
+    detected: bool
+    stage_index: Optional[int]     # first stage of the first flat window
+    clients: Optional[float]       # offered concurrency at that stage
+    goodput_per_s: Optional[float]
+    peak_stage_index: int          # argmax goodput over the whole series
+    peak_clients: float
+    peak_goodput_per_s: float
+    base_slope: float              # reference slope (first window)
+    knee_slope: Optional[float]    # slope of the window that tripped
+    window: int
+    slope_fraction: float
+
+    def to_dict(self) -> dict:
+        """JSON shape under the report's ``saturation`` key."""
+        return {
+            "method": "windowed-regression",
+            "window": self.window,
+            "slope_fraction": self.slope_fraction,
+            "detected": self.detected,
+            "stage_index": self.stage_index,
+            "clients": self.clients,
+            "goodput_per_s": _round(self.goodput_per_s),
+            "peak_stage_index": self.peak_stage_index,
+            "peak_clients": self.peak_clients,
+            "peak_goodput_per_s": _round(self.peak_goodput_per_s),
+            "base_slope": _round(self.base_slope),
+            "knee_slope": _round(self.knee_slope),
+        }
+
+
+def _round(value: Optional[float], digits: int = 4) -> Optional[float]:
+    return None if value is None else round(float(value), digits)
+
+
+def detect_saturation(clients: Sequence[float],
+                      goodput: Sequence[float],
+                      window: int = 3,
+                      slope_fraction: float = 0.1) -> SaturationPoint:
+    """Find the throughput knee of a ramp by windowed regression.
+
+    The reference slope is the first window's (the unloaded, linear
+    region of the ramp); the knee is the first window whose slope drops
+    to ``slope_fraction`` of it or below.  The reported saturation
+    stage is the first stage of that window: offered load beyond it
+    bought no throughput.  A ramp that is flat from the start (base
+    slope <= 0) is saturated at stage 0.
+    """
+    slopes = window_slopes(clients, goodput, window=window)
+    peak_index = max(range(len(goodput)), key=lambda i: goodput[i]) \
+        if goodput else 0
+    common = dict(
+        peak_stage_index=peak_index,
+        peak_clients=float(clients[peak_index]) if clients else 0.0,
+        peak_goodput_per_s=float(goodput[peak_index]) if goodput else 0.0,
+        window=window,
+        slope_fraction=slope_fraction,
+    )
+    if not slopes:
+        return SaturationPoint(detected=False, stage_index=None,
+                               clients=None, goodput_per_s=None,
+                               base_slope=0.0, knee_slope=None, **common)
+    base = slopes[0]
+    if base <= 0.0:
+        # Saturated (or degrading) from the very first window.
+        return SaturationPoint(detected=True, stage_index=0,
+                               clients=float(clients[0]),
+                               goodput_per_s=float(goodput[0]),
+                               base_slope=base, knee_slope=base, **common)
+    for k, slope in enumerate(slopes[1:], start=1):
+        if slope <= slope_fraction * base:
+            return SaturationPoint(detected=True, stage_index=k,
+                                   clients=float(clients[k]),
+                                   goodput_per_s=float(goodput[k]),
+                                   base_slope=base, knee_slope=slope,
+                                   **common)
+    return SaturationPoint(detected=False, stage_index=None, clients=None,
+                           goodput_per_s=None, base_slope=base,
+                           knee_slope=None, **common)
+
+
+# -- histogram snapshot merging ----------------------------------------------
+
+
+def merge_cumulative_buckets(parts: Sequence[Sequence[int]]) -> list[int]:
+    """Element-wise sum of cumulative bucket-count lists.
+
+    The :meth:`~repro.obs.registry.Histogram.snapshot` shape is
+    *cumulative* per bucket, and cumulative sums add element-wise, so
+    merging worker histograms is a plain vector sum -- provided every
+    part used identical bounds (the caller's contract; length mismatch
+    is rejected here as a cheap guard).
+    """
+    if not parts:
+        return []
+    length = len(parts[0])
+    merged = [0] * length
+    for part in parts:
+        if len(part) != length:
+            raise ValueError(
+                f"bucket count mismatch: {len(part)} != {length} "
+                f"(were the histograms built with the same bounds?)")
+        for i, value in enumerate(part):
+            merged[i] += value
+    return merged
+
+
+def quantile_from_cumulative(bounds: Sequence[float],
+                             cumulative: Sequence[int],
+                             q: float) -> float:
+    """The registry's bucket-interpolation quantile over a merged
+    cumulative list (``len(cumulative) == len(bounds) + 1``, the last
+    entry being the +Inf bucket, clamped to the largest finite bound).
+
+    Returns ``nan`` when the histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(cumulative) != len(bounds) + 1:
+        raise ValueError(
+            f"need {len(bounds) + 1} cumulative entries, "
+            f"got {len(cumulative)}")
+    total = cumulative[-1]
+    if total == 0:
+        return float("nan")
+    rank = q * total
+    previous = 0
+    for index, running in enumerate(cumulative):
+        bucket_count = running - previous
+        if running >= rank and bucket_count:
+            if index >= len(bounds):  # +Inf bucket
+                return float(bounds[-1])
+            lower = float(bounds[index - 1]) if index else 0.0
+            upper = float(bounds[index])
+            within = (rank - previous) / bucket_count
+            return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+        previous = running
+    return float(bounds[-1])  # pragma: no cover - rank <= total always

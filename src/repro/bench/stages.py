@@ -1,0 +1,148 @@
+"""The harness's load-ramp model: a deterministic schedule of stages.
+
+A :class:`Stage` is one measured operating point -- ``clients``
+concurrent closed-loop clients offered for ``duration_s`` seconds (with
+optional per-call think time).  A :class:`StageSchedule` is the ordered
+ramp the coordinator walks, live or simulated: the *same* schedule
+object drives both, which is what makes ``--sim`` a faithful CI stand-in
+for the live run.
+
+Schedules are value objects: building one never touches a clock or an
+unseeded RNG, so a pinned ``seed`` reproduces the ramp (including any
+jitter) byte-for-byte -- the determinism the trajectory gate and the
+``--sim`` byte-identical-output guarantee both lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Stage", "StageSchedule", "build_ramp", "parse_stage_list"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One operating point of the ramp."""
+
+    clients: int
+    duration_s: float
+    think_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.duration_s <= 0:
+            raise ValueError(
+                f"duration_s must be > 0, got {self.duration_s}")
+        if self.think_s < 0:
+            raise ValueError(f"think_s must be >= 0, got {self.think_s}")
+
+    def to_dict(self) -> dict:
+        """JSON shape under ``config.schedule.stages``."""
+        return {"clients": self.clients,
+                "duration_s": self.duration_s,
+                "think_s": self.think_s}
+
+
+@dataclass(frozen=True)
+class StageSchedule:
+    """An ordered ramp of stages plus the seed that built/drives it.
+
+    The ``seed`` does double duty: it seeded any jitter applied while
+    building the ramp, and it seeds the per-client RNGs of the
+    simulated driver -- one number pins the whole run.
+    """
+
+    stages: tuple[Stage, ...]
+    seed: int = 1997
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a schedule needs at least one stage")
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    @property
+    def max_clients(self) -> int:
+        return max(stage.clients for stage in self.stages)
+
+    def to_dict(self) -> dict:
+        """JSON shape under the report's ``config.schedule`` key."""
+        return {"seed": self.seed,
+                "stages": [stage.to_dict() for stage in self.stages]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageSchedule":
+        return cls(stages=tuple(Stage(**stage)
+                                for stage in data["stages"]),
+                   seed=int(data["seed"]))
+
+    def signature(self) -> str:
+        """A compact comparability key: two runs are point-for-point
+        comparable exactly when their signatures match."""
+        parts = [f"{s.clients}x{s.duration_s:g}+{s.think_s:g}"
+                 for s in self.stages]
+        return f"seed={self.seed};" + ",".join(parts)
+
+
+def build_ramp(start: int = 4, factor: float = 2.0, count: int = 7,
+               duration_s: float = 3.0, think_s: float = 0.0,
+               jitter: float = 0.0, seed: int = 1997) -> StageSchedule:
+    """A geometric client ramp: ``start, start*factor, ...`` stages.
+
+    ``jitter`` perturbs each stage's client count by up to that
+    fraction, drawn from an RNG seeded with ``seed`` -- the DiPerF-style
+    "clients do not arrive in round numbers" realism knob.  Jittered or
+    not, the same arguments always build the same schedule.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if factor <= 1.0:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    rng = np.random.default_rng(seed)
+    stages = []
+    previous = 0
+    for k in range(count):
+        clients = round(start * factor ** k)
+        if jitter:
+            clients = round(clients * (1.0 + float(rng.uniform(-jitter,
+                                                               jitter))))
+        # Keep the ramp strictly increasing even under heavy jitter --
+        # the knee regression requires strictly increasing x.
+        clients = max(clients, previous + 1)
+        previous = clients
+        stages.append(Stage(clients=clients, duration_s=duration_s,
+                            think_s=think_s))
+    return StageSchedule(stages=tuple(stages), seed=seed)
+
+
+def parse_stage_list(text: str, duration_s: float = 3.0,
+                     think_s: float = 0.0,
+                     seed: int = 1997) -> StageSchedule:
+    """``"8,16,32"`` -> an explicit three-stage schedule.
+
+    The ``--stages`` CLI form; counts must be strictly increasing so
+    the resulting series can feed the knee regression directly.
+    """
+    try:
+        counts = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise ValueError(f"bad stage list {text!r}: {exc}") from None
+    if not counts:
+        raise ValueError(f"bad stage list {text!r}: no client counts")
+    if any(b <= a for a, b in zip(counts, counts[1:])):
+        raise ValueError(
+            f"stage client counts must be strictly increasing, got {counts}")
+    return StageSchedule(
+        stages=tuple(Stage(clients=c, duration_s=duration_s,
+                           think_s=think_s) for c in counts),
+        seed=seed)

@@ -62,6 +62,11 @@ SERVER_LOOP_LAG = "ninf_server_loop_lag_seconds"
 METASERVER_PROBES = "ninf_metaserver_probes_total"    # label: outcome
 METASERVER_SERVERS_ALIVE = "ninf_metaserver_servers_alive"
 
+# -- bench harness (ninf-bench rpc worker processes) --------------------
+BENCH_CALLS = "ninf_bench_calls_total"                # label: outcome
+BENCH_CALL_SECONDS = "ninf_bench_call_seconds"
+BENCH_STAGE_CLIENTS = "ninf_bench_stage_clients"
+
 METRIC_NAMES = (
     TRANSPORT_BYTES_SENT,
     TRANSPORT_BYTES_RECEIVED,
@@ -94,4 +99,7 @@ METRIC_NAMES = (
     SERVER_LOOP_LAG,
     METASERVER_PROBES,
     METASERVER_SERVERS_ALIVE,
+    BENCH_CALLS,
+    BENCH_CALL_SECONDS,
+    BENCH_STAGE_CLIENTS,
 )

@@ -22,6 +22,8 @@ using the calibrated :mod:`repro.model` machine and network catalogs.
 - :mod:`repro.simninf.metrics` -- table-row aggregation matching the
   paper's columns (perf max/min/mean, response, wait, throughput, CPU
   utilization, load average, times).
+- :mod:`repro.simninf.stagedriver` -- replay a ``ninf-bench rpc`` stage
+  schedule as deterministic sim cells (the CI perf-gate backend).
 """
 
 from repro.simninf.calls import CallSpec, SimCallRecord, ep_spec, linpack_spec
@@ -29,6 +31,7 @@ from repro.simninf.client import WorkloadClient
 from repro.simninf.metaserver import SimMetaserver
 from repro.simninf.metrics import ColumnStats, TableRow, aggregate
 from repro.simninf.server import SimNinfServer
+from repro.simninf.stagedriver import SimStageRow, run_stage_schedule
 
 __all__ = [
     "CallSpec",
@@ -36,9 +39,11 @@ __all__ = [
     "SimCallRecord",
     "SimMetaserver",
     "SimNinfServer",
+    "SimStageRow",
     "TableRow",
     "WorkloadClient",
     "aggregate",
     "ep_spec",
     "linpack_spec",
+    "run_stage_schedule",
 ]

@@ -1,0 +1,67 @@
+"""Shared builders for bench-report tests."""
+
+from repro.bench.stages import build_ramp
+
+
+def make_rpc_report(mode="sim", peak=100.0, p95_ms=5.0,
+                    saturation_clients=16.0, detected=True,
+                    schedule=None, consistent=True, seed=1997):
+    """A minimal, schema-valid version-1 rpc report.
+
+    The stage table is a linear-then-flat ramp whose flat level is
+    ``peak``; tests perturb individual fields to probe the gate.
+    """
+    schedule = schedule or build_ramp(count=5, seed=seed)
+    stages = []
+    for index, stage in enumerate(schedule):
+        goodput = min(peak, peak * stage.clients / saturation_clients)
+        stages.append({
+            "index": index,
+            "clients": stage.clients,
+            "duration_s": stage.duration_s,
+            "think_s": stage.think_s,
+            "calls_ok": int(goodput * stage.duration_s),
+            "calls_shed": 0,
+            "calls_error": 0,
+            "retries": 0,
+            "wall_seconds": stage.duration_s,
+            "goodput_per_s": goodput,
+            "latency_ms": {"p50": p95_ms / 2, "p95": p95_ms,
+                           "p99": p95_ms * 2},
+            "fairness_jain": 1.0,
+            "server": {"jobs_ok_delta": int(goodput * stage.duration_s),
+                       "jobs_error_delta": 0, "sheds_delta": 0},
+        })
+    return {
+        "schema_version": 1,
+        "benchmark": "rpc",
+        "mode": mode,
+        "machine": {"id": "sim", "python": "sim", "platform": "sim"},
+        "git_sha": "0" * 40,
+        "config": {"schedule": schedule.to_dict()},
+        "stages": stages,
+        "saturation": {
+            "method": "windowed-regression",
+            "window": 3,
+            "slope_fraction": 0.1,
+            "detected": detected,
+            "stage_index": 2 if detected else None,
+            "clients": saturation_clients if detected else None,
+            "goodput_per_s": peak if detected else None,
+            "peak_stage_index": len(stages) - 1,
+            "peak_clients": stages[-1]["clients"],
+            "peak_goodput_per_s": peak,
+            "base_slope": 1.0,
+            "knee_slope": 0.0 if detected else None,
+        },
+        "cross_check": {
+            "harness_calls_ok": sum(s["calls_ok"] for s in stages),
+            "server_jobs_ok": sum(s["calls_ok"] for s in stages),
+            "ok_relative_gap": 0.0,
+            "harness_calls_shed": 0,
+            "server_sheds": 0,
+            "shed_relative_gap": 0.0,
+            "tolerance": 0.01,
+            "consistent": consistent,
+        },
+    }

@@ -1,0 +1,173 @@
+"""Unit tests for the harness statistics (ISSUE 7 satellite 1).
+
+Known distributions in, exact values out: Jain's fairness on textbook
+populations, the saturation knee on synthetic linear-then-flat ramps,
+and the cumulative-histogram merge/quantile pipeline the coordinator
+uses to fold worker latency reports together.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.analysis import (
+    BENCH_LATENCY_BUCKETS,
+    detect_saturation,
+    jain_fairness,
+    merge_cumulative_buckets,
+    quantile_from_cumulative,
+    window_slopes,
+)
+
+
+class TestJainFairness:
+    def test_equal_shares_is_one(self):
+        assert jain_fairness([7, 7, 7, 7]) == pytest.approx(1.0)
+
+    def test_one_client_gets_everything_is_one_over_n(self):
+        assert jain_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_fairness([3, 0]) == pytest.approx(0.5)
+
+    def test_known_mixed_distribution(self):
+        # (4+2)^2 / (2 * (16+4)) = 36/40
+        assert jain_fairness([4, 2]) == pytest.approx(0.9)
+        # (1+2+3)^2 / (3 * 14) = 36/42
+        assert jain_fairness([1, 2, 3]) == pytest.approx(36 / 42)
+
+    def test_empty_and_all_zero_populations_are_fair(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0, 0, 0]) == 1.0
+
+    def test_scale_invariance(self):
+        assert jain_fairness([1, 2, 3]) == pytest.approx(
+            jain_fairness([100, 200, 300]))
+
+
+class TestWindowSlopes:
+    def test_linear_series_has_constant_slope(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [2 * x + 5 for x in xs]
+        assert window_slopes(xs, ys, window=3) == pytest.approx(
+            [2.0, 2.0, 2.0])
+
+    def test_short_series_yields_no_windows(self):
+        assert window_slopes([1.0, 2.0], [1.0, 2.0], window=3) == []
+
+    def test_rejects_non_increasing_x(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            window_slopes([1.0, 3.0, 3.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            window_slopes([1.0, 2.0, 3.0], [1.0, 2.0])
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError, match="window"):
+            window_slopes([1.0, 2.0], [1.0, 2.0], window=1)
+
+
+class TestDetectSaturation:
+    def test_linear_then_flat_ramp_knees_at_the_flat_window(self):
+        clients = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+        goodput = [40.0, 80.0, 160.0, 160.0, 160.0, 160.0]
+        point = detect_saturation(clients, goodput)
+        assert point.detected
+        # First window whose slope collapses starts at stage 2.
+        assert point.stage_index == 2
+        assert point.clients == 16.0
+        assert point.goodput_per_s == 160.0
+        assert point.knee_slope == pytest.approx(0.0)
+        assert point.base_slope > 0
+        assert point.peak_goodput_per_s == 160.0
+
+    def test_purely_linear_ramp_never_saturates(self):
+        clients = [1.0, 2.0, 4.0, 8.0, 16.0]
+        goodput = [10.0 * c for c in clients]
+        point = detect_saturation(clients, goodput)
+        assert not point.detected
+        assert point.stage_index is None
+        assert point.peak_stage_index == 4  # best point still reported
+
+    def test_flat_from_the_start_is_saturated_at_stage_zero(self):
+        point = detect_saturation([1.0, 2.0, 4.0, 8.0],
+                                  [50.0, 50.0, 50.0, 50.0])
+        assert point.detected
+        assert point.stage_index == 0
+        assert point.clients == 1.0
+
+    def test_too_few_stages_is_undetected_not_an_error(self):
+        point = detect_saturation([1.0, 2.0], [10.0, 20.0])
+        assert not point.detected
+        assert point.peak_goodput_per_s == 20.0
+
+    def test_to_dict_carries_the_method_and_rounds(self):
+        as_dict = detect_saturation(
+            [1.0, 2.0, 4.0, 8.0], [3.0, 6.0, 6.001, 6.002]).to_dict()
+        assert as_dict["method"] == "windowed-regression"
+        assert as_dict["detected"] is True
+        assert isinstance(as_dict["base_slope"], float)
+
+
+class TestHistogramMerge:
+    def test_merge_is_elementwise_sum(self):
+        assert merge_cumulative_buckets(
+            [[1, 2, 3], [0, 1, 2], [4, 4, 4]]) == [5, 7, 9]
+        assert merge_cumulative_buckets([]) == []
+
+    def test_merge_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="bucket count mismatch"):
+            merge_cumulative_buckets([[1, 2, 3], [1, 2]])
+
+    def test_quantile_interpolates_within_the_crossing_bucket(self):
+        bounds = (1.0, 2.0, 4.0)
+        # 10 observations <= 1, 10 in (1, 2], none beyond.
+        cumulative = (10, 20, 20, 20)
+        assert quantile_from_cumulative(bounds, cumulative, 0.5) \
+            == pytest.approx(1.0)
+        assert quantile_from_cumulative(bounds, cumulative, 0.75) \
+            == pytest.approx(1.5)
+        assert quantile_from_cumulative(bounds, cumulative, 1.0) \
+            == pytest.approx(2.0)
+
+    def test_quantile_clamps_the_inf_bucket_to_largest_bound(self):
+        bounds = (1.0, 2.0)
+        cumulative = (0, 0, 5)  # everything beyond the last bound
+        assert quantile_from_cumulative(bounds, cumulative, 0.5) == 2.0
+
+    def test_quantile_of_empty_histogram_is_nan(self):
+        assert math.isnan(
+            quantile_from_cumulative((1.0, 2.0), (0, 0, 0), 0.5))
+
+    def test_quantile_input_validation(self):
+        with pytest.raises(ValueError, match="cumulative"):
+            quantile_from_cumulative((1.0, 2.0), (1, 2), 0.5)
+        with pytest.raises(ValueError, match="quantile"):
+            quantile_from_cumulative((1.0,), (1, 1), 1.5)
+
+    def test_merged_quantile_matches_pooled_registry_histogram(self):
+        # Two workers' registry histograms merged must answer quantiles
+        # like one histogram that saw every observation.
+        from repro.obs import MetricsRegistry
+
+        samples_a = [0.0008, 0.003, 0.004, 0.02]
+        samples_b = [0.0009, 0.0035, 0.06, 0.3]
+
+        def snapshot_of(samples):
+            registry = MetricsRegistry()
+            histogram = registry.histogram(
+                "t_seconds", "test", buckets=BENCH_LATENCY_BUCKETS)
+            for sample in samples:
+                histogram.observe(sample)
+            value = registry.snapshot()["t_seconds"]["values"][0]
+            return tuple(value["bounds"]), tuple(value["buckets"])
+
+        bounds_a, part_a = snapshot_of(samples_a)
+        bounds_b, part_b = snapshot_of(samples_b)
+        _bounds_all, pooled = snapshot_of(samples_a + samples_b)
+        assert bounds_a == bounds_b
+        merged = merge_cumulative_buckets([part_a, part_b])
+        assert merged == list(pooled)
+        for q in (0.5, 0.95, 0.99):
+            assert quantile_from_cumulative(bounds_a, merged, q) \
+                == pytest.approx(quantile_from_cumulative(
+                    bounds_a, pooled, q))

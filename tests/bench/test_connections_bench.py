@@ -60,3 +60,60 @@ def test_percentiles_of_known_distribution():
 def test_fd_limit_helpers_report_sane_values():
     assert raise_fd_limit(256) >= 256
     assert current_rss_bytes() > 0
+
+
+# -- acceptance thresholds and --json - (ISSUE 7 satellite 3) -----------------
+
+
+def test_cli_connections_fails_when_thresholds_missed(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["connections", "--connections", "16", "--threaded", "4",
+                 "--output", str(out), "--quiet",
+                 "--min-sustained", "1000000"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "--min-sustained" in captured.err
+    # The report is still written so the failing run can be inspected.
+    assert out.exists()
+
+
+def test_cli_connections_passes_when_thresholds_met(tmp_path):
+    code = main(["connections", "--connections", "16", "--threaded", "4",
+                 "--output", str(tmp_path / "bench.json"), "--quiet",
+                 "--min-sustained", "16", "--max-p95-ms", "10000"])
+    assert code == 0
+
+
+def test_cli_connections_p95_threshold_trips(tmp_path, capsys):
+    code = main(["connections", "--connections", "16", "--threaded", "4",
+                 "--output", str(tmp_path / "bench.json"), "--quiet",
+                 "--max-p95-ms", "0.000001"])
+    assert code == 1
+    assert "--max-p95-ms" in capsys.readouterr().err
+
+
+def test_cli_connections_json_dash_streams_report_to_stdout(capsys):
+    code = main(["connections", "--connections", "16", "--threaded", "4",
+                 "--json", "-"])
+    assert code == 0
+    captured = capsys.readouterr()
+    # stdout is pure JSON: no progress lines, parseable as one object.
+    report = json.loads(captured.out)
+    assert report["benchmark"] == "connections"
+    assert report["async"]["sustained_connections"] == 16
+
+
+def test_cli_connections_json_dash_still_enforces_thresholds(capsys):
+    code = main(["connections", "--connections", "16", "--threaded", "4",
+                 "--json", "-", "--min-sustained", "1000000"])
+    assert code == 1
+    json.loads(capsys.readouterr().out)  # stdout stays valid JSON
+
+
+def test_cli_connections_json_path_writes_report(tmp_path):
+    out = tmp_path / "via_json_flag.json"
+    code = main(["connections", "--connections", "16", "--threaded", "4",
+                 "--json", str(out), "--quiet"])
+    assert code == 0
+    assert json.loads(
+        out.read_text(encoding="utf-8"))["benchmark"] == "connections"

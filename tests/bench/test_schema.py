@@ -1,0 +1,133 @@
+"""BENCH_*.json schema round-trip and versioning (ISSUE 7 satellite 1).
+
+The loader must be strict: an unknown ``schema_version`` is rejected
+outright, the legacy unversioned connections report is recognised as
+version 0, and dump -> load is the identity on a valid report.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
+    BenchSchemaError,
+    dump_report,
+    load_report,
+    machine_identity,
+    report_version,
+    validate_report,
+)
+from tests.bench.conftest import make_rpc_report
+
+
+class TestVersioning:
+    def test_current_version_is_supported(self):
+        assert SCHEMA_VERSION in SUPPORTED_VERSIONS
+
+    def test_unknown_future_version_is_rejected(self):
+        report = make_rpc_report()
+        report["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError, match="unknown schema_version"):
+            validate_report(report)
+
+    def test_non_integer_version_is_rejected(self):
+        report = make_rpc_report()
+        for bad in ("1", 1.0, True, None):
+            report["schema_version"] = bad
+            with pytest.raises(BenchSchemaError):
+                validate_report(report)
+
+    def test_missing_version_means_legacy_connections(self):
+        legacy = {"benchmark": "connections", "async": {}, "threaded": {}}
+        assert report_version(legacy) == 0
+        assert validate_report(legacy) == 0
+
+    def test_unversioned_non_connections_report_is_rejected(self):
+        with pytest.raises(BenchSchemaError, match="legacy"):
+            validate_report({"benchmark": "mystery"})
+
+
+class TestV1Validation:
+    def test_valid_report_passes(self):
+        assert validate_report(make_rpc_report()) == 1
+
+    def test_missing_top_level_key_is_rejected(self):
+        for key in ("stages", "saturation", "cross_check", "machine"):
+            report = make_rpc_report()
+            del report[key]
+            with pytest.raises(BenchSchemaError, match="missing keys"):
+                validate_report(report)
+
+    def test_missing_stage_key_is_rejected(self):
+        report = make_rpc_report()
+        del report["stages"][0]["goodput_per_s"]
+        with pytest.raises(BenchSchemaError, match="stage row missing"):
+            validate_report(report)
+
+    def test_empty_stage_table_is_rejected(self):
+        report = make_rpc_report()
+        report["stages"] = []
+        with pytest.raises(BenchSchemaError, match="non-empty"):
+            validate_report(report)
+
+    def test_wrong_benchmark_or_mode_is_rejected(self):
+        report = make_rpc_report()
+        report["benchmark"] = "connections"
+        with pytest.raises(BenchSchemaError, match="rpc"):
+            validate_report(report)
+        report = make_rpc_report()
+        report["mode"] = "dream"
+        with pytest.raises(BenchSchemaError, match="mode"):
+            validate_report(report)
+
+    def test_non_object_report_is_rejected(self):
+        with pytest.raises(BenchSchemaError, match="JSON object"):
+            validate_report([1, 2, 3])
+
+
+class TestRoundTrip:
+    def test_dump_then_load_is_identity(self, tmp_path):
+        report = make_rpc_report()
+        path = tmp_path / "BENCH_rpc.json"
+        text = dump_report(report, path)
+        assert path.read_text(encoding="utf-8") == text
+        assert load_report(path) == report
+
+    def test_dump_is_deterministic_text(self, tmp_path):
+        report = make_rpc_report()
+        assert dump_report(report, None) == dump_report(report, None)
+        # sort_keys: key order in the source dict must not matter
+        shuffled = dict(reversed(list(report.items())))
+        assert dump_report(shuffled, None) == dump_report(report, None)
+
+    def test_dump_refuses_an_invalid_report(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            dump_report({"schema_version": 99}, tmp_path / "x.json")
+        assert not (tmp_path / "x.json").exists()
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BenchSchemaError, match="cannot read"):
+            load_report(path)
+
+    def test_loader_accepts_committed_legacy_report(self, tmp_path):
+        # The exact on-disk shape PR 6 committed as BENCH_asyncio.json.
+        path = tmp_path / "BENCH_asyncio.json"
+        path.write_text(json.dumps({"benchmark": "connections",
+                                    "async": {}, "threaded": {}}),
+                        encoding="utf-8")
+        assert report_version(load_report(path)) == 0
+
+
+class TestMachineIdentity:
+    def test_sim_identity_is_pinned(self):
+        assert machine_identity(sim=True) == {
+            "id": "sim", "python": "sim", "platform": "sim"}
+
+    def test_live_identity_reports_this_host(self):
+        identity = machine_identity()
+        assert identity["id"] not in ("", "sim")
+        assert identity["python"][0].isdigit()

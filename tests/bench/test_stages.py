@@ -1,0 +1,99 @@
+"""Stage-schedule determinism and validation (ISSUE 7 satellite 1).
+
+The schedule is the harness's reproducibility anchor: the same seed
+must build the same ramp byte-for-byte, jittered or not, and malformed
+ramps must be rejected before they reach the knee regression (which
+requires strictly increasing client counts).
+"""
+
+import pytest
+
+from repro.bench.stages import (
+    Stage,
+    StageSchedule,
+    build_ramp,
+    parse_stage_list,
+)
+
+
+class TestStageValidation:
+    def test_rejects_nonpositive_clients_duration_and_negative_think(self):
+        with pytest.raises(ValueError, match="clients"):
+            Stage(clients=0, duration_s=1.0)
+        with pytest.raises(ValueError, match="duration_s"):
+            Stage(clients=1, duration_s=0.0)
+        with pytest.raises(ValueError, match="think_s"):
+            Stage(clients=1, duration_s=1.0, think_s=-0.1)
+
+    def test_schedule_requires_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            StageSchedule(stages=())
+
+
+class TestBuildRampDeterminism:
+    def test_default_ramp_is_the_expected_geometric_series(self):
+        schedule = build_ramp()
+        assert [s.clients for s in schedule] == [4, 8, 16, 32, 64, 128,
+                                                 256]
+
+    def test_same_seed_same_ramp_even_with_jitter(self):
+        a = build_ramp(jitter=0.3, seed=7)
+        b = build_ramp(jitter=0.3, seed=7)
+        assert a == b
+        assert a.signature() == b.signature()
+
+    def test_different_seed_changes_a_jittered_ramp(self):
+        a = build_ramp(jitter=0.3, seed=7)
+        b = build_ramp(jitter=0.3, seed=8)
+        assert [s.clients for s in a] != [s.clients for s in b]
+
+    def test_jittered_ramp_stays_strictly_increasing(self):
+        for seed in range(20):
+            counts = [s.clients
+                      for s in build_ramp(jitter=0.5, seed=seed)]
+            assert all(b > a for a, b in zip(counts, counts[1:]))
+
+    def test_build_ramp_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            build_ramp(count=0)
+        with pytest.raises(ValueError, match="factor"):
+            build_ramp(factor=1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            build_ramp(jitter=1.0)
+
+
+class TestScheduleSerialisation:
+    def test_to_from_dict_round_trip(self):
+        schedule = build_ramp(start=3, count=4, duration_s=2.5,
+                              think_s=0.1, seed=11)
+        assert StageSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_signature_distinguishes_seed_and_shape(self):
+        base = build_ramp(seed=1)
+        assert base.signature() != build_ramp(seed=2).signature()
+        assert base.signature() != build_ramp(seed=1,
+                                              duration_s=9.0).signature()
+        assert base.signature() == build_ramp(seed=1).signature()
+
+    def test_max_clients(self):
+        assert build_ramp(start=4, count=3).max_clients == 16
+
+
+class TestParseStageList:
+    def test_parses_explicit_counts(self):
+        schedule = parse_stage_list("8,16,32", duration_s=2.0,
+                                    think_s=0.5, seed=3)
+        assert [s.clients for s in schedule] == [8, 16, 32]
+        assert all(s.duration_s == 2.0 and s.think_s == 0.5
+                   for s in schedule)
+        assert schedule.seed == 3
+
+    def test_rejects_non_increasing_and_garbage(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            parse_stage_list("8,8,16")
+        with pytest.raises(ValueError, match="strictly increasing"):
+            parse_stage_list("16,8")
+        with pytest.raises(ValueError, match="bad stage list"):
+            parse_stage_list("four,five")
+        with pytest.raises(ValueError, match="bad stage list"):
+            parse_stage_list(",")

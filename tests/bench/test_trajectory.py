@@ -1,0 +1,132 @@
+"""The trajectory regression gate (ISSUE 7 tentpole: the CI perf gate).
+
+Identical runs must pass; a collapsed peak, a blown-up p95, a knee that
+moved to fewer clients, or an inconsistent cross-check must each trip
+exactly their own check; schedule-mismatched runs fall back to the
+peak-goodput-only comparison instead of gating on incomparable tables.
+"""
+
+import pytest
+
+from repro.bench.schema import BenchSchemaError, dump_report
+from repro.bench.stages import build_ramp
+from repro.bench.trajectory import (
+    Tolerances,
+    compare_reports,
+    format_trajectory,
+    gate,
+    load_trajectory,
+    peak_goodput,
+)
+from tests.bench.conftest import make_rpc_report
+
+
+def failed_names(checks):
+    return [check.name for check in checks if not check.passed]
+
+
+class TestCompareReports:
+    def test_identical_reports_pass_every_check(self):
+        report = make_rpc_report()
+        checks = compare_reports(report, make_rpc_report())
+        assert failed_names(checks) == []
+        assert {c.name for c in checks} >= {
+            "peak_goodput", "cross_check_consistent",
+            "saturation_clients"}
+
+    def test_peak_goodput_collapse_trips_the_gate(self):
+        baseline = make_rpc_report(peak=100.0)
+        fresh = make_rpc_report(peak=50.0)
+        checks = compare_reports(baseline, fresh)
+        assert "peak_goodput" in failed_names(checks)
+
+    def test_goodput_drop_within_tolerance_passes(self):
+        baseline = make_rpc_report(peak=100.0)
+        fresh = make_rpc_report(peak=90.0)
+        assert failed_names(compare_reports(
+            baseline, fresh, Tolerances(goodput_drop=0.15))) == []
+        assert "peak_goodput" in failed_names(compare_reports(
+            baseline, fresh, Tolerances(goodput_drop=0.05)))
+
+    def test_p95_blowup_trips_only_with_matching_schedules(self):
+        baseline = make_rpc_report(p95_ms=5.0)
+        fresh = make_rpc_report(p95_ms=50.0)
+        assert "peak_stage_p95_ms" in failed_names(
+            compare_reports(baseline, fresh))
+        # Different schedule: stage-table checks are skipped.
+        other = make_rpc_report(p95_ms=50.0,
+                                schedule=build_ramp(count=2, seed=5))
+        checks = compare_reports(baseline, other)
+        assert "peak_stage_p95_ms" not in [c.name for c in checks]
+        assert "schedule_match" in [c.name for c in checks]
+
+    def test_knee_moving_to_fewer_clients_trips(self):
+        baseline = make_rpc_report(saturation_clients=64.0)
+        fresh = make_rpc_report(saturation_clients=16.0)
+        assert "saturation_clients" in failed_names(
+            compare_reports(baseline, fresh))
+
+    def test_losing_the_knee_entirely_trips(self):
+        baseline = make_rpc_report(detected=True)
+        fresh = make_rpc_report(detected=False)
+        assert "saturation_clients" in failed_names(
+            compare_reports(baseline, fresh))
+
+    def test_inconsistent_cross_check_trips(self):
+        fresh = make_rpc_report(consistent=False)
+        assert "cross_check_consistent" in failed_names(
+            compare_reports(make_rpc_report(), fresh))
+
+    def test_mode_mismatch_is_a_comparability_error(self):
+        with pytest.raises(BenchSchemaError, match="cannot gate"):
+            compare_reports(make_rpc_report(mode="sim"),
+                            make_rpc_report(mode="live"))
+
+    def test_legacy_baseline_is_a_comparability_error(self):
+        legacy = {"benchmark": "connections", "async": {}, "threaded": {}}
+        with pytest.raises(BenchSchemaError, match="version-1"):
+            compare_reports(legacy, make_rpc_report())
+
+    def test_tolerances_validate(self):
+        with pytest.raises(ValueError, match="goodput_drop"):
+            Tolerances(goodput_drop=-0.1)
+
+
+class TestGate:
+    def test_gate_exit_codes(self, capsys):
+        assert gate(make_rpc_report(), make_rpc_report()) == 0
+        assert "[PASS] peak_goodput" in capsys.readouterr().out
+        assert gate(make_rpc_report(peak=100.0),
+                    make_rpc_report(peak=10.0)) == 1
+        assert "[FAIL] peak_goodput" in capsys.readouterr().out
+
+
+class TestTrajectoryListing:
+    def test_loads_and_formats_mixed_versions(self, tmp_path):
+        dump_report(make_rpc_report(), tmp_path / "BENCH_rpc_sim.json")
+        import json
+
+        (tmp_path / "BENCH_asyncio.json").write_text(json.dumps({
+            "benchmark": "connections",
+            "async": {"sustained_connections": 5000}, "threaded": {},
+        }), encoding="utf-8")
+        (tmp_path / "unrelated.json").write_text("{}", encoding="utf-8")
+        entries = load_trajectory(tmp_path)
+        assert [path.name for path, _ in entries] == [
+            "BENCH_asyncio.json", "BENCH_rpc_sim.json"]
+        text = format_trajectory(entries)
+        assert "BENCH_rpc_sim.json" in text
+        assert "sustained=5000 connections" in text
+        assert "knee@16" in text
+
+    def test_peak_goodput_reads_the_stage_table(self):
+        assert peak_goodput(make_rpc_report(peak=123.0)) == 123.0
+
+    def test_empty_directory_formats_gracefully(self, tmp_path):
+        assert "no BENCH_" in format_trajectory(load_trajectory(tmp_path))
+
+    def test_broken_committed_report_fails_loudly(self, tmp_path):
+        (tmp_path / "BENCH_zzz.json").write_text(
+            '{"schema_version": 42}', encoding="utf-8")
+        with pytest.raises(BenchSchemaError):
+            load_trajectory(tmp_path)
