@@ -18,6 +18,14 @@ Three subcommands::
         asyncio server fleet, or (``--sim``) the identical schedule on
         the simulator, byte-deterministically.
 
+    ninf-bench marshal [--sizes N,N,...] [--repeats N]
+                       [--min-speedup X] [--json -|PATH]
+
+        the bulk-vs-scalar XDR codec microbench of
+        :mod:`repro.bench.marshal`; ``--min-speedup`` makes it exit
+        non-zero when the headline (largest-double-array) encode+decode
+        speedup falls short (the CI contract for the PR-8 fast path).
+
     ninf-bench trajectory [--dir D] [--baseline B --fresh F] [tolerances]
 
         the performance record: list every committed ``BENCH_*.json``,
@@ -114,6 +122,30 @@ def _build_parser() -> argparse.ArgumentParser:
                           "stdout (suppresses progress output)")
     rpc.add_argument("--quiet", action="store_true",
                      help="suppress progress lines")
+
+    marshal = sub.add_parser(
+        "marshal",
+        help="bulk-vs-scalar XDR codec microbench")
+    marshal.add_argument("--sizes", default=None, metavar="N,N,...",
+                         help="element counts per dtype (default: "
+                              "1000,100000,1000000)")
+    marshal.add_argument("--repeats", type=int, default=3,
+                         help="best-of repetitions per case "
+                              "(default: %(default)s)")
+    marshal.add_argument("--seed", type=int, default=1997,
+                         help="value-generation seed "
+                              "(default: %(default)s)")
+    marshal.add_argument("--output", type=Path,
+                         default=Path("BENCH_marshal.json"),
+                         help="report path (default: %(default)s)")
+    marshal.add_argument("--json", metavar="DEST", default=None,
+                         help="write the JSON report to DEST; '-' means "
+                              "stdout (suppresses progress output)")
+    marshal.add_argument("--min-speedup", type=float, default=None,
+                         help="fail (exit 1) if the headline speedup "
+                              "is below this")
+    marshal.add_argument("--quiet", action="store_true",
+                         help="suppress progress lines")
 
     traj = sub.add_parser(
         "trajectory",
@@ -232,6 +264,44 @@ def _cmd_rpc(args) -> int:
     return 0
 
 
+def _cmd_marshal(args) -> int:
+    from repro.bench.marshal import DEFAULT_SIZES, run_marshal_benchmark
+    from repro.bench.schema import dump_report
+
+    if args.sizes is not None:
+        sizes = tuple(int(part) for part in args.sizes.split(","))
+        if not sizes or any(size < 1 for size in sizes):
+            print("marshal: --sizes must be positive integers",
+                  file=sys.stderr)
+            return 2
+    else:
+        sizes = DEFAULT_SIZES
+    to_stdout = args.json == "-"
+    quiet = args.quiet or to_stdout
+    log = (lambda *a, **k: None) if quiet else print
+    output = None if to_stdout else (
+        Path(args.json) if args.json else args.output)
+    report = run_marshal_benchmark(sizes=sizes, repeats=args.repeats,
+                                   seed=args.seed, output=output, log=log)
+    if to_stdout:
+        print(dump_report(report, None), end="")
+    summary = report["summary"]
+    if not to_stdout:
+        print(f"marshal ({report['engine']}): {summary['speedup']}x on "
+              f"{summary['headline_case']}")
+    failures = []
+    if not summary["wire_match"]:
+        failures.append("bulk and scalar codecs produced different wire "
+                        "bytes")
+    if (args.min_speedup is not None
+            and summary["speedup"] < args.min_speedup):
+        failures.append(f"headline speedup {summary['speedup']}x < "
+                        f"--min-speedup {args.min_speedup}x")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trajectory(args) -> int:
     from repro.bench.schema import BenchSchemaError, load_report
     from repro.bench.trajectory import (
@@ -267,6 +337,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_connections(args)
     if args.command == "rpc":
         return _cmd_rpc(args)
+    if args.command == "marshal":
+        return _cmd_marshal(args)
     if args.command == "trajectory":
         return _cmd_trajectory(args)
     return 2  # pragma: no cover - argparse enforces the subcommand

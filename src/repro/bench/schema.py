@@ -15,6 +15,11 @@ Version history
 - **1**: the ``ninf-bench rpc`` report -- ``schema_version: 1``,
   ``benchmark: rpc``, machine/git provenance, the stage table, the
   saturation summary, and the harness-vs-server cross-check.
+- **2**: the ``ninf-bench marshal`` report -- ``schema_version: 2``,
+  ``benchmark: marshal``, the bulk-vs-scalar XDR codec microbenchmark:
+  per-case timings (dtype x element count), the engine used
+  (``numpy``/``stdlib``), and the headline speedup the CI perf job
+  gates on.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import Any, Optional
 
 __all__ = [
     "BenchSchemaError",
+    "MARSHAL_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "SUPPORTED_VERSIONS",
     "dump_report",
@@ -38,9 +44,12 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 
+#: The ``ninf-bench marshal`` report's version.
+MARSHAL_SCHEMA_VERSION = 2
+
 #: Versions :func:`load_report` accepts.  0 is the legacy (unversioned)
 #: connections report.
-SUPPORTED_VERSIONS = frozenset({0, 1})
+SUPPORTED_VERSIONS = frozenset({0, 1, 2})
 
 #: Keys every version-1 rpc report must carry.
 _V1_REQUIRED = ("benchmark", "mode", "machine", "config", "stages",
@@ -50,6 +59,14 @@ _V1_REQUIRED = ("benchmark", "mode", "machine", "config", "stages",
 _V1_STAGE_REQUIRED = ("index", "clients", "duration_s", "calls_ok",
                       "calls_shed", "calls_error", "retries",
                       "goodput_per_s", "latency_ms", "fairness_jain")
+
+#: Keys every version-2 marshal report must carry.
+_V2_REQUIRED = ("benchmark", "engine", "machine", "config", "cases",
+                "summary")
+
+#: Keys every case row of a version-2 report must carry.
+_V2_CASE_REQUIRED = ("dtype", "count", "scalar_s", "bulk_s", "speedup",
+                     "bulk_mb_per_s", "wire_match")
 
 
 class BenchSchemaError(ValueError):
@@ -86,6 +103,31 @@ def validate_report(report: Any) -> int:
             raise BenchSchemaError(
                 "version-0 (unversioned) reports are only the legacy "
                 f"connections benchmark, got {report.get('benchmark')!r}")
+        return version
+    if version == 2:
+        missing = [key for key in _V2_REQUIRED if key not in report]
+        if missing:
+            raise BenchSchemaError(
+                f"version-2 report missing keys: {missing}")
+        if report["benchmark"] != "marshal":
+            raise BenchSchemaError(
+                f"version-2 schema is the marshal benchmark, "
+                f"got {report['benchmark']!r}")
+        if report["engine"] not in ("numpy", "stdlib"):
+            raise BenchSchemaError(
+                f"engine must be 'numpy' or 'stdlib', "
+                f"got {report['engine']!r}")
+        cases = report["cases"]
+        if not isinstance(cases, list) or not cases:
+            raise BenchSchemaError("cases must be a non-empty list")
+        for row in cases:
+            row_missing = [key for key in _V2_CASE_REQUIRED
+                           if key not in row]
+            if row_missing:
+                raise BenchSchemaError(
+                    f"case row missing keys: {row_missing}")
+        if "speedup" not in report["summary"]:
+            raise BenchSchemaError("summary must carry 'speedup'")
         return version
     missing = [key for key in _V1_REQUIRED if key not in report]
     if missing:

@@ -62,9 +62,13 @@ class Tolerances:
     goodput_drop: float = 0.15
     p95_rise: float = 0.50
     saturation_clients_drop: float = 0.30
+    #: Tolerated fractional drop of the marshal bench's headline
+    #: speedup (version-2 reports).
+    marshal_speedup_drop: float = 0.30
 
     def __post_init__(self) -> None:
-        for name in ("goodput_drop", "p95_rise", "saturation_clients_drop"):
+        for name in ("goodput_drop", "p95_rise", "saturation_clients_drop",
+                     "marshal_speedup_drop"):
             value = getattr(self, name)
             if value < 0:
                 raise ValueError(f"{name} must be >= 0, got {value}")
@@ -108,10 +112,13 @@ def compare_reports(baseline: dict, fresh: dict,
     tolerances = tolerances or Tolerances()
     for label, report in (("baseline", baseline), ("fresh", fresh)):
         validate_report(report)
-        if report_version(report) != 1:
-            raise BenchSchemaError(
-                f"{label} report is not a version-1 rpc report; the gate "
-                f"only compares rpc runs")
+    versions = (report_version(baseline), report_version(fresh))
+    if versions == (2, 2):
+        return _compare_marshal(baseline, fresh, tolerances)
+    if versions != (1, 1):
+        raise BenchSchemaError(
+            "the gate compares two version-1 rpc reports or two "
+            f"version-2 marshal reports, got versions {versions}")
     if baseline["mode"] != fresh["mode"]:
         raise BenchSchemaError(
             f"cannot gate a {fresh['mode']} run against a "
@@ -175,6 +182,36 @@ def compare_reports(baseline: dict, fresh: dict,
     return checks
 
 
+def _compare_marshal(baseline: dict, fresh: dict,
+                     tolerances: Tolerances) -> list[Check]:
+    """The version-2 (marshal microbench) arm of the gate.
+
+    Engines must match -- a stdlib fresh run against a numpy baseline
+    would always "regress" -- and the headline speedup may drop at most
+    ``marshal_speedup_drop``; wire equality must hold outright.
+    """
+    if baseline["engine"] != fresh["engine"]:
+        raise BenchSchemaError(
+            f"cannot gate a {fresh['engine']}-engine marshal run against "
+            f"a {baseline['engine']}-engine baseline")
+    checks: list[Check] = []
+    base_speedup = float(baseline["summary"]["speedup"])
+    fresh_speedup = float(fresh["summary"]["speedup"])
+    floor = base_speedup * (1.0 - tolerances.marshal_speedup_drop)
+    checks.append(Check(
+        name="marshal_speedup", passed=fresh_speedup >= floor,
+        baseline=base_speedup, fresh=fresh_speedup, limit=round(floor, 2),
+        note=f"headline bulk-vs-scalar speedup must stay >= "
+             f"{floor:.1f}x (baseline {base_speedup:.1f}x - "
+             f"{tolerances.marshal_speedup_drop:.0%})"))
+    wire_match = bool(fresh["summary"].get("wire_match"))
+    checks.append(Check(
+        name="marshal_wire_match", passed=wire_match,
+        baseline=None, fresh=float(wire_match), limit=None,
+        note="bulk and scalar codecs must produce identical wire bytes"))
+    return checks
+
+
 def gate(baseline: dict, fresh: dict,
          tolerances: Optional[Tolerances] = None,
          log=print) -> int:
@@ -224,6 +261,13 @@ def format_trajectory(entries: Sequence[tuple[Path, dict]]) -> str:
             summary = f"sustained={sustained} connections"
             mode = "live"
             bench = "connections"
+        elif version == 2:
+            info = report["summary"]
+            summary = (f"speedup={info['speedup']:g}x on "
+                       f"{info['headline_case']} "
+                       f"[{report['engine']}]")
+            mode = "live"
+            bench = report["benchmark"]
         else:
             saturation = report["saturation"]
             knee = (f"knee@{saturation['clients']:g} clients"

@@ -226,10 +226,27 @@ def _experiment_dispatch(args) -> int:
         # side; otherwise each driver uses its own private tracer.
         active = current_tracer()
         shared = active if active.enabled else None
-        live_row, _ = live_loopback_breakdown(calls=2 if args.fast else 4,
-                                              tracer=shared)
+        calls = 2 if args.fast else 4
+        live_row, _ = live_loopback_breakdown(calls=calls, tracer=shared)
+        # The same-host transport ablation: identical calls through the
+        # threaded client over loopback TCP vs the shared-memory rings
+        # -- the transfer column is where the difference lands.  The
+        # server runs in a child process (cross_process) and the
+        # matrices are big enough that transfer dominates; an
+        # in-process comparison would only measure GIL scheduling.
+        # More calls than the stock row: call 1 pays the dial plus the
+        # shm handshake (ring creation + mmap), so short runs would
+        # compare handshakes, not steady-state transfer.
+        xproc_n = 128 if args.fast else 512
+        xproc_calls = 4 if args.fast else 8
+        tcp_row, _ = live_loopback_breakdown(calls=xproc_calls, n=xproc_n,
+                                             tracer=shared, shm=False,
+                                             cross_process=True)
+        shm_row, _ = live_loopback_breakdown(calls=xproc_calls, n=xproc_n,
+                                             tracer=shared, shm=True,
+                                             cross_process=True)
         sim_row, _ = sim_breakdown(c=2 if args.fast else 4, tracer=shared)
-        print(format_breakdown([live_row, sim_row]))
+        print(format_breakdown([live_row, tcp_row, shm_row, sim_row]))
         return 0
     if args.target == "report":
         from repro.experiments.report import generate_report

@@ -318,7 +318,7 @@ class AsyncNinfClient:
                 channel = await self._pool.checkout(self.host, self.port)
             try:
                 with trace.span(SPAN_SEND):
-                    await channel.send(MessageType.CALL, enc.getvalue())
+                    await channel.send(MessageType.CALL, enc.getbuffer())
                 recv_start = self.clock()
                 while True:
                     reply_type, reply = await channel.recv()
@@ -367,7 +367,7 @@ class AsyncNinfClient:
                         f"result for call {reply_id}, expected {call_id}"
                     )
                 timestamps = JobTimestamps.decode(dec)
-                out_payload = dec.unpack_opaque()
+                out_payload = dec.unpack_opaque_view()
                 dec.done()
                 outputs = unmarshal_outputs(signature, out_payload)
             trace.record(SPAN_QUEUE, timestamps.enqueue, timestamps.dequeue,
@@ -419,7 +419,7 @@ class AsyncNinfClient:
                        budget=remaining).encode(enc)
             enc.pack_opaque(args_payload)
             return await self._roundtrip(MessageType.CALL_DETACHED,
-                                         enc.getvalue(),
+                                         enc.getbuffer(),
                                          MessageType.CALL_ACCEPTED)
 
         if self.retry is not None and self.retry_calls:
@@ -483,7 +483,7 @@ class AsyncNinfClient:
                     f"result for ticket {ticket}, expected {call.ticket}"
                 )
             timestamps = JobTimestamps.decode(dec)
-            out_payload = dec.unpack_opaque()
+            out_payload = dec.unpack_opaque_view()
             dec.done()
             outputs = unmarshal_outputs(call.signature, out_payload)
             self._write_back(call.signature, call.args, outputs)

@@ -228,6 +228,15 @@ class NinfClient:
         ``"threads"`` keeps the historical blocking-socket
         :class:`~repro.transport.Channel`.  For a natively
         asynchronous API use :class:`~repro.client.AsyncNinfClient`.
+    shm:
+        Shared-memory same-host transport (PROTOCOL.md
+        §"Shared-memory handshake"), ``transport="threads"`` only:
+        ``None`` (default) auto-negotiates when the server host looks
+        local and ``NINF_SHM`` does not opt out; ``False`` never
+        negotiates; ``True`` always offers the handshake (the server
+        may still refuse, leaving plain TCP).  The asyncio transport
+        does not negotiate shm -- its ring polling would block the
+        shared client loop -- so ``shm=True`` there is an error.
 
     The counters ``attempts``, ``retries``, and ``faults_seen`` track
     every transport exchange, its retries, and the transient errors
@@ -242,12 +251,18 @@ class NinfClient:
                  tracer: Optional[Tracer] = None,
                  retry_calls: bool = False,
                  call_budget: Optional[float] = None,
-                 transport: str = "asyncio"):
+                 transport: str = "asyncio",
+                 shm: Optional[bool] = None):
         import time
 
         if transport not in ("asyncio", "threads"):
             raise ValueError(f"transport must be 'asyncio' or 'threads', "
                              f"got {transport!r}")
+        if shm is True and transport != "threads":
+            raise ValueError(
+                "shm=True requires transport='threads' (the asyncio "
+                "transport does not negotiate shared memory)")
+        self.shm = shm if transport == "threads" else False
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -286,7 +301,8 @@ class NinfClient:
             self._pool = ConnectionPool(timeout=timeout, pool=pool,
                                         max_idle_seconds=max_idle,
                                         fault_plan=fault_plan,
-                                        metrics=self.metrics)
+                                        metrics=self.metrics,
+                                        shm=self.shm)
         self.records: list[CallRecord] = []
         self._records_lock = threading.Lock()
         self._attempts = self.metrics.counter(
@@ -540,7 +556,7 @@ class NinfClient:
                 channel = self._connect()
             try:
                 with trace.span(SPAN_SEND):
-                    channel.send(MessageType.CALL, enc.getvalue())
+                    channel.send(MessageType.CALL, enc.getbuffer())
                 recv_start = self.clock()
                 while True:
                     reply_type, reply = channel.recv()
@@ -598,7 +614,7 @@ class NinfClient:
                         f"result for call {reply_id}, expected {call_id}"
                     )
                 timestamps = JobTimestamps.decode(dec)
-                out_payload = dec.unpack_opaque()
+                out_payload = dec.unpack_opaque_view()
                 dec.done()
                 outputs = unmarshal_outputs(signature, out_payload)
             # Server-side phases, reconstructed from JobTimestamps.
@@ -663,7 +679,7 @@ class NinfClient:
                        logical_id=logical_id, attempt=next(attempt_ids),
                        budget=remaining).encode(enc)
             enc.pack_opaque(args_payload)
-            return self._roundtrip(MessageType.CALL_DETACHED, enc.getvalue(),
+            return self._roundtrip(MessageType.CALL_DETACHED, enc.getbuffer(),
                                    MessageType.CALL_ACCEPTED)
 
         if self.retry is not None and self.retry_calls:
@@ -735,7 +751,7 @@ class NinfClient:
                     f"result for ticket {ticket}, expected {call.ticket}"
                 )
             timestamps = JobTimestamps.decode(dec)
-            out_payload = dec.unpack_opaque()
+            out_payload = dec.unpack_opaque_view()
             dec.done()
             outputs = unmarshal_outputs(call.signature, out_payload)
             self._write_back(call.signature, call.args, outputs)

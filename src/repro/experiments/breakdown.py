@@ -152,12 +152,12 @@ def format_breakdown(rows: Sequence[PhaseBreakdown]) -> str:
     of total time -- the same decomposition the paper's multi-client
     tables report as throughput vs. server-time columns.
     """
-    header = (f"{'source':<24} {'calls':>5} {'total':>9} {'transfer':>9} "
+    header = (f"{'source':<28} {'calls':>5} {'total':>9} {'transfer':>9} "
               f"{'queue':>9} {'compute':>9} {'xfer%':>6} {'comp%':>6}")
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
-            f"{row.label:<24} {row.calls:>5} {row.total:>9.4f} "
+            f"{row.label:<28} {row.calls:>5} {row.total:>9.4f} "
             f"{row.transfer:>9.4f} {row.queue:>9.4f} {row.compute:>9.4f} "
             f"{row.share('transfer') * 100:>5.1f}% "
             f"{row.share('compute') * 100:>5.1f}%"
@@ -165,17 +165,56 @@ def format_breakdown(rows: Sequence[PhaseBreakdown]) -> str:
     return "\n".join(lines)
 
 
-def live_loopback_breakdown(calls: int = 4, n: int = 64,
-                            tracer: Optional[Tracer] = None
-                            ) -> tuple[PhaseBreakdown, list[CallPhases]]:
-    """Run real ``Ninf_call``\\ s over loopback TCP and break them down.
+def _breakdown_server_main(conn, num_pes: int) -> None:
+    """Child-process entry point for the cross-process breakdown arms.
 
-    Starts an in-process :class:`~repro.server.NinfServer` with the
-    standard library, makes ``calls`` ``dmmul(n)`` calls through a
+    Runs a standard-library :class:`~repro.server.NinfServer`, reports
+    its bound address over the pipe, and serves until the parent closes
+    its end (or sends anything).  Module-level so the ``spawn`` start
+    method can pickle it.
+    """
+    from repro.cli import standard_registry
+    from repro.server import NinfServer
+
+    with NinfServer(standard_registry(), num_pes=num_pes) as server:
+        conn.send(server.address)
+        try:
+            conn.recv()  # blocks until the parent signals shutdown
+        except EOFError:
+            pass
+
+
+def live_loopback_breakdown(calls: int = 4, n: int = 64,
+                            tracer: Optional[Tracer] = None,
+                            shm: Optional[bool] = None,
+                            cross_process: bool = False
+                            ) -> tuple[PhaseBreakdown, list[CallPhases]]:
+    """Run real ``Ninf_call``\\ s over loopback and break them down.
+
+    Starts a :class:`~repro.server.NinfServer` with the standard
+    library, makes ``calls`` ``dmmul(n)`` calls through a
     wall-clock-traced :class:`~repro.client.NinfClient`, and returns
     the aggregate plus per-call decompositions.  Pass ``tracer`` to
     also keep the raw spans (e.g. for ``--trace`` capture).
+
+    ``shm`` selects the transport-ablation arm (PROTOCOL.md
+    §"Shared-memory handshake"): ``None`` (default) keeps the stock
+    asyncio client over loopback TCP; ``True``/``False`` switch to the
+    threaded client with the shared-memory upgrade forced on or off,
+    which is how ``ninf-experiment breakdown`` shows the transfer-phase
+    drop the shm rings buy on the same host.
+
+    ``cross_process`` runs the server in a spawned child process
+    instead of background threads.  This is the configuration the shm
+    transport exists for: with client and server in one process the
+    two sides share the GIL, so ring copies serialize against the very
+    peer being fed and the comparison measures interpreter scheduling,
+    not transport.  (Queue/compute spans still work -- the server
+    reports its timestamps in the reply and the client records the
+    spans locally.)
     """
+    import multiprocessing
+
     import numpy as np
 
     from repro.cli import standard_registry
@@ -187,14 +226,43 @@ def live_loopback_breakdown(calls: int = 4, n: int = 64,
     a = rng.random((n, n))
     b = rng.random((n, n))
     c = np.zeros((n, n))
-    with NinfServer(standard_registry(), num_pes=2) as server:
-        host, port = server.address
-        with NinfClient(host, port, tracer=tracer) as client:
+    client_kwargs = ({} if shm is None
+                     else {"transport": "threads", "shm": shm})
+
+    def run_calls(host: str, port: int) -> None:
+        with NinfClient(host, port, tracer=tracer,
+                        **client_kwargs) as client:
             for _ in range(calls):
                 client.call("dmmul", n, a, b, c)
+
+    if cross_process:
+        # spawn, never fork: the parent may be running asyncio servers
+        # on background threads (and a forked child would inherit them).
+        context = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = context.Pipe()
+        proc = context.Process(target=_breakdown_server_main,
+                               args=(child_conn, 2), daemon=True)
+        proc.start()
+        child_conn.close()
+        try:
+            host, port = parent_conn.recv()
+            run_calls(host, port)
+        finally:
+            parent_conn.close()  # EOF tells the child to shut down
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck child
+                proc.terminate()
+                proc.join()
+    else:
+        with NinfServer(standard_registry(), num_pes=2) as server:
+            host, port = server.address
+            run_calls(host, port)
     per_call = [p for p in breakdown_from_spans(tracer.spans)
                 if p.source == "live"]
-    return summarize(per_call, label=f"live dmmul(n={n})"), per_call
+    suffix = "" if shm is None else (" shm" if shm else " tcp")
+    where = " xproc" if cross_process else ""
+    label = f"live dmmul(n={n}){where}{suffix}"
+    return summarize(per_call, label=label), per_call
 
 
 def sim_breakdown(n: int = 600, c: int = 4, server_name: str = "j90",

@@ -31,6 +31,10 @@ POOL_CONNECTIONS_REUSED = "ninf_pool_connections_reused_total"
 POOL_IDLE_CONNECTIONS = "ninf_pool_idle_connections"
 POOL_DIALS_REFUSED = "ninf_pool_dials_refused_total"
 
+# -- transport: shared-memory upgrade (server-side Endpoint) ------------
+SHM_UPGRADES = "ninf_shm_upgrades_total"
+SHM_FALLBACKS = "ninf_shm_fallbacks_total"            # label: reason
+
 # -- transport: fault injection and retry -------------------------------
 FAULTS_INJECTED = "ninf_faults_injected_total"        # label: kind
 RETRY_ATTEMPTS = "ninf_retry_attempts_total"
@@ -76,6 +80,8 @@ METRIC_NAMES = (
     POOL_CONNECTIONS_REUSED,
     POOL_IDLE_CONNECTIONS,
     POOL_DIALS_REFUSED,
+    SHM_UPGRADES,
+    SHM_FALLBACKS,
     FAULTS_INJECTED,
     RETRY_ATTEMPTS,
     RETRY_RETRIES,

@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.protocol.errors import ConnectionClosed, ProtocolError, TimeoutError
 from repro.protocol.framing import HEADER, MAGIC, MAX_FRAME_SIZE, _checksum, \
-    encode_frame
+    encode_header
 
 __all__ = ["read_frame", "write_frame"]
 
@@ -67,17 +67,21 @@ async def _read_exact(reader: asyncio.StreamReader, count: int,
 
 
 async def write_frame(writer: asyncio.StreamWriter, msg_type: int,
-                      payload: bytes = b"",
+                      payload=b"",
                       timeout: Optional[float] = None) -> None:
     """Write one frame; raises ProtocolError on oversize payloads.
 
-    ``timeout`` bounds the whole write (including the ``drain`` that
-    waits out transport backpressure); expiry raises
-    :class:`~repro.protocol.errors.TimeoutError`.
+    ``payload`` may be any bytes-like object; header and payload are
+    handed to the transport as two writes, so the frame is never
+    concatenated in user space.  ``timeout`` bounds the whole write
+    (including the ``drain`` that waits out transport backpressure);
+    expiry raises :class:`~repro.protocol.errors.TimeoutError`.
     """
-    frame = encode_frame(msg_type, payload)
+    header = encode_header(msg_type, payload)
     deadline = _Deadline(timeout)
-    writer.write(frame)
+    writer.write(header)
+    if len(payload):
+        writer.write(payload)
     await _bounded(writer.drain(), deadline, "send")
 
 

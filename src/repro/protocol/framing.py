@@ -28,30 +28,44 @@ from typing import Optional
 
 from repro.protocol.errors import ConnectionClosed, ProtocolError, TimeoutError
 
-__all__ = ["MAGIC", "MAX_FRAME_SIZE", "encode_frame", "recv_frame",
-           "send_frame"]
+__all__ = ["MAGIC", "MAX_FRAME_SIZE", "encode_frame", "encode_header",
+           "recv_frame", "send_frame"]
 
 MAGIC = b"NINF"
 HEADER = struct.Struct(">4sIII")
 MAX_FRAME_SIZE = 1 << 30
 
 
-def _checksum(msg_type: int, payload: bytes) -> int:
-    return zlib.crc32(struct.pack(">II", msg_type, len(payload)) + payload)
+def _checksum(msg_type: int, payload) -> int:
+    # Incremental CRC: seed with the header fields, then feed the payload
+    # buffer directly -- no header+payload concatenation, and ``payload``
+    # may be any bytes-like object (memoryview included).
+    return zlib.crc32(payload,
+                      zlib.crc32(struct.pack(">II", msg_type, len(payload))))
 
 
-def encode_frame(msg_type: int, payload: bytes = b"") -> bytes:
+def encode_header(msg_type: int, payload) -> bytes:
+    """The 16-byte header for ``payload`` (not yet on the wire).
+
+    The zero-copy seam: callers that can scatter-gather (``sendmsg``,
+    ``StreamWriter.write`` twice) send header and payload separately and
+    never materialise the concatenated frame.
+    """
+    if len(payload) > MAX_FRAME_SIZE:
+        raise ProtocolError(f"frame payload too large: {len(payload)} bytes")
+    return HEADER.pack(MAGIC, msg_type, len(payload),
+                       _checksum(msg_type, payload))
+
+
+def encode_frame(msg_type: int, payload=b"") -> bytes:
     """The exact bytes :func:`send_frame` puts on the wire.
 
     Exposed so fault injection (:mod:`repro.transport.faults`) and the
     framing property tests can truncate or corrupt real frames without
-    re-implementing the header layout.
+    re-implementing the header layout.  This *does* concatenate -- the
+    hot paths use :func:`encode_header` plus scatter-gather instead.
     """
-    if len(payload) > MAX_FRAME_SIZE:
-        raise ProtocolError(f"frame payload too large: {len(payload)} bytes")
-    header = HEADER.pack(MAGIC, msg_type, len(payload),
-                         _checksum(msg_type, payload))
-    return header + payload
+    return b"".join((encode_header(msg_type, payload), payload))
 
 
 class _DeadlineSocket:
@@ -96,24 +110,51 @@ class _DeadlineSocket:
         except socket.timeout:
             raise TimeoutError(f"frame {what} timed out") from None
 
-    def sendall(self, data: bytes, what: str) -> None:
+    def sendall(self, data, what: str) -> None:
         self._arm(what)
         try:
             self.sock.sendall(data)
         except socket.timeout:
             raise TimeoutError(f"frame {what} timed out") from None
 
+    def send_vectored(self, header: bytes, payload, what: str) -> None:
+        """Scatter-gather write of header + payload without joining them.
 
-def send_frame(sock: socket.socket, msg_type: int, payload: bytes = b"",
+        ``sendmsg`` may write fewer bytes than offered; the remainder is
+        resent via plain ``sendall`` on a sliced view -- still no copy
+        of the full frame.
+        """
+        self._arm(what)
+        try:
+            sent = self.sock.sendmsg((header, payload))
+        except socket.timeout:
+            raise TimeoutError(f"frame {what} timed out") from None
+        total = len(header) + len(payload)
+        if sent >= total:
+            return
+        if sent < len(header):
+            self.sendall(memoryview(header)[sent:], what)
+            sent = len(header)
+        self.sendall(memoryview(payload)[sent - len(header):], what)
+
+
+def send_frame(sock: socket.socket, msg_type: int, payload=b"",
                timeout: Optional[float] = None) -> None:
     """Write one frame; raises ProtocolError on oversize payloads.
 
-    ``timeout`` bounds the whole write; expiry raises
-    :class:`~repro.protocol.errors.TimeoutError`.
+    ``payload`` may be any bytes-like object; header and payload go out
+    as one scatter-gather write (``sendmsg``), so the frame is never
+    concatenated in user space.  ``timeout`` bounds the whole write;
+    expiry raises :class:`~repro.protocol.errors.TimeoutError`.
     """
-    frame = encode_frame(msg_type, payload)
+    header = encode_header(msg_type, payload)
     with _DeadlineSocket(sock, timeout) as guarded:
-        guarded.sendall(frame, "send")
+        if not len(payload):
+            guarded.sendall(header, "send")
+        elif hasattr(sock, "sendmsg"):
+            guarded.send_vectored(header, payload, "send")
+        else:  # pragma: no cover - all supported platforms have sendmsg
+            guarded.sendall(encode_frame(msg_type, payload), "send")
 
 
 def _recv_exact(guarded: _DeadlineSocket, count: int, what: str) -> bytes:

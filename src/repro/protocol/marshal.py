@@ -4,11 +4,19 @@ The client stub interprets the :class:`~repro.idl.Signature` it received
 in stage one, so marshalling is entirely table-driven: walk the argument
 specs in order, pack the ``mode_in``/``mode_inout`` values on the way
 out, unpack the ``mode_out``/``mode_inout`` values on the way back.
+
+Zero-copy seams: both marshal functions accept ``into=`` -- an open
+:class:`~repro.xdr.XdrEncoder` to pack into, so the argument/result
+block lands directly inside an enclosing CALL/RESULT payload (via
+``begin_opaque``/``end_opaque``) instead of being built as a separate
+``bytes`` and re-copied.  Both unmarshal functions accept any bytes-like
+payload, in particular the ``memoryview`` that
+:meth:`~repro.xdr.XdrDecoder.unpack_opaque_view` slices out of a frame.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -70,10 +78,16 @@ def _unpack_scalar(dec: XdrDecoder, dtype: str) -> Any:
     raise XdrError(f"cannot unmarshal scalar dtype {dtype!r}")  # pragma: no cover
 
 
-def marshal_inputs(signature: Signature, args: Sequence[Any]) -> bytes:
-    """Client side: encode the input halves of a positional call."""
+def marshal_inputs(signature: Signature, args: Sequence[Any],
+                   into: Optional[XdrEncoder] = None) -> Optional[bytes]:
+    """Client side: encode the input halves of a positional call.
+
+    With ``into`` the block is packed straight into that encoder (the
+    enclosing CALL payload) and ``None`` is returned; otherwise a fresh
+    ``bytes`` comes back.
+    """
     bound = signature.bind(args)
-    enc = XdrEncoder()
+    enc = into if into is not None else XdrEncoder()
     for spec, value in zip(signature.args, args):
         if not spec.is_input:
             continue
@@ -81,10 +95,10 @@ def marshal_inputs(signature: Signature, args: Sequence[Any]) -> bytes:
             enc.pack_ndarray(bound.inputs[spec.name])
         else:
             _pack_scalar(enc, spec.dtype, value)
-    return enc.getvalue()
+    return None if into is not None else enc.getvalue()
 
 
-def unmarshal_inputs(signature: Signature, payload: bytes) -> list[Any]:
+def unmarshal_inputs(signature: Signature, payload) -> list[Any]:
     """Server side: decode a CALL payload into a full positional list.
 
     ``mode_out`` arrays come back as freshly allocated zero buffers of
@@ -129,9 +143,14 @@ def unmarshal_inputs(signature: Signature, payload: bytes) -> list[Any]:
     return values
 
 
-def marshal_outputs(signature: Signature, values: Sequence[Any]) -> bytes:
-    """Server side: encode the output halves after execution."""
-    enc = XdrEncoder()
+def marshal_outputs(signature: Signature, values: Sequence[Any],
+                    into: Optional[XdrEncoder] = None) -> Optional[bytes]:
+    """Server side: encode the output halves after execution.
+
+    With ``into`` the block is packed straight into that encoder (the
+    enclosing RESULT payload) and ``None`` is returned.
+    """
+    enc = into if into is not None else XdrEncoder()
     for spec, value in zip(signature.args, values):
         if not spec.is_output:
             continue
@@ -145,10 +164,10 @@ def marshal_outputs(signature: Signature, values: Sequence[Any]) -> bytes:
                     f"{spec.name!r}"
                 )
             _pack_scalar(enc, spec.dtype, value)
-    return enc.getvalue()
+    return None if into is not None else enc.getvalue()
 
 
-def unmarshal_outputs(signature: Signature, payload: bytes) -> list[Any]:
+def unmarshal_outputs(signature: Signature, payload) -> list[Any]:
     """Client side: decode a RESULT payload into the output values, in
     declaration order of the output arguments."""
     dec = XdrDecoder(payload)

@@ -67,6 +67,15 @@ class MessageType(enum.IntEnum):
     BUSY = 31
     CANCEL = 32
     CANCEL_REPLY = 33
+    # Shared-memory same-host transport (PROTOCOL.md §"Shared-memory
+    # handshake"): a client that believes it shares a host with the
+    # server sends SHM_HELLO over TCP; a server with shm enabled
+    # allocates a ring pair and answers SHM_HELLO_REPLY with the
+    # segment names, after which both sides carry frames over the rings
+    # (same MAGIC|type|len|crc format).  Any other reply -- ERROR from
+    # an older or shm-disabled server -- means "keep using TCP".
+    SHM_HELLO = 34
+    SHM_HELLO_REPLY = 35
 
 
 PROTOCOL_VERSION = 3

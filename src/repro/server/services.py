@@ -231,7 +231,7 @@ class NinfRpcServices:
         try:
             dec = XdrDecoder(payload)
             header = CallHeader.decode(dec)
-            args_payload = dec.unpack_opaque()
+            args_payload = dec.unpack_opaque_view()
             dec.done()
         except XdrError as exc:
             channel.send_error("bad-request", str(exc))
@@ -285,20 +285,25 @@ class NinfRpcServices:
                 finish(MessageType.ERROR, enc.getvalue(),
                        cache=not isinstance(job.error, ServerShutdown))
                 return
+            # Marshal outputs straight into the RESULT payload encoder
+            # (begin/end_opaque), so large result arrays are written
+            # once -- no separate out_payload bytes to re-copy.
+            enc = XdrEncoder()
+            enc.pack_uhyper(header.call_id)
+            job.timestamps().encode(enc)
+            token = enc.begin_opaque()
             try:
-                out_payload = marshal_outputs(executable.signature,
-                                              _merge_outputs(executable, job))
+                marshal_outputs(executable.signature,
+                                _merge_outputs(executable, job), into=enc)
             except (XdrError, IdlError) as exc:
                 enc = XdrEncoder()
                 ErrorReply(code="bad-result", message=str(exc)).encode(enc)
                 finish(MessageType.ERROR, enc.getvalue())
                 return
+            out_len = len(enc) - token - 4
+            enc.end_opaque(token)
             self._record_trace(executable, job,
-                               len(args_payload) + len(out_payload))
-            enc = XdrEncoder()
-            enc.pack_uhyper(header.call_id)
-            job.timestamps().encode(enc)
-            enc.pack_opaque(out_payload)
+                               len(args_payload) + out_len)
             finish(MessageType.RESULT, enc.getvalue())
 
         def send_callback(progress: float, message: str) -> None:
@@ -351,7 +356,7 @@ class NinfRpcServices:
         try:
             dec = XdrDecoder(payload)
             header = CallHeader.decode(dec)
-            args_payload = dec.unpack_opaque()
+            args_payload = dec.unpack_opaque_view()
             dec.done()
         except XdrError as exc:
             channel.send_error("bad-request", str(exc))
@@ -391,17 +396,18 @@ class NinfRpcServices:
                 enc.pack_bool(False)
                 ErrorReply(code=code, message=message).encode(enc)
             else:
+                enc.pack_bool(True)
+                job.timestamps().encode(enc)
+                token = enc.begin_opaque()
                 try:
-                    out_payload = marshal_outputs(
-                        executable.signature, _merge_outputs(executable, job)
-                    )
+                    marshal_outputs(executable.signature,
+                                    _merge_outputs(executable, job), into=enc)
                 except (XdrError, IdlError) as exc:
+                    enc = XdrEncoder()
                     enc.pack_bool(False)
                     ErrorReply(code="bad-result", message=str(exc)).encode(enc)
                 else:
-                    enc.pack_bool(True)
-                    job.timestamps().encode(enc)
-                    enc.pack_opaque(out_payload)
+                    enc.end_opaque(token)
             with self._detached_lock:
                 self._detached[ticket] = enc.getvalue()
                 self._detached_jobs.pop(ticket, None)
@@ -502,13 +508,13 @@ class NinfRpcServices:
             channel.send(MessageType.ERROR, enc.getvalue())
             return
         timestamps = JobTimestamps.decode(dec)
-        out_payload = dec.unpack_opaque()
+        out_payload = dec.unpack_opaque_view()
         dec.done()
         enc = XdrEncoder()
         enc.pack_uhyper(ticket)
         timestamps.encode(enc)
         enc.pack_opaque(out_payload)
-        channel.send(MessageType.RESULT, enc.getvalue())
+        channel.send(MessageType.RESULT, enc.getbuffer())
 
 
 def _with_pes(executable, num_pes: int):

@@ -28,6 +28,20 @@ three abstractions:
   connection (DESIGN.md §3.6).  :class:`LoopThread` and
   :class:`FacadeChannel` (:mod:`repro.transport.loopbridge`) bridge
   them back to synchronous callers.
+- :class:`ShmRing` / :class:`ShmTransport` / :func:`shm_negotiate`
+  (:mod:`repro.transport.shm`) -- the same-host shared-memory fast
+  path.  A dialing channel that believes it shares a machine with the
+  server offers ``SHM_HELLO`` over TCP; on agreement both sides attach
+  a ring pair in place (``Channel.attach_io``) and frames -- same
+  ``MAGIC|type|len|crc`` format -- flow through shared memory while
+  the socket stays open purely as the liveness/close signal.
+  Negotiation policy is a tri-state ``shm`` flag everywhere it
+  appears (``connect``, ``ConnectionPool``, ``Endpoint``,
+  ``NinfClient``): ``False`` = never, ``True`` = always offer,
+  ``None`` = auto (same-host peers, unless ``NINF_SHM=0`` opts out).
+  Refusals fall back to TCP silently; the threaded transport is the
+  only negotiating client side (the asyncio loop never blocks on ring
+  polls).
 
 Layering: ``xdr`` (encoding) -> ``protocol`` (framing + messages) ->
 ``transport`` (connections) -> ``client`` / ``server`` / ``metaserver``.
@@ -53,6 +67,8 @@ from repro.transport.loopbridge import (
 )
 from repro.transport.pool import ConnectionPool
 from repro.transport.retry import RetryPolicy, is_transient
+from repro.transport.shm import ShmRing, ShmTransport
+from repro.transport.shm import negotiate as shm_negotiate
 
 __all__ = [
     "AsyncChannel",
@@ -69,10 +85,13 @@ __all__ = [
     "FaultyChannel",
     "LoopThread",
     "RetryPolicy",
+    "ShmRing",
+    "ShmTransport",
     "aconnect",
     "aconnect_with_faults",
     "connect",
     "facade_connect",
     "is_transient",
     "shared_loop",
+    "shm_negotiate",
 ]

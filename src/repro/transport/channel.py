@@ -74,16 +74,39 @@ class Channel:
         self._recv_lock = threading.Lock()
         self._rpc_lock = threading.RLock()
         self._closed = False
+        # Alternate frame medium (repro.transport.shm.ShmTransport),
+        # attached in place by the SHM_HELLO negotiation.  The TCP
+        # socket stays open for liveness/close but carries no frames
+        # once this is set.
+        self._io = None
 
     # -- lifecycle ----------------------------------------------------------
+
+    def attach_io(self, io) -> None:
+        """Reroute this channel's frames onto ``io`` (an object with
+        ``send_frame``/``recv_frame``/``sendall``/``healthy``/``close``,
+        e.g. :class:`repro.transport.shm.ShmTransport`).  Existing locks
+        and deadline semantics keep applying; the socket remains owned
+        and becomes pure liveness signal."""
+        with self._send_lock, self._recv_lock:
+            self._io = io
+
+    @property
+    def via_shm(self) -> bool:
+        """Whether frames currently flow over an attached shm medium."""
+        return self._io is not None
 
     @property
     def closed(self) -> bool:
         return self._closed
 
     def close(self) -> None:
-        """Close the underlying socket (idempotent)."""
+        """Close the underlying socket and any attached medium
+        (idempotent)."""
         self._closed = True
+        io = self._io
+        if io is not None:
+            io.close()
         try:
             self.sock.close()
         except OSError:
@@ -109,6 +132,9 @@ class Channel:
         checkout so the pool never hands out a dead connection.
         """
         if self._closed:
+            return False
+        io = self._io
+        if io is not None and not io.healthy():
             return False
         try:
             readable, _, _ = select.select([self.sock], [], [], 0)
@@ -146,20 +172,46 @@ class Channel:
             registry.counter(names.TRANSPORT_FRAMES_RECEIVED,
                              "Frames read").inc()
 
-    def send(self, msg_type: int, payload: bytes = b"",
+    def send(self, msg_type: int, payload=b"",
              timeout: Union[None, float, _Unset] = _DEFAULT) -> None:
-        """Write one frame; safe to call from multiple threads."""
+        """Write one frame; safe to call from multiple threads.
+
+        ``payload`` may be any bytes-like object (the encoder's
+        ``getbuffer()`` view included) -- it is consumed before return.
+        """
         with self._send_lock:
-            send_frame(self.sock, msg_type, payload,
-                       timeout=self._resolve(timeout))
+            if self._io is not None:
+                self._io.send_frame(msg_type, payload,
+                                    timeout=self._resolve(timeout))
+            else:
+                send_frame(self.sock, msg_type, payload,
+                           timeout=self._resolve(timeout))
         self._note_io("sent", len(payload))
+
+    def _raw_sendall(self, data, timeout: Optional[float] = None) -> None:
+        """Pre-framed bytes onto whatever medium frames flow over.
+
+        The fault-injection seam: :class:`~repro.transport.faults
+        .FaultyChannel` writes its truncated/corrupted frames here, so
+        every send-applicable fault kind hits shm channels exactly like
+        TCP ones.  Callers hold no locks; this takes the send lock.
+        """
+        with self._send_lock:
+            if self._io is not None:
+                self._io.sendall(data, timeout=timeout)
+            else:
+                self.sock.sendall(data)
 
     def recv(self, timeout: Union[None, float, _Unset] = _DEFAULT
              ) -> tuple[int, bytes]:
         """Read one frame as ``(msg_type, payload)``."""
         with self._recv_lock:
-            msg_type, payload = recv_frame(self.sock,
-                                           timeout=self._resolve(timeout))
+            if self._io is not None:
+                msg_type, payload = self._io.recv_frame(
+                    timeout=self._resolve(timeout))
+            else:
+                msg_type, payload = recv_frame(self.sock,
+                                               timeout=self._resolve(timeout))
         self._note_io("received", len(payload))
         return msg_type, payload
 
@@ -197,13 +249,25 @@ class Channel:
 
 
 def connect(host: str, port: int, timeout: Optional[float] = None,
-            connect_timeout: Optional[float] = None) -> Channel:
+            connect_timeout: Optional[float] = None,
+            shm: Optional[bool] = False) -> Channel:
     """Dial ``host:port`` and wrap the socket in a :class:`Channel`.
 
     ``connect_timeout`` bounds the TCP handshake only (defaulting to
     ``timeout``); ``timeout`` becomes the channel's per-operation
     default.  This is the single client-side socket factory of the
     whole reproduction.
+
+    ``shm`` controls the shared-memory upgrade (PROTOCOL.md
+    §"Shared-memory handshake"): ``False`` (default) never negotiates
+    -- a bare dial makes no assumption that the peer speaks the Ninf
+    protocol at all; ``None`` auto-negotiates when the ``NINF_SHM``
+    environment opt-out is unset *and* ``host`` looks local (the mode
+    Ninf dialers -- :class:`~repro.client.NinfClient`, pools -- pass
+    down); ``True`` always offers the handshake.  A refusal falls back
+    to TCP silently; a handshake that dies half-way discards the
+    connection and redials plain TCP, so the caller always gets a
+    working channel.
     """
     sock = socket.create_connection(
         (host, port),
@@ -211,8 +275,26 @@ def connect(host: str, port: int, timeout: Optional[float] = None,
     )
     try:
         sock.settimeout(None)  # per-operation deadlines are framing's job
-        return Channel(sock, timeout=timeout, remote=(host, port))
+        channel = Channel(sock, timeout=timeout, remote=(host, port))
     except BaseException:
         # Nothing owns the socket until Channel construction succeeds.
         sock.close()
         raise
+    from repro.transport import shm as shm_mod  # local: optional fast path
+
+    want_shm = (shm is True
+                or (shm is None and shm_mod.shm_enabled()
+                    and shm_mod.is_local_host(host)))
+    if want_shm:
+        negotiate_timeout = shm_mod.NEGOTIATE_TIMEOUT
+        if timeout is not None:
+            negotiate_timeout = min(timeout, negotiate_timeout)
+        try:
+            shm_mod.negotiate(channel, timeout=negotiate_timeout)
+        except Exception:
+            # Poisoned handshake: the server may already be listening
+            # on the rings.  Burn the connection, redial plain TCP.
+            channel.close()
+            return connect(host, port, timeout=timeout,
+                           connect_timeout=connect_timeout, shm=False)
+    return channel

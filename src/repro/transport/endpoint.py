@@ -51,23 +51,33 @@ class Endpoint:
         fresh one).  Every accepted channel records its framed I/O
         here, and the pre-registered ``STATS`` op exposes a snapshot of
         it remotely (see OBSERVABILITY.md).
+    shm:
+        Whether to honour ``SHM_HELLO`` upgrade requests from same-host
+        clients (PROTOCOL.md §"Shared-memory handshake").  ``None``
+        (default) defers to the ``NINF_SHM`` environment opt-out;
+        ``True``/``False`` force it.  Refused handshakes get a
+        well-formed ``ErrorReply`` (the client keeps TCP) and count in
+        ``ninf_shm_fallbacks_total``; upgrades count in
+        ``ninf_shm_upgrades_total``.
 
     Every accepted connection is wrapped in a :class:`Channel` (which
     sets ``TCP_NODELAY``) and served by a daemon thread: frames are
     read in a loop and routed through the dispatch table.  An unknown
     ``MessageType`` gets a well-formed ``ErrorReply`` and the
     connection stays open; a malformed payload (``XdrError`` escaping a
-    handler) gets ``bad-request``.  ``PING -> PONG`` and
-    ``STATS -> STATS_REPLY`` are pre-registered.
+    handler) gets ``bad-request``.  ``PING -> PONG``,
+    ``STATS -> STATS_REPLY``, and ``SHM_HELLO -> SHM_HELLO_REPLY`` are
+    pre-registered.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  name: str = "endpoint", fault_plan=None,
                  metrics: Optional[MetricsRegistry] = None,
-                 backlog: int = 512):
+                 backlog: int = 512, shm: Optional[bool] = None):
         self.name = name
         self.fault_plan = fault_plan
         self.backlog = backlog
+        self.shm = shm
         self._bind_host = host
         self._bind_port = port
         self._listener: Optional[socket.socket] = None
@@ -89,8 +99,16 @@ class Endpoint:
         self._accepted = self.metrics.counter(
             names.ENDPOINT_CONNECTIONS_ACCEPTED,
             "TCP connections accepted by this endpoint")
+        self._shm_upgrades = self.metrics.counter(
+            names.SHM_UPGRADES,
+            "Connections upgraded to the shared-memory transport")
+        self._shm_fallbacks = self.metrics.counter(
+            names.SHM_FALLBACKS,
+            "SHM_HELLO requests refused (client stays on TCP)",
+            labelnames=("reason",))
         self.register_handler(MessageType.PING, self._handle_ping)
         self.register_handler(MessageType.STATS, self._handle_stats)
+        self.register_handler(MessageType.SHM_HELLO, self._handle_shm_hello)
 
     # -- handler registry ---------------------------------------------------
 
@@ -119,6 +137,56 @@ class Endpoint:
         enc.pack_string(fmt)
         enc.pack_string(text)
         channel.send(MessageType.STATS_REPLY, enc.getvalue())
+
+    def _handle_shm_hello(self, channel: Channel, payload: bytes) -> None:
+        """The server half of the shm handshake: create a ring pair,
+        advertise it over TCP, then reroute this connection's frames
+        onto the rings.  Refusals are ordinary ``ErrorReply`` frames --
+        the client falls back to TCP without redialing."""
+        from repro.transport import shm as shm_mod
+
+        if not shm_mod.shm_enabled(self.shm):
+            self._shm_fallbacks.inc(reason="disabled")
+            channel.send_error("shm-disabled",
+                               "shared-memory transport is disabled here")
+            return
+        if channel.via_shm:
+            self._shm_fallbacks.inc(reason="already-upgraded")
+            channel.send_error("bad-request",
+                               "connection already upgraded to shm")
+            return
+        hint = shm_mod.DEFAULT_CAPACITY
+        if payload:
+            hint = XdrDecoder(payload).unpack_uint()
+        # Clamp the client's hint: tiny rings would deadlock-prone-poll,
+        # huge ones would exhaust /dev/shm (often small in containers).
+        capacity = max(1 << 12, min(hint or shm_mod.DEFAULT_CAPACITY,
+                                    1 << 24))
+        try:
+            c2s = shm_mod.ShmRing.create(capacity)
+        except OSError as exc:
+            self._shm_fallbacks.inc(reason="alloc-failed")
+            channel.send_error("shm-unavailable",
+                               f"cannot allocate shm ring: {exc}")
+            return
+        try:
+            s2c = shm_mod.ShmRing.create(capacity)
+        except OSError as exc:
+            c2s.close()
+            self._shm_fallbacks.inc(reason="alloc-failed")
+            channel.send_error("shm-unavailable",
+                               f"cannot allocate shm ring: {exc}")
+            return
+        enc = XdrEncoder()
+        enc.pack_string(c2s.name)
+        enc.pack_string(s2c.name)
+        enc.pack_uint(capacity)
+        # Reply over TCP first, then attach: the next frame the client
+        # sends after reading the reply already arrives via the ring.
+        channel.send(MessageType.SHM_HELLO_REPLY, enc.getvalue())
+        channel.attach_io(
+            shm_mod.ShmTransport(send_ring=s2c, recv_ring=c2s))
+        self._shm_upgrades.inc()
 
     @property
     def connections_accepted(self) -> int:

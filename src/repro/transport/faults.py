@@ -194,16 +194,24 @@ class FaultPlan:
         """Adopt ``channel``'s socket into a fault-injecting channel."""
         if isinstance(channel, FaultyChannel) and channel.plan is self:
             return channel
-        return FaultyChannel(channel.sock, self, timeout=channel.timeout,
-                             remote=channel.remote)
+        faulty = FaultyChannel(channel.sock, self, timeout=channel.timeout,
+                               remote=channel.remote)
+        # Keep any shm medium negotiated before wrapping: faults must
+        # land on the same bytes the clean channel would have sent.
+        faulty._io = channel._io
+        return faulty
 
     def connector(self, host: str, port: int,
                   timeout: Optional[float] = None,
-                  connect_timeout: Optional[float] = None) -> "FaultyChannel":
+                  connect_timeout: Optional[float] = None,
+                  shm: Optional[bool] = False) -> "FaultyChannel":
         """Drop-in for :func:`repro.transport.connect` with dial faults.
 
         Signature-compatible with ``ConnectionPool``'s ``connector``
         parameter, which is how a plan reaches every pooled checkout.
+        The shm handshake (when ``shm`` asks for one) runs *before*
+        wrapping and consumes no fault draws, so chaos schedules stay
+        aligned whether or not the channel upgrades.
         """
         event = self.draw("dial")
         if event is not None:
@@ -213,7 +221,7 @@ class FaultPlan:
                 )
             time.sleep(event.delay)
         return self.wrap(connect(host, port, timeout=timeout,
-                                 connect_timeout=connect_timeout))
+                                 connect_timeout=connect_timeout, shm=shm))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<FaultPlan seed={self.seed} rate={self.rate} "
@@ -260,24 +268,23 @@ class FaultyChannel(Channel):
             raise ConnectionResetError(
                 f"[fault #{event.seq}] connection dropped before send"
             )
+        # Pre-framed fault writes go through _raw_sendall (which takes
+        # the send lock itself) so they hit an attached shm medium the
+        # same way they hit a socket.
         frame = encode_frame(msg_type, payload)
         if event.kind == TRUNCATE:
             cut = max(1, min(len(frame) - 1, int(event.ratio * len(frame))))
-            with self._send_lock:
-                self.sock.sendall(frame[:cut])
+            self._raw_sendall(frame[:cut])
             self.close()
             raise ConnectionClosed(
                 f"[fault #{event.seq}] frame truncated after "
                 f"{cut}/{len(frame)} bytes"
             )
         if event.kind == CORRUPT:
-            frame = _corrupt(frame, event.ratio)
-            with self._send_lock:
-                self.sock.sendall(frame)
+            self._raw_sendall(_corrupt(frame, event.ratio))
             return None
         # DROP_POST: deliver, then kill the connection.
-        with self._send_lock:
-            self.sock.sendall(frame)
+        self._raw_sendall(frame)
         self.close()
         return None
 

@@ -54,6 +54,14 @@ class ConnectionPool:
         Defaults to a fresh private registry; owners (e.g.
         :class:`~repro.client.NinfClient`) pass their own to unify
         exposition.
+    shm:
+        Shared-memory transport negotiation for dialed channels
+        (PROTOCOL.md §"Shared-memory handshake"): ``False`` (default)
+        never offers it, ``None`` auto-negotiates with same-host peers
+        unless ``NINF_SHM`` opts out, ``True`` always offers it.
+        Forwarded to :func:`repro.transport.channel.connect` (or a
+        fault plan's connector); ignored for custom ``connector``
+        callables, which keep their own dialing policy.
     """
 
     def __init__(self, timeout: Optional[float] = None, pool: bool = True,
@@ -63,7 +71,8 @@ class ConnectionPool:
                  connector: Optional[Callable[..., Channel]] = None,
                  clock: Callable[[], float] = time.monotonic,
                  fault_plan=None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 shm: Optional[bool] = False):
         if max_idle_per_key < 1:
             raise ValueError(f"max_idle_per_key must be >= 1, "
                              f"got {max_idle_per_key}")
@@ -75,6 +84,11 @@ class ConnectionPool:
         self.max_idle_seconds = max_idle_seconds
         self.connect_timeout = connect_timeout
         self.fault_plan = fault_plan
+        self.shm = shm
+        # shm only applies to connectors that understand the kwarg: the
+        # default dialer and a fault plan's.  Custom test connectors
+        # keep their exact signature.
+        self._connect_shm = connector is None or fault_plan is not None
         if fault_plan is not None:
             connector = fault_plan.connector
         self._connect = connector or connect
@@ -142,8 +156,13 @@ class ConnectionPool:
                     channel.close()
                 self._sync_idle_gauge_locked()
         try:
-            channel = self._connect(host, port, timeout=self.timeout,
-                                    connect_timeout=self.connect_timeout)
+            if self._connect_shm and self.shm is not False:
+                channel = self._connect(host, port, timeout=self.timeout,
+                                        connect_timeout=self.connect_timeout,
+                                        shm=self.shm)
+            else:
+                channel = self._connect(host, port, timeout=self.timeout,
+                                        connect_timeout=self.connect_timeout)
         except ConnectionRefusedError:
             self._dials_refused.inc()
             raise

@@ -1,14 +1,28 @@
-"""XDR decoding (RFC 4506) with strict bounds and padding checks."""
+"""XDR decoding (RFC 4506) with strict bounds and padding checks.
+
+The decoder never copies while it walks: it holds one ``memoryview``
+over the incoming frame and slices windows out of it (:meth:`_take`),
+so a bulk array decode touches the payload bytes exactly once -- in the
+vectorized byteswap that builds the final native-order container (see
+:mod:`repro.xdr.bulk`).  :meth:`XdrDecoder.unpack_opaque_view` extends
+the same property to nested payloads: a CALL body can be unmarshalled
+straight out of the enclosing frame without materialising an
+intermediate ``bytes``.
+"""
 
 from __future__ import annotations
 
 import struct
 from typing import Callable
 
-import numpy as np
-
+from repro.xdr import bulk
 from repro.xdr.encoder import NUMPY_WIRE_DTYPES
 from repro.xdr.errors import XdrError
+
+try:  # optional at the XDR layer; required only for rank-N ndarrays
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via bulk.FORCE_STDLIB
+    np = None
 
 __all__ = ["XdrDecoder"]
 
@@ -21,13 +35,17 @@ MAX_REASONABLE_LENGTH = 1 << 33
 class XdrDecoder:
     """Decodes XDR values from a byte buffer.
 
+    Accepts any bytes-like source (``bytes``, ``bytearray``,
+    ``memoryview``) -- in particular the zero-copy payload view the
+    framing layer hands back.
+
     >>> dec = XdrDecoder(b"\\x00\\x00\\x00\\x07")
     >>> dec.unpack_int()
     7
     >>> dec.done()
     """
 
-    def __init__(self, data: bytes):
+    def __init__(self, data):
         self._data = memoryview(data)
         self._pos = 0
 
@@ -119,6 +137,22 @@ class XdrDecoder:
         n = self.unpack_uint()
         return self.unpack_fopaque(n)
 
+    def unpack_opaque_view(self) -> memoryview:
+        """Variable-length opaque as a zero-copy window.
+
+        Same wire position advance as :meth:`unpack_opaque`, but the
+        body comes back as a ``memoryview`` into the source buffer --
+        nothing is copied.  The view is only valid while the source
+        buffer is alive; callers that keep the payload past the frame's
+        lifetime must ``bytes()`` it themselves.  This is the seam the
+        CALL/RESULT paths use to unmarshal nested argument blocks
+        in place.
+        """
+        n = self.unpack_uint()
+        view = self._take(n)
+        self._skip_pad(n)
+        return view
+
     def unpack_string(self) -> str:
         """UTF-8 string as variable opaque."""
         raw = self.unpack_opaque()
@@ -140,10 +174,14 @@ class XdrDecoder:
             raise XdrError(f"implausible array length {n}")
         return self.unpack_farray(n, unpack_item)
 
-    # -- NumPy fast paths ------------------------------------------------------------------
+    # -- bulk fast paths ------------------------------------------------------------------
 
-    def unpack_ndarray(self) -> np.ndarray:
-        """Inverse of :meth:`XdrEncoder.pack_ndarray`."""
+    def unpack_ndarray(self):
+        """Inverse of :meth:`XdrEncoder.pack_ndarray`.  NumPy only --
+        the stdlib fallback covers just the 1-D bulk paths."""
+        if np is None:  # pragma: no cover - stdlib-only environments
+            raise XdrError("ndarray unpacking requires numpy "
+                           "(stdlib fallback covers 1-D bulk arrays only)")
         ndim = self.unpack_uint()
         if ndim > 32:
             raise XdrError(f"implausible ndarray rank {ndim}")
@@ -164,14 +202,18 @@ class XdrDecoder:
         arr = np.frombuffer(payload, dtype=wire).reshape(shape)
         return arr.astype(native, copy=True)
 
-    def unpack_double_array(self) -> np.ndarray:
-        """Variable array of doubles (vectorized)."""
+    def unpack_double_array(self):
+        """Variable array of doubles via the bulk vectorized path.
+
+        ``np.ndarray[float64]`` on the NumPy engine, ``array.array('d')``
+        on the stdlib fallback (same values, same indexing protocol).
+        """
         n = self.unpack_uint()
         payload = self._take(8 * n)
-        return np.frombuffer(payload, dtype=">f8").astype(np.float64)
+        return bulk.unpack_doubles(payload, n)
 
-    def unpack_int_array(self) -> np.ndarray:
-        """Variable array of 32-bit ints (vectorized)."""
+    def unpack_int_array(self):
+        """Variable array of 32-bit ints via the bulk vectorized path."""
         n = self.unpack_uint()
         payload = self._take(4 * n)
-        return np.frombuffer(payload, dtype=">i4").astype(np.int32)
+        return bulk.unpack_ints(payload, n)

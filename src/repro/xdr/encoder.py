@@ -1,8 +1,19 @@
 """XDR encoding (RFC 4506 §4).
 
 All quantities are big-endian and padded to 4-byte boundaries.  Scalar
-packing uses :mod:`struct`; bulk numeric arrays use NumPy's dtype
-byte-order conversion, which compiles to a single vectorized pass.
+packing uses :mod:`struct`; bulk numeric arrays go through
+:mod:`repro.xdr.bulk`, which byteswaps whole arrays in one vectorized
+pass (NumPy when available, :mod:`array`-module fallback otherwise)
+directly into this encoder's frame buffer.
+
+The encoder owns a single growing ``bytearray``: every ``pack_*`` call
+appends in place, :meth:`XdrEncoder.getbuffer` exposes the result as a
+zero-copy ``memoryview`` for the framing layer, and
+:meth:`XdrEncoder.reserve`/:meth:`XdrEncoder.patch_uint` support
+length-prefixed regions whose size is only known after encoding
+(:meth:`begin_opaque`/:meth:`end_opaque`) -- the primitive that lets a
+CALL or RESULT payload be marshalled into one buffer with no
+intermediate concatenation (PROTOCOL.md §"Zero-copy fast paths").
 """
 
 from __future__ import annotations
@@ -10,9 +21,13 @@ from __future__ import annotations
 import struct
 from typing import Callable, Iterable, Sequence
 
-import numpy as np
-
+from repro.xdr import bulk
 from repro.xdr.errors import XdrError
+
+try:  # optional at the XDR layer; required for ndarray/complex packing
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via bulk.FORCE_STDLIB
+    np = None
 
 __all__ = ["XdrEncoder"]
 
@@ -23,21 +38,27 @@ _HYPER_MIN = -(2**63)
 _HYPER_MAX = 2**63 - 1
 _UHYPER_MAX = 2**64 - 1
 
+_PACK_INT = struct.Struct(">i")
+_PACK_UINT = struct.Struct(">I")
+
 # dtype -> (XDR type code used by the Ninf protocol, big-endian numpy dtype)
-NUMPY_WIRE_DTYPES = {
-    np.dtype(np.int32): ">i4",
-    np.dtype(np.uint32): ">u4",
-    np.dtype(np.int64): ">i8",
-    np.dtype(np.uint64): ">u8",
-    np.dtype(np.float32): ">f4",
-    np.dtype(np.float64): ">f8",
-    np.dtype(np.complex64): ">c8",
-    np.dtype(np.complex128): ">c16",
-}
+if np is not None:
+    NUMPY_WIRE_DTYPES = {
+        np.dtype(np.int32): ">i4",
+        np.dtype(np.uint32): ">u4",
+        np.dtype(np.int64): ">i8",
+        np.dtype(np.uint64): ">u8",
+        np.dtype(np.float32): ">f4",
+        np.dtype(np.float64): ">f8",
+        np.dtype(np.complex64): ">c8",
+        np.dtype(np.complex128): ">c16",
+    }
+else:  # pragma: no cover - stdlib-only environments
+    NUMPY_WIRE_DTYPES = {}
 
 
 class XdrEncoder:
-    """Accumulates XDR-encoded bytes.
+    """Accumulates XDR-encoded bytes in one preallocated-growth buffer.
 
     >>> enc = XdrEncoder()
     >>> enc.pack_int(7)
@@ -47,29 +68,67 @@ class XdrEncoder:
     """
 
     def __init__(self) -> None:
-        self._chunks: list[bytes] = []
-        self._size = 0
+        self._buf = bytearray()
 
     # -- plumbing ------------------------------------------------------------
 
-    def _append(self, data: bytes) -> None:
-        self._chunks.append(data)
-        self._size += len(data)
+    def _append(self, data) -> None:
+        self._buf += data
 
     def getvalue(self) -> bytes:
-        """The encoded byte string so far."""
-        if len(self._chunks) > 1:
-            merged = b"".join(self._chunks)
-            self._chunks = [merged]
-        return self._chunks[0] if self._chunks else b""
+        """The encoded byte string so far (a copy; see getbuffer)."""
+        return bytes(self._buf)
+
+    def getbuffer(self) -> memoryview:
+        """Zero-copy view of the encoded bytes.
+
+        The view aliases the live buffer: it is invalidated by any
+        further ``pack_*`` call (Python raises ``BufferError`` if the
+        buffer must grow while a view is exported), so take it last --
+        the pattern the framing layer uses is encode-everything, then
+        ``channel.send(msg_type, enc.getbuffer())``.
+        """
+        return memoryview(self._buf)
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._buf)
 
     def reset(self) -> None:
         """Discard everything encoded so far."""
-        self._chunks = []
-        self._size = 0
+        self._buf = bytearray()
+
+    def reserve(self, nbytes: int) -> int:
+        """Append ``nbytes`` of zeros; return their offset for patching."""
+        offset = len(self._buf)
+        self._buf += bytes(nbytes)
+        return offset
+
+    def patch_uint(self, offset: int, value: int) -> None:
+        """Overwrite 4 bytes at ``offset`` with an unsigned int."""
+        if not 0 <= value <= _UINT_MAX:
+            raise XdrError(f"unsigned int out of range: {value}")
+        _PACK_UINT.pack_into(self._buf, offset, value)
+
+    def begin_opaque(self) -> int:
+        """Open a variable-length opaque whose size is not yet known.
+
+        Reserves the length word and returns a token for
+        :meth:`end_opaque`.  Everything packed in between becomes the
+        opaque's body -- this is how a marshalled argument block lands
+        inside a CALL payload without an intermediate bytes object.
+        """
+        return self.reserve(4)
+
+    def end_opaque(self, token: int) -> None:
+        """Close a :meth:`begin_opaque` region: patch the length word
+        and add XDR padding for the body packed since."""
+        body_len = len(self._buf) - token - 4
+        if body_len < 0:
+            raise XdrError("end_opaque before begin_opaque")
+        self.patch_uint(token, body_len)
+        pad = (4 - body_len % 4) % 4
+        if pad:
+            self._buf += b"\x00" * pad
 
     # -- integral types ---------------------------------------------------------
 
@@ -77,13 +136,13 @@ class XdrEncoder:
         """Signed 32-bit integer."""
         if not _INT_MIN <= value <= _INT_MAX:
             raise XdrError(f"int out of range: {value}")
-        self._append(struct.pack(">i", value))
+        self._append(_PACK_INT.pack(value))
 
     def pack_uint(self, value: int) -> None:
         """Unsigned 32-bit integer."""
         if not 0 <= value <= _UINT_MAX:
             raise XdrError(f"unsigned int out of range: {value}")
-        self._append(struct.pack(">I", value))
+        self._append(_PACK_UINT.pack(value))
 
     def pack_hyper(self, value: int) -> None:
         """Signed 64-bit integer."""
@@ -99,7 +158,7 @@ class XdrEncoder:
 
     def pack_bool(self, value: bool) -> None:
         """Boolean as 32-bit 0/1."""
-        self._append(struct.pack(">i", 1 if value else 0))
+        self._append(_PACK_INT.pack(1 if value else 0))
 
     def pack_enum(self, value: int) -> None:
         """Enumeration: same wire form as int."""
@@ -117,8 +176,13 @@ class XdrEncoder:
 
     # -- opaque and string -----------------------------------------------------------
 
-    def pack_fopaque(self, n: int, data: bytes) -> None:
-        """Fixed-length opaque: exactly ``n`` bytes, zero-padded to 4."""
+    def pack_fopaque(self, n: int, data) -> None:
+        """Fixed-length opaque: exactly ``n`` bytes, zero-padded to 4.
+
+        ``data`` may be any bytes-like object (``bytes``, ``bytearray``,
+        ``memoryview``); views are copied into the buffer directly, no
+        intermediate ``bytes`` is materialised.
+        """
         if len(data) != n:
             raise XdrError(f"fixed opaque length mismatch: want {n}, got {len(data)}")
         self._append(data)
@@ -126,7 +190,7 @@ class XdrEncoder:
         if pad:
             self._append(b"\x00" * pad)
 
-    def pack_opaque(self, data: bytes) -> None:
+    def pack_opaque(self, data) -> None:
         """Variable-length opaque: length word, bytes, zero padding."""
         self.pack_uint(len(data))
         self.pack_fopaque(len(data), data)
@@ -151,16 +215,22 @@ class XdrEncoder:
         for item in items:
             pack_item(item)
 
-    # -- NumPy fast paths --------------------------------------------------------
+    # -- bulk fast paths ---------------------------------------------------------
 
-    def pack_ndarray(self, array: np.ndarray) -> None:
+    def pack_ndarray(self, array) -> None:
         """A NumPy array as: rank, dims, dtype code, then raw big-endian data.
 
         This is the Ninf matrix wire format: shape-prefixed so the
         receiver can allocate before reading, and the payload is one
-        contiguous big-endian block (a single vectorized byteswap), so
-        marshalling throughput is memory-bandwidth bound.
+        contiguous big-endian block written straight into the frame
+        buffer (a single fused byteswap-and-copy), so marshalling
+        throughput is memory-bandwidth bound.  Requires NumPy; the
+        stdlib fallback covers only the 1-D bulk paths
+        (:meth:`pack_double_array` / :meth:`pack_int_array`).
         """
+        if np is None:  # pragma: no cover - stdlib-only environments
+            raise XdrError("ndarray packing requires numpy "
+                           "(stdlib fallback covers 1-D bulk arrays only)")
         arr = np.ascontiguousarray(array)
         wire = NUMPY_WIRE_DTYPES.get(arr.dtype)
         if wire is None:
@@ -169,27 +239,40 @@ class XdrEncoder:
         for dim in arr.shape:
             self.pack_uint(dim)
         self.pack_string(wire)
-        payload = arr.astype(wire, copy=False).tobytes()
-        self.pack_uint(len(payload))
-        self._append(payload)
-        pad = (4 - len(payload) % 4) % 4
+        nbytes = arr.size * arr.itemsize
+        self.pack_uint(nbytes)
+        offset = self.reserve(nbytes)
+        dest = np.frombuffer(self._buf, dtype=wire, count=arr.size,
+                             offset=offset)
+        dest[:] = arr.reshape(-1)  # one pass: byteswap + copy, no temp
+        pad = (4 - nbytes % 4) % 4
         if pad:
             self._append(b"\x00" * pad)
 
     def pack_double_array(self, values: Sequence[float]) -> None:
-        """Variable array of doubles via the vectorized path."""
-        arr = np.asarray(values, dtype=np.float64)
-        if arr.ndim != 1:
-            raise XdrError("pack_double_array expects a 1-D sequence")
-        self.pack_uint(arr.size)
-        self._append(arr.astype(">f8", copy=False).tobytes())
+        """Variable array of doubles via the bulk vectorized path."""
+        if np is not None and not bulk.FORCE_STDLIB:
+            arr = np.asarray(values, dtype=np.float64)
+            if arr.ndim != 1:
+                raise XdrError("pack_double_array expects a 1-D sequence")
+            self.pack_uint(arr.size)
+        else:
+            values = (values if isinstance(values, (list, tuple))
+                      or hasattr(values, "__len__") else list(values))
+            self.pack_uint(len(values))
+            arr = values
+        bulk.pack_doubles_into(self._buf, arr)
 
     def pack_int_array(self, values: Sequence[int]) -> None:
-        """Variable array of 32-bit ints via the vectorized path."""
-        arr = np.asarray(values)
-        if arr.ndim != 1:
-            raise XdrError("pack_int_array expects a 1-D sequence")
-        if arr.size and (arr.min() < _INT_MIN or arr.max() > _INT_MAX):
-            raise XdrError("int array element out of 32-bit range")
-        self.pack_uint(arr.size)
-        self._append(arr.astype(">i4").tobytes())
+        """Variable array of 32-bit ints via the bulk vectorized path."""
+        if np is not None and not bulk.FORCE_STDLIB:
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise XdrError("pack_int_array expects a 1-D sequence")
+            self.pack_uint(arr.size)
+        else:
+            values = (values if hasattr(values, "__len__")
+                      else list(values))
+            self.pack_uint(len(values))
+            arr = values
+        bulk.pack_ints_into(self._buf, arr)

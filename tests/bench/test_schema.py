@@ -28,7 +28,7 @@ class TestVersioning:
 
     def test_unknown_future_version_is_rejected(self):
         report = make_rpc_report()
-        report["schema_version"] = SCHEMA_VERSION + 1
+        report["schema_version"] = max(SUPPORTED_VERSIONS) + 1
         with pytest.raises(BenchSchemaError, match="unknown schema_version"):
             validate_report(report)
 

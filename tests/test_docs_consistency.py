@@ -5,25 +5,39 @@ Fails when code grows a user-visible surface the docs don't mention:
 - every ``ninf-experiment`` subcommand (``repro.cli.EXPERIMENT_TARGETS``)
   must appear in README.md or OBSERVABILITY.md;
 - every public ``repro.obs`` name (``repro.obs.__all__``) must appear
-  in OBSERVABILITY.md.
+  in OBSERVABILITY.md;
+- PROTOCOL.md's op-code table and protocol-version statement must match
+  ``repro.protocol.messages`` *exactly* (both directions: an op missing
+  from the doc and a doc row naming a nonexistent or renumbered op both
+  fail).  PROTOCOL.md presents itself as the canonical wire spec, which
+  is only true while this test passes.
 
 The metric/span-name half of this check moved into ``ninf-lint``'s
 ``catalog-pinned-names`` rule (see ANALYSIS.md), which also pins the
-names used at instrumentation sites; this file now covers only the
-README/OBSERVABILITY prose surface.
+names used at instrumentation sites (and anchors per-op findings in
+``protocol/messages.py``); this file covers the prose surface.
 
 The check is grep-based on purpose: it keeps the docs honest without
 requiring any doc-generation machinery.
 """
 
+import re
 from pathlib import Path
 
 import pytest
 
 import repro.obs
 from repro.cli import EXPERIMENT_TARGETS
+from repro.protocol.messages import PROTOCOL_VERSION, MessageType
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: A PROTOCOL.md op-code table row: ``| 5 | `CALL` | ...``.
+OPCODE_ROW = re.compile(r"^\|\s*(\d+)\s*\|\s*`([A-Z_]+)`\s*\|", re.M)
+
+#: The canonical version statement in PROTOCOL.md.
+VERSION_STATEMENT = re.compile(
+    r"current protocol version is \*\*(\d+)\*\*")
 
 
 def _doc(name: str) -> str:
@@ -67,3 +81,53 @@ def test_obs_all_matches_module_surface():
     is checking the real public surface."""
     missing = [n for n in repro.obs.__all__ if not hasattr(repro.obs, n)]
     assert not missing
+
+
+@pytest.fixture(scope="module")
+def protocol() -> str:
+    """PROTOCOL.md contents."""
+    return _doc("PROTOCOL.md")
+
+
+def test_protocol_opcode_table_matches_messages(protocol):
+    """The PROTOCOL.md op-code table is byte-for-byte the MessageType
+    enum: same names, same numbers, nothing extra, nothing missing."""
+    documented = {name: int(code)
+                  for code, name in OPCODE_ROW.findall(protocol)}
+    assert documented, (
+        "no op-code table rows found in PROTOCOL.md -- the table rows "
+        "must look like `| 5 | `CALL` | ...`")
+    actual = {member.name: member.value for member in MessageType}
+    missing = sorted(set(actual) - set(documented))
+    assert not missing, (
+        f"MessageType members missing from the PROTOCOL.md op-code "
+        f"table: {missing} -- every op must be specified there")
+    stale = sorted(set(documented) - set(actual))
+    assert not stale, (
+        f"PROTOCOL.md documents op codes that do not exist in "
+        f"repro.protocol.messages.MessageType: {stale}")
+    renumbered = {name: (documented[name], actual[name])
+                  for name in actual if documented[name] != actual[name]}
+    assert not renumbered, (
+        f"PROTOCOL.md op numbers disagree with MessageType "
+        f"(doc, code): {renumbered} -- op codes are wire-stable, so "
+        f"one of the two is lying")
+
+
+def test_protocol_version_matches_messages(protocol):
+    """PROTOCOL.md's version statement tracks PROTOCOL_VERSION."""
+    match = VERSION_STATEMENT.search(protocol)
+    assert match, ("PROTOCOL.md must state 'current protocol version "
+                   "is **N**'")
+    assert int(match.group(1)) == PROTOCOL_VERSION, (
+        f"PROTOCOL.md says version {match.group(1)}, "
+        f"repro.protocol.messages.PROTOCOL_VERSION is "
+        f"{PROTOCOL_VERSION}")
+
+
+def test_protocol_doc_is_cross_linked(readme, protocol):
+    """README links to PROTOCOL.md, and PROTOCOL.md to DESIGN.md --
+    the canonical spec must be discoverable from the front door."""
+    assert "PROTOCOL.md" in readme
+    assert "DESIGN.md" in protocol
+    assert "PROTOCOL.md" in _doc("DESIGN.md")
