@@ -1,14 +1,21 @@
 """``repro.analysis`` -- project-aware static checks (``ninf-lint``).
 
 An AST-walking lint framework (:mod:`repro.analysis.core`) plus the
-five checkers that encode this repo's concurrency and observability
-conventions:
+seven checkers that encode this repo's concurrency, wire-protocol, and
+observability conventions:
 
 - ``lock-discipline`` (:mod:`repro.analysis.locks`)
 - ``resource-lifecycle`` (:mod:`repro.analysis.lifecycle`)
-- ``deadline-propagation`` (:mod:`repro.analysis.deadlines`)
+- ``deadline-propagation`` (:mod:`repro.analysis.deadlines`) -- both
+  per-function and, since the interprocedural layer, call-graph-aware
 - ``await-under-lock`` (:mod:`repro.analysis.awaitlock`)
 - ``catalog-pinned-names`` (:mod:`repro.analysis.catalog`)
+- ``async-blocking-reachability`` (:mod:`repro.analysis.asyncblocking`)
+- ``wire-symmetry`` (:mod:`repro.analysis.wiresym`)
+
+The last two (and the upgraded deadline rule) are whole-program passes
+over the shared call graph (:mod:`repro.analysis.callgraph`), built
+once per run on :class:`~repro.analysis.core.Project`.
 
 Run it as ``ninf-lint src`` (or ``python -m repro.analysis src``).
 The rule catalog, suppression syntax, and extension guide live in
@@ -20,11 +27,15 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional
 
+from repro.analysis.asyncblocking import AsyncBlockingReachabilityChecker
 from repro.analysis.awaitlock import AwaitUnderLockChecker
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.catalog import CatalogNamesChecker
 from repro.analysis.core import (
     Checker,
     Finding,
+    Project,
+    ProjectChecker,
     SourceModule,
     iter_python_files,
     load_baseline,
@@ -34,10 +45,13 @@ from repro.analysis.core import (
 from repro.analysis.deadlines import DeadlinePropagationChecker
 from repro.analysis.lifecycle import ResourceLifecycleChecker
 from repro.analysis.locks import GUARDED_BY, LockDisciplineChecker, LockSpec
+from repro.analysis.wiresym import WireSymmetryChecker
 
 __all__ = [
     "ALL_CHECKER_CLASSES",
+    "AsyncBlockingReachabilityChecker",
     "AwaitUnderLockChecker",
+    "CallGraph",
     "CatalogNamesChecker",
     "Checker",
     "DeadlinePropagationChecker",
@@ -45,8 +59,11 @@ __all__ = [
     "GUARDED_BY",
     "LockDisciplineChecker",
     "LockSpec",
+    "Project",
+    "ProjectChecker",
     "ResourceLifecycleChecker",
     "SourceModule",
+    "WireSymmetryChecker",
     "all_checkers",
     "iter_python_files",
     "load_baseline",
@@ -61,16 +78,21 @@ ALL_CHECKER_CLASSES = (
     DeadlinePropagationChecker,
     AwaitUnderLockChecker,
     CatalogNamesChecker,
+    AsyncBlockingReachabilityChecker,
+    WireSymmetryChecker,
 )
 
 
 def all_checkers(repo_root: Optional[Path] = None) -> tuple[Checker, ...]:
     """One instance of every checker, wired to ``repo_root`` for the
     rules that cross-check the docs."""
+    protocol_md = repo_root / "PROTOCOL.md" if repo_root else None
     return (
         LockDisciplineChecker(),
         ResourceLifecycleChecker(),
         DeadlinePropagationChecker(),
         AwaitUnderLockChecker(),
         CatalogNamesChecker(repo_root=repo_root),
+        AsyncBlockingReachabilityChecker(),
+        WireSymmetryChecker(protocol_md=protocol_md),
     )

@@ -2,7 +2,9 @@
 
 Exit codes: 0 -- clean (or all findings baselined), 1 -- new findings,
 2 -- usage error.  ``--format json`` emits a machine-readable report
-for CI artefacts; ``--write-baseline`` records the current findings so
+for CI artefacts; ``--format sarif`` emits a SARIF 2.1.0 log suitable
+for code-scanning upload; ``--write-baseline`` records the current
+findings so
 only regressions fail thereafter (the repo itself carries no baseline:
 every true positive gets fixed, not recorded -- see ANALYSIS.md).
 """
@@ -23,7 +25,7 @@ from repro.analysis.core import (
     write_baseline,
 )
 
-__all__ = ["build_parser", "find_repo_root", "main"]
+__all__ = ["build_parser", "find_repo_root", "main", "to_sarif"]
 
 
 def find_repo_root(start: Optional[Path] = None) -> Optional[Path]:
@@ -45,8 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src"], metavar="PATH",
         help="files or directories to check (default: src)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text); sarif emits a SARIF 2.1.0 "
+             "log for code-scanning upload")
     parser.add_argument(
         "--rules", metavar="RULE[,RULE...]",
         help="comma-separated subset of rules to run")
@@ -110,11 +113,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         findings = [f for f in findings
                     if f.fingerprint() not in known_prints]
 
-    _report(findings, args.format)
+    _report(findings, args.format, checkers)
     return 1 if findings else 0
 
 
-def _report(findings: Sequence[Finding], fmt: str) -> None:
+def _report(findings: Sequence[Finding], fmt: str,
+            checkers: Sequence = ()) -> None:
     if fmt == "json":
         payload = {
             "findings": [f.to_dict() for f in findings],
@@ -122,10 +126,70 @@ def _report(findings: Sequence[Finding], fmt: str) -> None:
         }
         print(json.dumps(payload, indent=2))
         return
+    if fmt == "sarif":
+        print(json.dumps(to_sarif(findings, checkers), indent=2))
+        return
     for finding in findings:
         print(finding.render())
     noun = "finding" if len(findings) == 1 else "findings"
     print(f"ninf-lint: {len(findings)} {noun}")
+
+
+def to_sarif(findings: Sequence[Finding],
+             checkers: Sequence = ()) -> dict:
+    """Render ``findings`` as a SARIF 2.1.0 log (one run, one tool).
+
+    The rule catalog comes from ``checkers`` so a clean run still
+    advertises which rules executed; findings for rules outside the
+    catalog (e.g. ``parse-error``) get a bare descriptor on the fly.
+    """
+    rules = {checker.rule: {
+        "id": checker.rule,
+        "shortDescription": {"text": checker.description},
+        "helpUri": "https://github.com/ninf-repro/ANALYSIS.md",
+    } for checker in checkers}
+    results = []
+    for finding in findings:
+        if finding.rule not in rules:
+            rules[finding.rule] = {"id": finding.rule}
+        message = finding.message
+        if finding.symbol:
+            message = f"{message} [{finding.symbol}]"
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": message},
+            "partialFingerprints": {
+                "ninfLintFingerprint/v1": finding.fingerprint(),
+            },
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "ninf-lint",
+                "informationUri": "https://github.com/ninf-repro",
+                "rules": sorted(rules.values(),
+                                key=lambda rule: rule["id"]),
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script

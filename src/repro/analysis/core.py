@@ -39,6 +39,8 @@ from typing import Iterable, Iterator, Optional, Sequence
 __all__ = [
     "Checker",
     "Finding",
+    "Project",
+    "ProjectChecker",
     "SourceModule",
     "iter_python_files",
     "load_baseline",
@@ -200,6 +202,69 @@ class Checker:
         )
 
 
+class Project:
+    """Every :class:`SourceModule` of one lint run, parsed exactly once.
+
+    The runner loads all modules up front and hands the same
+    ``Project`` to every :class:`ProjectChecker`, so whole-program
+    passes share one parse *and* one call graph -- adding a new
+    interprocedural rule costs its traversal, not a re-parse of the
+    tree (the CI static-analysis job's 5-minute budget depends on
+    this).
+    """
+
+    def __init__(self, modules: Sequence[SourceModule],
+                 root: Optional[Path] = None):
+        self.modules = list(modules)
+        self.root = root
+        self._by_display = {m.display_path: m for m in self.modules}
+        self._callgraph = None
+
+    def module(self, display_path: str) -> Optional[SourceModule]:
+        """The module reported under ``display_path``, if loaded."""
+        return self._by_display.get(display_path)
+
+    @property
+    def callgraph(self):
+        """The shared :class:`~repro.analysis.callgraph.CallGraph`,
+        built lazily on first use and reused by every checker."""
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._callgraph = CallGraph.build(self.modules)
+        return self._callgraph
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Suppression lookup for findings that cross module boundaries."""
+        module = self._by_display.get(finding.path)
+        return module is not None and module.is_suppressed(finding)
+
+
+class ProjectChecker(Checker):
+    """Base class for whole-program rules.
+
+    A project checker sees the entire :class:`Project` at once (call
+    graph included) instead of one module at a time.  Subclasses
+    implement :meth:`check_project`; the per-module :meth:`check` hook
+    stays available for rules that combine both views (e.g.
+    ``deadline-propagation``).
+    """
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Per-module pass: nothing by default for project rules."""
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Yield every finding this rule produces for the project."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+    def project_finding(self, project: Project, module: SourceModule,
+                        node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored in an arbitrary project module."""
+        return self.finding(module, node, message)
+
+
 # -- file discovery and the runner ------------------------------------------
 
 def iter_python_files(paths: Iterable[Path]) -> list[Path]:
@@ -232,6 +297,7 @@ def run_checks(paths: Sequence[Path], checkers: Sequence[Checker],
     paths to repo-relative form.
     """
     findings: list[Finding] = []
+    modules: list[SourceModule] = []
     for path in iter_python_files(paths):
         module, parse_finding = SourceModule.load(
             path, _display_path(path, root))
@@ -239,9 +305,16 @@ def run_checks(paths: Sequence[Path], checkers: Sequence[Checker],
             findings.append(parse_finding)
             continue
         assert module is not None
+        modules.append(module)
         for checker in checkers:
             for finding in checker.check(module):
                 if not module.is_suppressed(finding):
+                    findings.append(finding)
+    project = Project(modules, root=root)
+    for checker in checkers:
+        if isinstance(checker, ProjectChecker):
+            for finding in checker.check_project(project):
+                if not project.is_suppressed(finding):
                     findings.append(finding)
     return sorted(findings)
 

@@ -17,13 +17,24 @@ an unbounded hang on a half-dead peer.  Two sub-rules:
   in the call.  The deadline stops propagating exactly at the layer
   that talks to the network.
 
-Nested functions are separate scopes for both sub-rules: a closure's
-transport call is judged against the closure's own parameters (the
-enclosing deadline usually bounds the *overall* operation -- e.g. the
-polling loop of ``fetch_detached`` -- not each frame).  Calls whose
-channel carries a baked-in default deadline and whose enclosing
-function accepts none are fine: the rule is about *accepting* a
-deadline and then dropping it.
+Since the interprocedural layer landed there is a third, call-graph
+aware sub-rule:
+
+- **dropped along the path** -- a function that accepts *and uses* a
+  deadline calls a resolved project function that (a) itself accepts a
+  deadline-named parameter and (b) reaches the transport boundary,
+  without passing any deadline into it.  The per-function rule cannot
+  see this: each function looks locally fine, but the timeout dies at
+  the hand-off.  Callees *without* a deadline parameter stay exempt --
+  that is the "baked-in channel default" doctrine above, unchanged.
+
+Nested functions are separate scopes for both per-module sub-rules: a
+closure's transport call is judged against the closure's own
+parameters (the enclosing deadline usually bounds the *overall*
+operation -- e.g. the polling loop of ``fetch_detached`` -- not each
+frame).  Calls whose channel carries a baked-in default deadline and
+whose enclosing function accepts none are fine: the rule is about
+*accepting* a deadline and then dropping it.
 """
 
 from __future__ import annotations
@@ -31,7 +42,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Union
 
-from repro.analysis.core import Checker, Finding, SourceModule
+from repro.analysis.core import (Finding, Project, ProjectChecker,
+                                 SourceModule)
 
 __all__ = ["DeadlinePropagationChecker"]
 
@@ -55,12 +67,13 @@ TRANSPORT_NAMES = frozenset({
 _FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 
-class DeadlinePropagationChecker(Checker):
+class DeadlinePropagationChecker(ProjectChecker):
     """Flag deadline parameters that are accepted but not threaded."""
 
     rule = "deadline-propagation"
     description = ("timeout=/deadline= parameters must be used and "
-                   "forwarded to transport calls, not silently dropped")
+                   "forwarded to transport calls -- locally and along "
+                   "every call-graph path to the transport boundary")
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
         """Check every function in ``module`` that takes a deadline."""
@@ -95,6 +108,63 @@ class DeadlinePropagationChecker(Checker):
                     f"transport call {_describe(node)} inside "
                     f"{function.name}() forwards no deadline although "
                     f"{_fmt(used)} is in scope; pass timeout= through")
+
+    # -- call-graph sub-rule --------------------------------------------------
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """A used deadline must survive every resolved hand-off to a
+        transport-reaching callee that could carry it."""
+        graph = project.callgraph
+        reaching = _transport_reaching(graph)
+        for qualname in sorted(graph.functions):
+            info = graph.functions[qualname]
+            params = _deadline_params(info.node)
+            if not params:
+                continue
+            used = {node.id for node in ast.walk(info.node)
+                    if isinstance(node, ast.Name) and node.id in params}
+            if not used:
+                continue  # the dropped-parameter sub-rule owns this
+            for site in graph.callees(qualname):
+                target = graph.functions[site.target]
+                if site.target not in reaching:
+                    continue
+                if not _deadline_params(target.node):
+                    continue  # baked-in default doctrine: exempt
+                if _is_transport_call(site.node):
+                    continue  # the per-module sub-rule owns this call
+                if _forwards_deadline(site.node, used):
+                    continue
+                yield self.finding(
+                    info.module, site.node,
+                    f"call to {target.short}() inside "
+                    f"{info.node.name}() forwards no deadline although "
+                    f"{_fmt(used)} is in scope and {target.short}() "
+                    f"reaches the transport boundary; pass timeout= "
+                    f"through")
+
+
+def _transport_reaching(graph) -> set[str]:
+    """Functions containing a transport call, plus everything that can
+    reach one through resolved project edges (reverse closure)."""
+    base = set()
+    for qualname, info in graph.functions.items():
+        for node in _scope_local_nodes(info.node):
+            if isinstance(node, ast.Call) and _is_transport_call(node):
+                base.add(qualname)
+                break
+    reverse: dict[str, set[str]] = {}
+    for caller, sites in graph.edges.items():
+        for site in sites:
+            reverse.setdefault(site.target, set()).add(caller)
+    reaching = set(base)
+    queue = list(base)
+    while queue:
+        for caller in reverse.get(queue.pop(), ()):
+            if caller not in reaching:
+                reaching.add(caller)
+                queue.append(caller)
+    return reaching
 
 
 def _deadline_params(function: _FunctionDef) -> set[str]:

@@ -108,8 +108,16 @@ async def _client_loop(client, client_id: int, task: StageTask,
         per_client_ok[client_id] = per_client_ok.get(client_id, 0) + 1
 
 
-async def _run_stage_async(worker_id: int, task: StageTask, result_queue,
-                           start_event) -> WorkerStageReport:
+def _prepare_stage(task: StageTask):
+    """Build the stage's registry, instruments, and clients.
+
+    Runs *off-loop* (``asyncio.to_thread``): registry lookups take the
+    registry lock and client construction builds connection pools --
+    none of which belongs on the event loop the stage is about to
+    measure (``ninf-lint``'s async-blocking-reachability rule enforces
+    this).  The coroutine only ever touches the returned instrument
+    handles, whose ``inc``/``observe`` micro-ops are loop-safe.
+    """
     from repro.client import AsyncNinfClient
     from repro.transport import RetryPolicy
 
@@ -122,8 +130,10 @@ async def _run_stage_async(worker_id: int, task: StageTask, result_queue,
     registry.gauge(names.BENCH_STAGE_CLIENTS,
                    "Closed-loop clients this worker ran in the current "
                    "stage").set(len(task.client_ids))
-    per_client_ok: dict = {}
-    clients = []
+    retries = registry.counter(
+        names.CLIENT_RETRIES,
+        "Retries taken by this client's idempotent operations")
+    clients: list = []
     try:
         for client_id in task.client_ids:
             host, port = task.servers[client_id % len(task.servers)]
@@ -131,13 +141,29 @@ async def _run_stage_async(worker_id: int, task: StageTask, result_queue,
             clients.append((client_id, AsyncNinfClient(
                 host, port, timeout=task.timeout, metrics=registry,
                 retry=retry, retry_calls=task.retry_calls)))
+    except BaseException:
+        for _cid, client in clients:
+            client.close()
+        raise
+    return calls, latency, retries, clients
+
+
+async def _run_stage_async(worker_id: int, task: StageTask, result_queue,
+                           start_event) -> WorkerStageReport:
+    calls, latency, retries_counter, clients = await asyncio.to_thread(
+        _prepare_stage, task)
+    per_client_ok: dict = {}
+    try:
         # Warm the signature caches and open each pool connection before
         # reporting ready, so stage timing measures calls, not handshakes.
         await asyncio.gather(*(client.get_signature(task.function)
                                for _cid, client in clients))
         # Rendezvous: tell the coordinator we are set, then wait for the
         # all-workers-ready start signal so the fleet begins together.
-        result_queue.put(("ready", worker_id, task.stage_index))
+        # Both the queue put and the event wait can block on their
+        # multiprocessing pipes, so both go through the thread bridge.
+        await asyncio.to_thread(result_queue.put,
+                                ("ready", worker_id, task.stage_index))
         await asyncio.to_thread(start_event.wait)
         t_start = time.perf_counter()
         deadline = time.monotonic() + task.duration_s
@@ -160,9 +186,7 @@ async def _run_stage_async(worker_id: int, task: StageTask, result_queue,
         bounds = tuple(BENCH_LATENCY_BUCKETS)
         cumulative = tuple([0] * (len(bounds) + 1))
         total = 0.0
-    retries = int(registry.counter(
-        names.CLIENT_RETRIES,
-        "Retries taken by this client's idempotent operations").value())
+    retries = int(retries_counter.value())
     return WorkerStageReport(
         worker_id=worker_id, stage_index=task.stage_index,
         ok=outcomes["ok"], shed=outcomes["shed"], error=outcomes["error"],

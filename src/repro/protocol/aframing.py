@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Optional
+from typing import Any, Awaitable, Optional
 
 from repro.protocol.errors import ConnectionClosed, ProtocolError, TimeoutError
-from repro.protocol.framing import HEADER, MAGIC, MAX_FRAME_SIZE, _checksum, \
-    encode_header
+from repro.protocol.framing import BytesLike, HEADER, MAGIC, \
+    MAX_FRAME_SIZE, _checksum, encode_header
 
 __all__ = ["read_frame", "write_frame"]
 
@@ -33,7 +33,7 @@ __all__ = ["read_frame", "write_frame"]
 class _Deadline:
     """Remaining-budget tracker for a whole-frame deadline."""
 
-    def __init__(self, timeout: Optional[float]):
+    def __init__(self, timeout: Optional[float]) -> None:
         self.at = None if timeout is None else time.monotonic() + timeout
 
     def remaining(self, what: str) -> Optional[float]:
@@ -45,7 +45,8 @@ class _Deadline:
         return left
 
 
-async def _bounded(awaitable, deadline: _Deadline, what: str):
+async def _bounded(awaitable: Awaitable[Any], deadline: _Deadline,
+                   what: str) -> Any:
     left = deadline.remaining(what)
     try:
         return await asyncio.wait_for(awaitable, left)
@@ -67,7 +68,7 @@ async def _read_exact(reader: asyncio.StreamReader, count: int,
 
 
 async def write_frame(writer: asyncio.StreamWriter, msg_type: int,
-                      payload=b"",
+                      payload: BytesLike = b"",
                       timeout: Optional[float] = None) -> None:
     """Write one frame; raises ProtocolError on oversize payloads.
 

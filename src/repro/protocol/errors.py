@@ -27,7 +27,7 @@ class RemoteError(RuntimeError):
     ``"execution-failed"``, ``"bad-arguments"``...).
     """
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
@@ -41,7 +41,7 @@ class ServerBusy(RemoteError):
     ``retry_after`` seconds, ideally elsewhere) is always safe.
     """
 
-    def __init__(self, message: str, retry_after: float = 0.0):
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
         super().__init__("busy", message)
         self.retry_after = retry_after
 
@@ -53,5 +53,6 @@ class ServerShutdown(RemoteError):
     (against a failover candidate) is safe.
     """
 
-    def __init__(self, message: str = "server shut down before dispatch"):
+    def __init__(self,
+                 message: str = "server shut down before dispatch") -> None:
         super().__init__("server-shutdown", message)

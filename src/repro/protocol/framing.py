@@ -24,9 +24,12 @@ import socket
 import struct
 import time
 import zlib
-from typing import Optional
+from typing import Optional, Union
 
 from repro.protocol.errors import ConnectionClosed, ProtocolError, TimeoutError
+
+#: Anything the framing layer will put on the wire without copying.
+BytesLike = Union[bytes, bytearray, memoryview]
 
 __all__ = ["MAGIC", "MAX_FRAME_SIZE", "encode_frame", "encode_header",
            "recv_frame", "send_frame"]
@@ -36,7 +39,7 @@ HEADER = struct.Struct(">4sIII")
 MAX_FRAME_SIZE = 1 << 30
 
 
-def _checksum(msg_type: int, payload) -> int:
+def _checksum(msg_type: int, payload: BytesLike) -> int:
     # Incremental CRC: seed with the header fields, then feed the payload
     # buffer directly -- no header+payload concatenation, and ``payload``
     # may be any bytes-like object (memoryview included).
@@ -44,7 +47,7 @@ def _checksum(msg_type: int, payload) -> int:
                       zlib.crc32(struct.pack(">II", msg_type, len(payload))))
 
 
-def encode_header(msg_type: int, payload) -> bytes:
+def encode_header(msg_type: int, payload: BytesLike) -> bytes:
     """The 16-byte header for ``payload`` (not yet on the wire).
 
     The zero-copy seam: callers that can scatter-gather (``sendmsg``,
@@ -57,7 +60,7 @@ def encode_header(msg_type: int, payload) -> bytes:
                        _checksum(msg_type, payload))
 
 
-def encode_frame(msg_type: int, payload=b"") -> bytes:
+def encode_frame(msg_type: int, payload: BytesLike = b"") -> bytes:
     """The exact bytes :func:`send_frame` puts on the wire.
 
     Exposed so fault injection (:mod:`repro.transport.faults`) and the
@@ -76,7 +79,8 @@ class _DeadlineSocket:
     blocking mode the caller runs the socket in.
     """
 
-    def __init__(self, sock: socket.socket, timeout: Optional[float]):
+    def __init__(self, sock: socket.socket,
+                 timeout: Optional[float]) -> None:
         self.sock = sock
         self.deadline = None if timeout is None else time.monotonic() + timeout
         self._saved: Optional[float] = None
@@ -88,7 +92,7 @@ class _DeadlineSocket:
             self._touched = True
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self._touched:
             try:
                 self.sock.settimeout(self._saved)
@@ -110,14 +114,15 @@ class _DeadlineSocket:
         except socket.timeout:
             raise TimeoutError(f"frame {what} timed out") from None
 
-    def sendall(self, data, what: str) -> None:
+    def sendall(self, data: BytesLike, what: str) -> None:
         self._arm(what)
         try:
             self.sock.sendall(data)
         except socket.timeout:
             raise TimeoutError(f"frame {what} timed out") from None
 
-    def send_vectored(self, header: bytes, payload, what: str) -> None:
+    def send_vectored(self, header: bytes, payload: BytesLike,
+                      what: str) -> None:
         """Scatter-gather write of header + payload without joining them.
 
         ``sendmsg`` may write fewer bytes than offered; the remainder is
@@ -138,7 +143,7 @@ class _DeadlineSocket:
         self.sendall(memoryview(payload)[sent - len(header):], what)
 
 
-def send_frame(sock: socket.socket, msg_type: int, payload=b"",
+def send_frame(sock: socket.socket, msg_type: int, payload: BytesLike = b"",
                timeout: Optional[float] = None) -> None:
     """Write one frame; raises ProtocolError on oversize payloads.
 

@@ -21,6 +21,7 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.idl import IdlError, Signature
+from repro.protocol.framing import BytesLike
 from repro.idl.signature import NUMPY_DTYPES
 from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
@@ -98,7 +99,8 @@ def marshal_inputs(signature: Signature, args: Sequence[Any],
     return None if into is not None else enc.getvalue()
 
 
-def unmarshal_inputs(signature: Signature, payload) -> list[Any]:
+def unmarshal_inputs(signature: Signature,
+                     payload: BytesLike) -> list[Any]:
     """Server side: decode a CALL payload into a full positional list.
 
     ``mode_out`` arrays come back as freshly allocated zero buffers of
@@ -167,7 +169,8 @@ def marshal_outputs(signature: Signature, values: Sequence[Any],
     return None if into is not None else enc.getvalue()
 
 
-def unmarshal_outputs(signature: Signature, payload) -> list[Any]:
+def unmarshal_outputs(signature: Signature,
+                      payload: BytesLike) -> list[Any]:
     """Client side: decode a RESULT payload into the output values, in
     declaration order of the output arguments."""
     dec = XdrDecoder(payload)

@@ -50,7 +50,7 @@ class AsyncChannel:
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter,
                  timeout: Optional[float] = None,
-                 remote: Optional[tuple[str, int]] = None):
+                 remote: Optional[tuple[str, int]] = None) -> None:
         self.reader = reader
         self.writer = writer
         self.timeout = timeout
@@ -94,7 +94,7 @@ class AsyncChannel:
     async def __aenter__(self) -> "AsyncChannel":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         self.close()
         await self.wait_closed()
 
@@ -247,7 +247,7 @@ class AsyncFaultyChannel(AsyncChannel):
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter, plan: FaultPlan,
                  timeout: Optional[float] = None,
-                 remote: Optional[tuple[str, int]] = None):
+                 remote: Optional[tuple[str, int]] = None) -> None:
         super().__init__(reader, writer, timeout=timeout, remote=remote)
         self.plan = plan
 

@@ -42,6 +42,7 @@ from repro.obs import MetricsRegistry, names
 from repro.protocol.errors import ConnectionClosed, ProtocolError
 from repro.protocol.messages import MessageType
 from repro.transport.aiochannel import AsyncChannel, AsyncFaultyChannel
+from repro.transport.faults import FaultPlan
 from repro.transport.loopbridge import FacadeChannel, LoopThread
 from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
@@ -71,9 +72,10 @@ class AsyncEndpoint:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 name: str = "aio-endpoint", fault_plan=None,
+                 name: str = "aio-endpoint",
+                 fault_plan: Optional[FaultPlan] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 backlog: int = 512, handler_threads: int = 32):
+                 backlog: int = 512, handler_threads: int = 32) -> None:
         self.name = name
         self.fault_plan = fault_plan
         self.backlog = backlog
@@ -132,10 +134,17 @@ class AsyncEndpoint:
         fmt = "json"
         if payload:
             fmt = XdrDecoder(payload).unpack_string()
+        # Rendering walks the whole registry under its lock -- a
+        # contended, O(series) operation that must not stall the accept
+        # loop, so it runs on the default executor.
+        loop = asyncio.get_running_loop()
         if fmt == "prom":
-            text = self.metrics.render_prometheus()
+            text = await loop.run_in_executor(
+                None, self.metrics.render_prometheus)
         elif fmt == "json":
-            text = json.dumps(self.metrics.snapshot(), sort_keys=True)
+            snapshot = await loop.run_in_executor(
+                None, self.metrics.snapshot)
+            text = json.dumps(snapshot, sort_keys=True)
         else:
             await channel.send_error("bad-request",
                                      f"unknown stats format {fmt!r}")
@@ -231,7 +240,7 @@ class AsyncEndpoint:
     def __enter__(self) -> "AsyncEndpoint":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     @property
@@ -244,7 +253,7 @@ class AsyncEndpoint:
 
     # -- loop-side lifecycle -------------------------------------------------
 
-    async def _open_listener(self):
+    async def _open_listener(self) -> tuple[asyncio.Server, tuple[str, int]]:
         server = await asyncio.start_server(
             self._client_connected, self._bind_host, self._bind_port,
             backlog=self.backlog, reuse_address=True, start_serving=False)

@@ -17,6 +17,7 @@ from contextlib import asynccontextmanager
 from typing import AsyncIterator, Callable, Optional
 
 from repro.obs import MetricsRegistry, names
+from repro.transport.faults import FaultPlan
 from repro.transport.aiochannel import AsyncChannel, aconnect, \
     aconnect_with_faults
 
@@ -41,8 +42,8 @@ class AsyncConnectionPool:
                  connect_timeout: Optional[float] = None,
                  connector: Optional[Callable[..., "AsyncChannel"]] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 fault_plan=None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_idle_per_key < 1:
             raise ValueError(f"max_idle_per_key must be >= 1, "
                              f"got {max_idle_per_key}")
@@ -209,5 +210,5 @@ class AsyncConnectionPool:
     async def __aenter__(self) -> "AsyncConnectionPool":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         self.close()

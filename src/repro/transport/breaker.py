@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Hashable, Optional
+from typing import Callable, Hashable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # import only for annotations; obs stays optional here
+    from repro.obs import MetricsRegistry
 
 __all__ = ["CircuitBreaker"]
 
@@ -61,7 +64,7 @@ class CircuitBreaker:
 
     def __init__(self, threshold: int = 3, cooldown: float = 5.0,
                  clock: Callable[[], float] = time.monotonic,
-                 metrics=None):
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
         self.threshold = threshold

@@ -14,10 +14,13 @@ from __future__ import annotations
 import select
 import socket
 import threading
-from typing import Optional, Union
+from typing import Optional, TYPE_CHECKING, Union
 
 from repro.protocol.errors import ProtocolError, RemoteError, ServerBusy
-from repro.protocol.framing import HEADER, recv_frame, send_frame
+from repro.protocol.framing import BytesLike, HEADER, recv_frame, send_frame
+
+if TYPE_CHECKING:  # annotation only -- shm imports channel at runtime
+    from repro.transport.shm import ShmTransport
 from repro.protocol.messages import BusyReply, ErrorReply, MessageType
 from repro.xdr import XdrDecoder, XdrEncoder
 
@@ -61,7 +64,7 @@ class Channel:
 
     def __init__(self, sock: socket.socket,
                  timeout: Optional[float] = None,
-                 remote: Optional[tuple[str, int]] = None):
+                 remote: Optional[tuple[str, int]] = None) -> None:
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
@@ -82,7 +85,7 @@ class Channel:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def attach_io(self, io) -> None:
+    def attach_io(self, io: "ShmTransport") -> None:
         """Reroute this channel's frames onto ``io`` (an object with
         ``send_frame``/``recv_frame``/``sendall``/``healthy``/``close``,
         e.g. :class:`repro.transport.shm.ShmTransport`).  Existing locks
@@ -115,7 +118,7 @@ class Channel:
     def __enter__(self) -> "Channel":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def fileno(self) -> int:
@@ -172,7 +175,7 @@ class Channel:
             registry.counter(names.TRANSPORT_FRAMES_RECEIVED,
                              "Frames read").inc()
 
-    def send(self, msg_type: int, payload=b"",
+    def send(self, msg_type: int, payload: BytesLike = b"",
              timeout: Union[None, float, _Unset] = _DEFAULT) -> None:
         """Write one frame; safe to call from multiple threads.
 
@@ -188,7 +191,8 @@ class Channel:
                            timeout=self._resolve(timeout))
         self._note_io("sent", len(payload))
 
-    def _raw_sendall(self, data, timeout: Optional[float] = None) -> None:
+    def _raw_sendall(self, data: BytesLike,
+                     timeout: Optional[float] = None) -> None:
         """Pre-framed bytes onto whatever medium frames flow over.
 
         The fault-injection seam: :class:`~repro.transport.faults

@@ -14,13 +14,16 @@ from __future__ import annotations
 import json
 import socket
 import threading
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.obs import MetricsRegistry, names
 from repro.protocol.errors import ConnectionClosed, ProtocolError
 from repro.protocol.messages import MessageType
 from repro.transport.channel import Channel
 from repro.xdr import XdrDecoder, XdrEncoder, XdrError
+
+if TYPE_CHECKING:  # annotation only -- faults wiring happens per-socket
+    from repro.transport.faults import FaultPlan
 
 __all__ = ["Endpoint"]
 
@@ -71,9 +74,10 @@ class Endpoint:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 name: str = "endpoint", fault_plan=None,
+                 name: str = "endpoint",
+                 fault_plan: Optional["FaultPlan"] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 backlog: int = 512, shm: Optional[bool] = None):
+                 backlog: int = 512, shm: Optional[bool] = None) -> None:
         self.name = name
         self.fault_plan = fault_plan
         self.backlog = backlog
@@ -266,7 +270,7 @@ class Endpoint:
     def __enter__(self) -> "Endpoint":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     @property

@@ -39,6 +39,7 @@ deterministic, seed-aligned record the chaos tests compare.
 from __future__ import annotations
 
 import random
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -124,7 +125,7 @@ class FaultPlan:
     def __init__(self, seed: int = 0, rate: float = 0.0,
                  kinds: Optional[tuple[str, ...]] = None,
                  max_faults: Optional[int] = None,
-                 delay_range: tuple[float, float] = (0.01, 0.05)):
+                 delay_range: tuple[float, float] = (0.01, 0.05)) -> None:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {rate}")
         for kind in kinds or ():
@@ -248,9 +249,9 @@ class FaultyChannel(Channel):
       closed; the failure surfaces at the next operation.
     """
 
-    def __init__(self, sock, plan: FaultPlan,
+    def __init__(self, sock: socket.socket, plan: FaultPlan,
                  timeout: Optional[float] = None,
-                 remote: Optional[tuple[str, int]] = None):
+                 remote: Optional[tuple[str, int]] = None) -> None:
         super().__init__(sock, timeout=timeout, remote=remote)
         self.plan = plan
 

@@ -33,9 +33,14 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import threading
-from typing import Optional, Union
+from typing import Any, Callable, Coroutine, Optional, TYPE_CHECKING, Union
 
 from repro.transport.channel import _DEFAULT, _Unset
+
+if TYPE_CHECKING:  # annotations only -- aiochannel is imported lazily
+    from repro.obs import MetricsRegistry
+    from repro.transport.aiochannel import AsyncChannel
+    from repro.transport.faults import FaultPlan
 
 __all__ = ["FacadeChannel", "LoopThread", "facade_connect",
            "shared_loop"]
@@ -44,7 +49,7 @@ __all__ = ["FacadeChannel", "LoopThread", "facade_connect",
 class LoopThread:
     """A daemon thread running a private event loop until stopped."""
 
-    def __init__(self, name: str = "ninf-loop"):
+    def __init__(self, name: str = "ninf-loop") -> None:
         self._loop = asyncio.new_event_loop()
         self._started = threading.Event()
         self._thread = threading.Thread(target=self._run, name=name,
@@ -71,7 +76,8 @@ class LoopThread:
         """Whether the loop thread is still running its loop."""
         return self._thread.is_alive() and not self._loop.is_closed()
 
-    def run(self, coro, timeout: Optional[float] = None):
+    def run(self, coro: Coroutine[Any, Any, Any],
+            timeout: Optional[float] = None) -> Any:
         """Run ``coro`` on the loop, block until it finishes.
 
         ``timeout`` bounds only the *wait* (the coroutine keeps running
@@ -90,7 +96,8 @@ class LoopThread:
         except concurrent.futures.CancelledError:
             raise OSError("event loop shut down mid-operation") from None
 
-    def call_soon(self, callback, *args) -> bool:
+    def call_soon(self, callback: Callable[..., object],
+                  *args: object) -> bool:
         """Schedule a plain callback; False when the loop is gone."""
         try:
             self._loop.call_soon_threadsafe(callback, *args)
@@ -128,7 +135,7 @@ def shared_loop() -> LoopThread:
 
 def facade_connect(host: str, port: int, timeout: Optional[float] = None,
                    connect_timeout: Optional[float] = None,
-                   fault_plan=None,
+                   fault_plan: Optional[FaultPlan] = None,
                    runner: Optional[LoopThread] = None) -> "FacadeChannel":
     """Dial an :class:`AsyncChannel` and wrap it for blocking callers.
 
@@ -164,7 +171,7 @@ class FacadeChannel:
     and schedules the transport teardown on the loop.
     """
 
-    def __init__(self, channel, runner: LoopThread):
+    def __init__(self, channel: AsyncChannel, runner: LoopThread) -> None:
         self._channel = channel
         self._runner = runner
         self._facade_closed = False
@@ -184,15 +191,15 @@ class FacadeChannel:
         return self._channel.remote
 
     @property
-    def metrics(self):
+    def metrics(self) -> Optional[MetricsRegistry]:
         return self._channel.metrics
 
     @metrics.setter
-    def metrics(self, registry) -> None:
+    def metrics(self, registry: Optional[MetricsRegistry]) -> None:
         self._channel.metrics = registry
 
     @property
-    def plan(self):
+    def plan(self) -> Optional[FaultPlan]:
         """The fault plan, when wrapping an ``AsyncFaultyChannel``."""
         return getattr(self._channel, "plan", None)
 
@@ -228,7 +235,7 @@ class FacadeChannel:
     def __enter__(self) -> "FacadeChannel":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

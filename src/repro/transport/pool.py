@@ -12,10 +12,13 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, TYPE_CHECKING
 
 from repro.obs import MetricsRegistry, names
 from repro.transport.channel import Channel, connect
+
+if TYPE_CHECKING:  # annotation only -- faults wiring happens per-channel
+    from repro.transport.faults import FaultPlan
 
 __all__ = ["ConnectionPool"]
 
@@ -70,9 +73,9 @@ class ConnectionPool:
                  connect_timeout: Optional[float] = None,
                  connector: Optional[Callable[..., Channel]] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 fault_plan=None,
+                 fault_plan: Optional["FaultPlan"] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 shm: Optional[bool] = False):
+                 shm: Optional[bool] = False) -> None:
         if max_idle_per_key < 1:
             raise ValueError(f"max_idle_per_key must be >= 1, "
                              f"got {max_idle_per_key}")
@@ -254,5 +257,5 @@ class ConnectionPool:
     def __enter__(self) -> "ConnectionPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -33,7 +33,10 @@ from __future__ import annotations
 import random
 import threading
 import time
-from typing import Callable, Optional, TypeVar
+from typing import Callable, Optional, TYPE_CHECKING, TypeVar
+
+if TYPE_CHECKING:  # import only for annotations; obs stays optional here
+    from repro.obs import MetricsRegistry
 
 from repro.protocol.errors import (
     ProtocolError,
@@ -104,7 +107,7 @@ class RetryPolicy:
                  rng: Optional[random.Random] = None,
                  sleep: Callable[[float], None] = time.sleep,
                  classify: Callable[[BaseException], bool] = is_transient,
-                 metrics=None):
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if not 0.0 <= jitter <= 1.0:

@@ -42,7 +42,10 @@ import os
 import socket
 import time
 from multiprocessing import resource_tracker, shared_memory
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation only -- channel imports shm lazily
+    from repro.transport.channel import Channel
 
 from repro.protocol.errors import (
     ConnectionClosed,
@@ -50,8 +53,8 @@ from repro.protocol.errors import (
     RemoteError,
     TimeoutError,
 )
-from repro.protocol.framing import HEADER, MAGIC, MAX_FRAME_SIZE, _checksum, \
-    encode_header
+from repro.protocol.framing import BytesLike, HEADER, MAGIC, \
+    MAX_FRAME_SIZE, _checksum, encode_header
 from repro.protocol.messages import MessageType
 from repro.xdr import XdrDecoder, XdrEncoder, XdrError
 
@@ -151,7 +154,7 @@ class ShmRing:
     """
 
     def __init__(self, segment: shared_memory.SharedMemory,
-                 capacity: int, owner: bool):
+                 capacity: int, owner: bool) -> None:
         self._segment = segment
         self._buf = segment.buf
         # Single-load/store access to the control words (see the layout
@@ -239,7 +242,8 @@ class ShmRing:
             os.sched_yield()
         return spins + 1
 
-    def write(self, data, deadline: Optional[float] = None) -> None:
+    def write(self, data: BytesLike,
+              deadline: Optional[float] = None) -> None:
         """Append ``data``, blocking while the ring is full.
 
         Streams arbitrarily large buffers in ring-capacity pieces.
@@ -350,7 +354,7 @@ class ShmTransport:
     the same :class:`ProtocolError` TCP framing raises.
     """
 
-    def __init__(self, send_ring: ShmRing, recv_ring: ShmRing):
+    def __init__(self, send_ring: ShmRing, recv_ring: ShmRing) -> None:
         self.send_ring = send_ring
         self.recv_ring = recv_ring
 
@@ -358,7 +362,7 @@ class ShmTransport:
     def _deadline(timeout: Optional[float]) -> Optional[float]:
         return None if timeout is None else time.monotonic() + timeout
 
-    def send_frame(self, msg_type: int, payload=b"",
+    def send_frame(self, msg_type: int, payload: BytesLike = b"",
                    timeout: Optional[float] = None) -> None:
         """Write one frame into the send ring (header, then payload)."""
         deadline = self._deadline(timeout)
@@ -367,7 +371,8 @@ class ShmTransport:
         if len(payload):
             self.send_ring.write(payload, deadline)
 
-    def sendall(self, data, timeout: Optional[float] = None) -> None:
+    def sendall(self, data: BytesLike,
+                timeout: Optional[float] = None) -> None:
         """Raw pre-framed bytes (the fault-injection seam)."""
         self.send_ring.write(data, self._deadline(timeout))
 
@@ -407,7 +412,7 @@ class ShmTransport:
 NEGOTIATE_TIMEOUT = 2.0
 
 
-def negotiate(channel, capacity: int = DEFAULT_CAPACITY,
+def negotiate(channel: "Channel", capacity: int = DEFAULT_CAPACITY,
               timeout: Optional[float] = NEGOTIATE_TIMEOUT) -> bool:
     """Client side of the shm handshake, on an established channel.
 

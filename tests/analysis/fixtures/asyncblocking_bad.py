@@ -1,0 +1,43 @@
+"""True positives for ``async-blocking-reachability``.
+
+Each seeded violation is a blocking primitive reachable from an
+``async def`` -- directly, or through a sync helper the call graph
+must traverse.
+"""
+
+import time
+
+
+def _backoff(attempt):
+    """Sync helper: only bad because ``poll`` below reaches it."""
+    time.sleep(0.1 * attempt)  # seeded: blocking external via chain
+
+
+def _load_config(path):
+    """Sync helper reached from ``read_settings``."""
+    return path.read_text(encoding="utf-8")  # seeded: blocking file I/O
+
+
+async def poll(channel):
+    for attempt in range(3):
+        _backoff(attempt)
+    return await channel.recv()
+
+
+async def read_settings(path):
+    return _load_config(path)
+
+
+async def handshake(result_queue):
+    payload = open("/etc/hostname").read()  # seeded: blocking open()
+    result_queue.put(payload)  # seeded: sync queue put
+    return payload
+
+
+async def fanout(lock, fut):
+    lock.acquire()  # seeded: non-awaited sync lock acquire
+    try:
+        value = fut.result()  # seeded: blocking Future.result()
+    finally:
+        lock.release()
+    return value

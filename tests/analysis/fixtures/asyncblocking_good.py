@@ -1,0 +1,40 @@
+"""True negatives for ``async-blocking-reachability``.
+
+The same shapes as ``asyncblocking_bad.py``, written the sanctioned
+way: asyncio primitives on-loop, blocking work handed to a bridge
+(``asyncio.to_thread`` / ``run_in_executor``) as a *callable argument*
+-- which never becomes a call edge, so the graph cannot reach it.
+"""
+
+import asyncio
+
+
+def _blocking_read(path):
+    """Only ever invoked off-loop (handed to ``to_thread``)."""
+    return path.read_text(encoding="utf-8")
+
+
+async def poll(channel):
+    for attempt in range(3):
+        await asyncio.sleep(0.1 * attempt)
+    return await channel.recv()
+
+
+async def read_settings(path):
+    return await asyncio.to_thread(_blocking_read, path)
+
+
+async def handshake(result_queue):
+    await asyncio.to_thread(result_queue.put, "ready")
+    item = result_queue.get_nowait()
+    return item
+
+
+async def scrape(registry):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, registry.snapshot)
+
+
+async def fanout(lock, fut):
+    async with lock:
+        return await fut

@@ -1,0 +1,19 @@
+"""True positive for the call-graph ``deadline-propagation`` sub-rule.
+
+``fetch`` accepts *and uses* a timeout, then hands off to ``_lookup``
+-- which also accepts one and reaches the transport boundary -- without
+forwarding it.  Each function is locally clean (the per-module sub-rule
+sees nothing), so only the interprocedural pass can catch the drop.
+"""
+
+
+def fetch(channel, timeout=None):
+    if timeout is None:
+        timeout = 5.0
+    return _lookup(channel)  # seeded: timeout in scope, not forwarded
+
+
+def _lookup(channel, timeout=None):
+    if timeout is None:
+        timeout = 1.0
+    return channel.request(b"probe", timeout=timeout)

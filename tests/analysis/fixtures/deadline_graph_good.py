@@ -1,0 +1,24 @@
+"""True negatives for the call-graph ``deadline-propagation`` sub-rule.
+
+``fetch`` forwards its timeout at the hand-off, and ``_audit`` --
+which reaches the transport but accepts *no* deadline parameter --
+stays exempt: a callee without the parameter carries the channel's
+baked-in default deadline by doctrine.
+"""
+
+
+def fetch(channel, timeout=None):
+    if timeout is None:
+        timeout = 5.0
+    _audit(channel)
+    return _lookup(channel, timeout=timeout)
+
+
+def _audit(channel):
+    channel.send(b"audit")
+
+
+def _lookup(channel, timeout=None):
+    if timeout is None:
+        timeout = 1.0
+    return channel.request(b"probe", timeout=timeout)

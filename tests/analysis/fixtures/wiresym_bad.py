@@ -1,0 +1,54 @@
+"""True positives for ``wire-symmetry``.
+
+Two seeded violations:
+
+- ``BadReply`` packs two fields but decodes one (W1 class symmetry);
+- op ``CALL``'s encoder packs ``[string, uint]`` while its
+  equality-guarded decoder reads only ``[string]`` (W3 op pairing).
+"""
+
+
+class MessageType:
+    CALL = 7
+    RESULT = 8
+
+
+class XdrEncoder:
+    def pack_uint(self, value): ...
+    def pack_string(self, value): ...
+    def getvalue(self): ...
+
+
+class XdrDecoder:
+    def __init__(self, payload): ...
+    def unpack_uint(self): ...
+    def unpack_string(self): ...
+
+
+class BadReply:
+    def __init__(self, code, detail):
+        self.code = code
+        self.detail = detail
+
+    def encode(self, enc):
+        enc.pack_uint(self.code)
+        enc.pack_string(self.detail)  # seeded: decode() never reads it
+
+    @classmethod
+    def decode(cls, dec):
+        return cls(dec.unpack_uint(), "")
+
+
+def send_call(channel, name):
+    enc = XdrEncoder()
+    enc.pack_string(name)
+    enc.pack_uint(1)  # seeded: dispatch() below never unpacks it
+    channel.send(MessageType.CALL, enc.getvalue())
+
+
+def dispatch(msg_type, payload):
+    if msg_type == MessageType.CALL:
+        dec = XdrDecoder(payload)
+        name = dec.unpack_string()
+        return name
+    return None

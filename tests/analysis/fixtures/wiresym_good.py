@@ -1,0 +1,75 @@
+"""True negatives for ``wire-symmetry``.
+
+The mirrored versions of ``wiresym_bad.py``'s shapes, plus an opaque
+region: ``begin_opaque``/``end_opaque`` is one ``opaque`` token no
+matter what is packed inside it, matching ``unpack_opaque_view``.
+"""
+
+
+class MessageType:
+    CALL = 7
+    RESULT = 8
+
+
+class XdrEncoder:
+    def pack_uint(self, value): ...
+    def pack_double(self, value): ...
+    def pack_string(self, value): ...
+    def begin_opaque(self): ...
+    def end_opaque(self): ...
+    def getvalue(self): ...
+
+
+class XdrDecoder:
+    def __init__(self, payload): ...
+    def unpack_uint(self): ...
+    def unpack_string(self): ...
+    def unpack_opaque_view(self): ...
+
+
+class EchoReply:
+    def __init__(self, code, detail):
+        self.code = code
+        self.detail = detail
+
+    def encode(self, enc):
+        enc.pack_uint(self.code)
+        enc.pack_string(self.detail)
+
+    @classmethod
+    def decode(cls, dec):
+        return cls(dec.unpack_uint(), dec.unpack_string())
+
+
+def send_call(channel, name):
+    enc = XdrEncoder()
+    enc.pack_string(name)
+    enc.pack_uint(1)
+    channel.send(MessageType.CALL, enc.getvalue())
+
+
+def dispatch(msg_type, payload):
+    if msg_type == MessageType.CALL:
+        dec = XdrDecoder(payload)
+        name = dec.unpack_string()
+        version = dec.unpack_uint()
+        return name, version
+    return None
+
+
+def send_result(channel, code, blob):
+    enc = XdrEncoder()
+    enc.pack_uint(code)
+    enc.begin_opaque()
+    enc.pack_double(blob)
+    enc.end_opaque()
+    channel.send(MessageType.RESULT, enc.getvalue())
+
+
+def read_result(msg_type, payload):
+    if msg_type == MessageType.RESULT:
+        dec = XdrDecoder(payload)
+        code = dec.unpack_uint()
+        view = dec.unpack_opaque_view()
+        return code, view
+    return None

@@ -1,4 +1,4 @@
-"""The four project checkers against the fixture pairs.
+"""The project checkers against the fixture pairs.
 
 Every checker gets a true-positive fixture (``*_bad.py``: each seeded
 violation must be reported) and a true-negative fixture (``*_good.py``:
@@ -11,11 +11,13 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import (
+    AsyncBlockingReachabilityChecker,
     AwaitUnderLockChecker,
     CatalogNamesChecker,
     DeadlinePropagationChecker,
     LockDisciplineChecker,
     ResourceLifecycleChecker,
+    WireSymmetryChecker,
 )
 from repro.analysis.core import run_checks
 
@@ -116,6 +118,94 @@ def test_deadline_propagation_covers_async_framing_primitives():
     findings = list(DeadlinePropagationChecker().check(module))
     assert len(findings) == 1
     assert "read_frame(...)" in findings[0].message
+
+
+# -- deadline-propagation (call-graph sub-rule) -------------------------------
+
+def test_deadline_graph_flags_unforwarded_handoff():
+    """Locally clean functions, interprocedurally broken: the timeout
+    dies at the ``fetch`` -> ``_lookup`` hand-off."""
+    findings = _run(DeadlinePropagationChecker(), "deadline_graph_bad")
+    assert [f.rule for f in findings] == ["deadline-propagation"]
+    assert ("call to _lookup() inside fetch() forwards no deadline"
+            in findings[0].message)
+    assert "reaches the transport boundary" in findings[0].message
+    assert findings[0].symbol == "fetch"
+
+
+def test_deadline_graph_accepts_forwarding_and_exempts_paramless():
+    assert _run(DeadlinePropagationChecker(), "deadline_graph_good") == []
+
+
+# -- async-blocking-reachability ----------------------------------------------
+
+def test_async_blocking_flags_each_primitive_class():
+    findings = _run(AsyncBlockingReachabilityChecker(), "asyncblocking_bad")
+    assert all(f.rule == "async-blocking-reachability" for f in findings)
+    messages = [f.message for f in findings]
+    # Transitive: the registry hit is in the helper, reported with the
+    # chain from the coroutine that reaches it.
+    assert any("time.sleep() reachable from async def poll() "
+               "via poll -> _backoff" in m for m in messages)
+    assert any(".read_text() reachable from async def read_settings()"
+               in m for m in messages)
+    # Direct: open(), sync queue put, sync acquire, Future.result().
+    assert any("blocking call open()" in m for m in messages)
+    assert any("blocking queue .put()" in m for m in messages)
+    assert any("non-awaited .acquire()" in m for m in messages)
+    assert any("blocking Future.result()" in m for m in messages)
+    assert len(findings) == 6
+
+
+def test_async_blocking_accepts_bridged_and_async_idioms():
+    """to_thread/run_in_executor hand-offs and asyncio primitives --
+    the sanctioned bridges -- must stay silent."""
+    assert _run(AsyncBlockingReachabilityChecker(),
+                "asyncblocking_good") == []
+
+
+def test_async_blocking_exports_the_sanctioned_bridge_allowlist():
+    from repro.analysis.asyncblocking import (BLOCKING_PROJECT,
+                                              SANCTIONED_BRIDGES)
+    assert "asyncio.to_thread" in SANCTIONED_BRIDGES
+    assert "run_in_executor" in SANCTIONED_BRIDGES
+    # Instrument micro-ops are sanctioned: only the registry *lookups*
+    # are in the blocking set, never Counter.inc/Histogram.observe.
+    assert not any(name.endswith((".inc", ".observe", ".set"))
+                   for name in BLOCKING_PROJECT)
+
+
+# -- wire-symmetry ------------------------------------------------------------
+
+def test_wire_symmetry_flags_class_and_op_asymmetry():
+    findings = _run(WireSymmetryChecker(protocol_md=None), "wiresym_bad")
+    assert all(f.rule == "wire-symmetry" for f in findings)
+    messages = [f.message for f in findings]
+    assert any("class BadReply: encode() packs [uint, string] but "
+               "decode() reads [uint]" in m for m in messages)
+    assert any("op CALL: encoder packs [string, uint] but decoder "
+               "reads [string]" in m for m in messages)
+    assert len(findings) == 2
+
+
+def test_wire_symmetry_accepts_mirrored_layouts_and_opaque_regions():
+    assert _run(WireSymmetryChecker(protocol_md=None), "wiresym_good") == []
+
+
+def test_wire_symmetry_checks_protocol_md_payload_rows(tmp_path):
+    """W4: a parseable PROTOCOL.md row contradicting the encoder is a
+    finding; the fixture's CALL op packs [string, uint]."""
+    table = tmp_path / "PROTOCOL.md"
+    table.write_text(
+        "| Code | Name | Direction | Payload |\n"
+        "|---|---|---|---|\n"
+        "| 7 | `CALL` | c->s | string function name, uint version, "
+        "double seed |\n",
+        encoding="utf-8")
+    findings = _run(WireSymmetryChecker(protocol_md=table), "wiresym_good")
+    assert len(findings) >= 1
+    assert all("PROTOCOL.md declares payload [string, uint, double]"
+               in f.message for f in findings)
 
 
 # -- catalog-pinned-names -----------------------------------------------------

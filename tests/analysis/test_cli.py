@@ -48,7 +48,8 @@ def test_list_rules_prints_catalog(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule in ("lock-discipline", "resource-lifecycle",
-                 "deadline-propagation", "catalog-pinned-names"):
+                 "deadline-propagation", "catalog-pinned-names",
+                 "async-blocking-reachability", "wire-symmetry"):
         assert rule in out
 
 
@@ -76,6 +77,38 @@ def test_json_output_golden(capsys):
     assert unforwarded["line"] == 12
     assert sorted(unforwarded) == ["col", "line", "message", "path",
                                    "rule", "symbol"]
+
+
+def test_sarif_output_is_valid_2_1_0(capsys):
+    """The code-scanning form: schema pinned, every rule advertised,
+    one result per finding with a stable partial fingerprint."""
+    assert main(["--format", "sarif", "--root", str(FIXTURES),
+                 str(FIXTURES / "deadline_bad.py")]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "ninf-lint"
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    assert {"deadline-propagation", "wire-symmetry",
+            "async-blocking-reachability"} <= rule_ids
+    assert len(run["results"]) == 2
+    for result in run["results"]:
+        assert result["ruleId"] == "deadline-propagation"
+        assert result["level"] == "error"
+        assert result["partialFingerprints"]["ninfLintFingerprint/v1"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "deadline_bad.py"
+        assert location["region"]["startLine"] >= 1
+
+
+def test_sarif_clean_run_still_advertises_rules(capsys):
+    assert main(["--format", "sarif", str(FIXTURES / "lock_good.py")]) == 0
+    log = json.loads(capsys.readouterr().out)
+    (run,) = log["runs"]
+    assert run["results"] == []
+    assert len(run["tool"]["driver"]["rules"]) == 7
 
 
 def test_text_output_is_one_line_per_finding(capsys):
