@@ -22,7 +22,7 @@ __all__ = ["EXPERIMENT_TARGETS", "experiment_main", "metaserver_main",
 EXPERIMENT_TARGETS = (
     "report", "fig3", "fig4", "fig5", "fig7", "fig10", "fig11",
     "table3", "table4", "table5", "table6", "table7", "table8",
-    "availability", "breakdown", "overload",
+    "availability", "breakdown", "overload", "partition",
 )
 
 
@@ -120,6 +120,15 @@ def server_main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--name", default="ninf-server")
     parser.add_argument("--register-with", metavar="HOST:PORT",
                         help="metaserver to register with")
+    parser.add_argument("--heartbeat-to", metavar="HOST:PORT[,HOST:PORT...]",
+                        help="push leased load-report heartbeats to these "
+                             "metaserver replicas (a heartbeat is a "
+                             "registration; see PROTOCOL.md MS_HEARTBEAT)")
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0,
+                        help="seconds between heartbeat pushes (default 1.0; "
+                             "the lease is 3x this)")
+    parser.add_argument("--secret",
+                        help="shared HMAC secret for signing heartbeats")
     args = parser.parse_args(argv)
 
     server = NinfServer(standard_registry(), host=args.host, port=args.port,
@@ -135,13 +144,35 @@ def server_main(argv: Optional[list[str]] = None) -> int:
         with MetaClient(ms_host, int(ms_port)) as meta_client:
             meta_client.register_server(server, name=args.name)
         print(f"registered with metaserver {args.register_with}")
+    reporter = None
+    if args.heartbeat_to:
+        from repro.server import HeartbeatReporter
+
+        replicas = _parse_endpoints(args.heartbeat_to)
+        reporter = HeartbeatReporter(
+            server, replicas, interval=args.heartbeat_interval,
+            secret=args.secret.encode() if args.secret else None)
+        reporter.start()
+        print(f"heartbeating to {args.heartbeat_to} "
+              f"every {args.heartbeat_interval}s")
     try:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
         print("shutting down")
+        if reporter is not None:
+            reporter.stop()
         server.stop()
     return 0
+
+
+def _parse_endpoints(spec: str) -> list[tuple[str, int]]:
+    """Parse a comma-separated ``HOST:PORT[,HOST:PORT...]`` list."""
+    endpoints = []
+    for item in spec.split(","):
+        host, port = item.strip().rsplit(":", 1)
+        endpoints.append((host, int(port)))
+    return endpoints
 
 
 def metaserver_main(argv: Optional[list[str]] = None) -> int:
@@ -157,15 +188,27 @@ def metaserver_main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--scheduler", default="load",
                         choices=["round-robin", "load", "bandwidth"])
     parser.add_argument("--poll-interval", type=float, default=5.0)
+    parser.add_argument("--peers", metavar="HOST:PORT[,HOST:PORT...]",
+                        help="sibling metaserver replicas to gossip "
+                             "directory deltas with (MS_SYNC)")
+    parser.add_argument("--gossip-interval", type=float, default=1.0,
+                        help="seconds between gossip rounds (default 1.0)")
+    parser.add_argument("--secret",
+                        help="shared HMAC secret; rejects unsigned "
+                             "MS_HEARTBEAT pushes when set")
     args = parser.parse_args(argv)
 
     meta = Metaserver(host=args.host, port=args.port,
                       scheduler=make_scheduler(args.scheduler),
-                      poll_interval=args.poll_interval)
+                      poll_interval=args.poll_interval,
+                      peers=_parse_endpoints(args.peers) if args.peers else (),
+                      gossip_interval=args.gossip_interval,
+                      secret=args.secret.encode() if args.secret else None)
     meta.start()
     host, port = meta.address
     print(f"metaserver on {host}:{port} (scheduler={args.scheduler}, "
-          f"polling every {args.poll_interval}s)")
+          f"polling every {args.poll_interval}s"
+          + (f", gossiping with {args.peers}" if args.peers else "") + ")")
     try:
         while True:
             time.sleep(3600)
@@ -191,6 +234,8 @@ def experiment_main(argv: Optional[list[str]] = None) -> int:
                         help="which artifact to regenerate")
     parser.add_argument("--fast", action="store_true",
                         help="smaller sweeps")
+    parser.add_argument("--quick", action="store_true",
+                        help="alias for --fast")
     parser.add_argument("--plot", action="store_true",
                         help="render figures as ASCII charts")
     parser.add_argument("--output", default="EXPERIMENTS.md",
@@ -198,6 +243,7 @@ def experiment_main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--trace", metavar="FILE",
                         help="capture the run's spans to FILE (JSON lines)")
     args = parser.parse_args(argv)
+    args.fast = args.fast or args.quick
 
     if args.trace:
         from repro.obs import Tracer, use_tracer
@@ -270,6 +316,14 @@ def _experiment_dispatch(args) -> int:
             "table7": lambda: wan.table7_4pe(sizes, clients),
         }
         print(builders[args.target]().format())
+        return 0
+    if args.target == "partition":
+        from repro.experiments.partition import (
+            format_partition,
+            partition_ablation,
+        )
+
+        print(format_partition(partition_ablation(quick=args.fast)))
         return 0
     if args.target == "availability":
         from repro.experiments import availability_ablation, format_availability

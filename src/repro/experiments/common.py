@@ -39,6 +39,9 @@ class MulticlientResult:
     shed_seen: int = 0
     late_calls: int = 0
     failovers: int = 0
+    # Partition accounting (DESIGN.md §3.7): attempts dropped inside a
+    # partition window, deterministically and RNG-free.
+    partition_drops: int = 0
 
     @property
     def calls_issued(self) -> int:
@@ -73,6 +76,7 @@ def run_multiclient_cell(
     dedup: bool = True,
     post_fault_rate: float = 0.0,
     call_deadline: Optional[float] = None,
+    partition_windows: Sequence[tuple[float, float]] = (),
     tracer=None,
 ) -> MulticlientResult:
     """Run one multi-client benchmark cell and aggregate the table row.
@@ -91,7 +95,11 @@ def run_multiclient_cell(
     retry-after hint), ``post_fault_rate`` loses reply frames after
     execution (``dedup`` decides whether the retry replays or
     re-executes), and ``call_deadline`` counts completed calls that
-    blew the per-call budget -- the DESIGN.md §3.5 overload ablation.  ``tracer`` hands
+    blew the per-call budget -- the DESIGN.md §3.5 overload ablation.
+    ``partition_windows`` lists ``(start, end)`` sim-time intervals during
+    which every client's link is deterministically cut (no RNG draws, so
+    the seeded fault schedule outside the windows is unchanged -- the
+    DESIGN.md §3.7 partition mirror).  ``tracer`` hands
     the server a :class:`~repro.obs.Tracer` so every simulated call
     emits the OBSERVABILITY.md span schema (build it with the sim
     clock; :func:`repro.experiments.breakdown.sim_breakdown` shows how).
@@ -119,7 +127,8 @@ def run_multiclient_cell(
                            retry_attempts=retry_attempts,
                            fault_cost=fault_cost,
                            post_fault_rate=post_fault_rate,
-                           call_deadline=call_deadline)
+                           call_deadline=call_deadline,
+                           partition_windows=partition_windows)
         )
     # Run the issuing window, then drain in-flight calls (the load
     # sampler ticks forever, so step until every client process ends).
@@ -144,6 +153,7 @@ def run_multiclient_cell(
         shed_seen=sum(cl.shed_seen for cl in clients),
         late_calls=sum(cl.late_calls for cl in clients),
         failovers=sum(cl.failovers for cl in clients),
+        partition_drops=sum(cl.partition_drops for cl in clients),
     )
 
 

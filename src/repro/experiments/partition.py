@@ -1,0 +1,226 @@
+"""Partition ablation: directory availability through a network split.
+
+The paper's WAN chapters measure a *degraded* network; this driver
+measures a *partitioned* one -- the failure mode the §3.7 directory
+layer exists for.  Three live-loopback cells run the same deterministic
+schedule of pick requests against real metaserver processes while a
+:class:`~repro.transport.PartitionMap` cuts links mid-run:
+
+- ``single``: one metaserver, no client cache -- the pre-§3.7
+  configuration.  While the client <-> metaserver link is down, every
+  MS_PICK fails; availability collapses to the un-partitioned fraction
+  of the run.
+- ``replicated``: two gossiping replicas plus the client's pick cache
+  and per-replica breakers.  The partition isolates one replica
+  entirely (clients, heartbeats, and gossip); picks ride the other
+  replica and availability stays at ~100%.
+- ``replicated+degraded``: the client itself is cut off from *every*
+  replica.  Stale-while-revalidate serves cached placements for the
+  whole window (``ninf_client_degraded_mode`` pins to 1); availability
+  holds while freshness, not availability, degrades.
+
+Everything meaningful is deterministic: partitions are state (no RNG
+draws), leases/phi/breakers/cache all run on one virtual clock advanced
+in fixed steps, and heartbeats/gossip fire on fixed step counts --
+so equal arguments reproduce equal tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.metaserver import MetaClient, Metaserver, PickCache
+from repro.obs import MetricsRegistry
+from repro.protocol.errors import ProtocolError, RemoteError
+from repro.server import HeartbeatReporter, NinfServer, Registry
+from repro.transport import CircuitBreaker, FaultPlan, PartitionMap
+
+__all__ = ["PartitionCell", "format_partition", "partition_ablation"]
+
+
+@dataclass(frozen=True)
+class PartitionCell:
+    """One configuration's run through the partition schedule."""
+
+    config: str
+    replicas: int
+    cached: bool
+    steps: int
+    partition_steps: int
+    picks_attempted: int
+    picks_served: int
+    picks_degraded: int
+    availability: float
+    partition_drops: int
+    heartbeats_accepted: int
+    converged: bool
+
+
+class _VirtualClock:
+    """A manually advanced clock shared by every §3.7 component."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        self._now += dt
+
+
+def _noop_registry() -> Registry:
+    registry = Registry()
+    registry.register(
+        'Define probe(mode_in int n, mode_out int m) '
+        '"placement-probe no-op" Calls "C" probe(n, m);',
+        lambda n, m: int(n),
+    )
+    return registry
+
+
+def _run_cell(config: str, replicated: bool, total_cut: bool,
+              cached: bool, steps: int,
+              window: tuple[float, float]) -> PartitionCell:
+    """One live-loopback run.  ``window`` is a (start, end) step
+    fraction during which the partition is in force."""
+    dt = 0.1                   # virtual seconds per step
+    beat_every = 10            # heartbeat cadence: 1.0 virtual seconds
+    gossip_every = 10
+    clock = _VirtualClock()
+    pmap = PartitionMap()
+    cut_from = int(window[0] * steps)
+    cut_until = int(window[1] * steps)
+
+    servers: list[Metaserver] = []
+    with NinfServer(_noop_registry(), num_pes=2) as worker:
+        try:
+            n_replicas = 2 if replicated else 1
+            for _ in range(n_replicas):
+                ms = Metaserver(poll_interval=3600.0,
+                                gossip_interval=3600.0,
+                                clock=clock.now)
+                ms.start()
+                servers.append(ms)
+            addrs = [ms.address for ms in servers]
+            if replicated:
+                # Peer the replicas both ways; gossip is driven by
+                # step count below, not the (never-started) thread.
+                servers[0].peers.append(addrs[1])
+                servers[1].peers.append(addrs[0])
+                for ms, addr in zip(servers, addrs):
+                    ms.dial = FaultPlan(partitions=pmap,
+                                        src=addr).connector
+            reporter = HeartbeatReporter(
+                worker, metaservers=addrs, interval=beat_every * dt,
+                lease_factor=3.0, epoch=1,
+                dial=FaultPlan(partitions=pmap, src="server").connector)
+            metrics = MetricsRegistry()
+            meta = MetaClient(
+                replicas=addrs,
+                breaker=CircuitBreaker(threshold=1, cooldown=1.0,
+                                       clock=clock.now),
+                cache=(PickCache(ttl=0.5, clock=clock.now)
+                       if cached else None),
+                metrics=metrics,
+                fault_plan=FaultPlan(partitions=pmap, src="client"))
+
+            served = attempted = degraded = beats_ok = 0
+            isolated = False
+            with meta:
+                reporter.beat_now()  # both directories learn the worker
+                for step in range(steps):
+                    clock.advance(dt)
+                    in_window = cut_from <= step < cut_until
+                    if in_window and not isolated:
+                        if total_cut:
+                            pmap.isolate("client")
+                        else:
+                            pmap.isolate(addrs[0])
+                        isolated = True
+                    elif not in_window and isolated:
+                        pmap.heal()
+                        isolated = False
+                    if step % beat_every == 0:
+                        beats_ok += reporter.beat_now()
+                    if replicated and step % gossip_every == 5:
+                        for ms in servers:
+                            ms.gossip_now()
+                    attempted += 1
+                    try:
+                        meta.pick("probe")
+                    except (OSError, ProtocolError, RemoteError):
+                        continue
+                    served += 1
+                    if meta.degraded:
+                        degraded += 1
+                # Post-heal anti-entropy: a restarted/partitioned
+                # replica must converge before the run is judged.
+                if replicated:
+                    for ms in servers:
+                        ms.gossip_now()
+
+            worker_key = worker.address
+            seqs = {ms.directory.get(*worker_key).seq
+                    if ms.directory.get(*worker_key) else -1
+                    for ms in servers}
+            converged = len(seqs) == 1 and -1 not in seqs
+        finally:
+            for ms in servers:
+                ms.stop()
+
+    return PartitionCell(
+        config=config,
+        replicas=len(addrs),
+        cached=cached,
+        steps=steps,
+        partition_steps=max(0, cut_until - cut_from),
+        picks_attempted=attempted,
+        picks_served=served,
+        picks_degraded=degraded,
+        availability=served / attempted if attempted else 0.0,
+        partition_drops=pmap.drops_total,
+        heartbeats_accepted=beats_ok,
+        converged=converged,
+    )
+
+
+def partition_ablation(steps: Optional[int] = None, quick: bool = False,
+                       window: tuple[float, float] = (0.35, 0.65),
+                       ) -> list[PartitionCell]:
+    """Run the three partition cells on the live loopback stack.
+
+    ``window`` is the (start, end) fraction of the run the partition
+    covers; the default cuts the middle 30%.  Deterministic: partition
+    state consumes no randomness and all timing is virtual.
+    """
+    n = steps if steps is not None else (120 if quick else 300)
+    return [
+        _run_cell("single", replicated=False, total_cut=False,
+                  cached=False, steps=n, window=window),
+        _run_cell("replicated", replicated=True, total_cut=False,
+                  cached=True, steps=n, window=window),
+        _run_cell("replicated+degraded", replicated=True, total_cut=True,
+                  cached=True, steps=n, window=window),
+    ]
+
+
+def format_partition(cells: Sequence[PartitionCell]) -> str:
+    """Markdown table of the ablation (the EXPERIMENTS.md rendering)."""
+    lines = [
+        "| config | replicas | cache | partitioned steps | picks "
+        "| served | degraded | availability | converged |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for cell in cells:
+        lines.append(
+            f"| {cell.config} | {cell.replicas} "
+            f"| {'on' if cell.cached else 'off'} "
+            f"| {cell.partition_steps}/{cell.steps} "
+            f"| {cell.picks_attempted} | {cell.picks_served} "
+            f"| {cell.picks_degraded} "
+            f"| {100 * cell.availability:.1f}% "
+            f"| {'yes' if cell.converged else 'no'} |"
+        )
+    return "\n".join(lines)

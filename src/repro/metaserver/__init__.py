@@ -16,9 +16,16 @@ of computing servers." (paper §2.4)
 - :mod:`repro.metaserver.metaserver` -- the TCP metaserver process and
   :class:`MetaClient`, plus :class:`BrokeredClient` which resolves every
   ``Ninf_call`` through the metaserver.
+- :mod:`repro.metaserver.phi` -- the phi-accrual failure detector
+  behind the directory's continuous gray-server suspicion signal
+  (DESIGN.md §3.7).
+- :mod:`repro.metaserver.pickcache` -- the client-side pick cache with
+  stale-while-revalidate and degraded-mode reads (DESIGN.md §3.7).
 """
 
 from repro.metaserver.directory import Directory, ServerEntry
+from repro.metaserver.phi import PhiAccrualDetector
+from repro.metaserver.pickcache import PickCache
 from repro.metaserver.schedulers import (
     BandwidthAwareScheduler,
     LoadScheduler,
@@ -35,6 +42,8 @@ __all__ = [
     "LoadScheduler",
     "MetaClient",
     "Metaserver",
+    "PhiAccrualDetector",
+    "PickCache",
     "RoundRobinScheduler",
     "Scheduler",
     "ServerEntry",

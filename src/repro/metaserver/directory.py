@@ -1,4 +1,21 @@
-"""The metaserver's view of the computational-server fleet."""
+"""The metaserver's view of the computational-server fleet.
+
+Liveness (DESIGN.md §3.7) is layered:
+
+- **Push + lease**: servers push :class:`LoadReport` heartbeats
+  carrying a lease TTL; a leased entry is authoritative until the
+  lease expires, at which point it becomes *poll-eligible* again (the
+  pre-heartbeat polling behaviour is the fallback, not the primary).
+- **Phi accrual**: every entry keeps a
+  :class:`~repro.metaserver.phi.PhiAccrualDetector` over heartbeat
+  inter-arrival history; :meth:`ServerEntry.suspicion` is a continuous
+  gray-failure signal schedulers use to deprioritize slow-but-alive
+  servers *before* anything expires.
+- **Replication**: the directory serializes to / merges from
+  :class:`DirectoryDelta` records (last-writer-wins on per-server
+  ``seq``) so metaserver replicas converge by gossip and a restarted
+  replica rebuilds from its peers plus incoming heartbeats.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +24,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.protocol.messages import LoadReply, ServerInfo
+from repro.metaserver.phi import PhiAccrualDetector
+from repro.protocol.messages import (
+    DirectoryDelta,
+    LoadReply,
+    LoadReport,
+    ServerInfo,
+)
 
 __all__ = ["Directory", "ServerEntry"]
 
@@ -23,6 +46,14 @@ class ServerEntry:
     # site -> EWMA of client-reported achieved bandwidth (bytes/s).
     bandwidth_by_site: dict[str, float] = field(default_factory=dict)
     alive: bool = True
+    # Last-writer-wins version of this record (heartbeat/gossip seq;
+    # 0 = only ever registered/polled, any pushed report supersedes it).
+    seq: int = 0
+    # Absolute lease expiry on the directory's clock; 0.0 = no lease
+    # (the entry is always poll-eligible, the pre-push behaviour).
+    lease_expires: float = 0.0
+    detector: PhiAccrualDetector = field(default_factory=PhiAccrualDetector)
+    clock: Callable[[], float] = time.monotonic
 
     @property
     def key(self) -> tuple[str, int]:
@@ -33,6 +64,24 @@ class ServerEntry:
         if self.load is None:
             return 0.0
         return (self.load.running + self.load.queued) / max(1, self.info.num_pes)
+
+    def leased(self, now: Optional[float] = None) -> bool:
+        """Whether an unexpired heartbeat lease covers this entry."""
+        if self.lease_expires <= 0.0:
+            return False
+        return (now if now is not None else self.clock()) < self.lease_expires
+
+    def suspicion(self, now: Optional[float] = None) -> float:
+        """Phi-accrual suspicion (0 = healthy; grows with overdue
+        heartbeats).  Continuous, so schedulers can *deprioritize* a
+        gray server instead of waiting for a binary death verdict."""
+        return self.detector.phi(now if now is not None else self.clock())
+
+    def health_factor(self, now: Optional[float] = None) -> float:
+        """``1 + phi``: the multiplicative penalty schedulers apply to
+        an entry's score.  1.0 for a healthy (or never-pushed) entry,
+        so pure-poll deployments keep their historical orderings."""
+        return 1.0 + max(0.0, self.suspicion(now))
 
     def observed_bandwidth(self, site: str,
                            default: float = 1e6) -> float:
@@ -50,9 +99,16 @@ class ServerEntry:
                 alpha * bytes_per_second + (1 - alpha) * previous
             )
 
+    def to_delta(self, now: float) -> DirectoryDelta:
+        """This entry as a gossipable record (lease made relative)."""
+        remaining = self.lease_expires - now if self.lease_expires > 0 else 0.0
+        return DirectoryDelta(info=self.info, seq=self.seq,
+                              lease_remaining=remaining, alive=self.alive,
+                              load=self.load)
+
 
 class Directory:
-    """Thread-safe registry with load monitoring hooks."""
+    """Thread-safe registry with push, poll, and gossip update paths."""
 
     def __init__(self, clock: Callable[[], float] = time.monotonic):
         self.clock = clock
@@ -61,7 +117,8 @@ class Directory:
 
     def register(self, info: ServerInfo) -> ServerEntry:
         """Add (or replace) a computational server entry."""
-        entry = ServerEntry(info=info, registered_at=self.clock())
+        entry = ServerEntry(info=info, registered_at=self.clock(),
+                            clock=self.clock)
         with self._lock:
             self._entries[entry.key] = entry
         return entry
@@ -109,6 +166,86 @@ class Directory:
         entry = self.get(host, port)
         if entry is not None:
             entry.note_bandwidth(site, bytes_per_second)
+
+    # -- push heartbeats (DESIGN.md §3.7) ------------------------------------
+
+    def apply_report(self, report: LoadReport) -> bool:
+        """Fold a pushed MS_HEARTBEAT load report in (LWW on ``seq``).
+
+        Creates the entry when unknown -- a heartbeat is a
+        registration, which is how a restarted *replica* relearns the
+        fleet without anyone re-registering.  Returns False for stale
+        reports (``seq`` not newer than what we hold).
+        """
+        now = self.clock()
+        key = (report.info.host, report.info.port)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = ServerEntry(info=report.info, registered_at=now,
+                                    clock=self.clock)
+                self._entries[key] = entry
+            elif report.seq <= entry.seq:
+                return False
+            entry.info = report.info
+            entry.seq = report.seq
+            entry.load = report.load
+            entry.load_sampled_at = now
+            entry.alive = True
+            entry.lease_expires = (now + report.lease
+                                   if report.lease > 0 else 0.0)
+            entry.detector.heartbeat(now)
+        return True
+
+    def poll_candidates(self) -> list[ServerEntry]:
+        """Entries whose lease has lapsed (or that never had one) --
+        the poll fallback's work list.  Leased entries are skipped:
+        push is the primary liveness signal."""
+        now = self.clock()
+        with self._lock:
+            return [e for e in self._entries.values() if not e.leased(now)]
+
+    # -- replica gossip (DESIGN.md §3.7) -------------------------------------
+
+    def deltas(self) -> list[DirectoryDelta]:
+        """Every entry as a gossipable delta (lease made relative)."""
+        now = self.clock()
+        with self._lock:
+            return [entry.to_delta(now) for entry in self._entries.values()]
+
+    def apply_delta(self, delta: DirectoryDelta) -> bool:
+        """Merge one gossiped record (last-writer-wins on ``seq``).
+
+        Unknown servers are created; known ones are overwritten only
+        by a strictly newer ``seq``.  The lease is re-anchored on this
+        directory's clock from the relative remainder.  Gossip does
+        *not* feed the phi detector -- only real heartbeats from the
+        server itself are arrival evidence.  Returns True when the
+        record was applied.
+        """
+        now = self.clock()
+        key = (delta.info.host, delta.info.port)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = ServerEntry(info=delta.info, registered_at=now,
+                                    clock=self.clock)
+                self._entries[key] = entry
+            elif delta.seq <= entry.seq:
+                return False
+            entry.info = delta.info
+            entry.seq = delta.seq
+            entry.alive = delta.alive
+            entry.lease_expires = (now + delta.lease_remaining
+                                   if delta.lease_remaining > 0 else 0.0)
+            if delta.load is not None:
+                entry.load = delta.load
+                entry.load_sampled_at = now
+        return True
+
+    def merge(self, deltas: list[DirectoryDelta]) -> int:
+        """Apply a gossip batch; returns how many records were taken."""
+        return sum(1 for delta in deltas if self.apply_delta(delta))
 
     def __len__(self) -> int:
         with self._lock:

@@ -3,16 +3,21 @@
 from __future__ import annotations
 
 import threading
-from typing import Optional, Sequence
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence
 
 from repro.client.api import CallRecord, NinfClient
 from repro.metaserver.directory import Directory
+from repro.metaserver.pickcache import PickCache
 from repro.metaserver.schedulers import CallEstimate, LoadScheduler, Scheduler
 from repro.protocol.errors import ProtocolError, RemoteError
 from repro.protocol.messages import (
     LoadReply,
+    LoadReport,
     MessageType,
     ServerInfo,
+    SyncMessage,
 )
 from repro.transport import (
     Channel,
@@ -33,16 +38,27 @@ class Metaserver(Endpoint):
 
     The accept loop and dispatch table come from
     :class:`repro.transport.Endpoint`; this class adds the directory,
-    the scheduler, and the load-monitor thread.
+    the scheduler, the load-monitor thread, and (DESIGN.md §3.7) the
+    push-heartbeat ingest plus replica gossip that make the directory
+    partition-tolerant: any replica in ``peers`` answers MS_PICK from
+    its own converging copy of the directory.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  scheduler: Optional[Scheduler] = None,
                  poll_interval: float = 1.0,
                  poll_timeout: float = 5.0,
-                 probe_retry: Optional[RetryPolicy] = None):
+                 probe_retry: Optional[RetryPolicy] = None,
+                 peers: Sequence[tuple[str, int]] = (),
+                 replica_id: str = "",
+                 gossip_interval: float = 1.0,
+                 secret: Optional[bytes] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 poll_workers: int = 8,
+                 dial: Optional[Callable[..., Channel]] = None):
         super().__init__(host=host, port=port, name="metaserver")
-        self.directory = Directory()
+        self.clock = clock
+        self.directory = Directory(clock=clock)
         self.scheduler = scheduler or LoadScheduler()
         self.poll_interval = poll_interval
         self.poll_timeout = poll_timeout
@@ -51,8 +67,29 @@ class Metaserver(Endpoint):
         # probe is idempotent, so it may ride a RetryPolicy and a server
         # is marked dead only once retries are exhausted.
         self.probe_retry = probe_retry
+        # Replica set: sibling metaservers this one gossips versioned
+        # directory deltas with.  Gossip is symmetric anti-entropy (we
+        # push ours, the peer replies with its own), so a restarted
+        # replica converges from whichever peer it reaches first.
+        self.peers = list(peers)
+        self.replica_id = replica_id
+        self.gossip_interval = gossip_interval
+        # Shared HMAC secret for MS_HEARTBEAT; None accepts unsigned.
+        self.secret = secret
+        # Entries whose phi crosses this are counted "suspect" in the
+        # gauge; scheduling uses the continuous phi, not this threshold.
+        self.suspect_phi = 1.0
+        self.poll_workers = poll_workers
+        # Injectable dialer: how the partition experiment routes probes
+        # and gossip through a FaultPlan.  None = the module-level
+        # connect, resolved at call time (monkeypatchable).
+        self.dial = dial
         self._monitor_thread: Optional[threading.Thread] = None
         self._monitor_wakeup = threading.Event()
+        self._gossip_thread: Optional[threading.Thread] = None
+        self._gossip_wakeup = threading.Event()
+        self._poll_pool: Optional[ThreadPoolExecutor] = None
+        self._poll_pool_lock = threading.Lock()
         # Monitoring observability (OBSERVABILITY.md): probe outcomes
         # and the resulting alive-server count, exposed via STATS.
         from repro.obs import names
@@ -63,6 +100,20 @@ class Metaserver(Endpoint):
         self._alive_gauge = self.metrics.gauge(
             names.METASERVER_SERVERS_ALIVE,
             "Registered servers currently marked alive")
+        self._heartbeats = self.metrics.counter(
+            names.METASERVER_HEARTBEATS,
+            "MS_HEARTBEAT pushes ingested by outcome",
+            labelnames=("outcome",))
+        self._suspect_gauge = self.metrics.gauge(
+            names.METASERVER_SERVERS_SUSPECT,
+            "Registered servers whose phi-accrual suspicion is high")
+        self._gossip_metric = self.metrics.counter(
+            names.METASERVER_GOSSIP,
+            "MS_SYNC gossip exchanges with peer replicas by outcome",
+            labelnames=("outcome",))
+        self._gossip_applied = self.metrics.counter(
+            names.METASERVER_GOSSIP_APPLIED,
+            "Directory records accepted from peer gossip")
         self.register_handler(MessageType.MS_REGISTER, self._handle_register)
         self.register_handler(MessageType.MS_UNREGISTER,
                               self._handle_unregister)
@@ -70,23 +121,40 @@ class Metaserver(Endpoint):
         self.register_handler(MessageType.MS_PICK, self._handle_pick)
         self.register_handler(MessageType.MS_REPORT, self._handle_report)
         self.register_handler(MessageType.MS_LIST, self._handle_list)
+        self.register_handler(MessageType.MS_HEARTBEAT,
+                              self._handle_heartbeat)
+        self.register_handler(MessageType.MS_SYNC, self._handle_sync)
 
     # -- lifecycle -----------------------------------------------------------
 
     def on_start(self) -> None:
-        """Start the monitor thread alongside the accept loop."""
+        """Start the monitor (and gossip, if peered) threads."""
         self._monitor_wakeup.clear()
         self._monitor_thread = threading.Thread(
             target=self._monitor_loop, name="metaserver-monitor", daemon=True
         )
         self._monitor_thread.start()
+        if self.peers:
+            self._gossip_wakeup.clear()
+            self._gossip_thread = threading.Thread(
+                target=self._gossip_loop, name="metaserver-gossip",
+                daemon=True)
+            self._gossip_thread.start()
 
     def on_stop(self) -> None:
-        """Wake and join the monitor thread."""
+        """Wake and join the monitor/gossip threads; drain the pool."""
         self._monitor_wakeup.set()
+        self._gossip_wakeup.set()
         if self._monitor_thread is not None:
             self._monitor_thread.join(timeout=5.0)
             self._monitor_thread = None
+        if self._gossip_thread is not None:
+            self._gossip_thread.join(timeout=5.0)
+            self._gossip_thread = None
+        with self._poll_pool_lock:
+            pool, self._poll_pool = self._poll_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     def start(self) -> "Metaserver":
         """Bind, listen, and start the accept + monitor threads."""
@@ -95,16 +163,47 @@ class Metaserver(Endpoint):
 
     # -- monitoring ------------------------------------------------------------
 
+    def _pool_for_polls(self) -> ThreadPoolExecutor:
+        with self._poll_pool_lock:
+            if self._poll_pool is None:
+                self._poll_pool = ThreadPoolExecutor(
+                    max_workers=self.poll_workers,
+                    thread_name_prefix="metaserver-poll")
+            return self._poll_pool
+
     def poll_now(self) -> None:
-        """Synchronously refresh load for every registered server."""
-        for entry in self.directory.entries():
-            self._poll_one(entry.info.host, entry.info.port)
-        self._alive_gauge.set(
-            sum(1 for e in self.directory.entries() if e.alive))
+        """Refresh load for every poll-eligible server, concurrently.
+
+        Only entries without a live heartbeat lease are polled -- push
+        is the primary signal; polling is the fallback.  Probes run on
+        a worker pool so one hung server (a probe stuck until
+        ``poll_timeout``) delays nothing but itself.
+        """
+        candidates = self.directory.poll_candidates()
+        targets = [(e.info.host, e.info.port) for e in candidates]
+        if len(targets) == 1:
+            self._poll_one(*targets[0])
+        elif targets:
+            pool = self._pool_for_polls()
+            futures = [pool.submit(self._poll_one, host, port)
+                       for host, port in targets]
+            for future in futures:
+                future.result()
+        now = self.clock()
+        entries = self.directory.entries()
+        self._alive_gauge.set(sum(1 for e in entries if e.alive))
+        self._suspect_gauge.set(
+            sum(1 for e in entries
+                if e.suspicion(now) >= self.suspect_phi))
+
+    def _dialer(self) -> Callable[..., Channel]:
+        return self.dial if self.dial is not None else connect
 
     def _poll_one(self, host: str, port: int) -> None:
+        dial = self._dialer()
+
         def probe() -> tuple[int, bytes]:
-            with connect(host, port, timeout=self.poll_timeout) as channel:
+            with dial(host, port, timeout=self.poll_timeout) as channel:
                 return channel.request(MessageType.LOAD_QUERY)
 
         try:
@@ -126,6 +225,55 @@ class Metaserver(Endpoint):
             self.poll_now()
             self._monitor_wakeup.wait(timeout=self.poll_interval)
             self._monitor_wakeup.clear()
+
+    # -- replica gossip (DESIGN.md §3.7) --------------------------------------
+
+    def _replica_name(self) -> str:
+        if self.replica_id:
+            return self.replica_id
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def gossip_now(self) -> int:
+        """One symmetric anti-entropy round with every peer.
+
+        Pushes this replica's full delta set and merges whatever each
+        peer replies with (last-writer-wins on per-server ``seq``, so
+        order and repetition are harmless).  Returns how many peers
+        were reached.  A partitioned peer just counts a failure -- its
+        copy converges from heartbeats it still receives, or from this
+        exchange once the partition heals.
+        """
+        message = SyncMessage(origin=self._replica_name(),
+                              deltas=tuple(self.directory.deltas()))
+        enc = XdrEncoder()
+        message.encode(enc)
+        payload = enc.getvalue()
+        reached = 0
+        dial = self._dialer()
+        for host, port in self.peers:
+            try:
+                with dial(host, port,
+                          timeout=self.poll_timeout) as channel:
+                    _msg_type, reply = channel.request(
+                        MessageType.MS_SYNC, payload,
+                        expect=MessageType.MS_SYNC_REPLY)
+                theirs = SyncMessage.decode(XdrDecoder(reply))
+                applied = self.directory.merge(list(theirs.deltas))
+                if applied:
+                    self._gossip_applied.inc(applied)
+            except (OSError, ProtocolError, RemoteError, XdrError):
+                self._gossip_metric.inc(outcome="failed")
+                continue
+            self._gossip_metric.inc(outcome="ok")
+            reached += 1
+        return reached
+
+    def _gossip_loop(self) -> None:
+        while self._running:
+            self.gossip_now()
+            self._gossip_wakeup.wait(timeout=self.gossip_interval)
+            self._gossip_wakeup.clear()
 
     # -- request handlers ----------------------------------------------------------
 
@@ -195,6 +343,38 @@ class Metaserver(Endpoint):
             entry.info.encode(enc)
         channel.send(MessageType.MS_LIST_REPLY, enc.getvalue())
 
+    def _handle_heartbeat(self, channel: Channel, payload: bytes) -> None:
+        """Ingest a pushed MS_HEARTBEAT load report (DESIGN.md §3.7)."""
+        try:
+            report = LoadReport.decode(XdrDecoder(payload))
+        except XdrError as exc:
+            channel.send_error("bad-request", str(exc))
+            return
+        if not report.verify(self.secret):
+            self._heartbeats.inc(outcome="bad-signature")
+            channel.send_error("bad-signature",
+                               "heartbeat signature rejected")
+            return
+        applied = self.directory.apply_report(report)
+        self._heartbeats.inc(outcome="ok" if applied else "stale")
+        channel.send(MessageType.MS_OK, b"")
+
+    def _handle_sync(self, channel: Channel, payload: bytes) -> None:
+        """Serve one gossip exchange: merge theirs, reply with ours."""
+        try:
+            message = SyncMessage.decode(XdrDecoder(payload))
+        except XdrError as exc:
+            channel.send_error("bad-request", str(exc))
+            return
+        applied = self.directory.merge(list(message.deltas))
+        if applied:
+            self._gossip_applied.inc(applied)
+        reply = SyncMessage(origin=self._replica_name(),
+                            deltas=tuple(self.directory.deltas()))
+        enc = XdrEncoder()
+        reply.encode(enc)
+        channel.send(MessageType.MS_SYNC_REPLY, enc.getvalue())
+
 
 class MetaClient:
     """Client-side binding to the metaserver protocol.
@@ -203,14 +383,57 @@ class MetaClient:
     brokered call's lookup/pick/report triple reuses one TCP connection
     instead of paying three handshakes; ``pool=False`` restores the
     connection-per-request behaviour.
+
+    Partition tolerance (DESIGN.md §3.7) is layered on top:
+
+    - ``replicas`` lists every metaserver endpoint; each request walks
+      the replica set (sticky to the last replica that answered) and a
+      per-replica :class:`~repro.transport.CircuitBreaker` keeps dead
+      replicas from eating a connect timeout per call.
+    - ``cache`` (a :class:`~repro.metaserver.pickcache.PickCache`)
+      short-circuits fresh MS_PICK answers, falls back to a stale one
+      when the wire fails transiently, and -- when *every* replica is
+      unreachable -- enters degraded mode: arbitrarily stale picks keep
+      calls flowing while the pinned ``ninf_client_degraded_mode``
+      gauge reads 1.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0,
-                 pool: bool = True):
-        self.host = host
-        self.port = port
+    def __init__(self, host: Optional[str] = None,
+                 port: Optional[int] = None, timeout: float = 30.0,
+                 pool: bool = True,
+                 replicas: Sequence[tuple[str, int]] = (),
+                 breaker: Optional[CircuitBreaker] = None,
+                 cache: Optional[PickCache] = None,
+                 metrics=None, fault_plan=None):
+        endpoints = list(replicas)
+        if not endpoints:
+            if host is None or port is None:
+                raise ValueError("need host/port or a replicas list")
+            endpoints = [(host, port)]
+        # The first replica keeps the single-endpoint attribute surface.
+        self.host, self.port = endpoints[0]
+        self.endpoints = endpoints
         self.timeout = timeout
-        self._pool = ConnectionPool(timeout=timeout, pool=pool)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.cache = cache
+        self._pool = ConnectionPool(timeout=timeout, pool=pool,
+                                    fault_plan=fault_plan)
+        self._lock = threading.Lock()
+        self._preferred = 0
+        self.degraded = False
+        self._cache_metric = None
+        self._degraded_gauge = None
+        if metrics is not None:
+            from repro.obs import names
+
+            self._cache_metric = metrics.counter(
+                names.CLIENT_PICK_CACHE,
+                "MS_PICK placements served by cache state",
+                labelnames=("result",))
+            self._degraded_gauge = metrics.gauge(
+                names.CLIENT_DEGRADED,
+                "1 while picks are served from stale cache because "
+                "every metaserver replica is unreachable")
 
     def close(self) -> None:
         """Close pooled metaserver connections (idempotent)."""
@@ -222,12 +445,52 @@ class MetaClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _replica_order(self) -> list[tuple[str, int]]:
+        with self._lock:
+            start = self._preferred
+        count = len(self.endpoints)
+        return [self.endpoints[(start + i) % count] for i in range(count)]
+
+    def _note_good_replica(self, endpoint: tuple[str, int]) -> None:
+        with self._lock:
+            self._preferred = self.endpoints.index(endpoint)
+
     def _roundtrip(self, msg_type: int, payload: bytes,
                    expect: int) -> bytes:
-        with self._pool.lease(self.host, self.port) as channel:
-            _reply_type, reply = channel.request(msg_type, payload,
-                                                 expect=expect)
-        return reply
+        """One request against the replica set.
+
+        Walks replicas from the last one that answered; a replica that
+        fails transiently trips its breaker and the walk moves on.  A
+        :class:`RemoteError` is an *answer* (the replica is healthy,
+        the request is at fault) and propagates immediately.  When
+        every replica is down or breaker-blocked the call raises the
+        last transport error -- the pick cache's degraded path catches
+        exactly that.
+        """
+        last_exc: Optional[Exception] = None
+        for endpoint in self._replica_order():
+            host, port = endpoint
+            if not self.breaker.allow(endpoint):
+                continue
+            try:
+                with self._pool.lease(host, port) as channel:
+                    _reply_type, reply = channel.request(
+                        msg_type, payload, expect=expect)
+            except RemoteError:
+                self.breaker.record_success(endpoint)
+                self._note_good_replica(endpoint)
+                raise
+            except (OSError, ProtocolError, XdrError) as exc:
+                self.breaker.record_failure(endpoint)
+                last_exc = exc
+                continue
+            self.breaker.record_success(endpoint)
+            self._note_good_replica(endpoint)
+            return reply
+        if last_exc is not None:
+            raise last_exc
+        raise ConnectionRefusedError(
+            "every metaserver replica is circuit-broken")
 
     def register(self, info: ServerInfo) -> None:
         """MS_REGISTER: add a computational server to the directory."""
@@ -266,15 +529,18 @@ class MetaClient:
         count = dec.unpack_uint()
         return [ServerInfo.decode(dec) for _ in range(count)]
 
-    def pick(self, function: str, comm_bytes: float = 0.0,
-             flops: Optional[float] = None, site: str = "default",
-             exclude: Sequence[tuple[str, int]] = ()) -> ServerInfo:
-        """MS_PICK: the scheduler's placement for a call estimate.
+    def _count_pick(self, result: str) -> None:
+        if self._cache_metric is not None:
+            self._cache_metric.inc(result=result)
 
-        ``exclude`` lists ``(host, port)`` pairs the placement must
-        avoid — servers that just refused, shed, or died during this
-        logical call (failover re-pick, DESIGN.md §3.5).
-        """
+    def _set_degraded(self, value: bool) -> None:
+        self.degraded = value
+        if self._degraded_gauge is not None:
+            self._degraded_gauge.set(1.0 if value else 0.0)
+
+    def _pick_wire(self, function: str, comm_bytes: float,
+                   flops: Optional[float], site: str,
+                   exclude: Sequence[tuple[str, int]]) -> ServerInfo:
         enc = XdrEncoder()
         enc.pack_string(function)
         enc.pack_double(comm_bytes)
@@ -289,6 +555,54 @@ class MetaClient:
         reply = self._roundtrip(MessageType.MS_PICK, enc.getvalue(),
                                 MessageType.MS_PICK_REPLY)
         return ServerInfo.decode(XdrDecoder(reply))
+
+    def pick(self, function: str, comm_bytes: float = 0.0,
+             flops: Optional[float] = None, site: str = "default",
+             exclude: Sequence[tuple[str, int]] = ()) -> ServerInfo:
+        """MS_PICK: the scheduler's placement for a call estimate.
+
+        ``exclude`` lists ``(host, port)`` pairs the placement must
+        avoid — servers that just refused, shed, or died during this
+        logical call (failover re-pick, DESIGN.md §3.5).  Exclude-list
+        picks always go to the wire: a cached placement predates the
+        failure that triggered the re-pick.
+
+        With a :class:`~repro.metaserver.pickcache.PickCache` attached,
+        fresh placements are served locally, stale ones revalidate and
+        fall back to the stale value on a transient wire failure, and
+        when no replica is reachable at all the client degrades to
+        serving whatever it still holds (DESIGN.md §3.7).
+        """
+        if self.cache is None or exclude:
+            return self._pick_wire(function, comm_bytes, flops, site,
+                                   exclude)
+        key = (function, site)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._count_pick(result="fresh")
+            return cached
+        try:
+            info = self._pick_wire(function, comm_bytes, flops, site,
+                                   exclude)
+        except (OSError, ProtocolError) as exc:
+            stale = self.cache.get(key, allow_expired=True)
+            if stale is None:
+                raise
+            # Degraded mode: the wire is gone but an old placement
+            # beats a failed call.  The gauge stays pinned at 1 until
+            # a wire pick lands again.
+            self._set_degraded(True)
+            self._count_pick(result="degraded")
+            return stale
+        self.cache.put(key, info)
+        self._set_degraded(False)
+        self._count_pick(result="refresh")
+        return info
+
+    def invalidate_pick(self, function: str, site: str = "default") -> None:
+        """Drop a cached placement (its server just failed)."""
+        if self.cache is not None:
+            self.cache.invalidate((function, site))
 
     def report(self, host: str, port: int, site: str,
                bandwidth: float) -> None:
@@ -413,6 +727,9 @@ class BrokeredClient:
                 if not is_transient(exc):
                     raise
                 self.breaker.record_failure(key)
+                # The cached placement (if any) named this server;
+                # don't let the degraded path keep re-serving it.
+                self.meta.invalidate_pick(function, self.site)
                 failed.add(key)
                 last_exc = exc
                 if _attempt < max(0, self.max_failover):

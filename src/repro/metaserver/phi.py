@@ -1,0 +1,113 @@
+"""Phi-accrual failure detection over heartbeat inter-arrival history.
+
+The binary alive bit the poller flips cannot tell a dead server from a
+slow WAN link, and it flips *late*: nothing happens until a probe times
+out.  The phi-accrual detector (Hayashibara et al., the detector Akka
+and Cassandra ship) instead outputs a continuous suspicion level from
+the history of heartbeat inter-arrival times: ``phi(t) =
+-log10(P_later(t_since_last))``, the improbability that a heartbeat
+this overdue is still coming, given the observed arrival distribution.
+
+Interpretation: ``phi = 1`` means roughly a 10% chance the silence is
+ordinary jitter, ``phi = 3`` a 0.1% chance.  A *gray* server -- alive
+but slow, its heartbeats arriving late and irregular -- accrues phi
+continuously, so schedulers can deprioritize it long before its lease
+expires or a probe declares it dead (DESIGN.md §3.7).
+
+The normal-CDF tail uses the logistic approximation common to the
+production implementations (error < 2e-3 everywhere), keeping the
+module dependency-free.  The detector takes explicit ``now`` values so
+live metaservers pass their monotonic clock and tests and the
+partition experiment drive a virtual one.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque
+
+__all__ = ["PhiAccrualDetector"]
+
+
+class PhiAccrualDetector:
+    """Suspicion level from heartbeat inter-arrival statistics.
+
+    Parameters
+    ----------
+    window:
+        Inter-arrival samples kept (sliding window).
+    min_std:
+        Floor on the interval standard deviation (seconds).  Perfectly
+        regular heartbeats would otherwise make phi explode on the
+        first microsecond of jitter.
+    first_interval:
+        Assumed mean interval before two real samples exist, so a
+        freshly learned server is judged against *something*.
+
+    Not thread-safe by itself: callers (``ServerEntry``) serialize
+    access under the directory lock.
+    """
+
+    def __init__(self, window: int = 64, min_std: float = 0.1,
+                 first_interval: float = 1.0) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if min_std <= 0:
+            raise ValueError(f"min_std must be > 0, got {min_std}")
+        self.window = window
+        self.min_std = min_std
+        self.first_interval = first_interval
+        self._intervals: Deque[float] = deque(maxlen=window)
+        self._last_beat: float | None = None
+
+    @property
+    def last_beat(self) -> float | None:
+        """Arrival time of the most recent heartbeat (None = never)."""
+        return self._last_beat
+
+    @property
+    def samples(self) -> int:
+        """Inter-arrival samples currently in the window."""
+        return len(self._intervals)
+
+    def heartbeat(self, now: float) -> None:
+        """Record a heartbeat arrival at ``now``."""
+        if self._last_beat is not None:
+            interval = now - self._last_beat
+            if interval >= 0:
+                self._intervals.append(interval)
+        self._last_beat = now
+
+    def _mean_std(self) -> tuple[float, float]:
+        if not self._intervals:
+            return self.first_interval, max(self.min_std,
+                                            self.first_interval / 2)
+        mean = sum(self._intervals) / len(self._intervals)
+        var = sum((x - mean) ** 2 for x in self._intervals) \
+            / len(self._intervals)
+        return mean, max(self.min_std, math.sqrt(var))
+
+    def phi(self, now: float) -> float:
+        """Current suspicion level (0 = just heard from it, inf-ish =
+        long dead).  A detector that never saw a heartbeat reports 0 --
+        liveness of never-pushed entries is the lease/poll fallback's
+        job, not this detector's.
+        """
+        if self._last_beat is None:
+            return 0.0
+        elapsed = now - self._last_beat
+        if elapsed <= 0:
+            return 0.0
+        mean, std = self._mean_std()
+        y = (elapsed - mean) / std
+        # Logistic approximation of the standard normal tail
+        # probability P(X > y); accurate to ~2e-3 over the real line.
+        e = math.exp(-y * (1.5976 + 0.070566 * y * y))
+        if elapsed > mean:
+            p_later = e / (1.0 + e)
+        else:
+            p_later = 1.0 - 1.0 / (1.0 + e)
+        if p_later <= 0.0:
+            return float("inf")
+        return -math.log10(p_later)

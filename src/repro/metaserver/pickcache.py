@@ -1,0 +1,104 @@
+"""Client-side pick caching with stale-while-revalidate degradation.
+
+An MS_PICK roundtrip per call makes the metaserver a synchronous
+dependency of every brokered call -- exactly the coupling a partition
+exploits.  The cache breaks it in two stages (DESIGN.md §3.7):
+
+- **Fresh** (age < ``ttl``): the cached placement is served without
+  touching the wire at all.
+- **Stale**: the client revalidates over the wire, but a *transient*
+  failure falls back to the stale value instead of failing the call
+  (revalidate-on-access stale-while-revalidate).  When every replica
+  is unreachable the client is in *degraded mode* -- arbitrarily stale
+  placements keep calls flowing, and the pinned
+  ``ninf_client_degraded_mode`` gauge says so until a wire pick
+  succeeds again.
+
+The cache deliberately keys on ``(function, site)`` only: exclude-list
+picks (failover re-picks) bypass it, because a placement computed
+before a server failed is exactly what failover must not reuse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional
+
+from repro.protocol.messages import ServerInfo
+
+__all__ = ["PickCache"]
+
+
+class PickCache:
+    """TTL + LRU cache of MS_PICK placements, with an expired-read path.
+
+    Parameters
+    ----------
+    ttl:
+        Seconds a placement is served without revalidation.  Expired
+        entries are *kept* (up to ``max_entries``) -- they are the
+        degraded-mode inventory, readable via ``allow_expired=True``.
+    max_entries:
+        LRU bound on cached placements.
+    clock:
+        Injectable time source (tests and the partition experiment
+        drive a virtual clock).
+    """
+
+    def __init__(self, ttl: float = 2.0, max_entries: int = 256,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, tuple[float, ServerInfo]] = \
+            OrderedDict()
+
+    def get(self, key: Hashable,
+            allow_expired: bool = False) -> Optional[ServerInfo]:
+        """The cached placement for ``key``.
+
+        Fresh entries always return; expired ones only with
+        ``allow_expired`` (the degraded-mode read).  A hit refreshes
+        LRU recency but never the entry's age.
+        """
+        now = self.clock()
+        with self._lock:
+            item = self._entries.get(key)
+            if item is None:
+                return None
+            stored_at, value = item
+            if not allow_expired and now - stored_at >= self.ttl:
+                return None
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: ServerInfo) -> None:
+        """Store a placement, evicting the least-recent past the bound."""
+        with self._lock:
+            self._entries[key] = (self.clock(), value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop ``key`` (a cached server just failed; don't re-serve it)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def age(self, key: Hashable) -> Optional[float]:
+        """Seconds since ``key`` was stored; None when absent."""
+        now = self.clock()
+        with self._lock:
+            item = self._entries.get(key)
+            return None if item is None else now - item[0]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

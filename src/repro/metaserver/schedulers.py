@@ -76,18 +76,29 @@ class RoundRobinScheduler(Scheduler):
 
 
 class LoadScheduler(Scheduler):
-    """Least load-per-PE (the NetSolve approach the paper critiques)."""
+    """Least load-per-PE (the NetSolve approach the paper critiques).
+
+    The score is ``(1 + load_per_pe) * health_factor``: the
+    phi-accrual suspicion of a *gray* server (alive, leased, but its
+    heartbeats arriving late) continuously inflates its score, so
+    traffic drains away from it long before any lease expires or a
+    probe flips the binary alive bit (DESIGN.md §3.7).  Healthy (or
+    never-pushed) entries have ``health_factor == 1``, preserving the
+    pure load ordering.
+    """
 
     name = "load"
 
     def choose(self, candidates: Sequence[ServerEntry],
                estimate: CallEstimate) -> Optional[ServerEntry]:
-        """The candidate with the fewest runnable tasks per PE."""
+        """The candidate with the fewest runnable tasks per PE,
+        penalized by heartbeat suspicion."""
         if not candidates:
             return None
         return min(
             candidates,
-            key=lambda e: (e.load_per_pe(), e.key),
+            key=lambda e: ((1.0 + e.load_per_pe()) * e.health_factor(),
+                           e.key),
         )
 
 
@@ -129,7 +140,11 @@ class BandwidthAwareScheduler(Scheduler):
             effective = (self.per_pe_rate * entry.info.num_pes
                          / (1.0 + runnable))
             comp_time = estimate.flops / effective
-        return comm_time + comp_time
+        # Gray-failure deprioritization (DESIGN.md §3.7): suspicion
+        # from overdue heartbeats stretches the predicted time, so a
+        # slow-but-alive server loses ties continuously rather than
+        # binarily.  health_factor is 1.0 without heartbeat history.
+        return (comm_time + comp_time) * entry.health_factor()
 
     def choose(self, candidates: Sequence[ServerEntry],
                estimate: CallEstimate) -> Optional[ServerEntry]:

@@ -37,6 +37,7 @@ SHM_FALLBACKS = "ninf_shm_fallbacks_total"            # label: reason
 
 # -- transport: fault injection and retry -------------------------------
 FAULTS_INJECTED = "ninf_faults_injected_total"        # label: kind
+FAULTS_PARTITION_DROPS = "ninf_faults_partition_drops_total"
 RETRY_ATTEMPTS = "ninf_retry_attempts_total"
 RETRY_RETRIES = "ninf_retry_retries_total"
 BREAKER_TRIPS = "ninf_breaker_trips_total"
@@ -47,6 +48,8 @@ CLIENT_RETRIES = "ninf_client_retries_total"
 CLIENT_FAULTS_SEEN = "ninf_client_faults_seen_total"
 CLIENT_CALL_SECONDS = "ninf_client_call_seconds"      # label: function
 CLIENT_FAILOVERS = "ninf_client_failovers_total"
+CLIENT_PICK_CACHE = "ninf_client_pick_cache_total"    # label: result
+CLIENT_DEGRADED = "ninf_client_degraded_mode"
 
 # -- endpoint / server --------------------------------------------------
 ENDPOINT_CONNECTIONS_ACCEPTED = "ninf_endpoint_connections_accepted_total"
@@ -61,10 +64,16 @@ SERVER_DEDUP_HITS = "ninf_server_dedup_hits_total"
 SERVER_DEDUP_ENTRIES = "ninf_server_dedup_entries"
 SERVER_CONNECTIONS_OPEN = "ninf_server_connections_open"
 SERVER_LOOP_LAG = "ninf_server_loop_lag_seconds"
+SERVER_DETACHED_EVICTED = "ninf_server_detached_evicted_total"
+SERVER_HEARTBEATS_SENT = "ninf_server_heartbeats_sent_total"  # label: outcome
 
 # -- metaserver ---------------------------------------------------------
 METASERVER_PROBES = "ninf_metaserver_probes_total"    # label: outcome
 METASERVER_SERVERS_ALIVE = "ninf_metaserver_servers_alive"
+METASERVER_HEARTBEATS = "ninf_metaserver_heartbeats_total"  # label: outcome
+METASERVER_SERVERS_SUSPECT = "ninf_metaserver_servers_suspect"
+METASERVER_GOSSIP = "ninf_metaserver_gossip_total"    # label: outcome
+METASERVER_GOSSIP_APPLIED = "ninf_metaserver_gossip_deltas_applied_total"
 
 # -- bench harness (ninf-bench rpc worker processes) --------------------
 BENCH_CALLS = "ninf_bench_calls_total"                # label: outcome
@@ -83,6 +92,7 @@ METRIC_NAMES = (
     SHM_UPGRADES,
     SHM_FALLBACKS,
     FAULTS_INJECTED,
+    FAULTS_PARTITION_DROPS,
     RETRY_ATTEMPTS,
     RETRY_RETRIES,
     BREAKER_TRIPS,
@@ -91,6 +101,8 @@ METRIC_NAMES = (
     CLIENT_FAULTS_SEEN,
     CLIENT_CALL_SECONDS,
     CLIENT_FAILOVERS,
+    CLIENT_PICK_CACHE,
+    CLIENT_DEGRADED,
     ENDPOINT_CONNECTIONS_ACCEPTED,
     SERVER_DISPATCH_SECONDS,
     SERVER_EXECUTE_SECONDS,
@@ -103,8 +115,14 @@ METRIC_NAMES = (
     SERVER_DEDUP_ENTRIES,
     SERVER_CONNECTIONS_OPEN,
     SERVER_LOOP_LAG,
+    SERVER_DETACHED_EVICTED,
+    SERVER_HEARTBEATS_SENT,
     METASERVER_PROBES,
     METASERVER_SERVERS_ALIVE,
+    METASERVER_HEARTBEATS,
+    METASERVER_SERVERS_SUSPECT,
+    METASERVER_GOSSIP,
+    METASERVER_GOSSIP_APPLIED,
     BENCH_CALLS,
     BENCH_CALL_SECONDS,
     BENCH_STAGE_CLIENTS,

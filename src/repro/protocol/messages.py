@@ -3,18 +3,24 @@
 from __future__ import annotations
 
 import enum
+import hashlib
+import hmac
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.xdr import XdrDecoder, XdrEncoder
 
 __all__ = [
     "BusyReply",
     "CallHeader",
+    "DirectoryDelta",
     "ErrorReply",
     "JobTimestamps",
     "LoadReply",
+    "LoadReport",
     "MessageType",
     "ServerInfo",
+    "SyncMessage",
 ]
 
 
@@ -76,6 +82,16 @@ class MessageType(enum.IntEnum):
     # an older or shm-disabled server -- means "keep using TCP".
     SHM_HELLO = 34
     SHM_HELLO_REPLY = 35
+    # Partition-tolerant directory (DESIGN.md §3.7): servers *push*
+    # signed load reports with a lease TTL to every configured
+    # metaserver replica (MS_HEARTBEAT), replacing poll-per-interval as
+    # the primary liveness signal; replicas anti-entropy their
+    # directories with versioned deltas (MS_SYNC / MS_SYNC_REPLY,
+    # last-writer-wins on per-server sequence numbers) so any replica
+    # answers MS_PICK and a restarted replica converges from its peers.
+    MS_HEARTBEAT = 36
+    MS_SYNC = 37
+    MS_SYNC_REPLY = 38
 
 
 PROTOCOL_VERSION = 3
@@ -262,3 +278,143 @@ class ServerInfo:
             num_pes=dec.unpack_uint(),
             functions=tuple(dec.unpack_array(dec.unpack_string)),
         )
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """MS_HEARTBEAT payload: a server's pushed, leased load report.
+
+    The push replaces the metaserver's poll-per-interval as the primary
+    liveness signal (DESIGN.md §3.7).  ``seq`` orders reports from the
+    same server across replicas and restarts (last-writer-wins: the
+    reporter derives it from a wall-clock epoch so a restarted server
+    supersedes its pre-restart reports); ``lease`` is the TTL in
+    seconds -- *relative*, so clock skew cannot corrupt it -- after
+    which the receiving replica falls back to polling this server.
+    ``signature`` is an HMAC-SHA256 of the body under the deployment's
+    shared secret (empty = unsigned; a metaserver configured with a
+    secret rejects unsigned or mis-signed reports).
+    """
+
+    info: ServerInfo
+    load: LoadReply
+    seq: int
+    lease: float
+    signature: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        """The signed portion of the wire form (everything but the
+        signature), used on both sides of HMAC verification."""
+        enc = XdrEncoder()
+        self.info.encode(enc)
+        self.load.encode(enc)
+        enc.pack_uhyper(self.seq)
+        enc.pack_double(self.lease)
+        return enc.getvalue()
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        self.info.encode(enc)
+        self.load.encode(enc)
+        enc.pack_uhyper(self.seq)
+        enc.pack_double(self.lease)
+        enc.pack_opaque(self.signature)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "LoadReport":
+        """Read the wire form from a decoder."""
+        return cls(
+            info=ServerInfo.decode(dec),
+            load=LoadReply.decode(dec),
+            seq=dec.unpack_uhyper(),
+            lease=dec.unpack_double(),
+            signature=dec.unpack_opaque(),
+        )
+
+    def signed(self, secret: bytes) -> "LoadReport":
+        """A copy of this report carrying a fresh HMAC-SHA256 signature."""
+        digest = hmac.new(secret, self.body_bytes(), hashlib.sha256).digest()
+        return LoadReport(info=self.info, load=self.load, seq=self.seq,
+                          lease=self.lease, signature=digest)
+
+    def verify(self, secret: Optional[bytes]) -> bool:
+        """Whether the signature matches under ``secret``.
+
+        ``secret=None`` (an unsecured deployment) accepts everything;
+        a configured secret requires a matching HMAC -- comparison is
+        constant-time (``hmac.compare_digest``).
+        """
+        if secret is None:
+            return True
+        expected = hmac.new(secret, self.body_bytes(),
+                            hashlib.sha256).digest()
+        return hmac.compare_digest(expected, self.signature)
+
+
+@dataclass(frozen=True)
+class DirectoryDelta:
+    """One server's directory state as gossiped between replicas.
+
+    ``lease_remaining`` is relative (seconds of lease left as seen by
+    the sending replica; ``<= 0`` means expired or never leased) so the
+    receiver can re-anchor it on its own clock.  ``seq`` carries the
+    last-writer-wins version; a receiver keeps whichever record of a
+    server has the higher ``seq``.
+    """
+
+    info: ServerInfo
+    seq: int
+    lease_remaining: float
+    alive: bool
+    load: Optional[LoadReply] = None
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        self.info.encode(enc)
+        enc.pack_uhyper(self.seq)
+        enc.pack_double(self.lease_remaining)
+        enc.pack_bool(self.alive)
+        enc.pack_bool(self.load is not None)
+        if self.load is not None:
+            self.load.encode(enc)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "DirectoryDelta":
+        """Read the wire form from a decoder."""
+        info = ServerInfo.decode(dec)
+        seq = dec.unpack_uhyper()
+        lease_remaining = dec.unpack_double()
+        alive = dec.unpack_bool()
+        load = LoadReply.decode(dec) if dec.unpack_bool() else None
+        return cls(info=info, seq=seq, lease_remaining=lease_remaining,
+                   alive=alive, load=load)
+
+
+@dataclass(frozen=True)
+class SyncMessage:
+    """MS_SYNC / MS_SYNC_REPLY payload: one replica's directory deltas.
+
+    Gossip is symmetric anti-entropy: the caller sends its full delta
+    set, the callee merges it (last-writer-wins on ``seq``) and answers
+    with its own, so one round trip converges both directions.
+    ``origin`` names the sending replica (loop suppression + metrics).
+    """
+
+    origin: str
+    deltas: tuple[DirectoryDelta, ...]
+
+    def encode(self, enc: XdrEncoder) -> None:
+        """Append the wire form to an encoder."""
+        enc.pack_string(self.origin)
+        enc.pack_uint(len(self.deltas))
+        for delta in self.deltas:
+            delta.encode(enc)
+
+    @classmethod
+    def decode(cls, dec: XdrDecoder) -> "SyncMessage":
+        """Read the wire form from a decoder."""
+        origin = dec.unpack_string()
+        count = dec.unpack_uint()
+        return cls(origin=origin,
+                   deltas=tuple(DirectoryDelta.decode(dec)
+                                for _ in range(count)))

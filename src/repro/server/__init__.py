@@ -39,6 +39,7 @@ from repro.server.scheduling import (
 )
 from repro.server.dedup import DedupCache, DedupEntry
 from repro.server.executor import Executor, Job
+from repro.server.heartbeat import HeartbeatReporter
 from repro.server.server import NinfServer
 from repro.server.services import NinfRpcServices
 
@@ -50,6 +51,7 @@ __all__ = [
     "FCFSPolicy",
     "FPFSPolicy",
     "FPMPFSPolicy",
+    "HeartbeatReporter",
     "Job",
     "NinfExecutable",
     "NinfRpcServices",

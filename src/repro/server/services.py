@@ -86,6 +86,17 @@ class NinfRpcServices:
         # Still-queued detached jobs by ticket, so CANCEL can drop them.
         self._detached_jobs: dict[int, Job] = {}
         self.max_detached_results = 256
+        # Tombstones for evicted results (insertion-ordered, bounded):
+        # a late FETCH distinguishes "your result was computed but aged
+        # out" (result-evicted: retrying the call is the only recovery)
+        # from a ticket this server never issued (unknown-ticket).
+        self._detached_evicted: dict[int, None] = {}
+        self.max_evicted_tombstones = 1024
+        from repro.obs import names
+
+        self._evicted_metric = self.metrics.counter(
+            names.SERVER_DETACHED_EVICTED,
+            "Finished detached results evicted before their FETCH arrived")
         # Execution trace (§5.1): per-call observations feeding
         # repro.metaserver.predictor for learned cost models.
         from repro.metaserver.predictor import ExecutionTrace
@@ -147,16 +158,29 @@ class NinfRpcServices:
         enc.pack_array(self.registry.names(), enc.pack_string)
         channel.send(MessageType.LIST_REPLY, enc.getvalue())
 
-    def _handle_load_query(self, channel: Channel, payload: bytes) -> None:
-        reply = LoadReply(
+    def load_snapshot(self) -> LoadReply:
+        """Current load state as a :class:`LoadReply`.
+
+        Shared by the pull path (LOAD_QUERY) and the push path (the
+        :class:`~repro.server.heartbeat.HeartbeatReporter` embeds one
+        in every MS_HEARTBEAT), so both report identical numbers.
+        """
+        running = queued = completed = 0
+        if self.executor is not None:
+            running = self.executor.running
+            queued = self.executor.queued
+            completed = self.executor.completed
+        return LoadReply(
             num_pes=self.num_pes,
-            running=self.executor.running,
-            queued=self.executor.queued,
+            running=running,
+            queued=queued,
             load_average=self._sample_load(),
-            completed=self.executor.completed,
+            completed=completed,
         )
+
+    def _handle_load_query(self, channel: Channel, payload: bytes) -> None:
         enc = XdrEncoder()
-        reply.encode(enc)
+        self.load_snapshot().encode(enc)
         channel.send(MessageType.LOAD_REPLY, enc.getvalue())
 
     def _handle_interface_request(self, channel: Channel,
@@ -408,16 +432,27 @@ class NinfRpcServices:
                     ErrorReply(code="bad-result", message=str(exc)).encode(enc)
                 else:
                     enc.end_opaque(token)
+            evictions = 0
             with self._detached_lock:
                 self._detached[ticket] = enc.getvalue()
                 self._detached_jobs.pop(ticket, None)
-                # Bound the store: evict the oldest *finished* results.
+                # Bound the store: evict the oldest *finished* results,
+                # leaving a tombstone so the owner's late FETCH gets a
+                # distinct result-evicted error, not unknown-ticket.
                 finished = [t for t, v in self._detached.items()
                             if v is not None]
                 while len(finished) > self.max_detached_results:
                     evicted = finished.pop(0)
                     self._detached.pop(evicted, None)
                     self._detached_jobs.pop(evicted, None)
+                    self._detached_evicted[evicted] = None
+                    evictions += 1
+                while len(self._detached_evicted) > \
+                        self.max_evicted_tombstones:
+                    oldest = next(iter(self._detached_evicted))
+                    del self._detached_evicted[oldest]
+            if evictions:
+                self._evicted_metric.inc(evictions)
 
         try:
             job = self.executor.submit(executable, values,
@@ -484,15 +519,23 @@ class NinfRpcServices:
         with self._detached_lock:
             if ticket not in self._detached:
                 known = False
+                evicted = ticket in self._detached_evicted
                 result = None
             else:
                 known = True
+                evicted = False
                 result = self._detached[ticket]
                 if result is not None:
                     del self._detached[ticket]
         if not known:
-            channel.send_error("unknown-ticket",
-                               f"no detached call with ticket {ticket}")
+            if evicted:
+                channel.send_error(
+                    "result-evicted",
+                    f"result for ticket {ticket} was evicted before it "
+                    f"was fetched; re-issue the call")
+            else:
+                channel.send_error("unknown-ticket",
+                                   f"no detached call with ticket {ticket}")
             return
         if result is None:
             enc = XdrEncoder()

@@ -51,6 +51,14 @@ class WorkloadClient:
       the server's ``retry_after`` hint and retries in place.
     - ``call_deadline`` marks completed calls that blew the per-call
       budget (counted in ``late_calls``).
+    - ``partition_windows`` lists ``(start, end)`` sim-time intervals
+      during which the client's link is cut: every attempt inside a
+      window fails deterministically (counted in ``partition_drops``).
+      Mirroring the transport's state-based
+      :class:`~repro.transport.faults.PartitionMap`, a partitioned
+      attempt consumes *no* fault-RNG draw, so the seeded fault
+      schedule outside the windows is byte-identical with the windows
+      present or absent (DESIGN.md §3.7).
     """
 
     def __init__(self, sim: Simulator, client_id: int, server: SimNinfServer,
@@ -62,7 +70,8 @@ class WorkloadClient:
                  fault_cost: Optional[float] = None,
                  post_fault_rate: float = 0.0,
                  backups: Sequence[tuple[SimNinfServer, Route]] = (),
-                 call_deadline: Optional[float] = None):
+                 call_deadline: Optional[float] = None,
+                 partition_windows: Sequence[tuple[float, float]] = ()):
         if not 0.0 < p <= 1.0:
             raise ValueError(f"issue probability must be in (0, 1], got {p}")
         if s < 0:
@@ -94,6 +103,11 @@ class WorkloadClient:
         self.post_fault_rate = post_fault_rate
         self.backups = list(backups)
         self.call_deadline = call_deadline
+        for start, end in partition_windows:
+            if end <= start:
+                raise ValueError(
+                    f"partition window ({start}, {end}) is empty")
+        self.partition_windows = tuple(partition_windows)
         # Default failed-attempt cost: a round trip to discover the
         # drop, never less than a tenth of a second of client-side
         # timeout machinery.
@@ -105,6 +119,7 @@ class WorkloadClient:
         # Availability accounting: issued = len(records) + failed_calls.
         self.call_attempts = 0
         self.faults_seen = 0
+        self.partition_drops = 0
         self.retries = 0
         self.failed_calls = 0
         self.shed_seen = 0
@@ -115,6 +130,11 @@ class WorkloadClient:
         self._connection_open = False
         self.process = sim.process(self._run(), name=f"client-{client_id}")
 
+    def _partitioned(self, now: float) -> bool:
+        """Whether a partition window covers sim-time ``now``."""
+        return any(start <= now < end
+                   for start, end in self.partition_windows)
+
     def _attempt_faults(self) -> Generator:
         """Pre-call fault/retry loop; yields the time faults burn.
 
@@ -124,6 +144,15 @@ class WorkloadClient:
         """
         for attempt in range(1, self.retry_attempts + 1):
             self.call_attempts += 1
+            # Partition check first, consuming no RNG draw -- state,
+            # not chance, exactly like PartitionMap on the live stack.
+            if self._partitioned(self.sim.now):
+                self.partition_drops += 1
+                self._connection_open = False
+                yield self.sim.timeout(self.fault_cost)
+                if attempt < self.retry_attempts:
+                    self.retries += 1
+                continue
             if (self.fault_rate == 0.0
                     or self.fault_rng.random() >= self.fault_rate):
                 return True

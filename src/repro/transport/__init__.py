@@ -58,7 +58,12 @@ from repro.transport.aiopool import AsyncConnectionPool
 from repro.transport.breaker import CircuitBreaker
 from repro.transport.channel import Channel, connect
 from repro.transport.endpoint import Endpoint
-from repro.transport.faults import FaultEvent, FaultPlan, FaultyChannel
+from repro.transport.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultyChannel,
+    PartitionMap,
+)
 from repro.transport.loopbridge import (
     FacadeChannel,
     LoopThread,
@@ -84,6 +89,7 @@ __all__ = [
     "FaultPlan",
     "FaultyChannel",
     "LoopThread",
+    "PartitionMap",
     "RetryPolicy",
     "ShmRing",
     "ShmTransport",

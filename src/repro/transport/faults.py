@@ -58,9 +58,86 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultyChannel",
+    "PartitionMap",
     "REFUSE_DIAL",
     "TRUNCATE",
 ]
+
+#: A partition endpoint: a ``(host, port)`` address, a string label
+#: (a plan's ``src`` identity), or ``"*"`` (every endpoint).
+PartitionEnd = Union[str, tuple[str, int]]
+
+
+class PartitionMap:
+    """A deterministic, directional link-drop table (DESIGN.md §3.7).
+
+    Unlike the probabilistic :class:`FaultPlan` schedule, a partition
+    is *state*, not a draw: while the directed edge ``src -> dst`` is
+    blocked, every dial and every frame on a matching channel fails,
+    deterministically and without consuming any of the plan's RNG --
+    so a chaos seed replays the identical fault schedule whether or
+    not a partition is active.
+
+    ``src`` is the label a :class:`FaultPlan` was constructed with
+    (``FaultPlan(partitions=pmap, src="client-1")``); ``dst`` is the
+    ``(host, port)`` being dialed (or the channel's ``remote``).
+    ``"*"`` wildcards either side.  Directionality matters: blocking
+    ``A -> B`` leaves ``B -> A`` intact, modelling the asymmetric
+    (gray) partitions WAN links actually produce.
+
+    Thread-safe; shared by every plan participating in a scenario.
+    Drops are counted per edge in :attr:`drops` and, when the plan has
+    a registry attached, in ``ninf_faults_partition_drops_total``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._blocked: set[tuple[PartitionEnd, PartitionEnd]] = set()
+        self.drops: dict[tuple[PartitionEnd, PartitionEnd], int] = {}
+
+    def block(self, src: PartitionEnd, dst: PartitionEnd) -> None:
+        """Drop the directed edge ``src -> dst``."""
+        with self._lock:
+            self._blocked.add((src, dst))
+
+    def unblock(self, src: PartitionEnd, dst: PartitionEnd) -> None:
+        """Heal the directed edge ``src -> dst`` (idempotent)."""
+        with self._lock:
+            self._blocked.discard((src, dst))
+
+    def isolate(self, end: PartitionEnd) -> None:
+        """Cut ``end`` off in both directions (``end -> *``, ``* -> end``)."""
+        with self._lock:
+            self._blocked.add((end, "*"))
+            self._blocked.add(("*", end))
+
+    def heal(self) -> None:
+        """Remove every blocked edge."""
+        with self._lock:
+            self._blocked.clear()
+
+    def is_blocked(self, src: PartitionEnd, dst: PartitionEnd) -> bool:
+        """Whether traffic ``src -> dst`` is currently dropped."""
+        with self._lock:
+            if not self._blocked:
+                return False
+            return bool({(src, dst), (src, "*"), ("*", dst), ("*", "*")}
+                        & self._blocked)
+
+    def record_drop(self, src: PartitionEnd, dst: PartitionEnd) -> None:
+        """Count one dropped operation on ``src -> dst``."""
+        with self._lock:
+            self.drops[(src, dst)] = self.drops.get((src, dst), 0) + 1
+
+    @property
+    def drops_total(self) -> int:
+        with self._lock:
+            return sum(self.drops.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (f"<PartitionMap blocked={sorted(map(str, self._blocked))} "
+                    f"drops={sum(self.drops.values())}>")
 
 # Fault kinds.  Names describe what happens to the operation they hit.
 DELAY = "delay"              # sleep before the operation proceeds
@@ -125,7 +202,9 @@ class FaultPlan:
     def __init__(self, seed: int = 0, rate: float = 0.0,
                  kinds: Optional[tuple[str, ...]] = None,
                  max_faults: Optional[int] = None,
-                 delay_range: tuple[float, float] = (0.01, 0.05)) -> None:
+                 delay_range: tuple[float, float] = (0.01, 0.05),
+                 partitions: Optional[PartitionMap] = None,
+                 src: PartitionEnd = "client") -> None:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {rate}")
         for kind in kinds or ():
@@ -136,6 +215,12 @@ class FaultPlan:
         self.kinds = tuple(kinds) if kinds is not None else FAULT_KINDS
         self.max_faults = max_faults
         self.delay_range = delay_range
+        # Partition injection (deterministic, state-based): this plan
+        # participates as endpoint `src`; dials and channel I/O check
+        # the shared map before any RNG draw, so seeded schedules stay
+        # aligned whether or not a partition is active.
+        self.partitions = partitions
+        self.src = src
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.events: list[FaultEvent] = []
@@ -179,6 +264,29 @@ class FaultPlan:
                              labelnames=("kind",)).inc(kind=kind)
         return event
 
+    def partition_drop(self, dst: Union[str, tuple[str, int], None]) -> bool:
+        """Whether the edge ``self.src -> dst`` is partitioned away.
+
+        Counts the drop (per-edge in the map, and in
+        ``ninf_faults_partition_drops_total`` when a registry is
+        attached) when it is.  Consumes no RNG: partition state never
+        perturbs the seeded fault schedule.
+        """
+        if self.partitions is None or dst is None:
+            return False
+        if not self.partitions.is_blocked(self.src, dst):
+            return False
+        self.partitions.record_drop(self.src, dst)
+        registry = self.metrics
+        if registry is not None:
+            from repro.obs import names
+
+            registry.counter(
+                names.FAULTS_PARTITION_DROPS,
+                "Operations dropped by an injected network partition",
+            ).inc()
+        return True
+
     @property
     def faults_injected(self) -> int:
         with self._lock:
@@ -214,6 +322,10 @@ class FaultPlan:
         wrapping and consumes no fault draws, so chaos schedules stay
         aligned whether or not the channel upgrades.
         """
+        if self.partition_drop((host, port)):
+            raise ConnectionRefusedError(
+                f"[partition] {self.src} -> {host}:{port} is blocked"
+            )
         event = self.draw("dial")
         if event is not None:
             if event.kind == REFUSE_DIAL:
@@ -258,6 +370,11 @@ class FaultyChannel(Channel):
     def send(self, msg_type: int, payload: bytes = b"",
              timeout: Union[None, float, _Unset] = _DEFAULT) -> None:
         """Send one frame, subject to the plan's send-applicable faults."""
+        if self.plan.partition_drop(self.remote):
+            self.close()
+            raise ConnectionResetError(
+                f"[partition] {self.plan.src} -> {self.remote} is blocked"
+            )
         event = self.plan.draw("send")
         if event is None:
             return super().send(msg_type, payload, timeout=timeout)
@@ -292,6 +409,11 @@ class FaultyChannel(Channel):
     def recv(self, timeout: Union[None, float, _Unset] = _DEFAULT
              ) -> tuple[int, bytes]:
         """Receive one frame, subject to delay/drop faults."""
+        if self.plan.partition_drop(self.remote):
+            self.close()
+            raise ConnectionClosed(
+                f"[partition] {self.plan.src} -> {self.remote} is blocked"
+            )
         event = self.plan.draw("recv")
         if event is not None:
             if event.kind == DROP_PRE:

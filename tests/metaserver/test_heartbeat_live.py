@@ -1,0 +1,169 @@
+"""Live-loopback push heartbeats: the gray-server acceptance test.
+
+A *gray* server is alive and leased but its heartbeats have stopped
+arriving.  The binary liveness layers (lease expiry, poll probes) see
+nothing wrong yet; the phi-accrual layer must already be steering
+MS_PICK away from it (DESIGN.md §3.7).  Real sockets, real MS_HEARTBEAT
+frames -- only time is virtual, driven step by step.
+"""
+
+import pytest
+
+from repro.metaserver import MetaClient, Metaserver
+from repro.obs import names
+from repro.protocol.errors import RemoteError
+from repro.server import HeartbeatReporter, NinfServer, Registry
+
+IDL = 'Define noop(mode_in int n) "does nothing";'
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _registry():
+    registry = Registry()
+    registry.register(IDL, lambda n: None)
+    return registry
+
+
+def test_phi_deprioritizes_gray_server_before_lease_expires():
+    clock = Clock()
+    with NinfServer(_registry(), num_pes=1) as steady, \
+            NinfServer(_registry(), num_pes=1) as gray:
+        ms = Metaserver(poll_interval=3600.0, clock=clock)
+        with ms:
+            host, port = ms.address
+            steady_rep = HeartbeatReporter(
+                steady, [(host, port)], interval=1.0,
+                lease_factor=10.0, epoch=1)
+            gray_rep = HeartbeatReporter(
+                gray, [(host, port)], interval=1.0,
+                lease_factor=10.0, epoch=1)
+            # Both beat on a regular 1.0s (virtual) cadence.
+            for t in range(1, 9):
+                clock.t = float(t)
+                assert steady_rep.beat_now() == 1
+                assert gray_rep.beat_now() == 1
+            # The gray server falls silent; the steady one beats on.
+            for t in range(9, 14):
+                clock.t = float(t)
+                assert steady_rep.beat_now() == 1
+
+            steady_entry = ms.directory.get(*steady.address)
+            gray_entry = ms.directory.get(*gray.address)
+            # Nothing binary has fired: both leases are still live
+            # (gray's last beat at t=8 leased it through t=18)...
+            assert steady_entry.leased()
+            assert gray_entry.leased()
+            assert gray_entry.alive
+            # ...and the poller has no business with leased entries.
+            assert ms.directory.poll_candidates() == []
+            # But phi already tells the two apart, decisively.
+            assert steady_entry.suspicion() < 0.5
+            assert gray_entry.suspicion() > 3.0
+
+            # MS_PICK routes around the gray server while it is
+            # still leased and nominally alive.
+            with MetaClient(host, port) as meta:
+                for _ in range(5):
+                    chosen = meta.pick("noop")
+                    assert (chosen.host, chosen.port) == steady.address
+
+            # The suspect gauge sees it too (poll_now refreshes the
+            # gauges; with every lease live it probes nothing).
+            ms.poll_now()
+            gauge = ms.metrics.gauge(names.METASERVER_SERVERS_SUSPECT)
+            assert gauge.value() == 1.0
+
+
+def test_heartbeat_registers_and_serves_picks():
+    """A heartbeat is a registration: no MS_REGISTER ever happened."""
+    clock = Clock()
+    with NinfServer(_registry(), num_pes=1) as worker:
+        ms = Metaserver(poll_interval=3600.0, clock=clock)
+        with ms:
+            host, port = ms.address
+            reporter = HeartbeatReporter(worker, [(host, port)],
+                                         interval=1.0, epoch=1)
+            with MetaClient(host, port) as meta:
+                with pytest.raises(RemoteError) as excinfo:
+                    meta.pick("noop")
+                assert excinfo.value.code == "no-provider"
+                clock.t = 1.0
+                assert reporter.beat_now() == 1
+                assert meta.pick("noop").port == worker.address[1]
+                metric = ms.metrics.counter(names.METASERVER_HEARTBEATS,
+                                            labelnames=("outcome",))
+                assert metric.value(outcome="ok") == 1.0
+
+
+def test_stale_heartbeat_rejected_but_acked():
+    clock = Clock()
+    with NinfServer(_registry(), num_pes=1) as worker:
+        ms = Metaserver(poll_interval=3600.0, clock=clock)
+        with ms:
+            host, port = ms.address
+            reporter = HeartbeatReporter(worker, [(host, port)],
+                                         interval=1.0, epoch=2)
+            clock.t = 1.0
+            assert reporter.beat_now() == 1
+            # An older incarnation (lower epoch) replays a beat: the
+            # push is acked (transport-ok) but the directory holds.
+            old = HeartbeatReporter(worker, [(host, port)],
+                                    interval=1.0, epoch=1)
+            clock.t = 2.0
+            assert old.beat_now() == 1
+            metric = ms.metrics.counter(names.METASERVER_HEARTBEATS,
+                                            labelnames=("outcome",))
+            assert metric.value(outcome="stale") == 1.0
+            entry = ms.directory.get(*worker.address)
+            assert entry.seq == (2 << 20) | 1
+
+
+def test_signed_heartbeats_enforced():
+    clock = Clock()
+    secret = b"deployment-secret"
+    with NinfServer(_registry(), num_pes=1) as worker:
+        ms = Metaserver(poll_interval=3600.0, clock=clock, secret=secret)
+        with ms:
+            host, port = ms.address
+            unsigned = HeartbeatReporter(worker, [(host, port)],
+                                         interval=1.0, epoch=1)
+            clock.t = 1.0
+            assert unsigned.beat_now() == 0  # rejected: bad-signature
+            assert len(ms.directory) == 0
+            signed = HeartbeatReporter(worker, [(host, port)],
+                                       interval=1.0, epoch=1,
+                                       secret=secret)
+            clock.t = 2.0
+            assert signed.beat_now() == 1
+            assert len(ms.directory) == 1
+            metric = ms.metrics.counter(names.METASERVER_HEARTBEATS,
+                                            labelnames=("outcome",))
+            assert metric.value(outcome="bad-signature") == 1.0
+            assert metric.value(outcome="ok") == 1.0
+
+
+def test_heartbeat_thread_runs_real_time():
+    """The background beat loop works unassisted (real clocks, fast)."""
+    with NinfServer(_registry(), num_pes=1) as worker:
+        with Metaserver(poll_interval=3600.0) as ms:
+            host, port = ms.address
+            with HeartbeatReporter(worker, [(host, port)],
+                                   interval=0.05, epoch=1):
+                import time
+
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    entry = ms.directory.get(*worker.address)
+                    if entry is not None and entry.seq >= (1 << 20) | 2:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("heartbeat thread never delivered beats")
+                assert entry.leased()

@@ -1,0 +1,85 @@
+"""Phi-accrual failure detector unit behaviour (DESIGN.md §3.7)."""
+
+import math
+
+import pytest
+
+from repro.metaserver import PhiAccrualDetector
+
+
+def test_never_heard_is_not_suspect():
+    detector = PhiAccrualDetector()
+    # Liveness of never-pushed entries is the poll fallback's job.
+    assert detector.phi(1000.0) == 0.0
+    assert detector.last_beat is None
+    assert detector.samples == 0
+
+
+def test_fresh_heartbeat_clears_suspicion():
+    detector = PhiAccrualDetector()
+    detector.heartbeat(10.0)
+    assert detector.phi(10.0) == 0.0
+    # Time running backwards (clock quirk) never goes negative-suspect.
+    assert detector.phi(9.0) == 0.0
+
+
+def test_phi_grows_monotonically_with_silence():
+    detector = PhiAccrualDetector()
+    for t in range(10):
+        detector.heartbeat(float(t))
+    values = [detector.phi(9.0 + dt) for dt in (0.5, 1.0, 2.0, 4.0, 8.0)]
+    assert values == sorted(values)
+    assert values[-1] > values[0]
+
+
+def test_phi_magnitude_tracks_overdue_probability():
+    """phi ~ 1 at ~10% residual probability, >> 1 when long overdue."""
+    detector = PhiAccrualDetector(min_std=0.1)
+    for t in range(20):
+        detector.heartbeat(float(t))  # mean interval 1.0
+    # On-schedule: low suspicion.
+    assert detector.phi(19.5) < 1.0
+    # Several sigma overdue: decisive.
+    assert detector.phi(25.0) > 3.0
+
+
+def test_irregular_arrivals_raise_tolerance():
+    """A jittery history widens sigma: the same silence is judged less
+    suspicious than under a metronomic history -- the gray-server
+    property that makes phi WAN-safe."""
+    regular = PhiAccrualDetector(min_std=0.1)
+    jittery = PhiAccrualDetector(min_std=0.1)
+    for i in range(20):
+        regular.heartbeat(float(i))
+        jittery.heartbeat(i + (0.4 if i % 2 else 0.0))
+    assert regular.phi(22.0) > jittery.phi(22.0)
+
+
+def test_window_slides():
+    detector = PhiAccrualDetector(window=4)
+    for t in range(20):
+        detector.heartbeat(float(t))
+    assert detector.samples == 4
+
+
+def test_single_sample_uses_first_interval_prior():
+    detector = PhiAccrualDetector(first_interval=1.0)
+    detector.heartbeat(0.0)
+    # One beat, no intervals yet: judged against the prior.
+    assert detector.samples == 0
+    assert detector.phi(0.5) < detector.phi(5.0)
+    assert math.isfinite(detector.phi(5.0))
+
+
+def test_negative_interval_ignored():
+    detector = PhiAccrualDetector()
+    detector.heartbeat(5.0)
+    detector.heartbeat(4.0)  # clock stepped back; not a sample
+    assert detector.samples == 0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PhiAccrualDetector(window=1)
+    with pytest.raises(ValueError):
+        PhiAccrualDetector(min_std=0.0)

@@ -1,0 +1,92 @@
+"""PickCache TTL/LRU/degraded-read semantics (DESIGN.md §3.7)."""
+
+import pytest
+
+from repro.metaserver import PickCache
+from repro.protocol.messages import ServerInfo
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def info(port=7000):
+    return ServerInfo(name=f"s{port}", host="127.0.0.1", port=port,
+                      num_pes=1, functions=("f",))
+
+
+def test_fresh_hit_and_expiry():
+    clock = Clock()
+    cache = PickCache(ttl=2.0, clock=clock)
+    cache.put(("f", "lan"), info())
+    assert cache.get(("f", "lan")) == info()
+    clock.t = 1.9
+    assert cache.get(("f", "lan")) == info()
+    clock.t = 2.0
+    # Expired for normal reads...
+    assert cache.get(("f", "lan")) is None
+    # ...but retained as degraded-mode inventory.
+    assert cache.get(("f", "lan"), allow_expired=True) == info()
+    assert len(cache) == 1
+
+
+def test_miss_returns_none():
+    cache = PickCache(ttl=2.0)
+    assert cache.get(("nope", "lan")) is None
+    assert cache.get(("nope", "lan"), allow_expired=True) is None
+    assert cache.age(("nope", "lan")) is None
+
+
+def test_put_refreshes_age():
+    clock = Clock()
+    cache = PickCache(ttl=2.0, clock=clock)
+    cache.put(("f", "lan"), info(7000))
+    clock.t = 1.5
+    cache.put(("f", "lan"), info(7001))
+    clock.t = 3.0
+    # Re-put at t=1.5: still fresh at t=3.0, and the newer value wins.
+    assert cache.get(("f", "lan")) == info(7001)
+    assert abs(cache.age(("f", "lan")) - 1.5) < 1e-9
+
+
+def test_get_does_not_refresh_age():
+    clock = Clock()
+    cache = PickCache(ttl=2.0, clock=clock)
+    cache.put(("f", "lan"), info())
+    clock.t = 1.9
+    assert cache.get(("f", "lan")) is not None
+    clock.t = 2.1
+    # The hit at 1.9 refreshed recency, never freshness.
+    assert cache.get(("f", "lan")) is None
+
+
+def test_lru_eviction_bounded():
+    clock = Clock()
+    cache = PickCache(ttl=10.0, max_entries=2, clock=clock)
+    cache.put("a", info(1))
+    cache.put("b", info(2))
+    cache.get("a")           # a is now most recent
+    cache.put("c", info(3))  # evicts b, the least recent
+    assert cache.get("b") is None
+    assert cache.get("a") == info(1)
+    assert cache.get("c") == info(3)
+    assert len(cache) == 2
+
+
+def test_invalidate():
+    cache = PickCache(ttl=10.0)
+    cache.put("a", info())
+    cache.invalidate("a")
+    assert cache.get("a", allow_expired=True) is None
+    cache.invalidate("a")  # idempotent
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PickCache(ttl=0.0)
+    with pytest.raises(ValueError):
+        PickCache(max_entries=0)

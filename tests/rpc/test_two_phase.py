@@ -99,7 +99,36 @@ def test_detached_store_bounded(server, client):
     handles = [client.call_detached("sleeper", 0.0) for _ in range(8)]
     # Wait for all to finish by fetching the newest.
     handles[-1].fetch(timeout=30)
-    # The oldest tickets have been evicted.
+    # The oldest tickets have been evicted; the error is *distinct*
+    # from unknown-ticket so the owner knows the call ran but the
+    # result aged out (re-issue, don't debug a phantom ticket).
     with pytest.raises(RemoteError) as excinfo:
         handles[0].fetch(timeout=5)
+    assert excinfo.value.code == "result-evicted"
+
+
+def test_detached_eviction_metric_and_tombstones(server, client):
+    """Evictions are counted and tombstoned; fresh tickets unaffected."""
+    from repro.obs import names
+
+    server.max_detached_results = 2
+    handles = [client.call_detached("sleeper", 0.0) for _ in range(6)]
+    handles[-1].fetch(timeout=30)
+    # Every evicted ticket answers result-evicted...
+    evicted = 0
+    for handle in handles[:-1]:
+        try:
+            handle.fetch(timeout=5)
+        except RemoteError as exc:
+            assert exc.code == "result-evicted"
+            evicted += 1
+    assert evicted >= 3
+    # ...and the pinned counter agrees.
+    metric = server.metrics.counter(names.SERVER_DETACHED_EVICTED)
+    assert metric.value() >= evicted
+    # A ticket this server never issued is still unknown-ticket.
+    phantom = client.call_detached("sleeper", 0.0)
+    phantom.ticket += 10_000
+    with pytest.raises(RemoteError) as excinfo:
+        phantom.fetch(timeout=5)
     assert excinfo.value.code == "unknown-ticket"
